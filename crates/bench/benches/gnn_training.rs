@@ -1,0 +1,29 @@
+//! Criterion microbenchmark: one training run per downstream model — the
+//! unit cost that learning-based AL pays once per round and Grain never
+//! pays during selection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grain_data::synthetic::papers_like;
+use grain_gnn::TrainConfig;
+use grain_select::ModelKind;
+
+fn bench_models(c: &mut Criterion) {
+    let dataset = papers_like(3_000, 31);
+    let train: Vec<u32> = dataset.split.train.iter().take(64).copied().collect();
+    let cfg = TrainConfig { epochs: 20, patience: None, ..Default::default() };
+    let mut group = c.benchmark_group("gnn-train-20-epochs");
+    group.sample_size(10);
+    for kind in ModelKind::table4_lineup() {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
+            b.iter(|| {
+                let mut model = kind.build(&dataset, 3);
+                let rep = model.train(&dataset.labels, &train, &[], &cfg);
+                std::hint::black_box(rep.epochs_run)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

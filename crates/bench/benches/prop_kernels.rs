@@ -1,0 +1,43 @@
+//! Criterion microbenchmark: throughput of every Table 1 propagation
+//! kernel at depth 2 on a mid-size synthetic corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grain_data::synthetic::papers_like;
+use grain_prop::{propagate, Kernel};
+
+fn bench_kernels(c: &mut Criterion) {
+    let dataset = papers_like(5_000, 7);
+    let mut group = c.benchmark_group("propagation");
+    group.sample_size(10);
+    for kernel in Kernel::all_table1(2) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name()),
+            &kernel,
+            |b, &kernel| {
+                b.iter(|| {
+                    let out = propagate(&dataset.graph, kernel, &dataset.features);
+                    std::hint::black_box(out.rows())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_depth_scaling(c: &mut Criterion) {
+    let dataset = papers_like(5_000, 8);
+    let mut group = c.benchmark_group("propagation-depth");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                let out = propagate(&dataset.graph, Kernel::RandomWalk { k }, &dataset.features);
+                std::hint::black_box(out.rows())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_depth_scaling);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbenchmark: end-to-end Grain selection (ball-D vs NN-D vs
+//! ablations, plain vs CELF greedy, with and without §3.4 pruning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grain_core::{GrainConfig, GrainSelector, GreedyAlgorithm, PruneStrategy};
+use grain_data::synthetic::papers_like;
+
+fn bench_variants(c: &mut Criterion) {
+    let dataset = papers_like(4_000, 21);
+    let budget = 2 * dataset.num_classes;
+    let mut group = c.benchmark_group("grain-select");
+    group.sample_size(10);
+    let cases: Vec<(&str, GrainConfig)> = vec![
+        ("ball-d", GrainConfig::ball_d()),
+        ("nn-d", GrainConfig::nn_d()),
+        (
+            "ball-d+prune",
+            GrainConfig {
+                prune: Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
+                ..GrainConfig::ball_d()
+            },
+        ),
+    ];
+    for (name, cfg) in cases {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let selector = GrainSelector::new(*cfg);
+            b.iter(|| {
+                let out = selector.select(
+                    &dataset.graph,
+                    &dataset.features,
+                    &dataset.split.train,
+                    budget,
+                );
+                std::hint::black_box(out.selected.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_celf_vs_plain(c: &mut Criterion) {
+    let dataset = papers_like(3_000, 22);
+    let budget = 2 * dataset.num_classes;
+    let mut group = c.benchmark_group("greedy-algorithm");
+    group.sample_size(10);
+    for (name, algorithm) in [("plain", GreedyAlgorithm::Plain), ("celf", GreedyAlgorithm::Lazy)] {
+        let cfg = GrainConfig { algorithm, ..GrainConfig::ball_d() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            let selector = GrainSelector::new(*cfg);
+            b.iter(|| {
+                let out = selector.select(
+                    &dataset.graph,
+                    &dataset.features,
+                    &dataset.split.train,
+                    budget,
+                );
+                std::hint::black_box(out.evaluations)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_celf_vs_plain);
+criterion_main!(benches);

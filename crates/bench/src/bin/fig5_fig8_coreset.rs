@@ -1,0 +1,98 @@
+//! Figures 5 & 8 — core-set selection: label rate needed to reach a given
+//! accuracy gap from the full-training-set accuracy.
+//!
+//! Protocol: train the reference model on the entire (fully labeled) train
+//! pool; for each method, select subsets at a grid of label rates (one
+//! max-rate selection per method, prefix-sliced — all methods are
+//! prefix-consistent); for each gap `g` in 1..7%, report the smallest
+//! label rate whose subset-trained accuracy is within `g` of the
+//! reference. Figure 5 is the PubMed column of Figure 8.
+//!
+//! Beyond the paper's lineup, the §2.1 core-set criteria (max-entropy,
+//! forgetting events) are included as extra rows.
+
+use grain_bench::lineup::{al_lineup, inner_train_cfg};
+use grain_bench::{evaluate_selection, EvalSpec, Flags, MarkdownTable};
+use grain_data::Dataset;
+use grain_gnn::TrainConfig;
+use grain_select::coreset::{ForgettingSelector, MaxEntropySelector};
+use grain_select::{ModelKind, NodeSelector, SelectionContext};
+
+fn main() {
+    let flags = Flags::from_env();
+    let datasets: Vec<Dataset> = if flags.fast {
+        vec![grain_data::synthetic::cora_like(flags.seed)]
+    } else {
+        vec![
+            grain_data::synthetic::cora_like(flags.seed),
+            grain_data::synthetic::citeseer_like(flags.seed),
+            grain_data::synthetic::pubmed_like(flags.seed),
+        ]
+    };
+    let label_rates = [0.01f64, 0.02, 0.035, 0.06, 0.1, 0.16, 0.25];
+    let gaps = [1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+    let mut block = String::from("## Figures 5 & 8: core-set label rate vs accuracy gap\n");
+    for dataset in &datasets {
+        let spec = EvalSpec {
+            model: ModelKind::default(),
+            train: TrainConfig { seed: flags.seed, ..TrainConfig::fast() },
+            model_repeats: 1,
+        };
+        // Reference: full train pool.
+        let reference = evaluate_selection(dataset, &dataset.split.train, &spec);
+        let pool_size = dataset.split.train.len();
+        let max_budget = ((label_rates.last().unwrap() * pool_size as f64).ceil() as usize)
+            .min(pool_size);
+
+        let ctx = SelectionContext::new(dataset, flags.seed);
+        let mut methods: Vec<Box<dyn NodeSelector>> =
+            al_lineup(flags.seed, flags.fast, ModelKind::default());
+        methods.push(Box::new(
+            MaxEntropySelector::new(ModelKind::default(), flags.seed)
+                .with_train_config(inner_train_cfg(flags.fast)),
+        ));
+        methods.push(Box::new(
+            ForgettingSelector::new(ModelKind::default(), flags.seed)
+                .with_train_config(inner_train_cfg(flags.fast)),
+        ));
+
+        let mut header: Vec<String> = vec!["method".into()];
+        header.extend(gaps.iter().map(|g| format!("gap<={g:.0}%")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut out = MarkdownTable::new(&header_refs);
+        for method in &mut methods {
+            let selected = method.select(&ctx, max_budget);
+            // Accuracy at each label rate (prefix evaluation).
+            let mut accs = Vec::with_capacity(label_rates.len());
+            for &rate in &label_rates {
+                let budget = ((rate * pool_size as f64).ceil() as usize)
+                    .clamp(dataset.num_classes, selected.len());
+                accs.push(evaluate_selection(dataset, &selected[..budget], &spec));
+            }
+            let mut row = vec![method.name().to_string()];
+            for &gap in &gaps {
+                let needed = label_rates
+                    .iter()
+                    .zip(&accs)
+                    .find(|(_, &acc)| (reference - acc) * 100.0 <= gap)
+                    .map(|(&rate, _)| format!("{:.1}%", rate * 100.0))
+                    .unwrap_or_else(|| ">25%".to_string());
+                row.push(needed);
+            }
+            out.push_row(row);
+        }
+        block.push_str(&format!(
+            "\n### {} (reference accuracy {:.1}% with {} labels)\n\n{}",
+            dataset.name,
+            reference * 100.0,
+            pool_size,
+            out.render()
+        ));
+    }
+    block.push_str(
+        "\nPaper's claim: both Grain variants reach every accuracy gap with \
+         several times fewer labels than AGE/ANRMAB/KCG/Random/Degree \
+         (e.g. 3.2x fewer than AGE at the 2% gap on PubMed).\n",
+    );
+    flags.emit(&block);
+}

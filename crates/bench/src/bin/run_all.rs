@@ -1,0 +1,66 @@
+//! Runs every experiment binary in sequence, collecting the Markdown
+//! blocks into one report (default `results/experiments.md`).
+//!
+//! ```text
+//! cargo run -p grain-bench --release --bin run_all             # full
+//! cargo run -p grain-bench --release --bin run_all -- --fast   # smoke
+//! ```
+
+use grain_bench::Flags;
+use std::process::Command;
+
+const EXPERIMENTS: &[&str] = &[
+    "dataset_stats",
+    "fig2_influence_vs_accuracy",
+    "fig4_al_budget_sweep",
+    "table2_final_accuracy",
+    "fig5_fig8_coreset",
+    "fig6_fig9_runtime",
+    "table3_ablation",
+    "table4_generalization",
+    "fig7_interpretability",
+    "sensitivity",
+];
+
+fn main() {
+    let flags = Flags::from_env();
+    let out_path = flags
+        .out
+        .clone()
+        .unwrap_or_else(|| "results/experiments.md".to_string());
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        std::fs::create_dir_all(dir).expect("cannot create results directory");
+    }
+    // Start the report fresh.
+    std::fs::write(
+        &out_path,
+        format!(
+            "# Grain reproduction — experiment report\n\nseed {}, mode {}\n\n",
+            flags.seed,
+            if flags.fast { "fast" } else { "full" }
+        ),
+    )
+    .expect("cannot write report header");
+
+    let self_path = std::env::current_exe().expect("cannot locate current executable");
+    let bin_dir = self_path.parent().expect("executable has no parent dir");
+    for name in EXPERIMENTS {
+        let started = std::time::Instant::now();
+        eprintln!("==> running {name}");
+        let mut cmd = Command::new(bin_dir.join(name));
+        cmd.arg("--seed").arg(flags.seed.to_string());
+        cmd.arg("--out").arg(&out_path);
+        if flags.fast {
+            cmd.arg("--fast");
+        }
+        if let Some(r) = flags.repeats {
+            cmd.arg("--repeats").arg(r.to_string());
+        }
+        let status = cmd
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
+        assert!(status.success(), "experiment {name} failed with {status}");
+        eprintln!("==> {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+    }
+    println!("report written to {out_path}");
+}

@@ -1,0 +1,75 @@
+//! Table 3 — influence of the DIM components.
+//!
+//! Grain (ball-D) against its ablations at B = 20C on the three citation
+//! corpora: "No Magnitude" (ball coverage of seeds only), "No Diversity"
+//! (pure |sigma(S)| maximization), "Classic Coverage" (diversity from
+//! seed-centered balls, i.e. sigma(S) replaced by S).
+
+use grain_bench::lineup::ablation_lineup;
+use grain_bench::{evaluate_selection, EvalSpec, Flags, MarkdownTable};
+use grain_data::Dataset;
+use grain_gnn::TrainConfig;
+use grain_select::{ModelKind, SelectionContext};
+
+fn main() {
+    let flags = Flags::from_env();
+    let seeds = flags.repeats_or(3);
+    let datasets: Vec<Dataset> = if flags.fast {
+        vec![
+            grain_data::synthetic::cora_like(flags.seed),
+            grain_data::synthetic::citeseer_like(flags.seed),
+        ]
+    } else {
+        vec![
+            grain_data::synthetic::cora_like(flags.seed),
+            grain_data::synthetic::citeseer_like(flags.seed),
+            grain_data::synthetic::pubmed_like(flags.seed),
+        ]
+    };
+    let names: Vec<&'static str> = ablation_lineup().iter().map(|s| s.name()).collect();
+    let mut header: Vec<String> = vec!["variant".into()];
+    for d in &datasets {
+        header.push(d.name.clone());
+        header.push(format!("Δ vs full ({})", d.name));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut out = MarkdownTable::new(&header_refs);
+    // accs[variant][dataset]
+    let mut accs = vec![vec![0.0f64; datasets.len()]; names.len()];
+    for (di, dataset) in datasets.iter().enumerate() {
+        let budget = 20 * dataset.num_classes;
+        for seed_rep in 0..seeds {
+            let seed = flags.seed.wrapping_add(seed_rep as u64 * 17);
+            let ctx = SelectionContext::new(dataset, seed);
+            for (variant, acc_row) in ablation_lineup().iter_mut().zip(accs.iter_mut()) {
+                let selected = variant.select(&ctx, budget);
+                let spec = EvalSpec {
+                    model: ModelKind::default(),
+                    train: TrainConfig { seed, ..TrainConfig::fast() },
+                    model_repeats: 1,
+                };
+                acc_row[di] += evaluate_selection(dataset, &selected, &spec) / seeds as f64;
+            }
+        }
+    }
+    let full_row = names.iter().position(|&n| n == "grain(ball-d)").unwrap();
+    for (vi, name) in names.iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (di, &acc) in accs[vi].iter().enumerate() {
+            row.push(format!("{:.1}", acc * 100.0));
+            let delta = (acc - accs[full_row][di]) * 100.0;
+            row.push(if vi == full_row { "–".into() } else { format!("{delta:+.1}") });
+        }
+        out.push_row(row);
+    }
+    let mut block = format!(
+        "## Table 3: ablation of the DIM components (B = 20C, {seeds} seeds, accuracy %)\n\n{}",
+        out.render()
+    );
+    block.push_str(
+        "\nPaper's claim: removing the magnitude term hurts most, removing \
+         diversity hurts on every corpus, and classic seed-centered coverage \
+         trails the sigma(S)-centered ball diversity.\n",
+    );
+    flags.emit(&block);
+}

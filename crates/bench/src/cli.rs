@@ -1,0 +1,133 @@
+//! Minimal flag parsing for the experiment binaries.
+//!
+//! Supported everywhere: `--fast` (shrunken datasets/repeats for smoke
+//! runs), `--seed N`, `--repeats N`, `--out PATH` (append the Markdown
+//! block to a file as well as stdout), plus free-form `--key value` pairs
+//! individual binaries interpret.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Clone, Debug, Default)]
+pub struct Flags {
+    /// `--fast`: smoke-test sizing.
+    pub fast: bool,
+    /// `--seed N` (default 1).
+    pub seed: u64,
+    /// `--repeats N` (default depends on the binary).
+    pub repeats: Option<usize>,
+    /// `--out PATH`.
+    pub out: Option<String>,
+    /// Remaining `--key value` pairs.
+    pub extra: HashMap<String, String>,
+}
+
+impl Flags {
+    /// Parses `std::env::args()` (skipping the program name).
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument iterator.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut flags = Flags { seed: 1, ..Default::default() };
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--fast" => flags.fast = true,
+                "--seed" => {
+                    flags.seed = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--seed needs an integer");
+                }
+                "--repeats" => {
+                    flags.repeats = Some(
+                        it.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--repeats needs an integer"),
+                    );
+                }
+                "--out" => {
+                    flags.out = Some(it.next().expect("--out needs a path"));
+                }
+                other => {
+                    if let Some(key) = other.strip_prefix("--") {
+                        let value = it.next().unwrap_or_default();
+                        flags.extra.insert(key.to_string(), value);
+                    } else {
+                        panic!("unrecognized argument {other:?}");
+                    }
+                }
+            }
+        }
+        flags
+    }
+
+    /// Repeats with a binary-specific default, halved (min 1) in fast mode.
+    pub fn repeats_or(&self, default: usize) -> usize {
+        let base = self.repeats.unwrap_or(default);
+        if self.fast {
+            (base / 2).max(1)
+        } else {
+            base
+        }
+    }
+
+    /// Extra flag lookup.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.extra.get(key).map(String::as_str)
+    }
+
+    /// Emits a report block: stdout always, plus `--out` append if set.
+    pub fn emit(&self, block: &str) {
+        println!("{block}");
+        if let Some(path) = &self.out {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
+            writeln!(f, "{block}").expect("write to --out failed");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Flags {
+        Flags::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_without_args() {
+        let f = parse(&[]);
+        assert!(!f.fast);
+        assert_eq!(f.seed, 1);
+        assert_eq!(f.repeats_or(10), 10);
+    }
+
+    #[test]
+    fn parses_standard_flags() {
+        let f = parse(&["--fast", "--seed", "7", "--repeats", "4"]);
+        assert!(f.fast);
+        assert_eq!(f.seed, 7);
+        assert_eq!(f.repeats_or(10), 2); // fast halves
+    }
+
+    #[test]
+    fn collects_extra_pairs() {
+        let f = parse(&["--dataset", "cora-like"]);
+        assert_eq!(f.get("dataset"), Some("cora-like"));
+        assert_eq!(f.get("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unrecognized")]
+    fn rejects_positional_args() {
+        let _ = parse(&["oops"]);
+    }
+}

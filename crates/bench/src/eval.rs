@@ -1,0 +1,97 @@
+//! Selection → training → test-accuracy evaluation loops.
+
+use grain_data::Dataset;
+use grain_gnn::metrics::accuracy;
+use grain_gnn::TrainConfig;
+use grain_select::{ModelKind, NodeSelector, SelectionContext};
+use std::time::{Duration, Instant};
+
+/// How to evaluate a selection: which model, how it trains, how often.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalSpec {
+    /// Downstream model.
+    pub model: ModelKind,
+    /// Training configuration.
+    pub train: TrainConfig,
+    /// Model-training repetitions averaged per selection.
+    pub model_repeats: usize,
+}
+
+impl Default for EvalSpec {
+    fn default() -> Self {
+        Self { model: ModelKind::default(), train: TrainConfig::fast(), model_repeats: 1 }
+    }
+}
+
+/// Trains `spec.model` on `selected` and returns mean test accuracy over
+/// `spec.model_repeats` seeds.
+pub fn evaluate_selection(dataset: &Dataset, selected: &[u32], spec: &EvalSpec) -> f64 {
+    assert!(!selected.is_empty(), "cannot evaluate an empty selection");
+    let mut accs = Vec::with_capacity(spec.model_repeats);
+    for rep in 0..spec.model_repeats.max(1) {
+        let seed = spec.train.seed.wrapping_add(rep as u64 * 7919);
+        let mut model = spec.model.build(dataset, seed);
+        let mut cfg = spec.train;
+        cfg.seed = seed;
+        model.train(&dataset.labels, selected, &dataset.split.val, &cfg);
+        accs.push(accuracy(&model.predict(), &dataset.labels, &dataset.split.test));
+    }
+    grain_linalg::stats::mean(&accs)
+}
+
+/// Runs one selector and times it.
+pub fn timed_selection(
+    selector: &mut dyn NodeSelector,
+    ctx: &SelectionContext<'_>,
+    budget: usize,
+) -> (Vec<u32>, Duration) {
+    let t0 = Instant::now();
+    let selected = selector.select(ctx, budget);
+    (selected, t0.elapsed())
+}
+
+/// `(mean, std)` of a sample.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    (grain_linalg::stats::mean(xs), grain_linalg::stats::std_dev(xs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_data::synthetic::papers_like;
+    use grain_select::random::RandomSelector;
+
+    #[test]
+    fn evaluate_selection_returns_sane_accuracy() {
+        let ds = papers_like(900, 1);
+        let ctx = SelectionContext::new(&ds, 1);
+        let mut sel = RandomSelector::new(1);
+        let picked = sel.select(&ctx, 4 * ds.num_classes);
+        let spec = EvalSpec {
+            model: ModelKind::Sgc { k: 2 },
+            train: TrainConfig { epochs: 80, patience: None, ..Default::default() },
+            model_repeats: 2,
+        };
+        let acc = evaluate_selection(&ds, &picked, &spec);
+        assert!((0.0..=1.0).contains(&acc));
+        // 64 labels on the 16-class corpus must clearly beat the 6.25% chance level.
+        assert!(acc > 2.0 / ds.num_classes as f64, "accuracy {acc}");
+    }
+
+    #[test]
+    fn timed_selection_reports_duration() {
+        let ds = papers_like(200, 2);
+        let ctx = SelectionContext::new(&ds, 2);
+        let mut sel = RandomSelector::new(3);
+        let (picked, dur) = timed_selection(&mut sel, &ctx, 10);
+        assert_eq!(picked.len(), 10);
+        assert!(dur.as_nanos() > 0);
+    }
+
+    #[test]
+    fn mean_std_matches_stats() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,87 @@
+//! Method lineups shared across experiment binaries.
+//!
+//! Both the "prefix trick" and the inner-training budget live here so
+//! every experiment treats methods identically:
+//!
+//! * **Prefix trick.** Every method in the lineup grows its labeled set
+//!   monotonically (greedy picks, per-round batches, sorted ranks,
+//!   shuffles), so a budget-`B'` selection is the length-`B'` prefix of
+//!   the budget-`B` selection for `B' <= B`. Budget sweeps therefore run
+//!   one max-budget selection per method and slice prefixes — identical
+//!   results to per-budget runs at a fraction of the cost.
+//! * **Inner training budget.** AGE/ANRMAB retrain their model every
+//!   round; the experiments scale that inner cost with `--fast`.
+
+use grain_core::GrainVariant;
+use grain_gnn::TrainConfig;
+use grain_select::age::AgeSelector;
+use grain_select::anrmab::AnrmabSelector;
+use grain_select::degree::DegreeSelector;
+use grain_select::grain_adapters::{GrainAblationSelector, GrainBallSelector, GrainNnSelector};
+use grain_select::kcenter::KCenterGreedySelector;
+use grain_select::random::RandomSelector;
+use grain_select::{ModelKind, NodeSelector};
+
+/// Inner training configuration for learning-based selectors.
+pub fn inner_train_cfg(fast: bool) -> TrainConfig {
+    TrainConfig {
+        epochs: if fast { 20 } else { 60 },
+        patience: None,
+        dropout: 0.5,
+        ..Default::default()
+    }
+}
+
+/// The Figure 4 / Table 2 method lineup, in presentation order:
+/// Grain (ball-D), Grain (NN-D), AGE, ANRMAB, Random, Degree, KCG.
+pub fn al_lineup(seed: u64, fast: bool, inner_model: ModelKind) -> Vec<Box<dyn NodeSelector>> {
+    let cfg = inner_train_cfg(fast);
+    vec![
+        Box::new(GrainBallSelector::with_defaults()),
+        Box::new(GrainNnSelector::with_defaults()),
+        Box::new(AgeSelector::new(inner_model, seed).with_train_config(cfg)),
+        Box::new(AnrmabSelector::new(inner_model, seed).with_train_config(cfg)),
+        Box::new(RandomSelector::new(seed)),
+        Box::new(DegreeSelector::new()),
+        Box::new(KCenterGreedySelector::new(seed)),
+    ]
+}
+
+/// The Table 3 ablation lineup.
+pub fn ablation_lineup() -> Vec<Box<dyn NodeSelector>> {
+    vec![
+        Box::new(GrainAblationSelector::new(GrainVariant::NoMagnitude)),
+        Box::new(GrainAblationSelector::new(GrainVariant::NoDiversity)),
+        Box::new(GrainAblationSelector::new(GrainVariant::ClassicCoverage)),
+        Box::new(GrainAblationSelector::new(GrainVariant::Full)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn al_lineup_has_seven_distinct_methods() {
+        let lineup = al_lineup(1, true, ModelKind::Sgc { k: 2 });
+        let names: std::collections::HashSet<&str> =
+            lineup.iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 7);
+        assert!(names.contains("grain(ball-d)"));
+        assert!(names.contains("age"));
+    }
+
+    #[test]
+    fn ablation_lineup_matches_table3() {
+        let names: Vec<&str> = ablation_lineup().iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            vec!["no-magnitude", "no-diversity", "classic-coverage", "grain(ball-d)"]
+        );
+    }
+
+    #[test]
+    fn fast_mode_shrinks_inner_epochs() {
+        assert!(inner_train_cfg(true).epochs < inner_train_cfg(false).epochs);
+    }
+}

@@ -1,0 +1,183 @@
+//! Configuration of the Grain selection pipeline.
+//!
+//! Defaults follow Appendix A.4 of the paper: threshold `θ = 0.25`, ball
+//! radius `r = 0.05`, trade-off `γ = 1`, and a depth-2 propagation matching
+//! the 2-layer GCN used throughout the evaluation.
+
+use grain_influence::index::ThetaRule;
+use grain_prop::Kernel;
+use serde::{Deserialize, Serialize};
+
+/// Which diversity function instantiates `D(S)` in Eq. 11.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiversityKind {
+    /// Ball coverage over activated nodes (Definition 3.6).
+    Ball,
+    /// Nearest-neighbor distance reduction (Definition 3.4).
+    Nn,
+}
+
+/// Greedy maximization strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GreedyAlgorithm {
+    /// Algorithm 1 verbatim: re-evaluate every candidate each round.
+    Plain,
+    /// CELF lazy greedy: exploit submodularity to skip stale candidates.
+    /// Selects the identical set (property-tested) at a fraction of the
+    /// marginal-gain evaluations.
+    Lazy,
+}
+
+/// Candidate pruning strategies from §3.4 ("identify and dismiss
+/// uninfluential nodes").
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PruneStrategy {
+    /// Keep the top fraction of candidates by degree.
+    Degree {
+        /// Fraction of candidates retained, in `(0, 1]`.
+        keep_fraction: f64,
+    },
+    /// Keep the top fraction by received random-walk mass
+    /// (Σ_v I_v(u, k), the distribution of random walkers of [26]).
+    WalkMass {
+        /// Fraction of candidates retained, in `(0, 1]`.
+        keep_fraction: f64,
+    },
+}
+
+/// The selection variant: full Grain or one of the Table 3 ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GrainVariant {
+    /// Full DIM objective (magnitude + diversity over `σ(S)`).
+    Full,
+    /// "No Diversity": maximize `|σ(S)|` only.
+    NoDiversity,
+    /// "No Magnitude": maximize ball coverage of balls centered on the
+    /// *seed* nodes themselves, no influence term.
+    NoMagnitude,
+    /// "Classic Coverage": keep the magnitude term but compute diversity
+    /// from balls centered on `S` instead of `σ(S)` — the i.i.d.-style
+    /// coverage of [45] that ignores propagation.
+    ClassicCoverage,
+}
+
+/// Full pipeline configuration.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct GrainConfig {
+    /// Propagation kernel inherited from the target GNN (Eq. 6 / Table 1).
+    pub kernel: Kernel,
+    /// Activation threshold rule for `θ` (Definition 3.2). The paper's
+    /// `θ = 0.25` is interpreted relative to each row's strongest
+    /// influencer by default (see [`ThetaRule`] and DESIGN.md).
+    pub theta: ThetaRule,
+    /// Ball radius `r` in the normalized feature space (Definition 3.6).
+    pub radius: f32,
+    /// Diversity trade-off `γ` in Eq. 11.
+    pub gamma: f64,
+    /// Influence-row pruning epsilon (entries below never reach `θ`).
+    pub influence_eps: f32,
+    /// Diversity function choice.
+    pub diversity: DiversityKind,
+    /// Greedy maximization strategy.
+    pub algorithm: GreedyAlgorithm,
+    /// Optional §3.4 candidate pruning.
+    pub prune: Option<PruneStrategy>,
+    /// Full objective or a Table 3 ablation.
+    pub variant: GrainVariant,
+}
+
+impl Default for GrainConfig {
+    fn default() -> Self {
+        Self {
+            kernel: Kernel::RandomWalk { k: 2 },
+            theta: ThetaRule::RelativeToRowMax(0.25),
+            radius: 0.05,
+            gamma: 1.0,
+            influence_eps: 1e-4,
+            diversity: DiversityKind::Ball,
+            algorithm: GreedyAlgorithm::Lazy,
+            prune: None,
+            variant: GrainVariant::Full,
+        }
+    }
+}
+
+impl GrainConfig {
+    /// The paper's "Grain (ball-D)" configuration.
+    pub fn ball_d() -> Self {
+        Self { diversity: DiversityKind::Ball, ..Self::default() }
+    }
+
+    /// The paper's "Grain (NN-D)" configuration.
+    pub fn nn_d() -> Self {
+        Self { diversity: DiversityKind::Nn, ..Self::default() }
+    }
+
+    /// Table 3 ablation constructor.
+    pub fn ablation(variant: GrainVariant) -> Self {
+        Self { variant, ..Self::ball_d() }
+    }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// violation.
+    pub fn validate(&self) -> Result<(), String> {
+        self.theta.validate()?;
+        if !(0.0..=1.0).contains(&self.radius) {
+            return Err(format!("radius must lie in [0,1], got {}", self.radius));
+        }
+        if !(0.0..=10.0).contains(&self.gamma) {
+            return Err(format!("gamma must lie in [0,10], got {}", self.gamma));
+        }
+        if self.influence_eps < 0.0 {
+            return Err(format!("influence_eps must be >= 0, got {}", self.influence_eps));
+        }
+        if let Some(PruneStrategy::Degree { keep_fraction } | PruneStrategy::WalkMass { keep_fraction }) =
+            self.prune
+        {
+            if !(0.0 < keep_fraction && keep_fraction <= 1.0) {
+                return Err(format!("keep_fraction must lie in (0,1], got {keep_fraction}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_appendix_a4() {
+        let c = GrainConfig::default();
+        assert_eq!(c.theta, ThetaRule::RelativeToRowMax(0.25));
+        assert_eq!(c.radius, 0.05);
+        assert_eq!(c.gamma, 1.0);
+        assert_eq!(c.kernel.steps(), 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn named_constructors_set_diversity() {
+        assert_eq!(GrainConfig::ball_d().diversity, DiversityKind::Ball);
+        assert_eq!(GrainConfig::nn_d().diversity, DiversityKind::Nn);
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges() {
+        let bad_theta =
+            GrainConfig { theta: ThetaRule::FixedAbsolute(2.0), ..GrainConfig::default() };
+        assert!(bad_theta.validate().is_err());
+        let bad_prune = GrainConfig {
+            prune: Some(PruneStrategy::Degree { keep_fraction: 0.0 }),
+            ..GrainConfig::default()
+        };
+        assert!(bad_prune.validate().is_err());
+    }
+
+    #[test]
+    fn ablation_constructor_keeps_ball_defaults() {
+        let c = GrainConfig::ablation(GrainVariant::NoMagnitude);
+        assert_eq!(c.variant, GrainVariant::NoMagnitude);
+        assert_eq!(c.diversity, DiversityKind::Ball);
+    }
+}

@@ -1,0 +1,185 @@
+//! Coverage-based (ball) diversity — Definition 3.6.
+//!
+//! Each activated node `u` covers the radius-`r` ball
+//! `G_u = {w : d(X^(k)_u, X^(k)_w) <= r}` in the normalized aggregated
+//! feature space; `D_ball(S) = |∪_{u ∈ σ(S)} G_u|`. Ball membership lists
+//! are precomputed once; the incremental state is a covered bitmap, exactly
+//! like the influence coverage itself (the influence function is the `r=0`
+//! special case, as the paper notes).
+
+use super::DiversityFunction;
+use grain_linalg::{distance, DenseMatrix};
+
+/// Incremental ball-coverage diversity.
+#[derive(Clone, Debug)]
+pub struct BallDiversity {
+    /// `balls[u]` = nodes within radius `r` of `u` (sorted, includes `u`).
+    balls: Vec<Vec<u32>>,
+    covered: Vec<bool>,
+    count: usize,
+    upper_bound: usize,
+}
+
+impl BallDiversity {
+    /// Precomputes ball membership from an L2-normalized embedding.
+    ///
+    /// `embedding` must contain L2-normalized rows of `X^(k)` (use
+    /// [`grain_linalg::distance::normalized_embedding`]).
+    pub fn new(embedding: &DenseMatrix, radius: f32) -> Self {
+        let balls = distance::radius_neighbors(embedding, radius);
+        Self::from_balls(balls, embedding.rows())
+    }
+
+    /// Builds from explicit ball membership lists (used by tests and by
+    /// callers that cache the radius query).
+    pub fn from_balls(balls: Vec<Vec<u32>>, n: usize) -> Self {
+        // D̂ = |∪_u G_u|: with self-inclusion this is n, but compute it
+        // honestly in case custom balls omit members.
+        let mut seen = vec![false; n];
+        for ball in &balls {
+            for &w in ball {
+                seen[w as usize] = true;
+            }
+        }
+        let upper_bound = seen.iter().filter(|&&b| b).count();
+        Self { balls, covered: vec![false; n], count: 0, upper_bound }
+    }
+
+    /// Ball membership of node `u`.
+    pub fn ball(&self, u: usize) -> &[u32] {
+        &self.balls[u]
+    }
+
+    /// Mean ball size (diagnostic for radius tuning).
+    pub fn mean_ball_size(&self) -> f64 {
+        if self.balls.is_empty() {
+            return 0.0;
+        }
+        self.balls.iter().map(Vec::len).sum::<usize>() as f64 / self.balls.len() as f64
+    }
+}
+
+impl DiversityFunction for BallDiversity {
+    fn marginal_gain(&self, newly_activated: &[u32]) -> f64 {
+        // Union gain of the balls of all newly activated nodes. Within one
+        // batch the same node may appear in several balls; a scratch-free
+        // two-pass count would need allocation anyway, so collect+dedup.
+        match newly_activated {
+            [] => 0.0,
+            [single] => self.balls[*single as usize]
+                .iter()
+                .filter(|&&w| !self.covered[w as usize])
+                .count() as f64,
+            many => {
+                let mut fresh: Vec<u32> = many
+                    .iter()
+                    .flat_map(|&u| self.balls[u as usize].iter().copied())
+                    .filter(|&w| !self.covered[w as usize])
+                    .collect();
+                fresh.sort_unstable();
+                fresh.dedup();
+                fresh.len() as f64
+            }
+        }
+    }
+
+    fn commit(&mut self, newly_activated: &[u32]) {
+        for &u in newly_activated {
+            for &w in &self.balls[u as usize] {
+                if !self.covered[w as usize] {
+                    self.covered[w as usize] = true;
+                    self.count += 1;
+                }
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        self.count as f64
+    }
+
+    fn upper_bound(&self) -> f64 {
+        self.upper_bound.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_linalg::ops;
+
+    fn embedding() -> DenseMatrix {
+        // Three tight points near (1,0) and one far point near (0,1).
+        let mut m = DenseMatrix::from_vec(
+            4,
+            2,
+            vec![1.0, 0.0, 0.999, 0.045, 0.998, 0.063, 0.0, 1.0],
+        );
+        ops::l2_normalize_rows(&mut m);
+        m
+    }
+
+    #[test]
+    fn balls_cover_close_points() {
+        let d = BallDiversity::new(&embedding(), 0.05);
+        assert!(d.ball(0).contains(&1));
+        assert!(!d.ball(0).contains(&3));
+        assert!(d.ball(3).contains(&3));
+    }
+
+    #[test]
+    fn marginal_then_commit_matches_value() {
+        let mut d = BallDiversity::new(&embedding(), 0.05);
+        let g0 = d.marginal_gain(&[0]);
+        d.commit(&[0]);
+        assert_eq!(d.value(), g0);
+        let g3 = d.marginal_gain(&[3]);
+        d.commit(&[3]);
+        assert_eq!(d.value(), g0 + g3);
+    }
+
+    #[test]
+    fn batch_gain_dedupes_overlapping_balls() {
+        let d = BallDiversity::new(&embedding(), 0.05);
+        // Nodes 0 and 1 share most of their balls; the batch gain must not
+        // double-count.
+        let joint = d.marginal_gain(&[0, 1]);
+        let g0 = d.marginal_gain(&[0]);
+        let g1 = d.marginal_gain(&[1]);
+        assert!(joint <= g0 + g1);
+        assert!(joint >= g0.max(g1));
+    }
+
+    #[test]
+    fn commit_is_idempotent() {
+        let mut d = BallDiversity::new(&embedding(), 0.05);
+        d.commit(&[0]);
+        let v = d.value();
+        d.commit(&[0]);
+        assert_eq!(d.value(), v);
+    }
+
+    #[test]
+    fn upper_bound_caps_value() {
+        let mut d = BallDiversity::new(&embedding(), 0.5);
+        d.commit(&[0, 1, 2, 3]);
+        assert!(d.value() <= d.upper_bound());
+        assert_eq!(d.upper_bound(), 4.0);
+    }
+
+    #[test]
+    fn radius_zero_reduces_to_influence_special_case() {
+        // The paper: |sigma(S)| is D_ball with r = 0 (self-coverage only).
+        let d = BallDiversity::new(&embedding(), 0.0);
+        for u in 0..4 {
+            // With r=0 only (near-)identical rows coincide; here all distinct.
+            assert_eq!(d.ball(u).len(), 1, "ball of {u}: {:?}", d.ball(u));
+        }
+    }
+
+    #[test]
+    fn empty_batch_gains_nothing() {
+        let d = BallDiversity::new(&embedding(), 0.1);
+        assert_eq!(d.marginal_gain(&[]), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Submodular diversity functions over the aggregated feature space (§3.3).
+//!
+//! Both functions consume *newly activated* node batches: the greedy loop
+//! asks "how much diversity would σ(S) gain if these nodes joined it?",
+//! first hypothetically ([`DiversityFunction::marginal_gain`]) and then for
+//! real ([`DiversityFunction::commit`]). This incremental protocol is what
+//! makes Algorithm 1 affordable — diversity never re-scans σ(S).
+
+mod ball;
+mod nn;
+
+pub use ball::BallDiversity;
+pub use nn::NnDiversity;
+
+/// A monotone submodular diversity function `D(σ(S))` evaluated
+/// incrementally over batches of newly activated nodes.
+pub trait DiversityFunction {
+    /// Diversity gain if `newly_activated` joined the activated set.
+    fn marginal_gain(&self, newly_activated: &[u32]) -> f64;
+
+    /// Commits `newly_activated` into the activated set.
+    fn commit(&mut self, newly_activated: &[u32]);
+
+    /// Current value `D(σ(S))`.
+    fn value(&self) -> f64;
+
+    /// Normalization constant `D̂` of Eq. 11 (maximum attainable value).
+    fn upper_bound(&self) -> f64;
+}
+
+impl DiversityFunction for Box<dyn DiversityFunction + Send + '_> {
+    fn marginal_gain(&self, newly_activated: &[u32]) -> f64 {
+        (**self).marginal_gain(newly_activated)
+    }
+
+    fn commit(&mut self, newly_activated: &[u32]) {
+        (**self).commit(newly_activated)
+    }
+
+    fn value(&self) -> f64 {
+        (**self).value()
+    }
+
+    fn upper_bound(&self) -> f64 {
+        (**self).upper_bound()
+    }
+}
+
+/// A zero diversity function for the "No Diversity" ablation: always 0, so
+/// the DIM objective degenerates to pure influence maximization.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullDiversity;
+
+impl DiversityFunction for NullDiversity {
+    fn marginal_gain(&self, _newly_activated: &[u32]) -> f64 {
+        0.0
+    }
+
+    fn commit(&mut self, _newly_activated: &[u32]) {}
+
+    fn value(&self) -> f64 {
+        0.0
+    }
+
+    fn upper_bound(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_diversity_is_inert() {
+        let mut d = NullDiversity;
+        assert_eq!(d.marginal_gain(&[1, 2, 3]), 0.0);
+        d.commit(&[1, 2, 3]);
+        assert_eq!(d.value(), 0.0);
+        assert_eq!(d.upper_bound(), 1.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! Grain's primary contribution: node selection for GNNs by
+//! **Diversified Influence Maximization** (VLDB 2021, §3).
+//!
+//! The selection criterion (Eq. 11) combines the *magnitude* of feature
+//! influence with the *diversity* of the influenced crowd:
+//!
+//! ```text
+//! max_S F(S) = |σ(S)| / σ̂  +  γ · D(S) / D̂ ,   |S| = B
+//! ```
+//!
+//! where `σ(S)` is the activated node set under the feature-influence model
+//! (`grain-influence`) and `D` is one of two monotone submodular diversity
+//! functions over the k-step aggregated feature space:
+//!
+//! * [`diversity::BallDiversity`] — coverage of `r`-radius balls centered on
+//!   activated nodes (Definition 3.6, "Grain (ball-D)"),
+//! * [`diversity::NnDiversity`] — total nearest-activated-neighbor distance
+//!   reduction (Definition 3.4, "Grain (NN-D)").
+//!
+//! Both make `F` monotone + submodular, so [`greedy`] (Algorithm 1) and the
+//! lazily evaluated CELF variant carry the `1 - 1/e` approximation
+//! guarantee. [`prune`] implements the §3.4 efficiency optimizations that
+//! dismiss uninfluential candidates up front. [`selector::GrainSelector`]
+//! packages the full pipeline (propagate → influence → index → greedy) and
+//! exposes the paper's ablation variants (Table 3).
+
+pub mod config;
+pub mod diversity;
+pub mod greedy;
+pub mod objective;
+pub mod prune;
+pub mod selector;
+
+pub use config::{DiversityKind, GrainConfig, GreedyAlgorithm, GrainVariant, PruneStrategy};
+pub use objective::DimObjective;
+pub use selector::{GrainSelector, SelectionOutcome};

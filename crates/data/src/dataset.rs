@@ -1,0 +1,141 @@
+//! The dataset container shared by selection and training code.
+
+use grain_graph::Graph;
+use grain_linalg::DenseMatrix;
+
+/// Train/validation/test node partition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Split {
+    /// Selection pool / training candidates.
+    pub train: Vec<u32>,
+    /// Early-stopping validation nodes.
+    pub val: Vec<u32>,
+    /// Held-out evaluation nodes.
+    pub test: Vec<u32>,
+}
+
+impl Split {
+    /// Asserts the partition is disjoint and in-range; returns `self` for
+    /// chaining.
+    pub fn validated(self, num_nodes: usize) -> Self {
+        let mut seen = vec![false; num_nodes];
+        for part in [&self.train, &self.val, &self.test] {
+            for &v in part {
+                assert!((v as usize) < num_nodes, "split node {v} out of range");
+                assert!(!seen[v as usize], "split parts overlap at node {v}");
+                seen[v as usize] = true;
+            }
+        }
+        self
+    }
+}
+
+/// An attributed, labeled graph with a fixed split.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Corpus name ("cora-like", ...).
+    pub name: String,
+    /// The graph.
+    pub graph: Graph,
+    /// Node features `X^(0)` (`n x d`).
+    pub features: DenseMatrix,
+    /// Ground-truth class per node.
+    pub labels: Vec<u32>,
+    /// Number of classes `C`.
+    pub num_classes: usize,
+    /// Node partition.
+    pub split: Split,
+}
+
+impl Dataset {
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The paper's budget unit: `m · C` labeled nodes ("2C to 20C").
+    pub fn budget(&self, multiplier: usize) -> usize {
+        self.num_classes * multiplier
+    }
+
+    /// Edge homophily: fraction of edges joining same-class endpoints.
+    pub fn edge_homophily(&self) -> f64 {
+        let mut same = 0usize;
+        let mut total = 0usize;
+        for u in 0..self.num_nodes() {
+            for &v in self.graph.neighbors(u) {
+                total += 1;
+                if self.labels[u] == self.labels[v as usize] {
+                    same += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            same as f64 / total as f64
+        }
+    }
+
+    /// Class histogram.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_graph::Graph;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            graph: Graph::from_edges(4, &[(0, 1), (2, 3), (1, 2)]),
+            features: DenseMatrix::zeros(4, 2),
+            labels: vec![0, 0, 1, 1],
+            num_classes: 2,
+            split: Split { train: vec![0, 1], val: vec![2], test: vec![3] },
+        }
+    }
+
+    #[test]
+    fn homophily_counts_same_class_edges() {
+        let d = tiny();
+        // Edges: (0,1) same, (2,3) same, (1,2) cross -> 2/3.
+        assert!((d.edge_homophily() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_multiplier_times_classes() {
+        assert_eq!(tiny().budget(20), 40);
+    }
+
+    #[test]
+    fn class_counts_sum_to_n() {
+        let d = tiny();
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn split_validation_accepts_disjoint() {
+        let s = Split { train: vec![0], val: vec![1], test: vec![2] };
+        let _ = s.validated(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn split_validation_rejects_overlap() {
+        let s = Split { train: vec![0, 1], val: vec![1], test: vec![] };
+        let _ = s.validated(4);
+    }
+}

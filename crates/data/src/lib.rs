@@ -1,0 +1,24 @@
+//! Synthetic benchmark datasets mirroring the Grain evaluation corpora.
+//!
+//! The paper evaluates on Cora, Citeseer, PubMed (citation networks),
+//! Reddit (a dense social network) and ogbn-papers100M. None are available
+//! in this environment, so this crate synthesizes structural stand-ins from
+//! a degree-corrected stochastic block model with class-conditional
+//! features (see DESIGN.md for the substitution argument): node counts,
+//! class counts and mean degrees follow Table 5 of the paper; feature
+//! dimensionality is scaled down (the original bag-of-words dimensions
+//! exist only in the real corpora), and Reddit / papers100M are scaled to
+//! laptop size while preserving the density contrasts the paper's
+//! conclusions rely on.
+
+pub mod dataset;
+pub mod loader;
+pub mod splits;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{Dataset, Split};
+pub use loader::load_planetoid;
+pub use synthetic::{
+    citeseer_like, cora_like, papers_like, pubmed_like, reddit_like, CorpusSpec,
+};

@@ -1,0 +1,271 @@
+//! Planetoid-style dataset loader.
+//!
+//! The synthetic corpora drive the reproduction, but users who *do* have
+//! the original citation files can load them directly. The format is the
+//! classic `<name>.content` / `<name>.cites` pair used by Cora/Citeseer:
+//!
+//! ```text
+//! <name>.content:  <paper_id> <w_1> ... <w_d> <class_label>
+//! <name>.cites:    <cited_paper_id> <citing_paper_id>
+//! ```
+//!
+//! Paper ids are arbitrary strings; classes are named strings. Both are
+//! re-indexed densely in first-appearance order, which keeps loading
+//! deterministic. Citations pointing at unknown papers are skipped with a
+//! count (the raw Citeseer dump famously contains dangling references).
+
+use crate::dataset::Dataset;
+use crate::splits::capped_split;
+use grain_graph::Graph;
+use grain_linalg::DenseMatrix;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read};
+
+/// Errors raised while parsing Planetoid-style files.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed line with 1-based number and description.
+    Parse {
+        /// Source file ("content" or "cites").
+        file: &'static str,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The content file was empty.
+    Empty,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "dataset I/O error: {e}"),
+            LoadError::Parse { file, line, message } => {
+                write!(f, "{file} file, line {line}: {message}")
+            }
+            LoadError::Empty => write!(f, "content file holds no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Result of a load: the dataset plus parse diagnostics.
+#[derive(Debug)]
+pub struct LoadedDataset {
+    /// The assembled dataset (random capped split applied).
+    pub dataset: Dataset,
+    /// Citations referencing unknown paper ids (skipped).
+    pub dangling_citations: usize,
+}
+
+/// Loads a Planetoid-style content/cites pair.
+///
+/// `val_target`/`test_target` size the split (see
+/// [`crate::splits::capped_split`]); `seed` fixes the split permutation.
+pub fn load_planetoid(
+    name: &str,
+    content: impl Read,
+    cites: impl Read,
+    val_target: usize,
+    test_target: usize,
+    seed: u64,
+) -> Result<LoadedDataset, LoadError> {
+    // --- content: ids, features, labels ---
+    let mut ids: HashMap<String, u32> = HashMap::new();
+    let mut classes: HashMap<String, u32> = HashMap::new();
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut labels: Vec<u32> = Vec::new();
+    let mut dim: Option<usize> = None;
+    for (i, line) in BufReader::new(content).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = t.split_whitespace().collect();
+        if fields.len() < 3 {
+            return Err(LoadError::Parse {
+                file: "content",
+                line: i + 1,
+                message: format!("expected id, features, label; got {} fields", fields.len()),
+            });
+        }
+        let id = fields[0];
+        let label = fields[fields.len() - 1];
+        let feats = &fields[1..fields.len() - 1];
+        match dim {
+            None => dim = Some(feats.len()),
+            Some(d) if d != feats.len() => {
+                return Err(LoadError::Parse {
+                    file: "content",
+                    line: i + 1,
+                    message: format!("feature width {} != {}", feats.len(), d),
+                })
+            }
+            _ => {}
+        }
+        if ids.contains_key(id) {
+            return Err(LoadError::Parse {
+                file: "content",
+                line: i + 1,
+                message: format!("duplicate paper id {id:?}"),
+            });
+        }
+        let node = ids.len() as u32;
+        ids.insert(id.to_string(), node);
+        let next_class = classes.len() as u32;
+        let class = *classes.entry(label.to_string()).or_insert(next_class);
+        labels.push(class);
+        let mut row = Vec::with_capacity(feats.len());
+        for (fi, tok) in feats.iter().enumerate() {
+            let v: f32 = tok.parse().map_err(|_| LoadError::Parse {
+                file: "content",
+                line: i + 1,
+                message: format!("feature {fi} is not a number: {tok:?}"),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    let n = rows.len();
+    if n == 0 {
+        return Err(LoadError::Empty);
+    }
+    let d = dim.unwrap_or(0);
+    let mut features = DenseMatrix::zeros(n, d);
+    for (v, row) in rows.iter().enumerate() {
+        features.row_mut(v).copy_from_slice(row);
+    }
+
+    // --- cites: edges ---
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut dangling = 0usize;
+    for (i, line) in BufReader::new(cites).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        let mut parts = t.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(LoadError::Parse {
+                file: "cites",
+                line: i + 1,
+                message: "expected two paper ids".to_string(),
+            });
+        };
+        match (ids.get(a), ids.get(b)) {
+            (Some(&u), Some(&v)) => edges.push((u, v)),
+            _ => dangling += 1,
+        }
+    }
+    let graph = Graph::from_edges(n, &edges);
+    let split = capped_split(n, val_target, test_target, seed);
+    Ok(LoadedDataset {
+        dataset: Dataset {
+            name: name.to_string(),
+            graph,
+            features,
+            num_classes: classes.len(),
+            labels,
+            split,
+        },
+        dangling_citations: dangling,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CONTENT: &str = "\
+paper_a 1 0 0 ml\n\
+paper_b 0 1 0 ml\n\
+paper_c 0 0 1 db\n\
+paper_d 1 1 0 db\n";
+
+    const CITES: &str = "\
+paper_a paper_b\n\
+paper_b paper_c\n\
+paper_x paper_a\n";
+
+    #[test]
+    fn loads_nodes_edges_and_classes() {
+        let loaded =
+            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let ds = &loaded.dataset;
+        assert_eq!(ds.num_nodes(), 4);
+        assert_eq!(ds.feature_dim(), 3);
+        assert_eq!(ds.num_classes, 2);
+        assert_eq!(ds.graph.num_edges(), 2);
+        assert_eq!(loaded.dangling_citations, 1);
+        // First-appearance class indexing: ml = 0, db = 1.
+        assert_eq!(ds.labels, vec![0, 0, 1, 1]);
+    }
+
+    #[test]
+    fn split_partitions_all_nodes() {
+        let loaded =
+            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let s = &loaded.dataset.split;
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 4);
+    }
+
+    #[test]
+    fn rejects_ragged_features() {
+        let bad = "a 1 0 ml\nb 1 x\n";
+        let err = load_planetoid("t", bad.as_bytes(), "".as_bytes(), 1, 1, 1).unwrap_err();
+        assert!(matches!(err, LoadError::Parse { file: "content", line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_duplicate_ids() {
+        let bad = "a 1 0 ml\na 0 1 db\n";
+        let err = load_planetoid("t", bad.as_bytes(), "".as_bytes(), 1, 1, 1).unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn rejects_non_numeric_features() {
+        let bad = "a 1 zz ml\n";
+        let err = load_planetoid("t", bad.as_bytes(), "".as_bytes(), 1, 1, 1).unwrap_err();
+        assert!(err.to_string().contains("not a number"));
+    }
+
+    #[test]
+    fn empty_content_is_an_error() {
+        let err = load_planetoid("t", "".as_bytes(), "".as_bytes(), 1, 1, 1).unwrap_err();
+        assert!(matches!(err, LoadError::Empty));
+    }
+
+    #[test]
+    fn loaded_dataset_flows_through_selection() {
+        let loaded =
+            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let ds = &loaded.dataset;
+        let outcome = grain_core::GrainSelector::ball_d().select(
+            &ds.graph,
+            &ds.features,
+            &ds.split.train,
+            1,
+        );
+        assert_eq!(outcome.selected.len(), 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Node-partition construction mirroring Table 5 of the paper.
+//!
+//! The paper's splits give most nodes to the selection pool and reserve
+//! fixed-size validation/test sets (e.g. Cora 1208/500/1000). We mirror
+//! that: caps when the graph is large enough, proportional fallbacks when a
+//! scaled corpus is smaller.
+
+use crate::dataset::Split;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Random split with target validation/test sizes; the remainder trains.
+///
+/// `val_target` and `test_target` are clamped so the train pool keeps at
+/// least a tenth of the nodes (Cora's paper split trains on fewer than
+/// half: 1208/500/1000).
+pub fn capped_split(n: usize, val_target: usize, test_target: usize, seed: u64) -> Split {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let budget = n - n.div_ceil(10);
+    let val = val_target.min(budget / 3);
+    let test = test_target.min(budget - val);
+    let (test_part, rest) = order.split_at(test);
+    let (val_part, train_part) = rest.split_at(val);
+    let mut split = Split {
+        train: train_part.to_vec(),
+        val: val_part.to_vec(),
+        test: test_part.to_vec(),
+    };
+    split.train.sort_unstable();
+    split.val.sort_unstable();
+    split.test.sort_unstable();
+    split.validated(n)
+}
+
+/// Stratified split: validation/test sets contain equal-per-class samples,
+/// used when class balance matters (small budgets on many-class corpora).
+pub fn stratified_split(
+    labels: &[u32],
+    num_classes: usize,
+    val_per_class: usize,
+    test_per_class: usize,
+    seed: u64,
+) -> Split {
+    let mut by_class: Vec<Vec<u32>> = vec![Vec::new(); num_classes];
+    for (v, &c) in labels.iter().enumerate() {
+        by_class[c as usize].push(v as u32);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut split = Split::default();
+    for nodes in &mut by_class {
+        nodes.shuffle(&mut rng);
+        let take_test = test_per_class.min(nodes.len() / 3);
+        let take_val = val_per_class.min((nodes.len() - take_test) / 3);
+        split.test.extend(&nodes[..take_test]);
+        split.val.extend(&nodes[take_test..take_test + take_val]);
+        split.train.extend(&nodes[take_test + take_val..]);
+    }
+    split.train.sort_unstable();
+    split.val.sort_unstable();
+    split.test.sort_unstable();
+    split.validated(labels.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capped_split_partitions_all_nodes() {
+        let s = capped_split(100, 20, 30, 1);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 100);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 30);
+    }
+
+    #[test]
+    fn capped_split_clamps_small_graphs() {
+        let s = capped_split(20, 500, 1000, 2);
+        // Train keeps at least a tenth of the nodes.
+        assert!(s.train.len() >= 2, "train too small: {}", s.train.len());
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 20);
+    }
+
+    #[test]
+    fn capped_split_deterministic() {
+        assert_eq!(capped_split(50, 10, 10, 7), capped_split(50, 10, 10, 7));
+        assert_ne!(capped_split(50, 10, 10, 7), capped_split(50, 10, 10, 8));
+    }
+
+    #[test]
+    fn stratified_split_balances_classes() {
+        let labels: Vec<u32> = (0..90).map(|i| (i % 3) as u32).collect();
+        let s = stratified_split(&labels, 3, 5, 5, 3);
+        for c in 0..3u32 {
+            let val_c = s.val.iter().filter(|&&v| labels[v as usize] == c).count();
+            let test_c = s.test.iter().filter(|&&v| labels[v as usize] == c).count();
+            assert_eq!(val_c, 5);
+            assert_eq!(test_c, 5);
+        }
+    }
+
+    #[test]
+    fn stratified_split_handles_tiny_classes() {
+        let labels = vec![0u32, 0, 1];
+        let s = stratified_split(&labels, 2, 10, 10, 4);
+        assert_eq!(s.train.len() + s.val.len() + s.test.len(), 3);
+    }
+}

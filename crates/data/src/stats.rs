@@ -1,0 +1,88 @@
+//! Dataset summary statistics (the Table 5 row for a generated corpus).
+
+use crate::dataset::Dataset;
+
+/// Summary row describing a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Corpus name.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Feature dimensionality.
+    pub features: usize,
+    /// Class count.
+    pub classes: usize,
+    /// Mean (directed) degree.
+    pub mean_degree: f64,
+    /// Edge homophily in `[0, 1]`.
+    pub homophily: f64,
+    /// Split sizes `(train, val, test)`.
+    pub split_sizes: (usize, usize, usize),
+}
+
+impl DatasetStats {
+    /// Computes the summary for a dataset.
+    pub fn of(d: &Dataset) -> Self {
+        Self {
+            name: d.name.clone(),
+            nodes: d.num_nodes(),
+            edges: d.graph.num_edges(),
+            features: d.feature_dim(),
+            classes: d.num_classes,
+            mean_degree: d.graph.mean_degree(),
+            homophily: d.edge_homophily(),
+            split_sizes: (d.split.train.len(), d.split.val.len(), d.split.test.len()),
+        }
+    }
+
+    /// Markdown table row (harness output format).
+    pub fn markdown_row(&self) -> String {
+        format!(
+            "| {} | {} | {} | {} | {} | {:.1} | {:.2} | {}/{}/{} |",
+            self.name,
+            self.nodes,
+            self.edges,
+            self.features,
+            self.classes,
+            self.mean_degree,
+            self.homophily,
+            self.split_sizes.0,
+            self.split_sizes.1,
+            self.split_sizes.2,
+        )
+    }
+
+    /// Markdown table header matching [`DatasetStats::markdown_row`].
+    pub fn markdown_header() -> String {
+        "| dataset | nodes | edges | features | classes | mean deg | homophily | train/val/test |\n\
+         |---|---|---|---|---|---|---|---|"
+            .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::cora_like;
+
+    #[test]
+    fn stats_reflect_dataset() {
+        let d = cora_like(1);
+        let s = DatasetStats::of(&d);
+        assert_eq!(s.nodes, 2708);
+        assert_eq!(s.classes, 7);
+        assert_eq!(s.split_sizes.1, 500);
+        assert!(s.homophily > 0.5);
+    }
+
+    #[test]
+    fn markdown_row_contains_name() {
+        let d = cora_like(2);
+        let row = DatasetStats::of(&d).markdown_row();
+        assert!(row.contains("cora-like"));
+        assert!(row.starts_with('|') && row.ends_with('|'));
+    }
+}

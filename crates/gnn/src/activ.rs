@@ -1,0 +1,108 @@
+//! Activations and regularization masks.
+
+use grain_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// ReLU forward, in place.
+pub fn relu_inplace(m: &mut DenseMatrix) {
+    m.map_inplace(|v| v.max(0.0));
+}
+
+/// ReLU backward: zeroes gradient entries where the forward *pre-activation*
+/// was non-positive.
+pub fn relu_backward_inplace(grad: &mut DenseMatrix, pre_activation: &DenseMatrix) {
+    assert_eq!(grad.shape(), pre_activation.shape(), "relu_backward: shape mismatch");
+    for (g, &z) in grad.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+        if z <= 0.0 {
+            *g = 0.0;
+        }
+    }
+}
+
+/// Row-wise softmax (numerically stabilized), out of place.
+pub fn softmax_rows(logits: &DenseMatrix) -> DenseMatrix {
+    let mut out = logits.clone();
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+    out
+}
+
+/// Inverted-dropout mask: entries are `0` with probability `rate`, else
+/// `1/(1-rate)` so the expected activation is unchanged.
+pub fn dropout_mask(rows: usize, cols: usize, rate: f32, seed: u64) -> DenseMatrix {
+    assert!((0.0..1.0).contains(&rate), "dropout rate must lie in [0,1)");
+    if rate == 0.0 {
+        return DenseMatrix::full(rows, cols, 1.0);
+    }
+    let keep = 1.0 - rate;
+    let scale = 1.0 / keep;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..rows * cols)
+        .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+        .collect();
+    DenseMatrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut m = DenseMatrix::from_vec(1, 4, vec![-1., 0., 2., -0.5]);
+        relu_inplace(&mut m);
+        assert_eq!(m.row(0), &[0., 0., 2., 0.]);
+    }
+
+    #[test]
+    fn relu_backward_masks_gradient() {
+        let pre = DenseMatrix::from_vec(1, 3, vec![-1., 0.5, 0.0]);
+        let mut grad = DenseMatrix::from_vec(1, 3, vec![1., 1., 1.]);
+        relu_backward_inplace(&mut grad, &pre);
+        assert_eq!(grad.row(0), &[0., 1., 0.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1., 2., 3., 1000., 1000., 1000.]);
+        let p = softmax_rows(&m);
+        for i in 0..2 {
+            let s: f32 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(p.row(i).iter().all(|&v| v.is_finite()));
+        }
+        assert!(p.get(0, 2) > p.get(0, 0));
+    }
+
+    #[test]
+    fn dropout_mask_preserves_expectation() {
+        let mask = dropout_mask(100, 50, 0.4, 9);
+        let mean: f32 = mask.as_slice().iter().sum::<f32>() / 5000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Entries are exactly 0 or 1/keep.
+        let keep_val = 1.0 / 0.6;
+        assert!(mask
+            .as_slice()
+            .iter()
+            .all(|&v| v == 0.0 || (v - keep_val).abs() < 1e-6));
+    }
+
+    #[test]
+    fn zero_rate_mask_is_all_ones() {
+        let mask = dropout_mask(3, 3, 0.0, 1);
+        assert!(mask.as_slice().iter().all(|&v| v == 1.0));
+    }
+}

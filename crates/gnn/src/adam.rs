@@ -1,0 +1,106 @@
+//! Adam optimizer (Kingma & Ba) with decoupled-style L2 handled by the
+//! caller adding `wd * W` into the gradient (the PyTorch-GCN convention the
+//! paper's hyper-parameters assume).
+
+use grain_linalg::DenseMatrix;
+
+/// Adam state for one parameter matrix.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: i32,
+}
+
+impl Adam {
+    /// Optimizer for a parameter with `size` entries at learning rate `lr`
+    /// and default betas `(0.9, 0.999)`.
+    pub fn new(size: usize, lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; size], v: vec![0.0; size], t: 0 }
+    }
+
+    /// Applies one update `param -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    /// Panics if shapes drift from the construction size.
+    pub fn step(&mut self, param: &mut DenseMatrix, grad: &DenseMatrix) {
+        assert_eq!(param.shape(), grad.shape(), "adam: param/grad shape mismatch");
+        assert_eq!(param.as_slice().len(), self.m.len(), "adam: state size mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t);
+        let bc2 = 1.0 - self.beta2.powi(self.t);
+        for ((p, &g), (m, v)) in param
+            .as_mut_slice()
+            .iter_mut()
+            .zip(grad.as_slice())
+            .zip(self.m.iter_mut().zip(self.v.iter_mut()))
+        {
+            *m = self.beta1 * *m + (1.0 - self.beta1) * g;
+            *v = self.beta2 * *v + (1.0 - self.beta2) * g * g;
+            let mhat = *m / bc1;
+            let vhat = *v / bc2;
+            *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+    }
+
+    /// Resets moments and step count (used when a model is re-initialized).
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.t = 0;
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        // f(x) = (x - 3)^2, df = 2(x - 3).
+        let mut x = DenseMatrix::from_vec(1, 1, vec![0.0]);
+        let mut opt = Adam::new(1, 0.1);
+        for _ in 0..500 {
+            let g = DenseMatrix::from_vec(1, 1, vec![2.0 * (x.get(0, 0) - 3.0)]);
+            opt.step(&mut x, &g);
+        }
+        assert!((x.get(0, 0) - 3.0).abs() < 1e-2, "x = {}", x.get(0, 0));
+    }
+
+    #[test]
+    fn first_step_moves_by_lr() {
+        // Adam's bias correction makes the first update exactly lr-sized.
+        let mut x = DenseMatrix::from_vec(1, 1, vec![1.0]);
+        let mut opt = Adam::new(1, 0.05);
+        opt.step(&mut x, &DenseMatrix::from_vec(1, 1, vec![4.2]));
+        assert!((x.get(0, 0) - (1.0 - 0.05)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn reset_restores_fresh_state() {
+        let mut x = DenseMatrix::from_vec(1, 1, vec![1.0]);
+        let mut opt = Adam::new(1, 0.05);
+        opt.step(&mut x, &DenseMatrix::from_vec(1, 1, vec![1.0]));
+        opt.reset();
+        let mut y = DenseMatrix::from_vec(1, 1, vec![1.0]);
+        opt.step(&mut y, &DenseMatrix::from_vec(1, 1, vec![1.0]));
+        assert!((y.get(0, 0) - 0.95).abs() < 1e-4);
+    }
+
+    #[test]
+    fn zero_gradient_keeps_param() {
+        let mut x = DenseMatrix::from_vec(1, 2, vec![0.5, -0.5]);
+        let mut opt = Adam::new(2, 0.1);
+        opt.step(&mut x, &DenseMatrix::zeros(1, 2));
+        assert_eq!(x.row(0), &[0.5, -0.5]);
+    }
+}

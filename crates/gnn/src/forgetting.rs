@@ -1,0 +1,139 @@
+//! Forgetting-events tracking (Toneva et al. 2019), the signal behind the
+//! forgetting core-set baseline in §2.1.
+//!
+//! A *forgetting event* for example `i` is an epoch transition where `i`
+//! goes from correctly to incorrectly classified. Examples forgotten often
+//! are deemed hard/informative; the core-set keeps the most-forgotten ones.
+
+use crate::model::predicted_classes;
+use grain_linalg::DenseMatrix;
+
+/// Accumulates forgetting events across training epochs.
+#[derive(Clone, Debug)]
+pub struct ForgettingTracker {
+    labels: Vec<u32>,
+    tracked: Vec<u32>,
+    last_correct: Vec<bool>,
+    ever_correct: Vec<bool>,
+    forget_counts: Vec<u32>,
+    epochs_seen: usize,
+}
+
+impl ForgettingTracker {
+    /// Tracks the given node indices against their ground-truth labels.
+    pub fn new(labels: &[u32], tracked: &[u32]) -> Self {
+        Self {
+            labels: labels.to_vec(),
+            tracked: tracked.to_vec(),
+            last_correct: vec![false; tracked.len()],
+            ever_correct: vec![false; tracked.len()],
+            forget_counts: vec![0; tracked.len()],
+            epochs_seen: 0,
+        }
+    }
+
+    /// Feeds one epoch's full-graph probabilities (the [`crate::model::EpochHook`]
+    /// signature adapts directly onto this).
+    pub fn observe(&mut self, probs: &DenseMatrix) {
+        let preds = predicted_classes(probs);
+        for (slot, &node) in self.tracked.iter().enumerate() {
+            let correct = preds[node as usize] == self.labels[node as usize];
+            if self.last_correct[slot] && !correct {
+                self.forget_counts[slot] += 1;
+            }
+            if correct {
+                self.ever_correct[slot] = true;
+            }
+            self.last_correct[slot] = correct;
+        }
+        self.epochs_seen += 1;
+    }
+
+    /// Number of epochs observed.
+    pub fn epochs_seen(&self) -> usize {
+        self.epochs_seen
+    }
+
+    /// Forgetting score per tracked node: the forgetting-event count, with
+    /// never-learned examples treated as maximally forgotten (the paper's
+    /// convention — they are the hardest examples).
+    pub fn scores(&self) -> Vec<(u32, u32)> {
+        let max_score = self.epochs_seen as u32 + 1;
+        self.tracked
+            .iter()
+            .enumerate()
+            .map(|(slot, &node)| {
+                let score = if self.ever_correct[slot] {
+                    self.forget_counts[slot]
+                } else {
+                    max_score
+                };
+                (node, score)
+            })
+            .collect()
+    }
+
+    /// The `count` most-forgotten tracked nodes (ties break toward smaller
+    /// node id for determinism).
+    pub fn most_forgotten(&self, count: usize) -> Vec<u32> {
+        let mut scored = self.scores();
+        scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.into_iter().take(count).map(|(node, _)| node).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs_for(preds: &[u32], classes: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(preds.len(), classes);
+        for (i, &p) in preds.iter().enumerate() {
+            m.set(i, p as usize, 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn counts_correct_to_incorrect_transitions() {
+        let labels = [0u32, 1, 1];
+        let mut t = ForgettingTracker::new(&labels, &[0, 1, 2]);
+        t.observe(&probs_for(&[0, 1, 0], 2)); // node0 ok, node1 ok, node2 wrong
+        t.observe(&probs_for(&[1, 1, 1], 2)); // node0 forgotten, node2 learned
+        t.observe(&probs_for(&[0, 0, 0], 2)); // node1+node2 forgotten
+        let scores: std::collections::HashMap<u32, u32> = t.scores().into_iter().collect();
+        assert_eq!(scores[&0], 1);
+        assert_eq!(scores[&1], 1);
+        assert_eq!(scores[&2], 1);
+    }
+
+    #[test]
+    fn never_learned_scores_highest() {
+        let labels = [0u32, 1];
+        let mut t = ForgettingTracker::new(&labels, &[0, 1]);
+        for _ in 0..5 {
+            t.observe(&probs_for(&[0, 0], 2)); // node1 never correct
+        }
+        let top = t.most_forgotten(1);
+        assert_eq!(top, vec![1]);
+    }
+
+    #[test]
+    fn stable_learner_has_zero_score() {
+        let labels = [0u32];
+        let mut t = ForgettingTracker::new(&labels, &[0]);
+        for _ in 0..4 {
+            t.observe(&probs_for(&[0], 2));
+        }
+        assert_eq!(t.scores(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn most_forgotten_breaks_ties_by_id() {
+        let labels = [0u32, 0];
+        let mut t = ForgettingTracker::new(&labels, &[0, 1]);
+        t.observe(&probs_for(&[0, 0], 2));
+        t.observe(&probs_for(&[1, 1], 2));
+        assert_eq!(t.most_forgotten(2), vec![0, 1]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Weight initialization.
+
+use grain_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Glorot/Xavier uniform initialization: `U(-s, s)` with
+/// `s = sqrt(6 / (fan_in + fan_out))`.
+pub fn glorot_uniform(fan_in: usize, fan_out: usize, seed: u64) -> DenseMatrix {
+    let s = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let data = (0..fan_in * fan_out)
+        .map(|_| (rng.random::<f32>() * 2.0 - 1.0) * s)
+        .collect();
+    DenseMatrix::from_vec(fan_in, fan_out, data)
+}
+
+/// Zero-initialized bias row.
+pub fn zeros_bias(dim: usize) -> Vec<f32> {
+    vec![0.0; dim]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_bounds_respected() {
+        let w = glorot_uniform(64, 16, 3);
+        let s = (6.0f32 / 80.0).sqrt();
+        assert!(w.as_slice().iter().all(|&v| v.abs() <= s));
+        assert!(w.as_slice().iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn glorot_deterministic_per_seed() {
+        assert_eq!(glorot_uniform(8, 8, 7), glorot_uniform(8, 8, 7));
+        assert_ne!(glorot_uniform(8, 8, 7), glorot_uniform(8, 8, 8));
+    }
+
+    #[test]
+    fn glorot_mean_near_zero() {
+        let w = glorot_uniform(100, 100, 5);
+        let mean: f32 = w.as_slice().iter().sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+    }
+}

@@ -1,0 +1,66 @@
+//! From-scratch GNN training substrate.
+//!
+//! The paper evaluates selections by training downstream GNNs on the
+//! selected labels. No GNN library exists in this environment, so this
+//! crate implements the four models of Section 4.5 directly on the
+//! workspace's dense/sparse kernels, with manual backpropagation and Adam:
+//!
+//! * [`gcn::GcnModel`] — the coupled 2-layer GCN of Eq. 4 (Kipf & Welling),
+//! * [`sgc::SgcModel`] — SGC: k-step smoothing + a linear softmax head,
+//! * [`appnp::AppnpModel`] — APPNP: MLP followed by PPR propagation of
+//!   logits, backpropagated through the propagation,
+//! * [`mvgrl::MvgrlSimModel`] — the documented MVGRL substitute: a frozen
+//!   two-structural-view embedding (symmetric smoothing ⊕ PPR diffusion)
+//!   with a trained linear head (linear-evaluation protocol).
+//!
+//! All models implement the object-safe [`model::Model`] trait consumed by
+//! the selection baselines (AGE/ANRMAB retrain a model every round) and the
+//! experiment harness. Training is full-batch, deterministic per seed, and
+//! supports validation-based early stopping plus per-epoch hooks (used by
+//! the forgetting-events core-set baseline).
+
+pub mod activ;
+pub mod adam;
+pub mod appnp;
+pub mod forgetting;
+pub mod gcn;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod metrics;
+pub mod model;
+pub mod mvgrl;
+pub mod sgc;
+
+pub use model::{Model, TrainConfig, TrainReport};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared test fixtures.
+    use grain_graph::generators::{degree_corrected_sbm, SbmConfig};
+    use grain_graph::Graph;
+    use grain_linalg::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Two-community SBM with class-separable features.
+    pub(crate) fn toy_dataset(seed: u64) -> (Graph, DenseMatrix, Vec<u32>) {
+        let cfg = SbmConfig {
+            block_sizes: vec![40, 40],
+            mean_degree_in: 6.0,
+            mean_degree_out: 0.5,
+            degree_exponent: 0.0,
+        };
+        let (g, labels) = degree_corrected_sbm(&cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let mut x = DenseMatrix::zeros(g.num_nodes(), 4);
+        for (v, &label) in labels.iter().enumerate() {
+            let c = label as usize;
+            let row = x.row_mut(v);
+            for (j, val) in row.iter_mut().enumerate() {
+                *val = if j % 2 == c { 0.9 } else { 0.1 } + rng.random::<f32>() * 0.3;
+            }
+        }
+        (g, x, labels)
+    }
+}

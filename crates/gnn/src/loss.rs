@@ -1,0 +1,110 @@
+//! Masked softmax cross-entropy.
+//!
+//! Semi-supervised node classification trains on a handful of labeled rows
+//! while predicting all rows; the loss and its gradient therefore apply
+//! only to `train_idx` rows (gradient rows elsewhere are zero).
+
+use crate::activ::softmax_rows;
+use grain_linalg::DenseMatrix;
+
+/// Mean cross-entropy over the masked rows plus the gradient
+/// `∂L/∂logits` (zero outside the mask).
+///
+/// # Panics
+/// Panics if a label is out of class range or the mask is empty.
+pub fn masked_cross_entropy(
+    logits: &DenseMatrix,
+    labels: &[u32],
+    train_idx: &[u32],
+) -> (f64, DenseMatrix) {
+    assert!(!train_idx.is_empty(), "cross-entropy needs at least one labeled row");
+    assert_eq!(logits.rows(), labels.len(), "labels must cover all rows");
+    let c = logits.cols();
+    let probs = softmax_rows(logits);
+    let inv = 1.0 / train_idx.len() as f32;
+    let mut grad = DenseMatrix::zeros(logits.rows(), c);
+    let mut loss = 0.0f64;
+    for &i in train_idx {
+        let i = i as usize;
+        let y = labels[i] as usize;
+        assert!(y < c, "label {y} out of range for {c} classes");
+        let p = probs.row(i);
+        loss -= (p[y].max(1e-12) as f64).ln();
+        let g = grad.row_mut(i);
+        for (j, gj) in g.iter_mut().enumerate() {
+            *gj = (p[j] - if j == y { 1.0 } else { 0.0 }) * inv;
+        }
+    }
+    (loss / train_idx.len() as f64, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = DenseMatrix::from_vec(2, 2, vec![10., -10., -10., 10.]);
+        let (loss, _) = masked_cross_entropy(&logits, &[0, 1], &[0, 1]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_c() {
+        let logits = DenseMatrix::zeros(3, 4);
+        let (loss, _) = masked_cross_entropy(&logits, &[0, 1, 2], &[0, 1, 2]);
+        assert!((loss - (4f64).ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradient_zero_outside_mask() {
+        let logits = DenseMatrix::from_vec(3, 2, vec![1., 0., 0., 1., 0.5, 0.5]);
+        let (_, grad) = masked_cross_entropy(&logits, &[0, 1, 0], &[1]);
+        assert!(grad.row(0).iter().all(|&v| v == 0.0));
+        assert!(grad.row(2).iter().all(|&v| v == 0.0));
+        assert!(grad.row(1).iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        // softmax - onehot always sums to zero per row.
+        let logits = DenseMatrix::from_vec(2, 3, vec![0.3, -1., 2., 0., 0., 0.]);
+        let (_, grad) = masked_cross_entropy(&logits, &[2, 0], &[0, 1]);
+        for i in 0..2 {
+            let s: f32 = grad.row(i).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut logits = DenseMatrix::from_vec(2, 3, vec![0.2, -0.4, 0.7, 1.1, 0.0, -0.3]);
+        let labels = [2u32, 0u32];
+        let mask = [0u32, 1u32];
+        let (_, grad) = masked_cross_entropy(&logits, &labels, &mask);
+        let h = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let orig = logits.get(i, j);
+                logits.set(i, j, orig + h);
+                let (lp, _) = masked_cross_entropy(&logits, &labels, &mask);
+                logits.set(i, j, orig - h);
+                let (lm, _) = masked_cross_entropy(&logits, &labels, &mask);
+                logits.set(i, j, orig);
+                let fd = ((lp - lm) / (2.0 * h as f64)) as f32;
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-3,
+                    "fd {fd} vs analytic {} at ({i},{j})",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one labeled row")]
+    fn empty_mask_panics() {
+        let logits = DenseMatrix::zeros(2, 2);
+        let _ = masked_cross_entropy(&logits, &[0, 1], &[]);
+    }
+}

@@ -1,0 +1,160 @@
+//! Classification metrics.
+
+use grain_linalg::DenseMatrix;
+
+/// Accuracy of row-argmax predictions over the index set.
+pub fn accuracy(probs: &DenseMatrix, labels: &[u32], idx: &[u32]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for &i in idx {
+        let i = i as usize;
+        let pred = grain_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as u32;
+        if pred == labels[i] {
+            correct += 1;
+        }
+    }
+    correct as f64 / idx.len() as f64
+}
+
+/// Macro-averaged F1 over the index set.
+pub fn macro_f1(probs: &DenseMatrix, labels: &[u32], idx: &[u32], num_classes: usize) -> f64 {
+    if idx.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut tp = vec![0usize; num_classes];
+    let mut fp = vec![0usize; num_classes];
+    let mut fneg = vec![0usize; num_classes];
+    for &i in idx {
+        let i = i as usize;
+        let pred = grain_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as usize;
+        let truth = labels[i] as usize;
+        if pred == truth {
+            tp[truth] += 1;
+        } else {
+            fp[pred] += 1;
+            fneg[truth] += 1;
+        }
+    }
+    let mut f1_sum = 0.0;
+    let mut classes_present = 0usize;
+    for c in 0..num_classes {
+        let support = tp[c] + fneg[c];
+        if support == 0 && fp[c] == 0 {
+            continue; // class absent from both truth and predictions
+        }
+        classes_present += 1;
+        let precision = if tp[c] + fp[c] > 0 {
+            tp[c] as f64 / (tp[c] + fp[c]) as f64
+        } else {
+            0.0
+        };
+        let recall = if support > 0 { tp[c] as f64 / support as f64 } else { 0.0 };
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if classes_present == 0 {
+        0.0
+    } else {
+        f1_sum / classes_present as f64
+    }
+}
+
+/// Confusion matrix (`truth x predicted`) over the index set.
+pub fn confusion_matrix(
+    probs: &DenseMatrix,
+    labels: &[u32],
+    idx: &[u32],
+    num_classes: usize,
+) -> Vec<Vec<usize>> {
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for &i in idx {
+        let i = i as usize;
+        let pred = grain_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as usize;
+        m[labels[i] as usize][pred] += 1;
+    }
+    m
+}
+
+/// Mean entropy of the predicted distributions over the index set
+/// (the uncertainty signal used by AGE and max-entropy core-set).
+pub fn mean_prediction_entropy(probs: &DenseMatrix, idx: &[u32]) -> f64 {
+    if idx.is_empty() {
+        return 0.0;
+    }
+    idx.iter().map(|&i| row_entropy(probs.row(i as usize))).sum::<f64>() / idx.len() as f64
+}
+
+/// Entropy of one probability row.
+pub fn row_entropy(p: &[f32]) -> f64 {
+    -p.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| (v as f64) * (v as f64).ln())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs() -> DenseMatrix {
+        DenseMatrix::from_vec(
+            4,
+            2,
+            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.3, 0.7],
+        )
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let labels = [0u32, 1, 1, 1];
+        let idx: Vec<u32> = (0..4).collect();
+        // preds = [0, 1, 0, 1] -> 3/4 correct.
+        assert!((accuracy(&probs(), &labels, &idx) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_on_empty_index_is_zero() {
+        assert_eq!(accuracy(&probs(), &[0, 1, 1, 1], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_macro_f1_is_one() {
+        let labels = [0u32, 1, 0, 1];
+        let idx = [0u32, 1];
+        assert!((macro_f1(&probs(), &labels, &idx, 2) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_for_correct() {
+        let labels = [0u32, 1, 1, 1];
+        let idx: Vec<u32> = (0..4).collect();
+        let m = confusion_matrix(&probs(), &labels, &idx, 2);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 2);
+        assert_eq!(m[1][0], 1);
+    }
+
+    #[test]
+    fn entropy_maximal_for_uniform() {
+        let uniform = [0.5f32, 0.5];
+        let peaked = [0.99f32, 0.01];
+        assert!(row_entropy(&uniform) > row_entropy(&peaked));
+        assert!((row_entropy(&uniform) - (2f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn macro_f1_ignores_absent_classes() {
+        let labels = [0u32, 0, 0, 0];
+        let idx = [0u32];
+        // Only class 0 present and predicted: F1 = 1 even with 5 classes declared.
+        let p = DenseMatrix::from_vec(4, 5, {
+            let mut v = vec![0.0; 20];
+            v[0] = 1.0;
+            v
+        });
+        assert!((macro_f1(&p, &labels, &idx, 5) - 1.0).abs() < 1e-12);
+    }
+}

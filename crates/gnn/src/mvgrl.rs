@@ -1,0 +1,95 @@
+//! MVGRL-sim: the documented substitute for MVGRL (Hassani & Khasahmadi
+//! 2020).
+//!
+//! MVGRL learns node representations by contrasting two structural views —
+//! the adjacency view and a PPR-diffusion view — and is evaluated with a
+//! linear classifier on the frozen embedding. The Grain paper uses MVGRL
+//! purely as a downstream model whose test accuracy measures selection
+//! quality. This substitute reproduces that role without a GPU-scale
+//! contrastive training loop: the two structural views are computed
+//! directly (symmetric k-step smoothing ⊕ PPR diffusion), concatenated
+//! into a frozen embedding, and a linear head is trained on the labeled
+//! set (the same linear-evaluation protocol MVGRL reports). See DESIGN.md.
+
+use crate::linear::LinearHead;
+use crate::model::{EpochHook, Model, TrainConfig, TrainReport};
+use grain_graph::Graph;
+use grain_linalg::DenseMatrix;
+use grain_prop::{propagate, Kernel};
+
+/// Frozen two-view embedding + linear head.
+pub struct MvgrlSimModel {
+    head: LinearHead,
+}
+
+impl MvgrlSimModel {
+    /// Builds the two views at depth `k` with PPR teleport `alpha`.
+    pub fn new(
+        graph: &Graph,
+        features: &DenseMatrix,
+        num_classes: usize,
+        k: usize,
+        alpha: f32,
+        seed: u64,
+    ) -> Self {
+        let adjacency_view = propagate(graph, Kernel::SymNorm { k }, features);
+        let diffusion_view = propagate(graph, Kernel::Ppr { k, alpha }, features);
+        let embedding = adjacency_view.hconcat(&diffusion_view);
+        Self { head: LinearHead::new(&embedding, num_classes, seed) }
+    }
+}
+
+impl Model for MvgrlSimModel {
+    fn name(&self) -> &'static str {
+        "mvgrl-sim"
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.head.reset(seed);
+    }
+
+    fn train_with_hook(
+        &mut self,
+        labels: &[u32],
+        train_idx: &[u32],
+        val_idx: &[u32],
+        cfg: &TrainConfig,
+        hook: Option<&mut EpochHook<'_>>,
+    ) -> TrainReport {
+        self.head.train(labels, train_idx, val_idx, cfg, hook)
+    }
+
+    fn predict(&self) -> DenseMatrix {
+        self.head.predict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::toy_dataset;
+    use crate::metrics::accuracy;
+
+    #[test]
+    fn learns_two_community_classification() {
+        let (g, x, labels) = toy_dataset(31);
+        let train: Vec<u32> = vec![0, 1, 2, 3, 40, 41, 42, 43];
+        let test: Vec<u32> = (10..40).chain(50..80).collect();
+        let mut model = MvgrlSimModel::new(&g, &x, 2, 2, 0.1, 1);
+        let cfg = TrainConfig { epochs: 150, patience: None, ..Default::default() };
+        model.train(&labels, &train, &[], &cfg);
+        let acc = accuracy(&model.predict(), &labels, &test);
+        assert!(acc > 0.85, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn embedding_has_two_views() {
+        // Predictions dimensionality is classes; the views widen the input,
+        // which we can only observe through successful training — this test
+        // just asserts construction on a feature width != hidden width.
+        let (g, x, _) = toy_dataset(32);
+        let model = MvgrlSimModel::new(&g, &x, 2, 3, 0.2, 2);
+        assert_eq!(model.predict().cols(), 2);
+        assert_eq!(model.name(), "mvgrl-sim");
+    }
+}

@@ -1,0 +1,301 @@
+//! Classic graph algorithms used across the framework.
+//!
+//! * [`pagerank`] feeds the AGE baseline's centrality arm and the Sec-3.4
+//!   walk-mass candidate pruning,
+//! * [`connected_components`] / [`bfs_distances`] support dataset sanity
+//!   checks and tests,
+//! * [`k_hop_neighborhood`] bounds influence-row supports.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// Damped PageRank by power iteration on the undirected graph.
+///
+/// Returns scores summing to 1. Dangling (isolated) nodes redistribute
+/// uniformly. Converges when the L1 change drops below `tol` or after
+/// `max_iter` rounds.
+pub fn pagerank(g: &Graph, damping: f64, max_iter: usize, tol: f64) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    let degrees = g.degrees();
+    for _ in 0..max_iter {
+        next.fill(0.0);
+        let mut dangling = 0.0;
+        for v in 0..n {
+            if degrees[v] == 0 {
+                dangling += rank[v];
+                continue;
+            }
+            let share = rank[v] / degrees[v] as f64;
+            for &u in g.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        let base = (1.0 - damping) * uniform + damping * dangling * uniform;
+        let mut delta = 0.0;
+        for v in 0..n {
+            let new = base + damping * next[v];
+            delta += (new - rank[v]).abs();
+            rank[v] = new;
+        }
+        if delta < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Connected-component id per node (ids are 0-based, ordered by discovery).
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut next_id = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = next_id;
+        queue.push_back(start as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v as usize) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = next_id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        next_id += 1;
+    }
+    comp
+}
+
+/// Number of connected components.
+pub fn num_components(g: &Graph) -> usize {
+    connected_components(g)
+        .into_iter()
+        .max()
+        .map_or(0, |m| m as usize + 1)
+}
+
+/// BFS hop distances from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut dist = vec![u32::MAX; n];
+    dist[source] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source as u32);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &u in g.neighbors(v as usize) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// All nodes within `k` hops of `source` (including `source`), sorted.
+pub fn k_hop_neighborhood(g: &Graph, source: usize, k: usize) -> Vec<u32> {
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(source as u32);
+    let mut frontier = vec![source as u32];
+    for _ in 0..k {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbors(v as usize) {
+                if seen.insert(u) {
+                    next.push(u);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+    let mut out: Vec<u32> = seen.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Degree histogram capped at `max_bucket` (last bucket aggregates the tail).
+pub fn degree_histogram(g: &Graph, max_bucket: usize) -> Vec<usize> {
+    let mut hist = vec![0usize; max_bucket + 1];
+    for d in g.degrees() {
+        hist[d.min(max_bucket)] += 1;
+    }
+    hist
+}
+
+/// Local clustering coefficient of `v`: closed wedges / possible wedges.
+pub fn local_clustering_coefficient(g: &Graph, v: usize) -> f64 {
+    let neighbors = g.neighbors(v);
+    let d = neighbors.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for (i, &a) in neighbors.iter().enumerate() {
+        for &b in &neighbors[i + 1..] {
+            if g.has_edge(a as usize, b) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d * (d - 1)) as f64
+}
+
+/// Mean local clustering coefficient over all nodes.
+pub fn average_clustering_coefficient(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    (0..n).map(|v| local_clustering_coefficient(g, v)).sum::<f64>() / n as f64
+}
+
+/// Induced subgraph on `nodes` (sorted, deduplicated internally).
+///
+/// Returns the subgraph plus the mapping `new_id -> old_id`; edges between
+/// selected nodes survive with their weights.
+pub fn induced_subgraph(g: &Graph, nodes: &[u32]) -> (Graph, Vec<u32>) {
+    let mut keep: Vec<u32> = nodes.to_vec();
+    keep.sort_unstable();
+    keep.dedup();
+    let mut old_to_new = vec![u32::MAX; g.num_nodes()];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!((old as usize) < g.num_nodes(), "node {old} out of range");
+        old_to_new[old as usize] = new as u32;
+    }
+    let mut edges = Vec::new();
+    for (new_u, &old_u) in keep.iter().enumerate() {
+        let weights = g.neighbor_weights(old_u as usize);
+        for (&old_v, &w) in g.neighbors(old_u as usize).iter().zip(weights) {
+            let new_v = old_to_new[old_v as usize];
+            if new_v != u32::MAX && (new_u as u32) < new_v {
+                edges.push((new_u as u32, new_v, w));
+            }
+        }
+    }
+    (Graph::from_weighted_edges(keep.len(), edges), keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pr = pagerank(&star, 0.85, 100, 1e-10);
+        let total: f64 = pr.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!(pr[0] > pr[1] * 2.0, "hub should dominate: {pr:?}");
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let cyc = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&cyc, 0.85, 100, 1e-12);
+        for &p in &pr {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let pr = pagerank(&g, 0.85, 100, 1e-10);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+        assert!(pr[2] > 0.0);
+    }
+
+    #[test]
+    fn components_split_and_count() {
+        let g = Graph::from_edges(5, &[(0, 1), (2, 3)]);
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_eq!(num_components(&g), 3);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let d = bfs_distances(&path4(), 0);
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn k_hop_neighborhood_grows_with_k() {
+        let g = path4();
+        assert_eq!(k_hop_neighborhood(&g, 0, 0), vec![0]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 1), vec![0, 1]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 2), vec![0, 1, 2]);
+        assert_eq!(k_hop_neighborhood(&g, 0, 9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn degree_histogram_caps_tail() {
+        let star = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let hist = degree_histogram(&star, 2);
+        assert_eq!(hist, vec![0, 4, 1]); // four leaves, hub capped into bucket 2
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle_and_star() {
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(local_clustering_coefficient(&tri, 0), 1.0);
+        assert_eq!(average_clustering_coefficient(&tri), 1.0);
+        let star = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(local_clustering_coefficient(&star, 0), 0.0);
+        assert_eq!(local_clustering_coefficient(&star, 1), 0.0); // degree 1
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        // Square 0-1-2-3 plus diagonal 0-2.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let (sub, mapping) = induced_subgraph(&g, &[0, 1, 2]);
+        assert_eq!(mapping, vec![0, 1, 2]);
+        assert_eq!(sub.num_nodes(), 3);
+        // Edges (0,1), (1,2), (0,2) survive; (2,3) and (3,0) drop.
+        assert_eq!(sub.num_edges(), 3);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_nodes() {
+        let g = Graph::from_edges(5, &[(1, 4), (4, 2)]);
+        let (sub, mapping) = induced_subgraph(&g, &[4, 1]);
+        assert_eq!(mapping, vec![1, 4]);
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1)); // old (1,4) -> new (0,1)
+    }
+
+    #[test]
+    fn induced_subgraph_dedupes_input() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let (sub, mapping) = induced_subgraph(&g, &[1, 1, 0]);
+        assert_eq!(mapping.len(), 2);
+        assert_eq!(sub.num_edges(), 1);
+    }
+}

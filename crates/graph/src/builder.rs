@@ -1,0 +1,121 @@
+//! Incremental graph builder.
+//!
+//! Generators and loaders accumulate edges one at a time; the builder
+//! dedupes/symmetrizes once at the end instead of paying per-insert costs.
+
+use crate::graph::Graph;
+
+/// Accumulates undirected edges and produces a [`Graph`].
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(u32, u32, f32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new() }
+    }
+
+    /// Pre-allocates capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        Self { n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Adds an undirected unit-weight edge. Self-loops are ignored.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.add_weighted_edge(u, v, 1.0);
+    }
+
+    /// Adds an undirected weighted edge. Self-loops are ignored.
+    pub fn add_weighted_edge(&mut self, u: u32, v: u32, w: f32) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        if u == v {
+            return;
+        }
+        self.edges.push((u, v, w));
+    }
+
+    /// True if `(u, v)` was already inserted (linear scan; use only in tests
+    /// or small builders — generators dedupe via hashing instead).
+    pub fn contains_edge(&self, u: u32, v: u32) -> bool {
+        self.edges
+            .iter()
+            .any(|&(a, b, _)| (a == u && b == v) || (a == v && b == u))
+    }
+
+    /// Number of inserted (pre-dedup) edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into a [`Graph`] (duplicates collapse, weights sum).
+    pub fn build(self) -> Graph {
+        Graph::from_weighted_edges(self.n, self.edges)
+    }
+
+    /// Finalizes, collapsing duplicate edges to weight 1 instead of summing.
+    ///
+    /// Random generators can emit the same pair twice; simple-graph
+    /// semantics want one unit edge in that case.
+    pub fn build_simple(mut self) -> Graph {
+        for e in &mut self.edges {
+            if e.0 > e.1 {
+                std::mem::swap(&mut e.0, &mut e.1);
+            }
+        }
+        self.edges.sort_unstable_by_key(|&(u, v, _)| (u, v));
+        self.edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+        for e in &mut self.edges {
+            e.2 = 1.0;
+        }
+        Graph::from_weighted_edges(self.n, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_sums_duplicate_weights() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbor_weights(0), &[2.0]);
+    }
+
+    #[test]
+    fn build_simple_collapses_to_unit_weight() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        b.add_edge(1, 2);
+        let g = b.build_simple();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbor_weights(0), &[1.0]);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(1, 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn contains_edge_checks_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 0);
+        assert!(b.contains_edge(0, 2));
+        assert!(!b.contains_edge(0, 1));
+    }
+}

@@ -1,0 +1,402 @@
+//! Compressed sparse row matrix with `f32` weights.
+//!
+//! Column indices are stored as `u32` (graphs here stay well under 4 B
+//! nodes), halving index memory versus `usize` — relevant for the
+//! papers100M-style scaling experiments. Rows keep their column indices
+//! sorted, which the triangle-counting intersection relies on.
+
+use grain_linalg::{par, DenseMatrix};
+use serde::{Deserialize, Serialize};
+
+/// Sparse row-major matrix.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Empty matrix with the given shape.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds from (row, col, value) triplets.
+    ///
+    /// Triplets may arrive unsorted and may contain duplicates; duplicate
+    /// entries are summed. Zero values are kept only if `keep_zeros` — the
+    /// adjacency path drops them.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(u32, u32, f32)],
+        keep_zeros: bool,
+    ) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            assert!((r as usize) < rows, "triplet row {r} out of bounds ({rows} rows)");
+            counts[r as usize + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut order = counts.clone();
+        let mut col_idx = vec![0u32; triplets.len()];
+        let mut values = vec![0f32; triplets.len()];
+        for &(r, c, v) in triplets {
+            assert!((c as usize) < cols, "triplet col {c} out of bounds ({cols} cols)");
+            let slot = order[r as usize];
+            order[r as usize] += 1;
+            col_idx[slot] = c;
+            values[slot] = v;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_row_ptr = Vec::with_capacity(rows + 1);
+        let mut out_cols = Vec::with_capacity(triplets.len());
+        let mut out_vals = Vec::with_capacity(triplets.len());
+        out_row_ptr.push(0);
+        let mut scratch: Vec<(u32, f32)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            for i in counts[r]..counts[r + 1] {
+                scratch.push((col_idx[i], values[i]));
+            }
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < scratch.len() {
+                let c = scratch[i].0;
+                let mut v = scratch[i].1;
+                let mut j = i + 1;
+                while j < scratch.len() && scratch[j].0 == c {
+                    v += scratch[j].1;
+                    j += 1;
+                }
+                if v != 0.0 || keep_zeros {
+                    out_cols.push(c);
+                    out_vals.push(v);
+                }
+                i = j;
+            }
+            out_row_ptr.push(out_cols.len());
+        }
+        Self { rows, cols, row_ptr: out_row_ptr, col_idx: out_cols, values: out_vals }
+    }
+
+    /// Builds directly from CSR arrays (rows must be sorted by column).
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent or any row is unsorted.
+    pub fn from_raw(rows: usize, cols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>, values: Vec<f32>) -> Self {
+        assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
+        assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
+        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr tail mismatch");
+        for r in 0..rows {
+            let s = row_ptr[r];
+            let e = row_ptr[r + 1];
+            assert!(s <= e && e <= col_idx.len(), "row_ptr not monotone at row {r}");
+            for w in col_idx[s..e].windows(2) {
+                assert!(w[0] < w[1], "row {r} has unsorted or duplicate columns");
+            }
+            if let Some(&last) = col_idx[s..e].last() {
+                assert!((last as usize) < cols, "column out of bounds in row {r}");
+            }
+        }
+        Self { rows, cols, row_ptr, col_idx, values }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Column indices of row `r` (sorted ascending).
+    #[inline]
+    pub fn row_indices(&self, r: usize) -> &[u32] {
+        &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// Values of row `r`, parallel to [`CsrMatrix::row_indices`].
+    #[inline]
+    pub fn row_values(&self, r: usize) -> &[f32] {
+        &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// `(indices, values)` pair for row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        (self.row_indices(r), self.row_values(r))
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.row_ptr[r + 1] - self.row_ptr[r]
+    }
+
+    /// Looks up entry `(r, c)` by binary search.
+    pub fn get(&self, r: usize, c: u32) -> f32 {
+        let idx = self.row_indices(r);
+        match idx.binary_search(&c) {
+            Ok(pos) => self.row_values(r)[pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sum of values per row.
+    pub fn row_sums(&self) -> Vec<f32> {
+        (0..self.rows).map(|r| self.row_values(r).iter().sum()).collect()
+    }
+
+    /// Multiplies each row `r` by `factors[r]` in place.
+    pub fn scale_rows(&mut self, factors: &[f32]) {
+        assert_eq!(factors.len(), self.rows, "scale_rows: factor count mismatch");
+        for (r, &f) in factors.iter().enumerate() {
+            for v in &mut self.values[self.row_ptr[r]..self.row_ptr[r + 1]] {
+                *v *= f;
+            }
+        }
+    }
+
+    /// Multiplies each column `c` by `factors[c]` in place.
+    pub fn scale_cols(&mut self, factors: &[f32]) {
+        assert_eq!(factors.len(), self.cols, "scale_cols: factor count mismatch");
+        for (c, v) in self.col_idx.iter().zip(self.values.iter_mut()) {
+            *v *= factors[*c as usize];
+        }
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut counts = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            counts[c as usize + 1] += 1;
+        }
+        for i in 0..self.cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0f32; self.nnz()];
+        let mut cursor = counts;
+        for r in 0..self.rows {
+            for (i, &c) in self.row_indices(r).iter().enumerate() {
+                let slot = cursor[c as usize];
+                cursor[c as usize] += 1;
+                col_idx[slot] = r as u32;
+                values[slot] = self.row_values(r)[i];
+            }
+        }
+        row_ptr.rotate_right(0); // counts already is the final row_ptr prefix
+        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+    }
+
+    /// Sparse × dense product `self * rhs`, parallel over output rows.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn spmm(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols,
+            rhs.rows(),
+            "spmm: inner dimensions differ ({}x{} * {}x{})",
+            self.rows,
+            self.cols,
+            rhs.rows(),
+            rhs.cols()
+        );
+        let n = rhs.cols();
+        let mut out = DenseMatrix::zeros(self.rows, n);
+        let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
+        par::for_each_chunk(self.rows, 64, |start, end| {
+            // Rebind so the closure captures the SendPtr wrapper, not its
+            // raw-pointer field (edition-2021 disjoint capture).
+            #[allow(clippy::redundant_locals)]
+            let ptr = ptr;
+            for r in start..end {
+                // SAFETY: output rows are disjoint per thread chunk.
+                let out_row = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(r * n), n) };
+                let (idx, vals) = self.row(r);
+                for (&c, &w) in idx.iter().zip(vals) {
+                    if w == 0.0 {
+                        continue;
+                    }
+                    for (o, &x) in out_row.iter_mut().zip(rhs.row(c as usize)) {
+                        *o += w * x;
+                    }
+                }
+            }
+        });
+        out
+    }
+
+    /// Sparse × dense-vector product `self * x`.
+    pub fn spmv(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.cols, x.len(), "spmv: dimension mismatch");
+        par::par_map(self.rows, 256, |r| {
+            let (idx, vals) = self.row(r);
+            idx.iter().zip(vals).map(|(&c, &w)| w * x[c as usize]).sum()
+        })
+    }
+
+    /// Iterator over `(row, col, value)` of all stored entries.
+    pub fn iter_triplets(&self) -> impl Iterator<Item = (u32, u32, f32)> + '_ {
+        (0..self.rows).flat_map(move |r| {
+            self.row_indices(r)
+                .iter()
+                .zip(self.row_values(r))
+                .map(move |(&c, &v)| (r as u32, c, v))
+        })
+    }
+
+    /// True if the matrix equals its transpose (within `tol` per entry).
+    pub fn is_symmetric(&self, tol: f32) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        let t = self.transpose();
+        if t.row_ptr != self.row_ptr || t.col_idx != self.col_idx {
+            return false;
+        }
+        self.values
+            .iter()
+            .zip(&t.values)
+            .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+/// Raw pointer wrapper for disjoint parallel row writes.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CsrMatrix {
+        // [[0, 1, 2],
+        //  [3, 0, 0],
+        //  [0, 4, 0]]
+        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.), (0, 2, 2.), (1, 0, 3.), (2, 1, 4.)], false)
+    }
+
+    #[test]
+    fn from_triplets_sorts_and_sums_duplicates() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 1.), (0, 0, 5.), (0, 2, 2.)], false);
+        assert_eq!(m.row_indices(0), &[0, 2]);
+        assert_eq!(m.row_values(0), &[5., 3.]);
+        assert_eq!(m.row_nnz(1), 0);
+    }
+
+    #[test]
+    fn zero_sum_duplicates_dropped_unless_kept() {
+        let t = [(0u32, 1u32, 1.0f32), (0, 1, -1.0)];
+        let dropped = CsrMatrix::from_triplets(1, 2, &t, false);
+        assert_eq!(dropped.nnz(), 0);
+        let kept = CsrMatrix::from_triplets(1, 2, &t, true);
+        assert_eq!(kept.nnz(), 1);
+        assert_eq!(kept.row_values(0), &[0.0]);
+    }
+
+    #[test]
+    fn get_by_binary_search() {
+        let m = small();
+        assert_eq!(m.get(0, 2), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = small();
+        let t = m.transpose();
+        assert_eq!(t.get(1, 0), 1.0);
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = small();
+        let x = DenseMatrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let y = m.spmm(&x);
+        // Row 0: 1*[3,4] + 2*[5,6] = [13, 16]
+        assert_eq!(y.row(0), &[13., 16.]);
+        assert_eq!(y.row(1), &[3., 6.]);
+        assert_eq!(y.row(2), &[12., 16.]);
+    }
+
+    #[test]
+    fn spmv_matches_spmm_single_column() {
+        let m = small();
+        let x = vec![1., 2., 3.];
+        let y = m.spmv(&x);
+        assert_eq!(y, vec![8., 3., 8.]);
+    }
+
+    #[test]
+    fn row_sums_and_scaling() {
+        let mut m = small();
+        assert_eq!(m.row_sums(), vec![3., 3., 4.]);
+        m.scale_rows(&[1., 0.5, 0.25]);
+        assert_eq!(m.row_sums(), vec![3., 1.5, 1.]);
+        m.scale_cols(&[0., 1., 1.]);
+        assert_eq!(m.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn symmetric_detection() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.), (1, 0, 2.)], false);
+        assert!(sym.is_symmetric(0.0));
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.)], false);
+        assert!(!asym.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn iter_triplets_yields_all_entries() {
+        let m = small();
+        let ts: Vec<_> = m.iter_triplets().collect();
+        assert_eq!(ts.len(), 4);
+        assert!(ts.contains(&(2, 1, 4.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn triplet_bounds_checked() {
+        let _ = CsrMatrix::from_triplets(2, 2, &[(0, 5, 1.)], false);
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let m = CsrMatrix::from_raw(2, 2, vec![0, 1, 2], vec![1, 0], vec![1.0, 2.0]);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted")]
+    fn from_raw_rejects_unsorted_rows() {
+        let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+}

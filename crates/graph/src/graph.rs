@@ -1,0 +1,179 @@
+//! Undirected graph facade over CSR adjacency.
+
+use crate::csr::CsrMatrix;
+use serde::{Deserialize, Serialize};
+
+/// An undirected, optionally weighted graph.
+///
+/// The adjacency matrix is stored symmetrically (every edge appears in both
+/// endpoint rows). Self-loops are not stored here; kernels that need the
+/// `A + I` form of GCN (Eq. 4) add them on the fly via
+/// [`Graph::adjacency_with_self_loops`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Graph {
+    adj: CsrMatrix,
+}
+
+impl Graph {
+    /// Builds from an undirected edge list.
+    ///
+    /// Duplicate edges collapse to weight-summed single edges; self-loops are
+    /// dropped; `(u, v)` and `(v, u)` describe the same edge and may both be
+    /// present.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        Self::from_weighted_edges(n, edges.iter().map(|&(u, v)| (u, v, 1.0)))
+    }
+
+    /// Builds from a weighted undirected edge list.
+    pub fn from_weighted_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, f32)>) -> Self {
+        let mut triplets = Vec::new();
+        for (u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            triplets.push((u, v, w));
+            triplets.push((v, u, w));
+        }
+        // from_triplets sums duplicates; a doubled (u,v) input therefore
+        // yields a doubled weight, matching multigraph semantics collapsed
+        // onto a weighted simple graph.
+        Self { adj: CsrMatrix::from_triplets(n, n, &triplets, false) }
+    }
+
+    /// Wraps an existing symmetric adjacency matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or not symmetric.
+    pub fn from_adjacency(adj: CsrMatrix) -> Self {
+        assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        assert!(adj.is_symmetric(1e-6), "adjacency must be symmetric");
+        Self { adj }
+    }
+
+    /// Node count.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.rows()
+    }
+
+    /// Undirected edge count (stored entries / 2).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// Neighbor ids of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[u32] {
+        self.adj.row_indices(v)
+    }
+
+    /// Edge weights parallel to [`Graph::neighbors`].
+    #[inline]
+    pub fn neighbor_weights(&self, v: usize) -> &[f32] {
+        self.adj.row_values(v)
+    }
+
+    /// Unweighted degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj.row_nnz(v)
+    }
+
+    /// Unweighted degrees of all nodes.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.num_nodes()).map(|v| self.degree(v)).collect()
+    }
+
+    /// Weighted degree (row sum) of every node.
+    pub fn weighted_degrees(&self) -> Vec<f32> {
+        self.adj.row_sums()
+    }
+
+    /// True if `u` and `v` share an edge.
+    pub fn has_edge(&self, u: usize, v: u32) -> bool {
+        self.adj.row_indices(u).binary_search(&v).is_ok()
+    }
+
+    /// Borrow of the raw adjacency matrix.
+    #[inline]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adj
+    }
+
+    /// The `Ã = A + I` matrix used by GCN-style propagation.
+    pub fn adjacency_with_self_loops(&self) -> CsrMatrix {
+        let n = self.num_nodes();
+        let mut triplets: Vec<(u32, u32, f32)> = self.adj.iter_triplets().collect();
+        triplets.reserve(n);
+        for v in 0..n {
+            triplets.push((v as u32, v as u32, 1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &triplets, false)
+    }
+
+    /// Mean unweighted degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.adj.nnz() as f64 / self.num_nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_symmetric_and_deduped() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 3)]);
+        assert_eq!(g.num_nodes(), 4);
+        // (0,1)+(1,0) merge into one edge of weight 2; self-loop dropped.
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 3));
+        assert_eq!(g.neighbor_weights(0), &[2.0]);
+    }
+
+    #[test]
+    fn degrees_count_neighbors() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.degrees(), vec![3, 1, 1, 1]);
+        assert_eq!(g.mean_degree(), 1.5);
+    }
+
+    #[test]
+    fn self_loop_matrix_adds_identity() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let a = g.adjacency_with_self_loops();
+        for v in 0..3 {
+            assert_eq!(a.get(v, v as u32), 1.0);
+        }
+        assert_eq!(a.get(0, 1), 1.0);
+        assert_eq!(a.nnz(), 5);
+    }
+
+    #[test]
+    fn from_adjacency_accepts_symmetric() {
+        let adj = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.), (1, 0, 1.)], false);
+        let g = Graph::from_adjacency(adj);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn from_adjacency_rejects_asymmetric() {
+        let adj = CsrMatrix::from_triplets(2, 2, &[(0, 1, 1.)], false);
+        let _ = Graph::from_adjacency(adj);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+}

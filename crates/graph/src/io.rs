@@ -1,0 +1,151 @@
+//! Edge-list text I/O.
+//!
+//! The harness persists generated graphs so experiment binaries can share
+//! them; the format is the ubiquitous whitespace-separated edge list with
+//! an optional third weight column and `#` comments.
+
+use crate::graph::Graph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Errors raised when parsing an edge list.
+#[derive(Debug)]
+pub enum EdgeListError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse { line: usize, content: String },
+}
+
+impl std::fmt::Display for EdgeListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeListError::Io(e) => write!(f, "edge list I/O error: {e}"),
+            EdgeListError::Parse { line, content } => {
+                write!(f, "edge list parse error on line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeListError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EdgeListError::Io(e) => Some(e),
+            EdgeListError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for EdgeListError {
+    fn from(e: std::io::Error) -> Self {
+        EdgeListError::Io(e)
+    }
+}
+
+/// Writes `graph` as `u v w` lines (each undirected edge once, `u <= v`).
+pub fn write_edge_list(graph: &Graph, w: impl Write) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "# nodes {}", graph.num_nodes())?;
+    for u in 0..graph.num_nodes() {
+        let (idx, vals) = (graph.neighbors(u), graph.neighbor_weights(u));
+        for (&v, &wt) in idx.iter().zip(vals) {
+            if (u as u32) <= v {
+                writeln!(out, "{u} {v} {wt}")?;
+            }
+        }
+    }
+    out.flush()
+}
+
+/// Reads an edge list produced by [`write_edge_list`] (or any `u v [w]`
+/// file). The node count is the max endpoint + 1 unless a `# nodes N`
+/// header raises it.
+pub fn read_edge_list(r: impl Read) -> Result<Graph, EdgeListError> {
+    let reader = BufReader::new(r);
+    let mut edges: Vec<(u32, u32, f32)> = Vec::new();
+    let mut declared_nodes = 0usize;
+    let mut max_node = 0u32;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() == Some("nodes") {
+                if let Some(n) = parts.next().and_then(|t| t.parse::<usize>().ok()) {
+                    declared_nodes = declared_nodes.max(n);
+                }
+            }
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_err = || EdgeListError::Parse { line: i + 1, content: trimmed.to_string() };
+        let u: u32 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let v: u32 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let w: f32 = match parts.next() {
+            Some(t) => t.parse().map_err(|_| parse_err())?,
+            None => 1.0,
+        };
+        max_node = max_node.max(u).max(v);
+        edges.push((u, v, w));
+    }
+    let n = declared_nodes.max(if edges.is_empty() { 0 } else { max_node as usize + 1 });
+    Ok(Graph::from_weighted_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let g = generators::erdos_renyi_gnm(40, 80, 11);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice()).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.adjacency(), g2.adjacency());
+    }
+
+    #[test]
+    fn reads_headerless_lists() {
+        let text = "0 1\n1 2 2.5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbor_weights(2), &[2.5]);
+    }
+
+    #[test]
+    fn header_raises_node_count() {
+        let text = "# nodes 10\n0 1\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 10);
+    }
+
+    #[test]
+    fn parse_error_carries_line_number() {
+        let text = "0 1\nnot an edge\n";
+        let err = read_edge_list(text.as_bytes()).unwrap_err();
+        match err {
+            EdgeListError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# hello\n\n0 1\n# trailing\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list("".as_bytes()).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

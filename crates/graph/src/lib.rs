@@ -1,0 +1,29 @@
+//! Sparse graph substrate for the Grain framework.
+//!
+//! Everything in the Grain paper operates on an undirected attributed graph
+//! `G = (V, E)`; this crate supplies that substrate built from scratch:
+//!
+//! * [`csr::CsrMatrix`] — compressed sparse row matrix with `f32` weights,
+//!   the storage format for adjacency and transition matrices,
+//! * [`graph::Graph`] — an undirected graph facade over CSR adjacency,
+//! * [`transition`] — the generalized transition matrices of Table 1
+//!   (random-walk, symmetric, triangle-induced),
+//! * [`triangle`] — per-edge triangle counting for the Triangle-IA kernel,
+//! * [`generators`] — seeded random-graph models (Erdős–Rényi,
+//!   Barabási–Albert, degree-corrected stochastic block model) used to
+//!   synthesize the evaluation corpora,
+//! * [`algo`] — BFS, connected components, PageRank (AGE's centrality arm),
+//! * [`io`] — edge-list text round-trips.
+
+pub mod algo;
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod transition;
+pub mod triangle;
+
+pub use csr::CsrMatrix;
+pub use graph::Graph;
+pub use transition::{transition_matrix, TransitionKind};

@@ -1,0 +1,146 @@
+//! Generalized transition matrices (Table 1 of the paper).
+//!
+//! The decoupled propagation of Eq. (6) runs `X^(k) = f(X^(k-1), T, X^(0))`
+//! for a *generalized transition matrix* `T`:
+//!
+//! * `T_rw  = D̃^{-1} Ã` — random-walk (row-stochastic),
+//! * `T_sym = D̃^{-1/2} Ã D̃^{-1/2}` — the GCN normalization,
+//! * `T_tr  = D_T^{-1} A_T` — triangle-induced adjacency (SIGN),
+//!
+//! where `Ã = A + I` by default. Isolated nodes keep a pure self-loop so
+//! every matrix stays well defined.
+
+use crate::csr::CsrMatrix;
+use crate::graph::Graph;
+use crate::triangle;
+use serde::{Deserialize, Serialize};
+
+/// Which transition matrix to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransitionKind {
+    /// Row-stochastic random walk `D̃^{-1} Ã`.
+    RandomWalk,
+    /// Symmetric GCN normalization `D̃^{-1/2} Ã D̃^{-1/2}`.
+    Symmetric,
+    /// Triangle-induced `D_T^{-1} A_T`.
+    TriangleInduced,
+}
+
+impl TransitionKind {
+    /// Human-readable name used by the harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionKind::RandomWalk => "random-walk",
+            TransitionKind::Symmetric => "symmetric",
+            TransitionKind::TriangleInduced => "triangle-ia",
+        }
+    }
+}
+
+/// Builds the requested transition matrix.
+///
+/// `add_self_loops` selects `Ã = A + I` (the GNN convention) versus raw `A`;
+/// the triangle variant always carries unit self-loops (see
+/// [`triangle::triangle_adjacency`]).
+pub fn transition_matrix(g: &Graph, kind: TransitionKind, add_self_loops: bool) -> CsrMatrix {
+    match kind {
+        TransitionKind::RandomWalk => {
+            let a = base_adjacency(g, add_self_loops);
+            row_normalize(a)
+        }
+        TransitionKind::Symmetric => {
+            let mut a = base_adjacency(g, add_self_loops);
+            let sums = a.row_sums();
+            let inv_sqrt: Vec<f32> = sums
+                .iter()
+                .map(|&s| if s > 0.0 { 1.0 / s.sqrt() } else { 0.0 })
+                .collect();
+            a.scale_rows(&inv_sqrt);
+            a.scale_cols(&inv_sqrt);
+            a
+        }
+        TransitionKind::TriangleInduced => {
+            let at = triangle::triangle_adjacency(g);
+            row_normalize(at)
+        }
+    }
+}
+
+fn base_adjacency(g: &Graph, add_self_loops: bool) -> CsrMatrix {
+    if add_self_loops {
+        g.adjacency_with_self_loops()
+    } else {
+        g.adjacency().clone()
+    }
+}
+
+/// Divides every row by its sum; zero rows stay zero.
+pub fn row_normalize(mut m: CsrMatrix) -> CsrMatrix {
+    let sums = m.row_sums();
+    let inv: Vec<f32> = sums
+        .iter()
+        .map(|&s| if s > 0.0 { 1.0 / s } else { 0.0 })
+        .collect();
+    m.scale_rows(&inv);
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn random_walk_rows_are_stochastic() {
+        let t = transition_matrix(&path3(), TransitionKind::RandomWalk, true);
+        for s in t.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Node 1 has neighbors {0, 1, 2} with self-loop: each prob 1/3.
+        assert!((t.get(1, 0) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn symmetric_matrix_is_symmetric() {
+        let t = transition_matrix(&path3(), TransitionKind::Symmetric, true);
+        assert!(t.is_symmetric(1e-6));
+        // Known value: t[0][1] = 1/sqrt(d0~ * d1~) = 1/sqrt(2*3).
+        assert!((t.get(0, 1) - 1.0 / (6.0f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn triangle_transition_rows_stochastic() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let t = transition_matrix(&g, TransitionKind::TriangleInduced, true);
+        for s in t.row_sums() {
+            assert!((s - 1.0).abs() < 1e-6, "row sum {s}");
+        }
+        // Pendant node 3 only has its self-loop.
+        assert_eq!(t.get(3, 3), 1.0);
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop_walk() {
+        let g = Graph::from_edges(2, &[]);
+        let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn no_self_loop_variant_omits_diagonal() {
+        let t = transition_matrix(&path3(), TransitionKind::RandomWalk, false);
+        assert_eq!(t.get(1, 1), 0.0);
+        assert_eq!(t.get(1, 0), 0.5);
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(TransitionKind::RandomWalk.name(), "random-walk");
+        assert_eq!(TransitionKind::Symmetric.name(), "symmetric");
+        assert_eq!(TransitionKind::TriangleInduced.name(), "triangle-ia");
+    }
+}

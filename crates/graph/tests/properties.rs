@@ -1,0 +1,124 @@
+//! Property-based tests for the graph substrate.
+
+use grain_graph::generators::{self, SbmConfig};
+use grain_graph::{algo, transition_matrix, triangle, CsrMatrix, Graph, TransitionKind};
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn graph_adjacency_is_always_symmetric(es in edges(20, 60)) {
+        let g = Graph::from_edges(20, &es);
+        prop_assert!(g.adjacency().is_symmetric(1e-6));
+        // Degree sum equals twice the edge count.
+        let deg_sum: usize = g.degrees().iter().sum();
+        prop_assert_eq!(deg_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn csr_round_trips_through_triplets(es in edges(15, 40)) {
+        let g = Graph::from_edges(15, &es);
+        let a = g.adjacency();
+        let triplets: Vec<(u32, u32, f32)> = a.iter_triplets().collect();
+        let rebuilt = CsrMatrix::from_triplets(15, 15, &triplets, false);
+        prop_assert_eq!(a, &rebuilt);
+    }
+
+    #[test]
+    fn random_walk_transition_is_row_stochastic(es in edges(18, 50)) {
+        let g = Graph::from_edges(18, &es);
+        let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        for s in t.row_sums() {
+            prop_assert!((s - 1.0).abs() < 1e-5, "row sum {}", s);
+        }
+    }
+
+    #[test]
+    fn symmetric_transition_spectral_radius_bounded(es in edges(16, 40)) {
+        // Power iteration of T_sym on any vector must not blow up
+        // (eigenvalues lie in [-1, 1]).
+        let g = Graph::from_edges(16, &es);
+        let t = transition_matrix(&g, TransitionKind::Symmetric, true);
+        let mut v = vec![1.0f32; 16];
+        for _ in 0..20 {
+            v = t.spmv(&v);
+        }
+        prop_assert!(v.iter().all(|x| x.abs() <= 16.0 + 1e-3));
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(es in edges(20, 60)) {
+        let g = Graph::from_edges(20, &es);
+        let pr = algo::pagerank(&g, 0.85, 60, 1e-10);
+        let total: f64 = pr.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        prop_assert!(pr.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_step(es in edges(15, 45)) {
+        // Neighbors differ by at most 1 in BFS distance from any source.
+        let g = Graph::from_edges(15, &es);
+        let d = algo::bfs_distances(&g, 0);
+        for v in 0..15 {
+            if d[v] == u32::MAX {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                prop_assert!(d[u as usize] != u32::MAX);
+                prop_assert!(d[u as usize] + 1 >= d[v] && d[v] + 1 >= d[u as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_adjacency_is_symmetric(es in edges(14, 40)) {
+        let g = Graph::from_edges(14, &es);
+        let at = triangle::triangle_adjacency(&g);
+        prop_assert!(at.is_symmetric(1e-6));
+    }
+
+    #[test]
+    fn components_partition_the_graph(es in edges(18, 30)) {
+        let g = Graph::from_edges(18, &es);
+        let comp = algo::connected_components(&g);
+        // Every edge joins same-component endpoints.
+        for v in 0..18 {
+            for &u in g.neighbors(v) {
+                prop_assert_eq!(comp[v], comp[u as usize]);
+            }
+        }
+        prop_assert_eq!(comp.len(), 18);
+    }
+
+    #[test]
+    fn sbm_block_sizes_respected(sizes in proptest::collection::vec(3usize..12, 2..4), seed in 0u64..100) {
+        let cfg = SbmConfig {
+            block_sizes: sizes.clone(),
+            mean_degree_in: 3.0,
+            mean_degree_out: 0.5,
+            degree_exponent: 0.0,
+        };
+        let (g, labels) = generators::degree_corrected_sbm(&cfg, seed);
+        prop_assert_eq!(g.num_nodes(), sizes.iter().sum::<usize>());
+        for (c, &sz) in sizes.iter().enumerate() {
+            let count = labels.iter().filter(|&&l| l == c as u32).count();
+            prop_assert_eq!(count, sz);
+        }
+    }
+
+    #[test]
+    fn edge_list_io_round_trips(es in edges(12, 30)) {
+        let g = Graph::from_edges(12, &es);
+        let mut buf = Vec::new();
+        grain_graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = grain_graph::io::read_edge_list(buf.as_slice()).unwrap();
+        prop_assert_eq!(g.adjacency(), g2.adjacency());
+    }
+}

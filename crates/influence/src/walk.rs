@@ -1,0 +1,366 @@
+//! Sparse per-node influence rows.
+//!
+//! Row `v` of the influence matrix is `e_v^T T^k`, computed by `k`
+//! scatter-gather steps over the CSR transition matrix with a dense
+//! per-thread scratch buffer (lazily reset through a touched-index list, so
+//! cost is proportional to row support, not to `n`). Entries below `eps`
+//! are pruned after every step — influence mass that cannot clear the
+//! activation threshold `θ` anyway — which keeps rows small on hub-heavy
+//! graphs. Rows are L1-normalized at the end (Eq. 8); for row-stochastic
+//! transitions this only compensates pruning loss.
+
+use grain_graph::CsrMatrix;
+use grain_linalg::par;
+use grain_prop::Kernel;
+
+/// Per-power weights `c_l` such that the kernel's Jacobian w.r.t. the input
+/// features is `Σ_{l=0..k} c_l T^l` (Definition 3.1 applied to each Table 1
+/// mechanism). Index `l` is the walk length.
+pub fn kernel_power_weights(kernel: Kernel) -> Vec<f32> {
+    let k = kernel.steps();
+    match kernel {
+        // Pure powers: only T^k contributes.
+        Kernel::SymNorm { .. } | Kernel::RandomWalk { .. } | Kernel::TriangleIa { .. } => {
+            let mut w = vec![0.0; k + 1];
+            w[k] = 1.0;
+            w
+        }
+        // PPR recursion X^(k) = (1-α) T X^(k-1) + α X^(0):
+        // J = Σ_{l<k} α(1-α)^l T^l + (1-α)^k T^k (weights sum to 1).
+        Kernel::Ppr { alpha, .. } => {
+            let mut w = Vec::with_capacity(k + 1);
+            for l in 0..k {
+                w.push(alpha * (1.0 - alpha).powi(l as i32));
+            }
+            w.push((1.0 - alpha).powi(k as i32));
+            w
+        }
+        // S2GC average: J = α I + ((1-α)/k) Σ_{l=1..k} T^l.
+        Kernel::S2gc { alpha, .. } => {
+            let mut w = vec![(1.0 - alpha) / k.max(1) as f32; k + 1];
+            w[0] = alpha;
+            w
+        }
+        // GBP geometric weighting: J = Σ_l β^l T^l (Eq. 8 renormalizes).
+        Kernel::Gbp { beta, .. } => (0..=k).map(|l| beta.powi(l as i32)).collect(),
+    }
+}
+
+/// All normalized influence rows of a graph.
+#[derive(Clone, Debug, Default)]
+pub struct InfluenceRows {
+    rows: Vec<Vec<(u32, f32)>>,
+    k: usize,
+}
+
+impl InfluenceRows {
+    /// Computes `I_v(·, k)` for every `v`, pruning entries `< eps` between
+    /// steps.
+    ///
+    /// # Panics
+    /// Panics if `t` is not square.
+    pub fn compute(t: &CsrMatrix, k: usize, eps: f32) -> Self {
+        let mut weights = vec![0.0; k + 1];
+        weights[k] = 1.0;
+        Self::compute_weighted(t, &weights, eps)
+    }
+
+    /// Influence rows under the exact Jacobian of `kernel` (Definition 3.1):
+    /// a `c_l`-weighted sum of walk powers per [`kernel_power_weights`].
+    pub fn for_kernel(t: &CsrMatrix, kernel: Kernel, eps: f32) -> Self {
+        Self::compute_weighted(t, &kernel_power_weights(kernel), eps)
+    }
+
+    /// Computes normalized rows of `Σ_l weights[l] · T^l`, pruning frontier
+    /// entries `< eps` between steps.
+    ///
+    /// # Panics
+    /// Panics if `t` is not square or `weights` is empty.
+    pub fn compute_weighted(t: &CsrMatrix, weights: &[f32], eps: f32) -> Self {
+        assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
+        assert!(!weights.is_empty(), "need at least the T^0 weight");
+        let k = weights.len() - 1;
+        let n = t.rows();
+        let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
+        let out = SendPtr(rows.as_mut_ptr());
+        let threads = par::num_threads().max(1);
+        let chunk = n.div_ceil(threads).max(1);
+        crossbeam::thread::scope(|scope| {
+            for tix in 0..threads {
+                let start = tix * chunk;
+                let end = ((tix + 1) * chunk).min(n);
+                if start >= end {
+                    break;
+                }
+                #[allow(clippy::redundant_locals)]
+                let out = out;
+                scope.spawn(move |_| {
+                    // Rebind the wrapper so the closure captures `SendPtr`
+                    // itself rather than its raw-pointer field (edition-2021
+                    // disjoint capture would otherwise strip the Send impl).
+                    #[allow(clippy::redundant_locals)]
+                    let out = out;
+                    // Per-thread scratch: one dense buffer for the walk
+                    // step, one for the weighted accumulator; both reset
+                    // lazily via touched lists so per-node cost tracks row
+                    // support, not n.
+                    let mut step = vec![0.0f32; n];
+                    let mut step_touched: Vec<u32> = Vec::new();
+                    let mut acc = vec![0.0f32; n];
+                    let mut acc_touched: Vec<u32> = Vec::new();
+                    let mut frontier: Vec<(u32, f32)> = Vec::new();
+                    for v in start..end {
+                        frontier.clear();
+                        frontier.push((v as u32, 1.0));
+                        acc_touched.clear();
+                        if weights[0] != 0.0 {
+                            acc[v] = weights[0];
+                            acc_touched.push(v as u32);
+                        }
+                        for &wl in weights.iter().skip(1).take(k) {
+                            step_touched.clear();
+                            for &(node, mass) in &frontier {
+                                let (idx, vals) = t.row(node as usize);
+                                for (&c, &w) in idx.iter().zip(vals) {
+                                    let add = mass * w;
+                                    if add == 0.0 {
+                                        continue;
+                                    }
+                                    if step[c as usize] == 0.0 {
+                                        step_touched.push(c);
+                                    }
+                                    step[c as usize] += add;
+                                }
+                            }
+                            frontier.clear();
+                            for &c in &step_touched {
+                                let val = step[c as usize];
+                                step[c as usize] = 0.0;
+                                if val >= eps {
+                                    frontier.push((c, val));
+                                    if wl != 0.0 {
+                                        if acc[c as usize] == 0.0 {
+                                            acc_touched.push(c);
+                                        }
+                                        acc[c as usize] += wl * val;
+                                    }
+                                }
+                            }
+                        }
+                        let mut row: Vec<(u32, f32)> = Vec::with_capacity(acc_touched.len());
+                        for &c in &acc_touched {
+                            let val = acc[c as usize];
+                            acc[c as usize] = 0.0;
+                            if val > 0.0 {
+                                row.push((c, val));
+                            }
+                        }
+                        row.sort_unstable_by_key(|&(c, _)| c);
+                        // Eq. 8 normalization.
+                        let total: f32 = row.iter().map(|&(_, w)| w).sum();
+                        if total > 0.0 {
+                            for e in &mut row {
+                                e.1 /= total;
+                            }
+                        }
+                        // SAFETY: each thread writes disjoint row indices.
+                        unsafe { *out.0.add(v) = row };
+                    }
+                });
+            }
+        })
+        .expect("influence worker panicked");
+        Self { rows, k }
+    }
+
+    /// Number of nodes (rows).
+    pub fn num_nodes(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Propagation depth these rows were computed at.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The sparse normalized influence row of `v`, sorted by column.
+    pub fn row(&self, v: usize) -> &[(u32, f32)] {
+        &self.rows[v]
+    }
+
+    /// `I_v(u, k)`: normalized influence of `u` on `v`.
+    pub fn influence(&self, v: usize, u: u32) -> f32 {
+        match self.rows[v].binary_search_by_key(&u, |&(c, _)| c) {
+            Ok(pos) => self.rows[v][pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `I_v(S, k) = max_{u in S} I_v(u, k)` (the set influence of Def. 3.2).
+    pub fn set_influence(&self, v: usize, set: &[u32]) -> f32 {
+        set.iter()
+            .map(|&u| self.influence(v, u))
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Total stored entries across all rows.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Column-sum of influence mass received *from* each node `u`
+    /// (Σ_v I_v(u, k)) — the "walk mass" used by Sec-3.4 candidate pruning.
+    pub fn walk_mass(&self) -> Vec<f32> {
+        let mut mass = vec![0.0f32; self.num_nodes()];
+        for row in &self.rows {
+            for &(u, w) in row {
+                mass[u as usize] += w;
+            }
+        }
+        mass
+    }
+}
+
+/// Raw pointer wrapper for disjoint parallel row writes.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_graph::{generators, transition_matrix, Graph, TransitionKind};
+
+    fn rw(g: &Graph) -> CsrMatrix {
+        transition_matrix(g, TransitionKind::RandomWalk, true)
+    }
+
+    #[test]
+    fn rows_are_normalized_probability_distributions() {
+        let g = generators::erdos_renyi_gnm(40, 100, 2);
+        let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
+        for v in 0..40 {
+            let sum: f32 = rows.row(v).iter().map(|&(_, w)| w).sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {v} sums to {sum}");
+            assert!(rows.row(v).iter().all(|&(_, w)| w >= 0.0));
+        }
+    }
+
+    #[test]
+    fn matches_walk_probability_on_path() {
+        // Path 0-1-2 with self-loops: from node 0, one step gives
+        // 1/2 to 0 and 1/2 to 1.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let rows = InfluenceRows::compute(&rw(&g), 1, 0.0);
+        assert!((rows.influence(0, 0) - 0.5).abs() < 1e-6);
+        assert!((rows.influence(0, 1) - 0.5).abs() < 1e-6);
+        assert_eq!(rows.influence(0, 2), 0.0);
+    }
+
+    #[test]
+    fn two_steps_reach_two_hops() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
+        // 0 -> 1 -> 2 path exists: I_0(2, 2) = 1/2 * 1/3 = 1/6.
+        assert!((rows.influence(0, 2) - 1.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pruning_keeps_rows_sparse_but_normalized() {
+        let g = generators::barabasi_albert(300, 3, 7);
+        let exact = InfluenceRows::compute(&rw(&g), 2, 0.0);
+        let pruned = InfluenceRows::compute(&rw(&g), 2, 0.01);
+        assert!(pruned.nnz() < exact.nnz());
+        for v in 0..300 {
+            let sum: f32 = pruned.row(v).iter().map(|&(_, w)| w).sum();
+            assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn set_influence_takes_max() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let rows = InfluenceRows::compute(&rw(&g), 1, 0.0);
+        let s = [0u32, 2u32];
+        let direct = rows.set_influence(1, &s);
+        assert!((direct - rows.influence(1, 0).max(rows.influence(1, 2))).abs() < 1e-7);
+    }
+
+    #[test]
+    fn walk_mass_sums_to_total_mass() {
+        let g = generators::erdos_renyi_gnm(25, 50, 3);
+        let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
+        let mass: f32 = rows.walk_mass().iter().sum();
+        assert!((mass - 25.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn isolated_node_influences_only_itself() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
+        assert_eq!(rows.row(2), &[(2, 1.0)]);
+    }
+
+    #[test]
+    fn ppr_weights_sum_to_one() {
+        let w = kernel_power_weights(grain_prop::Kernel::Ppr { k: 4, alpha: 0.15 });
+        assert_eq!(w.len(), 5);
+        let total: f32 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn s2gc_weights_sum_to_one() {
+        let w = kernel_power_weights(grain_prop::Kernel::S2gc { k: 3, alpha: 0.1 });
+        let total: f32 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6);
+        assert!((w[0] - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pure_power_weights_select_top_power() {
+        let w = kernel_power_weights(grain_prop::Kernel::RandomWalk { k: 2 });
+        assert_eq!(w, vec![0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn for_kernel_ppr_includes_self_influence() {
+        // PPR's α-weighted identity keeps mass on the source even at k=2.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let t = rw(&g);
+        let ppr = InfluenceRows::for_kernel(&t, grain_prop::Kernel::Ppr { k: 2, alpha: 0.5 }, 0.0);
+        let plain = InfluenceRows::for_kernel(&t, grain_prop::Kernel::RandomWalk { k: 2 }, 0.0);
+        assert!(ppr.influence(0, 0) > plain.influence(0, 0));
+        // Both stay normalized distributions.
+        let sum: f32 = ppr.row(0).iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn compute_matches_for_kernel_on_plain_walk() {
+        let g = generators::erdos_renyi_gnm(30, 70, 12);
+        let t = rw(&g);
+        let a = InfluenceRows::compute(&t, 2, 0.0);
+        let b = InfluenceRows::for_kernel(&t, grain_prop::Kernel::RandomWalk { k: 2 }, 0.0);
+        for v in 0..30 {
+            assert_eq!(a.row(v), b.row(v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let g = generators::erdos_renyi_gnm(60, 150, 4);
+        let t = rw(&g);
+        let a = InfluenceRows::compute(&t, 2, 1e-4);
+        let b = InfluenceRows::compute(&t, 2, 1e-4);
+        for v in 0..60 {
+            assert_eq!(a.row(v), b.row(v));
+        }
+    }
+}

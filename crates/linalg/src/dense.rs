@@ -1,0 +1,299 @@
+//! Row-major dense `f32` matrix.
+//!
+//! Dimension mismatches are programming errors, so the arithmetic API panics
+//! with a descriptive message instead of returning `Result`; fallible
+//! construction from untrusted shapes goes through [`DenseMatrix::try_from_vec`].
+
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major `f32` matrix.
+///
+/// Rows are contiguous, so `row(i)` returns a plain slice, which is what all
+/// hot loops in the workspace iterate over.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Matrix filled with `value`.
+    pub fn full(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.data[i * n + i] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "DenseMatrix::from_vec: buffer of {} values cannot fill a {rows}x{cols} matrix",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Fallible variant of [`DenseMatrix::from_vec`] for untrusted input.
+    pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError { rows, cols, len: data.len() });
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Builds a matrix from row slices; all rows must share a length.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "DenseMatrix::from_rows: row {i} has length {} != {c}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        debug_assert!(i < self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        debug_assert!(i < self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Flat row-major view of the whole buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable row-major view of the whole buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Iterator over row slices.
+    pub fn iter_rows(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// Returns a new matrix holding the selected rows, in the given order.
+    pub fn select_rows(&self, indices: &[usize]) -> DenseMatrix {
+        let mut out = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            out.extend_from_slice(self.row(i));
+        }
+        DenseMatrix::from_vec(indices.len(), self.cols, out)
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &v) in row.iter().enumerate() {
+                out.data[j * self.rows + i] = v;
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Horizontally concatenates two matrices with equal row counts.
+    pub fn hconcat(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.rows, other.rows,
+            "hconcat: row counts differ ({} vs {})",
+            self.rows, other.rows
+        );
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for i in 0..self.rows {
+            data.extend_from_slice(self.row(i));
+            data.extend_from_slice(other.row(i));
+        }
+        DenseMatrix::from_vec(self.rows, cols, data)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+}
+
+/// Error for [`DenseMatrix::try_from_vec`] shape mismatches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Requested row count.
+    pub rows: usize,
+    /// Requested column count.
+    pub cols: usize,
+    /// Provided buffer length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "buffer of {} values cannot fill a {}x{} matrix",
+            self.len, self.rows, self.cols
+        )
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_shape_and_zero_values() {
+        let m = DenseMatrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn eye_is_identity() {
+        let m = DenseMatrix::eye(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m.get(i, j), if i == j { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn row_views_are_contiguous() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+        assert_eq!(m.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = m.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let m = DenseMatrix::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        let s = m.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5., 6.]);
+        assert_eq!(s.row(1), &[1., 2.]);
+    }
+
+    #[test]
+    fn hconcat_joins_columns() {
+        let a = DenseMatrix::from_vec(2, 1, vec![1., 2.]);
+        let b = DenseMatrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = a.hconcat(&b);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.row(1), &[2., 5., 6.]);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_shape() {
+        let err = DenseMatrix::try_from_vec(2, 2, vec![0.0; 3]).unwrap_err();
+        assert_eq!(err.len, 3);
+        assert!(err.to_string().contains("2x2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "from_vec")]
+    fn from_vec_panics_on_bad_shape() {
+        let _ = DenseMatrix::from_vec(2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn map_inplace_applies_function() {
+        let mut m = DenseMatrix::from_vec(1, 3, vec![1., -2., 3.]);
+        m.map_inplace(|v| v.abs());
+        assert_eq!(m.row(0), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut m = DenseMatrix::zeros(1, 2);
+        assert!(!m.has_non_finite());
+        m.set(0, 1, f32::NAN);
+        assert!(m.has_non_finite());
+    }
+}

@@ -1,0 +1,220 @@
+//! Pairwise distances in the aggregated feature space.
+//!
+//! The Grain diversity functions (Section 3.3) measure distance between
+//! *L2-normalized* k-step aggregated feature rows and scale by 1/2 so that
+//! distances live in `[0, 1]`:
+//!
+//! ```text
+//! d(u, v) = || x_u/||x_u||  -  x_v/||x_v|| || / 2
+//! ```
+//!
+//! This module provides that metric, chunked all-pairs radius queries (used
+//! to build ball-coverage groups `G_u`), and nearest-centroid helpers used by
+//! the K-Center-Greedy and AGE baselines.
+
+use crate::dense::DenseMatrix;
+use crate::ops;
+use crate::par;
+
+/// Squared Euclidean distance between two raw rows.
+#[inline]
+pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two raw rows.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// The paper's normalized feature-space metric: rows must already be
+/// L2-normalized; result is `||a - b|| / 2`, in `[0, 1]`.
+#[inline]
+pub fn grain_distance(a: &[f32], b: &[f32]) -> f32 {
+    euclidean(a, b) * 0.5
+}
+
+/// Returns a copy of `m` with L2-normalized rows, the input representation
+/// for all diversity computations.
+pub fn normalized_embedding(m: &DenseMatrix) -> DenseMatrix {
+    let mut out = m.clone();
+    ops::l2_normalize_rows(&mut out);
+    out
+}
+
+/// All-pairs radius query on L2-normalized rows under [`grain_distance`].
+///
+/// Returns, for every row `u`, the sorted list of rows `v` (including `u`
+/// itself) with `grain_distance(u, v) <= r`. Computed in parallel with a
+/// squared-threshold comparison so no square roots are taken in the inner
+/// loop.
+pub fn radius_neighbors(normed: &DenseMatrix, r: f32) -> Vec<Vec<u32>> {
+    let n = normed.rows();
+    // grain_distance <= r  <=>  sq_euclidean <= (2r)^2
+    let thresh = (2.0 * r) * (2.0 * r);
+    par::par_map(n, 8, |u| {
+        let row_u = normed.row(u);
+        let mut out = Vec::new();
+        for v in 0..n {
+            if sq_euclidean(row_u, normed.row(v)) <= thresh {
+                out.push(v as u32);
+            }
+        }
+        out
+    })
+}
+
+/// For every row of `points`, the minimum [`grain_distance`] to any row of
+/// `centers` (both L2-normalized). Returns `f32::INFINITY` when `centers`
+/// is empty.
+pub fn min_distance_to_set(points: &DenseMatrix, centers: &DenseMatrix) -> Vec<f32> {
+    let n = points.rows();
+    par::par_map(n, 16, |u| {
+        let row = points.row(u);
+        let mut best = f32::INFINITY;
+        for c in 0..centers.rows() {
+            let d = sq_euclidean(row, centers.row(c));
+            if d < best {
+                best = d;
+            }
+        }
+        if best.is_finite() {
+            best.sqrt() * 0.5
+        } else {
+            best
+        }
+    })
+}
+
+/// Maximum pairwise [`grain_distance`] over the rows (the `d_max` constant of
+/// the NN-diversity function, Definition 3.4). Exact for small inputs and
+/// estimated from a deterministic sample of anchor rows for large inputs,
+/// which is an upper-bound-preserving choice because `d_max <= 1` under the
+/// normalized metric anyway.
+pub fn max_pairwise_distance(normed: &DenseMatrix, exact_limit: usize) -> f32 {
+    let n = normed.rows();
+    if n <= 1 {
+        return 0.0;
+    }
+    let mut best = 0.0f32;
+    if n <= exact_limit {
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let d = sq_euclidean(normed.row(u), normed.row(v));
+                if d > best {
+                    best = d;
+                }
+            }
+        }
+    } else {
+        // Deterministic stride sample of anchors; each anchor scans all rows.
+        let anchors = exact_limit.max(16).min(n);
+        let stride = (n / anchors).max(1);
+        for a in (0..n).step_by(stride) {
+            let row = normed.row(a);
+            for v in 0..n {
+                let d = sq_euclidean(row, normed.row(v));
+                if d > best {
+                    best = d;
+                }
+            }
+        }
+    }
+    best.sqrt() * 0.5
+}
+
+/// Index of the nearest row of `centers` for every row of `points`
+/// (squared Euclidean on raw rows, as used by k-means assignment).
+pub fn nearest_center(points: &DenseMatrix, centers: &DenseMatrix) -> Vec<usize> {
+    assert!(centers.rows() > 0, "nearest_center: empty center set");
+    par::par_map(points.rows(), 16, |u| {
+        let row = points.row(u);
+        let mut best = 0usize;
+        let mut best_d = f32::INFINITY;
+        for c in 0..centers.rows() {
+            let d = sq_euclidean(row, centers.row(c));
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grain_distance_is_bounded_by_one_on_unit_rows() {
+        // Antipodal unit vectors reach exactly 1.
+        let a = [1.0f32, 0.0];
+        let b = [-1.0f32, 0.0];
+        assert!((grain_distance(&a, &b) - 1.0).abs() < 1e-6);
+        assert_eq!(grain_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn radius_neighbors_includes_self_and_symmetric() {
+        let mut m = DenseMatrix::from_vec(3, 2, vec![1., 0., 0.99, 0.14, -1., 0.]);
+        ops::l2_normalize_rows(&mut m);
+        let nb = radius_neighbors(&m, 0.1);
+        assert!(nb[0].contains(&0));
+        // 0 and 1 are close, 2 is far.
+        assert_eq!(nb[0].contains(&1), nb[1].contains(&0));
+        assert!(!nb[0].contains(&2));
+    }
+
+    #[test]
+    fn radius_zero_covers_only_identical_rows() {
+        let mut m = DenseMatrix::from_vec(3, 2, vec![1., 0., 1., 0., 0., 1.]);
+        ops::l2_normalize_rows(&mut m);
+        let nb = radius_neighbors(&m, 0.0);
+        assert_eq!(nb[0], vec![0, 1]); // duplicate rows coincide
+        assert_eq!(nb[2], vec![2]);
+    }
+
+    #[test]
+    fn min_distance_to_set_empty_centers_is_infinite() {
+        let p = DenseMatrix::from_vec(2, 2, vec![1., 0., 0., 1.]);
+        let c = DenseMatrix::zeros(0, 2);
+        let d = min_distance_to_set(&p, &c);
+        assert!(d.iter().all(|v| v.is_infinite()));
+    }
+
+    #[test]
+    fn max_pairwise_distance_exact_small() {
+        let mut m = DenseMatrix::from_vec(3, 2, vec![1., 0., 0., 1., -1., 0.]);
+        ops::l2_normalize_rows(&mut m);
+        let d = max_pairwise_distance(&m, 100);
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn max_pairwise_distance_sampled_is_lower_bound() {
+        let n = 500;
+        let data: Vec<f32> = (0..n * 2).map(|i| ((i * 31 % 17) as f32) - 8.0).collect();
+        let mut m = DenseMatrix::from_vec(n, 2, data);
+        ops::l2_normalize_rows(&mut m);
+        let exact = max_pairwise_distance(&m, usize::MAX);
+        let sampled = max_pairwise_distance(&m, 64);
+        assert!(sampled <= exact + 1e-6);
+        assert!(sampled > 0.0);
+    }
+
+    #[test]
+    fn nearest_center_picks_closest() {
+        let p = DenseMatrix::from_vec(2, 1, vec![0.1, 0.9]);
+        let c = DenseMatrix::from_vec(2, 1, vec![0.0, 1.0]);
+        assert_eq!(nearest_center(&p, &c), vec![0, 1]);
+    }
+}

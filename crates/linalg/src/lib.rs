@@ -1,0 +1,27 @@
+//! Dense linear-algebra substrate for the Grain framework.
+//!
+//! The Grain paper (VLDB 2021) separates feature *propagation* from model
+//! *training*; both sides bottom out in dense row-major `f32` matrices.
+//! This crate provides that shared substrate:
+//!
+//! * [`DenseMatrix`] — a row-major matrix with cheap row views,
+//! * [`ops`] — (parallel) GEMM variants and elementwise kernels,
+//! * [`distance`] — chunked pairwise distances and radius queries used by the
+//!   diversity functions of Section 3.3,
+//! * [`kmeans`] — k-means++ clustering used by the AGE baseline's density arm,
+//! * [`pca`] — power-iteration PCA used for the Figure 7 interpretability
+//!   scatter (substitute for t-SNE),
+//! * [`par`] — scoped-thread helpers shared by the whole workspace.
+//!
+//! All kernels are deterministic given a seeded RNG, which the reproduction
+//! harness relies on.
+
+pub mod dense;
+pub mod distance;
+pub mod kmeans;
+pub mod ops;
+pub mod par;
+pub mod pca;
+pub mod stats;
+
+pub use dense::DenseMatrix;

@@ -1,0 +1,166 @@
+//! Scoped-thread parallelism helpers shared by the workspace.
+//!
+//! Grain is "model-free": almost all of its runtime is spent in
+//! embarrassingly parallel row-wise kernels (SpMM, GEMM, pairwise
+//! distances). These helpers split a row range into per-thread chunks and
+//! run them on crossbeam scoped threads, so callers can borrow stack data
+//! without `Arc`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Returns the worker-thread count: the `GRAIN_THREADS` environment variable
+/// if set to a positive integer, otherwise the machine's available
+/// parallelism (at least 1).
+pub fn num_threads() -> usize {
+    if let Ok(v) = std::env::var("GRAIN_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f(start, end)` over disjoint chunks of `0..len` on scoped threads.
+///
+/// `f` must be safe to run concurrently on disjoint ranges. Falls back to a
+/// single inline call when `len` is small or only one thread is available,
+/// so tiny inputs do not pay thread spawn costs.
+pub fn for_each_chunk<F>(len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = num_threads().min(len / min_chunk.max(1)).max(1);
+    if threads <= 1 || len == 0 {
+        f(0, len);
+        return;
+    }
+    let chunk = len.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(len);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            scope.spawn(move |_| f(start, end));
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel work-stealing loop over `0..len` with a shared atomic cursor.
+///
+/// Better than static chunking when per-item cost is highly skewed (e.g.
+/// influence rows of hub nodes). `f(i)` is called exactly once per index.
+pub fn for_each_dynamic<F>(len: usize, grain: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = num_threads().min(len.max(1)).max(1);
+    if threads <= 1 || len <= grain {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move |_| loop {
+                let start = cursor.fetch_add(grain, Ordering::Relaxed);
+                if start >= len {
+                    break;
+                }
+                let end = (start + grain).min(len);
+                for i in start..end {
+                    f(i);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Maps `0..len` through `f` into a `Vec`, computing chunks in parallel.
+pub fn par_map<T, F>(len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); len];
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        for_each_chunk(len, min_chunk, |start, end| {
+            // SAFETY: each chunk writes a disjoint index range of `out`,
+            // and `out` outlives the scoped threads.
+            let ptr = out_ptr;
+            for i in start..end {
+                unsafe { *ptr.0.add(i) = f(i) };
+            }
+        });
+    }
+    out
+}
+
+/// Raw pointer wrapper asserting cross-thread safety for disjoint writes.
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn for_each_chunk_covers_all_indices_once() {
+        let sum = AtomicU64::new(0);
+        for_each_chunk(1000, 8, |s, e| {
+            let mut local = 0u64;
+            for i in s..e {
+                local += i as u64;
+            }
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn for_each_dynamic_covers_all_indices_once() {
+        let hits = (0..257).map(|_| AtomicU64::new(0)).collect::<Vec<_>>();
+        for_each_dynamic(hits.len(), 4, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let got = par_map(513, 16, |i| (i * i) as u64);
+        let want: Vec<u64> = (0..513).map(|i| (i * i) as u64).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_length_is_fine() {
+        for_each_chunk(0, 1, |s, e| assert_eq!(s, e, "no work expected"));
+        let v: Vec<u32> = par_map(0, 1, |_| 1);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Power-iteration PCA.
+//!
+//! The paper visualizes seed/activated nodes with t-SNE (Figure 7). t-SNE is
+//! stochastic and heavy; for the reproduction we project the aggregated
+//! feature space to 2-D with deterministic PCA, which is sufficient to show
+//! whether activated nodes *scatter across* or *cluster within* the space —
+//! the property Figure 7 argues about. Documented as a substitution in
+//! DESIGN.md.
+
+use crate::dense::DenseMatrix;
+use crate::ops;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a PCA projection.
+#[derive(Clone, Debug)]
+pub struct PcaResult {
+    /// `n x k` projected coordinates.
+    pub projected: DenseMatrix,
+    /// `k x d` principal axes (rows are components, unit length).
+    pub components: DenseMatrix,
+    /// Variance captured by each component (descending).
+    pub explained_variance: Vec<f32>,
+}
+
+/// Projects `data` onto its top-`k` principal components using power
+/// iteration with deflation on the covariance operator (never materializes
+/// the `d x d` covariance matrix; each iteration costs two passes over the
+/// centered data).
+pub fn pca(data: &DenseMatrix, k: usize, iters: usize, seed: u64) -> PcaResult {
+    let n = data.rows();
+    let d = data.cols();
+    let k = k.min(d).max(1);
+    // Center the data.
+    let means = ops::column_means(data);
+    let mut centered = data.clone();
+    for i in 0..n {
+        let row = centered.row_mut(i);
+        for (v, &m) in row.iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut components = DenseMatrix::zeros(k, d);
+    let mut explained = Vec::with_capacity(k);
+    // Deflated copy of the data; after extracting a component we remove its
+    // contribution from every row so the next power iteration finds the next axis.
+    let mut work = centered.clone();
+    for c in 0..k {
+        let mut v: Vec<f32> = (0..d).map(|_| rng.random::<f32>() - 0.5).collect();
+        normalize(&mut v);
+        let mut eigval = 0.0f32;
+        for _ in 0..iters.max(1) {
+            // w = X^T (X v) / n  (covariance-vector product in two passes)
+            let mut xv = vec![0.0f32; n];
+            for (i, xi) in xv.iter_mut().enumerate() {
+                *xi = ops::dot(work.row(i), &v);
+            }
+            let mut w = vec![0.0f32; d];
+            for (i, &coef) in xv.iter().enumerate() {
+                if coef == 0.0 {
+                    continue;
+                }
+                for (wj, &xj) in w.iter_mut().zip(work.row(i)) {
+                    *wj += coef * xj;
+                }
+            }
+            let norm = ops::dot(&w, &w).sqrt();
+            if norm <= f32::EPSILON {
+                break; // data exhausted (rank < k)
+            }
+            eigval = norm / n.max(1) as f32;
+            for (vj, wj) in v.iter_mut().zip(&w) {
+                *vj = wj / norm;
+            }
+        }
+        components.row_mut(c).copy_from_slice(&v);
+        explained.push(eigval);
+        // Deflate: rows -= (row . v) v
+        for i in 0..n {
+            let row = work.row_mut(i);
+            let proj = ops::dot(row, &v);
+            for (rj, &vj) in row.iter_mut().zip(&v) {
+                *rj -= proj * vj;
+            }
+        }
+    }
+    let projected = ops::matmul_nt(&centered, &components);
+    PcaResult { projected, components, explained_variance: explained }
+}
+
+fn normalize(v: &mut [f32]) {
+    let n = ops::dot(v, v).sqrt();
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_axis() {
+        // Points along the line y = 2x with small noise in the orthogonal direction.
+        let mut data = Vec::new();
+        for i in 0..50 {
+            let t = i as f32 * 0.1 - 2.5;
+            let noise = ((i * 7919) % 13) as f32 * 0.001;
+            data.extend_from_slice(&[t + noise, 2.0 * t - noise]);
+        }
+        let m = DenseMatrix::from_vec(50, 2, data);
+        let res = pca(&m, 1, 50, 1);
+        let axis = res.components.row(0);
+        // Axis should be parallel to (1, 2)/sqrt(5).
+        let expect = [1.0 / 5f32.sqrt(), 2.0 / 5f32.sqrt()];
+        let align = (axis[0] * expect[0] + axis[1] * expect[1]).abs();
+        assert!(align > 0.999, "axis {axis:?} not aligned, dot={align}");
+    }
+
+    #[test]
+    fn components_are_orthonormal() {
+        let data: Vec<f32> = (0..300).map(|i| ((i * 37 % 23) as f32).sin()).collect();
+        let m = DenseMatrix::from_vec(60, 5, data);
+        let res = pca(&m, 3, 80, 2);
+        for a in 0..3 {
+            for b in 0..3 {
+                let d = ops::dot(res.components.row(a), res.components.row(b));
+                let want = if a == b { 1.0 } else { 0.0 };
+                assert!((d - want).abs() < 1e-2, "<c{a},c{b}> = {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn explained_variance_descending() {
+        let data: Vec<f32> = (0..400).map(|i| ((i % 19) as f32) * 0.3).collect();
+        let m = DenseMatrix::from_vec(100, 4, data);
+        let res = pca(&m, 3, 60, 3);
+        for w in res.explained_variance.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4);
+        }
+    }
+
+    #[test]
+    fn projection_shape() {
+        let m = DenseMatrix::zeros(10, 6);
+        let res = pca(&m, 2, 10, 4);
+        assert_eq!(res.projected.shape(), (10, 2));
+        assert_eq!(res.components.shape(), (2, 6));
+    }
+}

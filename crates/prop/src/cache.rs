@@ -1,0 +1,99 @@
+//! Cache of propagated embeddings keyed by kernel.
+//!
+//! The selection pipeline evaluates several components (influence rows,
+//! diversity, downstream GNN inputs) that all consume `X^(k)`; the cache
+//! makes sure each kernel propagates exactly once per graph.
+
+use crate::kernel::Kernel;
+use crate::propagate::propagate;
+use grain_graph::Graph;
+use grain_linalg::DenseMatrix;
+use std::collections::HashMap;
+
+/// Per-graph memoization of `X^(k)` per kernel.
+pub struct PropagationCache<'g> {
+    graph: &'g Graph,
+    features: &'g DenseMatrix,
+    cache: HashMap<String, DenseMatrix>,
+}
+
+impl<'g> PropagationCache<'g> {
+    /// New cache over a graph and its raw feature matrix `X^(0)`.
+    pub fn new(graph: &'g Graph, features: &'g DenseMatrix) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            features.rows(),
+            "feature rows ({}) must match node count ({})",
+            features.rows(),
+            graph.num_nodes()
+        );
+        Self { graph, features, cache: HashMap::new() }
+    }
+
+    /// The propagated embedding for `kernel`, computed on first use.
+    pub fn get(&mut self, kernel: Kernel) -> &DenseMatrix {
+        let key = kernel.cache_key();
+        if !self.cache.contains_key(&key) {
+            let value = propagate(self.graph, kernel, self.features);
+            self.cache.insert(key.clone(), value);
+        }
+        &self.cache[&key]
+    }
+
+    /// Number of kernels materialized so far.
+    pub fn len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// True if nothing has been propagated yet.
+    pub fn is_empty(&self) -> bool {
+        self.cache.is_empty()
+    }
+
+    /// The raw (unpropagated) feature matrix.
+    pub fn raw_features(&self) -> &DenseMatrix {
+        self.features
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_graph::generators;
+
+    #[test]
+    fn caches_one_entry_per_kernel() {
+        let g = generators::erdos_renyi_gnm(20, 40, 3);
+        let x = DenseMatrix::full(20, 4, 1.0);
+        let mut cache = PropagationCache::new(&g, &x);
+        assert!(cache.is_empty());
+        let _ = cache.get(Kernel::RandomWalk { k: 2 });
+        let _ = cache.get(Kernel::RandomWalk { k: 2 });
+        assert_eq!(cache.len(), 1);
+        let _ = cache.get(Kernel::SymNorm { k: 2 });
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cached_value_matches_direct_propagation() {
+        let g = generators::erdos_renyi_gnm(15, 30, 4);
+        let x = DenseMatrix::from_vec(15, 2, (0..30).map(|i| i as f32 * 0.1).collect());
+        let mut cache = PropagationCache::new(&g, &x);
+        let kernel = Kernel::Ppr { k: 2, alpha: 0.1 };
+        let direct = propagate(&g, kernel, &x);
+        assert_eq!(cache.get(kernel), &direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match node count")]
+    fn rejects_mismatched_features() {
+        let g = generators::erdos_renyi_gnm(10, 20, 5);
+        let x = DenseMatrix::zeros(5, 2);
+        let _ = PropagationCache::new(&g, &x);
+    }
+}

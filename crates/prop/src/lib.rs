@@ -1,0 +1,24 @@
+//! Decoupled, parameter-free feature propagation (Grain Eq. 6 / Table 1).
+//!
+//! Grain's central efficiency idea is to run the GNN's *feature propagation*
+//! once, up front, without any trainable weights:
+//!
+//! ```text
+//! X^(k) = f(X^(k-1), T, X^(0)),   k = 1..K
+//! ```
+//!
+//! This crate implements every propagation mechanism listed in Table 1 of
+//! the paper — normalized adjacency (GCN), random walk (SGC), personalized
+//! PageRank (APPNP), triangle-induced adjacency (SIGN), S2GC, and GBP — on
+//! top of the sparse transition matrices from `grain-graph`.
+//!
+//! The aggregated embedding `X^(K)` is the single artifact every other part
+//! of the framework consumes: influence rows, diversity functions, and the
+//! decoupled GNNs.
+
+pub mod cache;
+pub mod kernel;
+pub mod propagate;
+
+pub use kernel::Kernel;
+pub use propagate::{propagate, propagate_with};

@@ -1,0 +1,193 @@
+//! Kernel execution: sparse-times-dense pipelines per Table 1.
+
+use crate::kernel::Kernel;
+use grain_graph::{transition_matrix, CsrMatrix, Graph};
+use grain_linalg::{ops, DenseMatrix};
+
+/// Propagates `x` through `kernel` on graph `g`, building the kernel's
+/// transition matrix internally (with self-loops, the GNN convention).
+pub fn propagate(g: &Graph, kernel: Kernel, x: &DenseMatrix) -> DenseMatrix {
+    let t = transition_matrix(g, kernel.transition_kind(), true);
+    propagate_with(&t, kernel, x)
+}
+
+/// Propagates `x` through `kernel` using a prebuilt transition matrix.
+///
+/// Useful when several kernels share a transition matrix or when the caller
+/// wants a non-default normalization.
+///
+/// # Panics
+/// Panics if `t` is not square of size `x.rows()`.
+pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
+    assert_eq!(
+        t.cols(),
+        x.rows(),
+        "transition ({}x{}) does not match features ({} rows)",
+        t.rows(),
+        t.cols(),
+        x.rows()
+    );
+    match kernel {
+        Kernel::SymNorm { k } | Kernel::RandomWalk { k } | Kernel::TriangleIa { k } => {
+            let mut cur = x.clone();
+            for _ in 0..k {
+                cur = t.spmm(&cur);
+            }
+            cur
+        }
+        Kernel::Ppr { k, alpha } => {
+            // X^(k) = (1-a) T X^(k-1) + a X^(0)
+            let mut cur = x.clone();
+            for _ in 0..k {
+                let mut next = t.spmm(&cur);
+                ops::scale(&mut next, 1.0 - alpha);
+                ops::axpy(&mut next, alpha, x);
+                cur = next;
+            }
+            cur
+        }
+        Kernel::S2gc { k, alpha } => {
+            // X^(k) = (1/k) Σ_{l=1..k} ((1-a) T^l X + a X)
+            assert!(k >= 1, "S2GC needs k >= 1");
+            let mut power = x.clone(); // T^l X
+            let mut acc = DenseMatrix::zeros(x.rows(), x.cols());
+            for _ in 0..k {
+                power = t.spmm(&power);
+                ops::axpy(&mut acc, 1.0 - alpha, &power);
+                ops::axpy(&mut acc, alpha, x);
+            }
+            ops::scale(&mut acc, 1.0 / k as f32);
+            acc
+        }
+        Kernel::Gbp { k, beta } => {
+            // X^(k) = Σ_{l=0..k} β^l T^l X
+            let mut power = x.clone();
+            let mut acc = x.clone(); // l = 0 term
+            let mut weight = 1.0f32;
+            for _ in 0..k {
+                power = t.spmm(&power);
+                weight *= beta;
+                ops::axpy(&mut acc, weight, &power);
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_graph::generators;
+    use grain_graph::TransitionKind;
+
+    fn features(n: usize, d: usize) -> DenseMatrix {
+        DenseMatrix::from_vec(n, d, (0..n * d).map(|i| ((i * 37 % 11) as f32) * 0.1).collect())
+    }
+
+    fn test_graph() -> Graph {
+        generators::erdos_renyi_gnm(30, 60, 9)
+    }
+
+    #[test]
+    fn zero_steps_is_identity_for_iterative_kernels() {
+        let g = test_graph();
+        let x = features(30, 4);
+        for kernel in [Kernel::SymNorm { k: 0 }, Kernel::RandomWalk { k: 0 }, Kernel::Ppr { k: 0, alpha: 0.1 }] {
+            let y = propagate(&g, kernel, &x);
+            assert_eq!(y, x, "{} should be identity at k=0", kernel.name());
+        }
+    }
+
+    #[test]
+    fn random_walk_preserves_constant_features() {
+        // A row-stochastic operator maps the all-ones column to itself.
+        let g = test_graph();
+        let x = DenseMatrix::full(30, 1, 1.0);
+        let y = propagate(&g, Kernel::RandomWalk { k: 3 }, &x);
+        for i in 0..30 {
+            assert!((y.get(i, 0) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn ppr_preserves_constant_features() {
+        let g = test_graph();
+        let x = DenseMatrix::full(30, 1, 1.0);
+        let y = propagate(&g, Kernel::Ppr { k: 4, alpha: 0.15 }, &x);
+        for i in 0..30 {
+            assert!((y.get(i, 0) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn s2gc_preserves_constant_features() {
+        let g = test_graph();
+        let x = DenseMatrix::full(30, 1, 1.0);
+        let y = propagate(&g, Kernel::S2gc { k: 3, alpha: 0.1 }, &x);
+        for i in 0..30 {
+            assert!((y.get(i, 0) - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gbp_weights_sum_geometrically() {
+        // On constant input, GBP yields Σ β^l = (1-β^{k+1})/(1-β).
+        let g = test_graph();
+        let x = DenseMatrix::full(30, 1, 1.0);
+        let beta = 0.5f32;
+        let k = 3usize;
+        let y = propagate(&g, Kernel::Gbp { k, beta }, &x);
+        let want = (1.0 - beta.powi(k as i32 + 1)) / (1.0 - beta);
+        for i in 0..30 {
+            assert!((y.get(i, 0) - want).abs() < 1e-4, "{} vs {want}", y.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn sym_norm_smooths_toward_neighbors() {
+        // Path graph: after propagation, the middle node mixes its ends.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let x = DenseMatrix::from_vec(3, 1, vec![1.0, 0.0, -1.0]);
+        let y = propagate(&g, Kernel::SymNorm { k: 1 }, &x);
+        // Symmetric structure keeps the middle at 0, ends shrink toward it.
+        assert!((y.get(1, 0)).abs() < 1e-6);
+        assert!(y.get(0, 0) < 1.0 && y.get(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn propagate_with_accepts_prebuilt_transition() {
+        let g = test_graph();
+        let x = features(30, 3);
+        let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        let a = propagate(&g, Kernel::RandomWalk { k: 2 }, &x);
+        let b = propagate_with(&t, Kernel::RandomWalk { k: 2 }, &x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ppr_interpolates_between_walk_and_input() {
+        let g = test_graph();
+        let x = features(30, 2);
+        // alpha = 1 keeps the input exactly.
+        let y = propagate(&g, Kernel::Ppr { k: 3, alpha: 1.0 }, &x);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn triangle_kernel_runs_on_triangle_rich_graph() {
+        let g = generators::erdos_renyi_gnp(40, 0.3, 5);
+        let x = features(40, 3);
+        let y = propagate(&g, Kernel::TriangleIa { k: 2 }, &x);
+        assert_eq!(y.shape(), (40, 3));
+        assert!(!y.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn shape_mismatch_panics() {
+        let g = test_graph();
+        let x = features(10, 2);
+        let _ = propagate(&g, Kernel::RandomWalk { k: 1 }, &x);
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the propagation kernels.
+
+use grain_graph::generators;
+use grain_linalg::DenseMatrix;
+use grain_prop::{propagate, Kernel};
+use proptest::prelude::*;
+
+fn features(n: usize, d: usize, seed: u64) -> DenseMatrix {
+    let data: Vec<f32> = (0..n * d)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9e3779b97f4a7c15);
+            ((h >> 40) % 1000) as f32 * 0.002
+        })
+        .collect();
+    DenseMatrix::from_vec(n, d, data)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Row-stochastic kernels preserve constant columns.
+    #[test]
+    fn stochastic_kernels_preserve_constants(seed in 0u64..200, n in 10usize..40, k in 1usize..4) {
+        let g = generators::erdos_renyi_gnm(n, n * 2, seed);
+        let ones = DenseMatrix::full(n, 1, 1.0);
+        for kernel in [Kernel::RandomWalk { k }, Kernel::Ppr { k, alpha: 0.2 }, Kernel::S2gc { k, alpha: 0.1 }] {
+            let y = propagate(&g, kernel, &ones);
+            for i in 0..n {
+                prop_assert!((y.get(i, 0) - 1.0).abs() < 1e-4, "{} row {}", kernel.name(), i);
+            }
+        }
+    }
+
+    /// Propagation is linear: f(aX + bY) = a f(X) + b f(Y).
+    #[test]
+    fn kernels_are_linear_operators(seed in 0u64..200, n in 10usize..30) {
+        let g = generators::erdos_renyi_gnm(n, n * 2, seed);
+        let x = features(n, 3, seed);
+        let y = features(n, 3, seed ^ 0xff);
+        for kernel in Kernel::all_table1(2) {
+            let fx = propagate(&g, kernel, &x);
+            let fy = propagate(&g, kernel, &y);
+            let mut xy = x.clone();
+            grain_linalg::ops::axpy(&mut xy, 2.0, &y);
+            let fxy = propagate(&g, kernel, &xy);
+            let mut expect = fx.clone();
+            grain_linalg::ops::axpy(&mut expect, 2.0, &fy);
+            for (a, b) in fxy.as_slice().iter().zip(expect.as_slice()) {
+                prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "{}", kernel.name());
+            }
+        }
+    }
+
+    /// Deeper smoothing contracts features toward the component mean:
+    /// the total variance never grows with k for the random-walk kernel.
+    #[test]
+    fn random_walk_smoothing_contracts_variance(seed in 0u64..200, n in 12usize..30) {
+        let g = generators::erdos_renyi_gnm(n, n * 3, seed);
+        let x = features(n, 2, seed);
+        let variance = |m: &DenseMatrix| -> f64 {
+            let means = grain_linalg::ops::column_means(m);
+            let mut v = 0.0f64;
+            for i in 0..m.rows() {
+                for (j, &mean) in means.iter().enumerate() {
+                    let d = (m.get(i, j) - mean) as f64;
+                    v += d * d;
+                }
+            }
+            v
+        };
+        let v1 = variance(&propagate(&g, Kernel::RandomWalk { k: 1 }, &x));
+        let v3 = variance(&propagate(&g, Kernel::RandomWalk { k: 3 }, &x));
+        prop_assert!(v3 <= v1 + 1e-4, "variance grew: {} -> {}", v1, v3);
+    }
+
+    /// All kernels produce finite outputs on arbitrary graphs.
+    #[test]
+    fn kernels_stay_finite(seed in 0u64..200, n in 8usize..24, k in 0usize..5) {
+        let g = generators::erdos_renyi_gnm(n, n, seed);
+        let x = features(n, 3, seed);
+        for kernel in [
+            Kernel::SymNorm { k },
+            Kernel::RandomWalk { k },
+            Kernel::Ppr { k, alpha: 0.1 },
+            Kernel::TriangleIa { k },
+            Kernel::Gbp { k, beta: 0.5 },
+        ] {
+            let y = propagate(&g, kernel, &x);
+            prop_assert!(!y.has_non_finite(), "{} produced non-finite values", kernel.name());
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared selection context.
+
+use grain_data::Dataset;
+use grain_linalg::DenseMatrix;
+use grain_prop::{propagate, Kernel};
+
+/// One dataset + seed + cached propagated embedding.
+///
+/// All selectors see the same context; *oracle-free* methods (Grain,
+/// Random, Degree, KCG) never read `dataset.labels`, while learning-based
+/// methods (AGE, ANRMAB) query them only for nodes they have already
+/// "sent to the oracle" — mirroring the paper's protocol where oracle
+/// labels are assumed correct (A.4).
+pub struct SelectionContext<'a> {
+    /// The dataset under selection.
+    pub dataset: &'a Dataset,
+    /// Seed for any stochastic selector decisions.
+    pub seed: u64,
+    /// Cached 2-step random-walk smoothed features (the representation AGE
+    /// density and KCG distances operate on, per FeatProp/AGE practice).
+    smoothed: DenseMatrix,
+}
+
+impl<'a> SelectionContext<'a> {
+    /// Builds the context, propagating features once.
+    pub fn new(dataset: &'a Dataset, seed: u64) -> Self {
+        let smoothed = propagate(
+            &dataset.graph,
+            Kernel::RandomWalk { k: 2 },
+            &dataset.features,
+        );
+        Self { dataset, seed, smoothed }
+    }
+
+    /// The candidate pool (the train partition).
+    pub fn candidates(&self) -> &[u32] {
+        &self.dataset.split.train
+    }
+
+    /// The cached 2-step smoothed embedding.
+    pub fn smoothed(&self) -> &DenseMatrix {
+        &self.smoothed
+    }
+
+    /// Oracle access: the ground-truth label of a node the selector has
+    /// decided to query. Kept explicit so call sites are auditable.
+    pub fn oracle_label(&self, node: u32) -> u32 {
+        self.dataset.labels[node as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn context_exposes_pool_and_embedding() {
+        let ds = papers_like(400, 1);
+        let ctx = SelectionContext::new(&ds, 7);
+        assert_eq!(ctx.candidates(), ds.split.train.as_slice());
+        assert_eq!(ctx.smoothed().shape(), (400, ds.feature_dim()));
+        assert_eq!(ctx.oracle_label(0), ds.labels[0]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Maximum-degree selection baseline.
+
+use crate::context::SelectionContext;
+use crate::traits::NodeSelector;
+
+/// Picks the highest-degree candidates (ties toward smaller node id).
+#[derive(Clone, Debug, Default)]
+pub struct DegreeSelector;
+
+impl DegreeSelector {
+    /// New degree selector.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl NodeSelector for DegreeSelector {
+    fn name(&self) -> &'static str {
+        "degree"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        let mut pool = ctx.candidates().to_vec();
+        pool.sort_by(|&a, &b| {
+            ctx.dataset
+                .graph
+                .degree(b as usize)
+                .cmp(&ctx.dataset.graph.degree(a as usize))
+                .then(a.cmp(&b))
+        });
+        pool.truncate(budget);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_selection;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn picks_highest_degree_nodes() {
+        let ds = papers_like(300, 4);
+        let ctx = SelectionContext::new(&ds, 1);
+        let mut sel = DegreeSelector::new();
+        let picked = sel.select(&ctx, 10);
+        validate_selection(&picked, ctx.candidates(), 10).unwrap();
+        let min_picked = picked
+            .iter()
+            .map(|&v| ds.graph.degree(v as usize))
+            .min()
+            .unwrap();
+        let max_unpicked = ctx
+            .candidates()
+            .iter()
+            .filter(|v| !picked.contains(v))
+            .map(|&v| ds.graph.degree(v as usize))
+            .max()
+            .unwrap();
+        assert!(min_picked >= max_unpicked);
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = papers_like(200, 5);
+        let ctx = SelectionContext::new(&ds, 1);
+        let mut sel = DegreeSelector::new();
+        assert_eq!(sel.select(&ctx, 8), sel.select(&ctx, 8));
+    }
+}

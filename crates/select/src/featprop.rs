@@ -1,0 +1,111 @@
+//! FeatProp (Wu et al. 2019), the clustering-based AL method the paper
+//! discusses in §2.1: cluster the *propagated* node features into `B`
+//! clusters and label the node nearest to each cluster center.
+//!
+//! Included beyond the paper's Figure 4 lineup because it is the closest
+//! published relative of Grain's feature-propagation viewpoint — a useful
+//! extra comparison point for users.
+
+use crate::context::SelectionContext;
+use crate::traits::NodeSelector;
+use grain_linalg::distance::sq_euclidean;
+use grain_linalg::kmeans;
+
+/// FeatProp selector.
+#[derive(Clone, Debug)]
+pub struct FeatPropSelector {
+    seed: u64,
+}
+
+impl FeatPropSelector {
+    /// Seeded selector (k-means++ initialization).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl NodeSelector for FeatPropSelector {
+    fn name(&self) -> &'static str {
+        "featprop"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        let pool = ctx.candidates();
+        if pool.is_empty() || budget == 0 {
+            return Vec::new();
+        }
+        let budget = budget.min(pool.len());
+        let emb = ctx.smoothed();
+        // Cluster only the candidate rows.
+        let candidate_rows: Vec<usize> = pool.iter().map(|&v| v as usize).collect();
+        let sub = emb.select_rows(&candidate_rows);
+        let km = kmeans::kmeans(&sub, budget, 30, self.seed ^ ctx.seed);
+        // Nearest candidate to each centroid, skipping duplicates
+        // (two centroids can share a nearest node on degenerate data).
+        let mut selected: Vec<u32> = Vec::with_capacity(budget);
+        let mut taken = vec![false; pool.len()];
+        for c in 0..km.centroids.rows() {
+            let mut best: Option<(usize, f32)> = None;
+            for (slot, &v) in pool.iter().enumerate() {
+                if taken[slot] {
+                    continue;
+                }
+                let d = sq_euclidean(emb.row(v as usize), km.centroids.row(c));
+                let better = match best {
+                    None => true,
+                    Some((bslot, bd)) => d < bd || (d == bd && v < pool[bslot]),
+                };
+                if better {
+                    best = Some((slot, d));
+                }
+            }
+            if let Some((slot, _)) = best {
+                taken[slot] = true;
+                selected.push(pool[slot]);
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_selection;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn selects_budget_distinct_nodes() {
+        let ds = papers_like(400, 41);
+        let ctx = SelectionContext::new(&ds, 1);
+        let mut sel = FeatPropSelector::new(2);
+        let picked = sel.select(&ctx, 20);
+        assert_eq!(picked.len(), 20);
+        validate_selection(&picked, ctx.candidates(), 20).unwrap();
+    }
+
+    #[test]
+    fn covers_multiple_classes_like_a_clustering_method_should() {
+        let ds = papers_like(600, 42);
+        let ctx = SelectionContext::new(&ds, 2);
+        let mut sel = FeatPropSelector::new(3);
+        let picked = sel.select(&ctx, ds.num_classes);
+        let classes: std::collections::HashSet<u32> =
+            picked.iter().map(|&v| ds.labels[v as usize]).collect();
+        assert!(classes.len() >= ds.num_classes / 3, "classes covered: {}", classes.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = papers_like(300, 43);
+        let ctx = SelectionContext::new(&ds, 3);
+        let a = FeatPropSelector::new(7).select(&ctx, 10);
+        let b = FeatPropSelector::new(7).select(&ctx, 10);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn oracle_free() {
+        assert!(!FeatPropSelector::new(0).is_learning_based());
+    }
+}

@@ -1,0 +1,165 @@
+//! Grain selectors behind the common [`NodeSelector`] trait.
+
+use crate::context::SelectionContext;
+use crate::traits::NodeSelector;
+use grain_core::{GrainConfig, GrainSelector, GrainVariant, SelectionOutcome};
+
+/// Grain (ball-D) adapter.
+pub struct GrainBallSelector {
+    inner: GrainSelector,
+    last_outcome: Option<SelectionOutcome>,
+}
+
+impl GrainBallSelector {
+    /// Appendix A.4 defaults.
+    pub fn with_defaults() -> Self {
+        Self { inner: GrainSelector::ball_d(), last_outcome: None }
+    }
+
+    /// Custom configuration (diversity kind forced to Ball by the caller's
+    /// config; this constructor does not override it).
+    pub fn new(config: GrainConfig) -> Self {
+        Self { inner: GrainSelector::new(config), last_outcome: None }
+    }
+
+    /// Full outcome of the most recent selection (timings, σ, trace).
+    pub fn last_outcome(&self) -> Option<&SelectionOutcome> {
+        self.last_outcome.as_ref()
+    }
+}
+
+impl NodeSelector for GrainBallSelector {
+    fn name(&self) -> &'static str {
+        "grain(ball-d)"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        let outcome = self.inner.select(
+            &ctx.dataset.graph,
+            &ctx.dataset.features,
+            ctx.candidates(),
+            budget,
+        );
+        let selected = outcome.selected.clone();
+        self.last_outcome = Some(outcome);
+        selected
+    }
+}
+
+/// Grain (NN-D) adapter.
+pub struct GrainNnSelector {
+    inner: GrainSelector,
+    last_outcome: Option<SelectionOutcome>,
+}
+
+impl GrainNnSelector {
+    /// Appendix A.4 defaults.
+    pub fn with_defaults() -> Self {
+        Self { inner: GrainSelector::nn_d(), last_outcome: None }
+    }
+
+    /// Custom configuration.
+    pub fn new(config: GrainConfig) -> Self {
+        Self { inner: GrainSelector::new(config), last_outcome: None }
+    }
+
+    /// Full outcome of the most recent selection.
+    pub fn last_outcome(&self) -> Option<&SelectionOutcome> {
+        self.last_outcome.as_ref()
+    }
+}
+
+impl NodeSelector for GrainNnSelector {
+    fn name(&self) -> &'static str {
+        "grain(nn-d)"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        let outcome = self.inner.select(
+            &ctx.dataset.graph,
+            &ctx.dataset.features,
+            ctx.candidates(),
+            budget,
+        );
+        let selected = outcome.selected.clone();
+        self.last_outcome = Some(outcome);
+        selected
+    }
+}
+
+/// Table 3 ablation adapter.
+pub struct GrainAblationSelector {
+    inner: GrainSelector,
+    variant: GrainVariant,
+}
+
+impl GrainAblationSelector {
+    /// Ablation selector for `variant` with ball-D defaults otherwise.
+    pub fn new(variant: GrainVariant) -> Self {
+        Self { inner: GrainSelector::new(GrainConfig::ablation(variant)), variant }
+    }
+}
+
+impl NodeSelector for GrainAblationSelector {
+    fn name(&self) -> &'static str {
+        match self.variant {
+            GrainVariant::Full => "grain(ball-d)",
+            GrainVariant::NoDiversity => "no-diversity",
+            GrainVariant::NoMagnitude => "no-magnitude",
+            GrainVariant::ClassicCoverage => "classic-coverage",
+        }
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        self.inner
+            .select(&ctx.dataset.graph, &ctx.dataset.features, ctx.candidates(), budget)
+            .selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_selection;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn ball_adapter_selects_and_records_outcome() {
+        let ds = papers_like(400, 30);
+        let ctx = SelectionContext::new(&ds, 1);
+        let mut sel = GrainBallSelector::with_defaults();
+        let picked = sel.select(&ctx, 12);
+        assert_eq!(picked.len(), 12);
+        validate_selection(&picked, ctx.candidates(), 12).unwrap();
+        let outcome = sel.last_outcome().unwrap();
+        assert!(!outcome.sigma.is_empty());
+        assert!(!sel.is_learning_based());
+    }
+
+    #[test]
+    fn nn_adapter_selects() {
+        let ds = papers_like(300, 31);
+        let ctx = SelectionContext::new(&ds, 2);
+        let mut sel = GrainNnSelector::with_defaults();
+        let picked = sel.select(&ctx, 10);
+        validate_selection(&picked, ctx.candidates(), 10).unwrap();
+    }
+
+    #[test]
+    fn ablations_have_distinct_names_and_select() {
+        let ds = papers_like(300, 32);
+        let ctx = SelectionContext::new(&ds, 3);
+        let mut names = std::collections::HashSet::new();
+        for variant in [
+            GrainVariant::NoDiversity,
+            GrainVariant::NoMagnitude,
+            GrainVariant::ClassicCoverage,
+        ] {
+            let mut sel = GrainAblationSelector::new(variant);
+            names.insert(sel.name());
+            let picked = sel.select(&ctx, 8);
+            validate_selection(&picked, ctx.candidates(), 8).unwrap();
+        }
+        assert_eq!(names.len(), 3);
+    }
+}

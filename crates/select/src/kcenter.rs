@@ -1,0 +1,116 @@
+//! K-Center-Greedy (Sener & Savarese 2018) over the smoothed embedding.
+//!
+//! Greedy 2-approximation of the k-center problem: repeatedly pick the
+//! candidate farthest from the current center set. Distances operate on
+//! the propagated features (the "FeatProp practice" the paper follows for
+//! embedding-space baselines).
+
+use crate::context::SelectionContext;
+use crate::traits::NodeSelector;
+use grain_linalg::distance::sq_euclidean;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-Center-Greedy selector.
+#[derive(Clone, Debug)]
+pub struct KCenterGreedySelector {
+    seed: u64,
+}
+
+impl KCenterGreedySelector {
+    /// Seeded selector (the seed picks the initial center).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl NodeSelector for KCenterGreedySelector {
+    fn name(&self) -> &'static str {
+        "kcg"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        let pool = ctx.candidates();
+        if pool.is_empty() || budget == 0 {
+            return Vec::new();
+        }
+        let emb = ctx.smoothed();
+        let budget = budget.min(pool.len());
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ctx.seed);
+        let first = pool[rng.random_range(0..pool.len())];
+        let mut selected = vec![first];
+        // mind[i] = distance of pool[i] to nearest selected center.
+        let mut mind: Vec<f32> = pool
+            .iter()
+            .map(|&v| sq_euclidean(emb.row(v as usize), emb.row(first as usize)))
+            .collect();
+        while selected.len() < budget {
+            // Farthest-first traversal; ties toward smaller id.
+            let mut best = 0usize;
+            for i in 1..pool.len() {
+                if mind[i] > mind[best] || (mind[i] == mind[best] && pool[i] < pool[best]) {
+                    best = i;
+                }
+            }
+            if mind[best] <= 0.0 {
+                // Pool exhausted of distinct points; fill with unselected ids.
+                for &v in pool {
+                    if !selected.contains(&v) {
+                        selected.push(v);
+                        if selected.len() == budget {
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            let chosen = pool[best];
+            selected.push(chosen);
+            for (i, &v) in pool.iter().enumerate() {
+                let d = sq_euclidean(emb.row(v as usize), emb.row(chosen as usize));
+                if d < mind[i] {
+                    mind[i] = d;
+                }
+            }
+        }
+        selected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_selection;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn covers_distinct_regions() {
+        let ds = papers_like(400, 6);
+        let ctx = SelectionContext::new(&ds, 2);
+        let mut sel = KCenterGreedySelector::new(3);
+        let picked = sel.select(&ctx, ds.num_classes);
+        validate_selection(&picked, ctx.candidates(), ds.num_classes).unwrap();
+        // Farthest-first should touch several distinct classes.
+        let classes: std::collections::HashSet<u32> =
+            picked.iter().map(|&v| ds.labels[v as usize]).collect();
+        assert!(classes.len() >= 3, "only {} classes covered", classes.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let ds = papers_like(300, 7);
+        let ctx = SelectionContext::new(&ds, 2);
+        let a = KCenterGreedySelector::new(5).select(&ctx, 12);
+        let b = KCenterGreedySelector::new(5).select(&ctx, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_budget_beyond_pool() {
+        let ds = papers_like(100, 8);
+        let ctx = SelectionContext::new(&ds, 2);
+        let mut sel = KCenterGreedySelector::new(1);
+        let picked = sel.select(&ctx, 10_000);
+        assert_eq!(picked.len(), ctx.candidates().len());
+    }
+}

@@ -1,0 +1,46 @@
+//! Node-selection framework: Grain adapters plus every baseline of the
+//! paper's evaluation (§4.1).
+//!
+//! * [`context::SelectionContext`] — one dataset + seed + cached smoothed
+//!   embedding, shared by all selectors,
+//! * [`traits::NodeSelector`] — the common interface (oracle-free methods
+//!   ignore labels; learning-based ones retrain a model every round),
+//! * baselines: [`random`], [`degree`], [`kcenter`] (K-Center-Greedy of
+//!   Sener & Savarese), [`age`] (Cai et al.), [`anrmab`] (Gao et al.,
+//!   EXP3 bandit over the AGE arms),
+//! * [`coreset`] — max-entropy and forgetting-events core-set criteria
+//!   (§2.1), which assume a fully labeled pool,
+//! * [`grain_adapters`] — Grain (ball-D), Grain (NN-D) and the Table 3
+//!   ablations behind the same trait,
+//! * [`models`] — the downstream-model factory used both inside
+//!   learning-based selectors and by the evaluation harness.
+
+pub mod age;
+pub mod anrmab;
+pub mod context;
+pub mod coreset;
+pub mod degree;
+pub mod featprop;
+pub mod grain_adapters;
+pub mod kcenter;
+pub mod models;
+pub mod random;
+pub mod traits;
+
+pub use context::SelectionContext;
+pub use models::ModelKind;
+pub use traits::NodeSelector;
+
+/// Convenience: every active-learning method of Figure 4 / Table 2, in the
+/// paper's presentation order.
+pub fn standard_lineup(seed: u64) -> Vec<Box<dyn NodeSelector>> {
+    vec![
+        Box::new(random::RandomSelector::new(seed)),
+        Box::new(degree::DegreeSelector::new()),
+        Box::new(age::AgeSelector::new(ModelKind::default(), seed)),
+        Box::new(anrmab::AnrmabSelector::new(ModelKind::default(), seed)),
+        Box::new(kcenter::KCenterGreedySelector::new(seed)),
+        Box::new(grain_adapters::GrainBallSelector::with_defaults()),
+        Box::new(grain_adapters::GrainNnSelector::with_defaults()),
+    ]
+}

@@ -1,0 +1,146 @@
+//! Downstream-model factory.
+//!
+//! Both the learning-based selectors (which retrain a model each round)
+//! and the evaluation harness (which trains a model on the final selected
+//! set) need to instantiate models by kind; this enum centralizes that.
+//! The paper trains a 2-layer GCN everywhere except ogbn-papers100M,
+//! where it switches to SGC for memory reasons (§4.3) — the same
+//! escape hatch this factory provides.
+
+use grain_data::Dataset;
+use grain_gnn::appnp::AppnpModel;
+use grain_gnn::gcn::GcnModel;
+use grain_gnn::mvgrl::MvgrlSimModel;
+use grain_gnn::sgc::SgcModel;
+use grain_gnn::Model;
+use serde::{Deserialize, Serialize};
+
+/// Which downstream model to build.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Coupled 2-layer GCN (Eq. 4).
+    Gcn {
+        /// Hidden width.
+        hidden: usize,
+    },
+    /// SGC with `k`-step smoothing.
+    Sgc {
+        /// Smoothing depth.
+        k: usize,
+    },
+    /// APPNP with `k` PPR iterations at teleport `alpha`.
+    Appnp {
+        /// Hidden width.
+        hidden: usize,
+        /// PPR iterations.
+        k: usize,
+        /// Teleport probability.
+        alpha: f32,
+    },
+    /// MVGRL-sim (two-view frozen embedding + linear head).
+    MvgrlSim {
+        /// View depth.
+        k: usize,
+        /// PPR teleport for the diffusion view.
+        alpha: f32,
+    },
+}
+
+impl Default for ModelKind {
+    /// The paper's default evaluation model: 2-layer GCN. Hidden width 64
+    /// (scaled from 128 for the lower-dimensional synthetic features).
+    fn default() -> Self {
+        ModelKind::Gcn { hidden: 64 }
+    }
+}
+
+impl ModelKind {
+    /// Instantiates the model bound to `dataset`.
+    pub fn build(&self, dataset: &Dataset, seed: u64) -> Box<dyn Model> {
+        match *self {
+            ModelKind::Gcn { hidden } => Box::new(GcnModel::new(
+                &dataset.graph,
+                &dataset.features,
+                dataset.num_classes,
+                hidden,
+                seed,
+            )),
+            ModelKind::Sgc { k } => Box::new(SgcModel::new(
+                &dataset.graph,
+                &dataset.features,
+                dataset.num_classes,
+                k,
+                seed,
+            )),
+            ModelKind::Appnp { hidden, k, alpha } => Box::new(AppnpModel::new(
+                &dataset.graph,
+                &dataset.features,
+                dataset.num_classes,
+                hidden,
+                k,
+                alpha,
+                seed,
+            )),
+            ModelKind::MvgrlSim { k, alpha } => Box::new(MvgrlSimModel::new(
+                &dataset.graph,
+                &dataset.features,
+                dataset.num_classes,
+                k,
+                alpha,
+                seed,
+            )),
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelKind::Gcn { .. } => "gcn",
+            ModelKind::Sgc { .. } => "sgc",
+            ModelKind::Appnp { .. } => "appnp",
+            ModelKind::MvgrlSim { .. } => "mvgrl-sim",
+        }
+    }
+
+    /// The Table 4 lineup (SGC, APPNP, GCN, MVGRL).
+    pub fn table4_lineup() -> Vec<ModelKind> {
+        vec![
+            ModelKind::Sgc { k: 2 },
+            ModelKind::Appnp { hidden: 64, k: 5, alpha: 0.1 },
+            ModelKind::Gcn { hidden: 64 },
+            ModelKind::MvgrlSim { k: 2, alpha: 0.1 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_data::synthetic::papers_like;
+    use grain_gnn::TrainConfig;
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        let ds = papers_like(300, 1);
+        for kind in ModelKind::table4_lineup() {
+            let model = kind.build(&ds, 3);
+            let p = model.predict();
+            assert_eq!(p.shape(), (300, ds.num_classes), "kind {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn built_models_train() {
+        let ds = papers_like(200, 2);
+        let mut model = ModelKind::Sgc { k: 2 }.build(&ds, 1);
+        let train: Vec<u32> = ds.split.train.iter().take(32).copied().collect();
+        let rep = model.train(&ds.labels, &train, &[], &TrainConfig::fast());
+        assert!(rep.epochs_run > 0);
+        assert!(rep.final_loss.is_finite());
+    }
+
+    #[test]
+    fn default_is_gcn() {
+        assert_eq!(ModelKind::default().name(), "gcn");
+    }
+}

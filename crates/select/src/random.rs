@@ -1,0 +1,73 @@
+//! Random selection baseline.
+
+use crate::context::SelectionContext;
+use crate::traits::NodeSelector;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Uniformly random selection from the candidate pool.
+#[derive(Clone, Debug)]
+pub struct RandomSelector {
+    seed: u64,
+    draws: u64,
+}
+
+impl RandomSelector {
+    /// Seeded random selector.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, draws: 0 }
+    }
+}
+
+impl NodeSelector for RandomSelector {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
+        // Distinct stream per call so repeated runs are independent draws.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ ctx.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.draws));
+        self.draws += 1;
+        let mut pool = ctx.candidates().to_vec();
+        pool.shuffle(&mut rng);
+        pool.truncate(budget);
+        pool
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::validate_selection;
+    use grain_data::synthetic::papers_like;
+
+    #[test]
+    fn selects_valid_subsets() {
+        let ds = papers_like(300, 1);
+        let ctx = SelectionContext::new(&ds, 5);
+        let mut sel = RandomSelector::new(1);
+        let picked = sel.select(&ctx, 20);
+        assert_eq!(picked.len(), 20);
+        validate_selection(&picked, ctx.candidates(), 20).unwrap();
+    }
+
+    #[test]
+    fn successive_calls_differ() {
+        let ds = papers_like(300, 2);
+        let ctx = SelectionContext::new(&ds, 5);
+        let mut sel = RandomSelector::new(1);
+        let a = sel.select(&ctx, 15);
+        let b = sel.select(&ctx, 15);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn budget_larger_than_pool_returns_pool() {
+        let ds = papers_like(100, 3);
+        let ctx = SelectionContext::new(&ds, 5);
+        let mut sel = RandomSelector::new(2);
+        let picked = sel.select(&ctx, 10_000);
+        assert_eq!(picked.len(), ctx.candidates().len());
+    }
+}

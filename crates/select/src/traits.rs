@@ -1,0 +1,55 @@
+//! The selector interface.
+
+use crate::context::SelectionContext;
+
+/// A node-selection strategy (active learning or core-set).
+pub trait NodeSelector {
+    /// Display name used in experiment tables ("grain(ball-d)", "age", ...).
+    fn name(&self) -> &'static str;
+
+    /// Selects up to `budget` nodes to label from the context's candidate
+    /// pool. Must return distinct in-pool node ids.
+    fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32>;
+
+    /// True for methods that train models during selection (AGE, ANRMAB) —
+    /// the runtime experiments report this distinction.
+    fn is_learning_based(&self) -> bool {
+        false
+    }
+}
+
+/// Validates a selection result in tests and the harness: distinct,
+/// in-pool, within budget.
+pub fn validate_selection(selected: &[u32], pool: &[u32], budget: usize) -> Result<(), String> {
+    if selected.len() > budget {
+        return Err(format!("selected {} > budget {budget}", selected.len()));
+    }
+    let pool_set: std::collections::HashSet<u32> = pool.iter().copied().collect();
+    let mut seen = std::collections::HashSet::with_capacity(selected.len());
+    for &s in selected {
+        if !pool_set.contains(&s) {
+            return Err(format!("node {s} not in candidate pool"));
+        }
+        if !seen.insert(s) {
+            return Err(format!("node {s} selected twice"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validator_accepts_good_selection() {
+        assert!(validate_selection(&[1, 3], &[1, 2, 3], 2).is_ok());
+    }
+
+    #[test]
+    fn validator_rejects_duplicates_and_outsiders() {
+        assert!(validate_selection(&[1, 1], &[1, 2], 3).is_err());
+        assert!(validate_selection(&[9], &[1, 2], 3).is_err());
+        assert!(validate_selection(&[1, 2], &[1, 2], 1).is_err());
+    }
+}

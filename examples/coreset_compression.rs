@@ -1,0 +1,54 @@
+//! Core-set selection: compress a fully labeled training pool to a small
+//! subset that preserves accuracy — the paper's second scenario (§2.1,
+//! Figures 5/8).
+//!
+//! ```text
+//! cargo run -p grain --release --example coreset_compression
+//! ```
+
+use grain::prelude::*;
+use grain::select::coreset::{ForgettingSelector, MaxEntropySelector};
+use grain::select::grain_adapters::GrainBallSelector;
+use grain::select::random::RandomSelector;
+
+fn main() {
+    let dataset = grain::data::synthetic::papers_like(4000, 11);
+    let pool = &dataset.split.train;
+    println!(
+        "corpus {} — compressing a fully labeled pool of {} nodes",
+        dataset.name,
+        pool.len()
+    );
+
+    let train_cfg = TrainConfig::fast();
+    // Reference: the full pool.
+    let reference = train_and_test(&dataset, pool, &train_cfg);
+    println!("reference accuracy (full pool): {:.1}%", reference * 100.0);
+
+    let keep = pool.len() / 20; // 5% label rate
+    let ctx = SelectionContext::new(&dataset, 1);
+    let inner = TrainConfig { epochs: 25, patience: None, ..Default::default() };
+    let mut methods: Vec<Box<dyn NodeSelector>> = vec![
+        Box::new(GrainBallSelector::with_defaults()),
+        Box::new(RandomSelector::new(5)),
+        Box::new(MaxEntropySelector::new(ModelKind::Sgc { k: 2 }, 5).with_train_config(inner)),
+        Box::new(ForgettingSelector::new(ModelKind::Sgc { k: 2 }, 5).with_train_config(inner)),
+    ];
+    println!("\nkeeping {} nodes (5% of the pool):", keep);
+    for method in &mut methods {
+        let subset = method.select(&ctx, keep);
+        let acc = train_and_test(&dataset, &subset, &train_cfg);
+        println!(
+            "  {:<14} accuracy {:>5.1}%  (gap {:+.1} points)",
+            method.name(),
+            acc * 100.0,
+            (acc - reference) * 100.0
+        );
+    }
+}
+
+fn train_and_test(dataset: &Dataset, train_nodes: &[u32], cfg: &TrainConfig) -> f64 {
+    let mut model = ModelKind::Sgc { k: 2 }.build(dataset, 0);
+    model.train(&dataset.labels, train_nodes, &dataset.split.val, cfg);
+    grain::gnn::metrics::accuracy(&model.predict(), &dataset.labels, &dataset.split.test)
+}

@@ -1,0 +1,143 @@
+//! Selection-quality assertions: the paper's core qualitative claims on a
+//! fixed seed battery (synthetic data, so we test orderings, not absolute
+//! numbers).
+
+use grain::prelude::*;
+use grain_linalg::stats;
+
+/// Trains an SGC head on `selection` and returns test accuracy (SGC keeps
+/// this battery fast while still exercising graph structure).
+fn evaluate(ds: &Dataset, selection: &[u32], seed: u64) -> f64 {
+    let mut model = ModelKind::Sgc { k: 2 }.build(ds, seed);
+    let cfg = TrainConfig { epochs: 60, patience: None, seed, ..Default::default() };
+    model.train(&ds.labels, selection, &ds.split.val, &cfg);
+    grain::gnn::metrics::accuracy(&model.predict(), &ds.labels, &ds.split.test)
+}
+
+#[test]
+fn grain_beats_random_selection_on_average() {
+    // The headline claim, averaged over 3 corpora seeds.
+    let mut grain_accs = Vec::new();
+    let mut random_accs = Vec::new();
+    for seed in 0..3u64 {
+        let ds = grain::data::synthetic::papers_like(1200, 100 + seed);
+        let budget = ds.budget(2);
+        let outcome =
+            GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+        grain_accs.push(evaluate(&ds, &outcome.selected, seed));
+        let ctx = SelectionContext::new(&ds, seed);
+        let mut random = grain::select::random::RandomSelector::new(seed);
+        let picked = random.select(&ctx, budget);
+        random_accs.push(evaluate(&ds, &picked, seed));
+    }
+    let g = stats::mean(&grain_accs);
+    let r = stats::mean(&random_accs);
+    assert!(
+        g > r,
+        "grain mean accuracy {g:.3} should beat random {r:.3} (grain {grain_accs:?}, random {random_accs:?})"
+    );
+}
+
+#[test]
+fn grain_activates_more_nodes_than_any_baseline_selection() {
+    let ds = grain::data::synthetic::papers_like(1500, 42);
+    let budget = ds.budget(2);
+    let selector = GrainSelector::new(GrainConfig {
+        variant: GrainVariant::NoDiversity, // pure influence maximization
+        ..GrainConfig::ball_d()
+    });
+    let outcome = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let index = selector.activation_index(&ds.graph);
+    let ctx = SelectionContext::new(&ds, 1);
+    for (name, mut baseline) in [
+        (
+            "random",
+            Box::new(grain::select::random::RandomSelector::new(1)) as Box<dyn NodeSelector>,
+        ),
+        ("degree", Box::new(grain::select::degree::DegreeSelector::new())),
+        ("kcg", Box::new(grain::select::kcenter::KCenterGreedySelector::new(1))),
+    ] {
+        let picked = baseline.select(&ctx, budget);
+        let sigma = index.sigma_size(&picked);
+        assert!(
+            outcome.sigma.len() >= sigma,
+            "{name} covers {sigma} > grain {}",
+            outcome.sigma.len()
+        );
+    }
+}
+
+#[test]
+fn diversity_term_spreads_selections_across_classes() {
+    let ds = grain::data::synthetic::papers_like(1600, 7);
+    let budget = ds.num_classes; // one pick per class is ideal
+    let full = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let classes: std::collections::HashSet<u32> =
+        full.selected.iter().map(|&v| ds.labels[v as usize]).collect();
+    // With the diversity term, a C-node budget should cover well over half
+    // the classes on a separable corpus.
+    assert!(
+        classes.len() * 2 > ds.num_classes,
+        "only {} of {} classes covered",
+        classes.len(),
+        ds.num_classes
+    );
+}
+
+#[test]
+fn celf_evaluations_beat_plain_greedy_substantially() {
+    let ds = grain::data::synthetic::papers_like(2000, 8);
+    let budget = ds.budget(2);
+    let plain = GrainSelector::new(GrainConfig {
+        algorithm: GreedyAlgorithm::Plain,
+        ..GrainConfig::ball_d()
+    })
+    .select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let lazy = GrainSelector::new(GrainConfig {
+        algorithm: GreedyAlgorithm::Lazy,
+        ..GrainConfig::ball_d()
+    })
+    .select(&ds.graph, &ds.features, &ds.split.train, budget);
+    assert_eq!(plain.selected, lazy.selected, "CELF must not change the result");
+    assert!(
+        (lazy.evaluations as f64) < 0.5 * plain.evaluations as f64,
+        "CELF used {} evaluations vs plain {}",
+        lazy.evaluations,
+        plain.evaluations
+    );
+}
+
+#[test]
+fn pruning_trades_little_quality_for_speed() {
+    let ds = grain::data::synthetic::papers_like(1500, 9);
+    let budget = ds.budget(2);
+    let full = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let pruned_cfg = GrainConfig {
+        prune: Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
+        ..GrainConfig::ball_d()
+    };
+    let pruned =
+        GrainSelector::new(pruned_cfg).select(&ds.graph, &ds.features, &ds.split.train, budget);
+    // The pruned run still reaches at least 80% of the full objective.
+    let f_full = *full.objective_trace.last().unwrap();
+    let f_pruned = *pruned.objective_trace.last().unwrap();
+    assert!(
+        f_pruned >= 0.8 * f_full,
+        "pruned objective {f_pruned:.3} fell below 80% of full {f_full:.3}"
+    );
+}
+
+#[test]
+fn oracle_free_methods_never_touch_labels() {
+    // Corrupting labels must not change Grain/Degree/KCG selections.
+    let mut ds = grain::data::synthetic::papers_like(800, 10);
+    let budget = 12;
+    let grain_before =
+        GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    for l in ds.labels.iter_mut() {
+        *l = 0;
+    }
+    let grain_after =
+        GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    assert_eq!(grain_before.selected, grain_after.selected);
+}
