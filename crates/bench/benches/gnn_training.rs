@@ -10,17 +10,25 @@ use grain_select::ModelKind;
 fn bench_models(c: &mut Criterion) {
     let dataset = papers_like(3_000, 31);
     let train: Vec<u32> = dataset.split.train.iter().take(64).copied().collect();
-    let cfg = TrainConfig { epochs: 20, patience: None, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 20,
+        patience: None,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("gnn-train-20-epochs");
     group.sample_size(10);
     for kind in ModelKind::table4_lineup() {
-        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, kind| {
-            b.iter(|| {
-                let mut model = kind.build(&dataset, 3);
-                let rep = model.train(&dataset.labels, &train, &[], &cfg);
-                std::hint::black_box(rep.epochs_run)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.name()),
+            &kind,
+            |b, kind| {
+                b.iter(|| {
+                    let mut model = kind.build(&dataset, 3);
+                    let rep = model.train(&dataset.labels, &train, &[], &cfg);
+                    std::hint::black_box(rep.epochs_run)
+                })
+            },
+        );
     }
     group.finish();
 }

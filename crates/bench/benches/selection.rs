@@ -23,7 +23,7 @@ fn bench_variants(c: &mut Criterion) {
     ];
     for (name, cfg) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            let selector = GrainSelector::new(*cfg);
+            let selector = GrainSelector::new(*cfg).expect("bench configs are valid");
             b.iter(|| {
                 let out = selector.select(
                     &dataset.graph,
@@ -43,10 +43,16 @@ fn bench_celf_vs_plain(c: &mut Criterion) {
     let budget = 2 * dataset.num_classes;
     let mut group = c.benchmark_group("greedy-algorithm");
     group.sample_size(10);
-    for (name, algorithm) in [("plain", GreedyAlgorithm::Plain), ("celf", GreedyAlgorithm::Lazy)] {
-        let cfg = GrainConfig { algorithm, ..GrainConfig::ball_d() };
+    for (name, algorithm) in [
+        ("plain", GreedyAlgorithm::Plain),
+        ("celf", GreedyAlgorithm::Lazy),
+    ] {
+        let cfg = GrainConfig {
+            algorithm,
+            ..GrainConfig::ball_d()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            let selector = GrainSelector::new(*cfg);
+            let selector = GrainSelector::new(*cfg).expect("bench configs are valid");
             b.iter(|| {
                 let out = selector.select(
                     &dataset.graph,

@@ -30,7 +30,11 @@ fn main() {
         cora_like(flags.seed)
     };
     let index = GrainSelector::ball_d().activation_index(&dataset.graph);
-    let smoothed = propagate(&dataset.graph, Kernel::RandomWalk { k: 2 }, &dataset.features);
+    let smoothed = propagate(
+        &dataset.graph,
+        Kernel::RandomWalk { k: 2 },
+        &dataset.features,
+    );
     let embedding = distance::normalized_embedding(&smoothed);
 
     let spec = EvalSpec {

@@ -1,9 +1,11 @@
 //! Figure 4 — active-learning test accuracy across labeling budgets.
 //!
 //! For each citation corpus (Cora-like, Citeseer-like, PubMed-like) and
-//! each of the seven methods, select once at the maximum budget `20C`,
-//! evaluate the budget prefixes `{2,5,10,15,20}·C` with a GCN, and report
-//! the mean test accuracy over selector seeds.
+//! each of the seven methods, sweep the budgets `{2,5,10,20}·C`
+//! (prefix-consistent methods select once at `20C` and slice prefixes;
+//! the Grain adapters run every budget through one warm
+//! `SelectionEngine`), evaluate each selection with a GCN, and report the
+//! mean test accuracy over selector seeds.
 
 use grain_bench::lineup::al_lineup;
 use grain_bench::{evaluate_selection, table, EvalSpec, Flags, MarkdownTable};
@@ -44,24 +46,29 @@ fn main() {
             let seed = flags.seed.wrapping_add(seed_rep as u64 * 101);
             let ctx = SelectionContext::new(dataset, seed);
             let mut methods = al_lineup(seed, flags.fast, ModelKind::default());
-            let max_budget = 20 * c;
+            let budgets: Vec<usize> = multipliers.iter().map(|&m| m * c).collect();
             for (mi, method) in methods.iter_mut().enumerate() {
-                let selected = method.select(&ctx, max_budget);
-                for (&mult, acc_cell) in multipliers.iter().zip(accs[mi].iter_mut()) {
-                    let budget = (mult * c).min(selected.len());
-                    let prefix = &selected[..budget];
+                let sweep = method.select_sweep(&ctx, &budgets);
+                for (selection, acc_cell) in sweep.iter().zip(accs[mi].iter_mut()) {
                     let spec = EvalSpec {
                         model: ModelKind::default(),
-                        train: TrainConfig { seed, ..TrainConfig::fast() },
+                        train: TrainConfig {
+                            seed,
+                            ..TrainConfig::fast()
+                        },
                         model_repeats: 1,
                     };
-                    acc_cell.push(evaluate_selection(dataset, prefix, &spec));
+                    acc_cell.push(evaluate_selection(dataset, selection, &spec));
                 }
             }
         }
         for (name, acc_row) in method_names.iter().zip(&accs) {
             let mut row = vec![name.to_string()];
-            row.extend(acc_row.iter().map(|xs| table::pct(grain_linalg::stats::mean(xs))));
+            row.extend(
+                acc_row
+                    .iter()
+                    .map(|xs| table::pct(grain_linalg::stats::mean(xs))),
+            );
             table_out.push_row(row);
         }
         block.push_str(&format!(

@@ -2,9 +2,10 @@
 //! accuracy gap from the full-training-set accuracy.
 //!
 //! Protocol: train the reference model on the entire (fully labeled) train
-//! pool; for each method, select subsets at a grid of label rates (one
-//! max-rate selection per method, prefix-sliced — all methods are
-//! prefix-consistent); for each gap `g` in 1..7%, report the smallest
+//! pool; for each method, select subsets at a grid of label rates via
+//! `NodeSelector::select_sweep` (prefix-consistent methods select once at
+//! the max rate and slice prefixes; Grain sweeps the grid through one warm
+//! `SelectionEngine`); for each gap `g` in 1..7%, report the smallest
 //! label rate whose subset-trained accuracy is within `g` of the
 //! reference. Figure 5 is the PubMed column of Figure 8.
 //!
@@ -35,14 +36,17 @@ fn main() {
     for dataset in &datasets {
         let spec = EvalSpec {
             model: ModelKind::default(),
-            train: TrainConfig { seed: flags.seed, ..TrainConfig::fast() },
+            train: TrainConfig {
+                seed: flags.seed,
+                ..TrainConfig::fast()
+            },
             model_repeats: 1,
         };
         // Reference: full train pool.
         let reference = evaluate_selection(dataset, &dataset.split.train, &spec);
         let pool_size = dataset.split.train.len();
-        let max_budget = ((label_rates.last().unwrap() * pool_size as f64).ceil() as usize)
-            .min(pool_size);
+        let max_budget =
+            ((label_rates.last().unwrap() * pool_size as f64).ceil() as usize).min(pool_size);
 
         let ctx = SelectionContext::new(dataset, flags.seed);
         let mut methods: Vec<Box<dyn NodeSelector>> =
@@ -60,14 +64,20 @@ fn main() {
         header.extend(gaps.iter().map(|g| format!("gap<={g:.0}%")));
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
         let mut out = MarkdownTable::new(&header_refs);
+        // Budget grid shared by all methods; the Grain adapters answer the
+        // whole sweep from one warm SelectionEngine.
+        let budgets: Vec<usize> = label_rates
+            .iter()
+            .map(|&rate| {
+                ((rate * pool_size as f64).ceil() as usize).clamp(dataset.num_classes, max_budget)
+            })
+            .collect();
         for method in &mut methods {
-            let selected = method.select(&ctx, max_budget);
-            // Accuracy at each label rate (prefix evaluation).
+            let sweep = method.select_sweep(&ctx, &budgets);
+            // Accuracy at each label rate.
             let mut accs = Vec::with_capacity(label_rates.len());
-            for &rate in &label_rates {
-                let budget = ((rate * pool_size as f64).ceil() as usize)
-                    .clamp(dataset.num_classes, selected.len());
-                accs.push(evaluate_selection(dataset, &selected[..budget], &spec));
+            for selection in &sweep {
+                accs.push(evaluate_selection(dataset, selection, &spec));
             }
             let mut row = vec![method.name().to_string()];
             for &gap in &gaps {

@@ -10,7 +10,7 @@
 
 use grain_bench::lineup::al_lineup;
 use grain_bench::{table, timed_selection, Flags, MarkdownTable};
-use grain_core::{GrainConfig, GrainSelector, PruneStrategy};
+use grain_core::{GrainConfig, GrainSelector, PruneStrategy, SelectionEngine};
 use grain_data::Dataset;
 use grain_select::{ModelKind, SelectionContext};
 use std::time::Duration;
@@ -58,7 +58,11 @@ fn part_a(flags: &Flags) -> String {
             t.push_row(vec![
                 name.clone(),
                 table::secs(*dur),
-                if name == "anrmab" { "1.0x".into() } else { format!("{speedup:.1}x") },
+                if name == "anrmab" {
+                    "1.0x".into()
+                } else {
+                    format!("{speedup:.1}x")
+                },
             ]);
         }
         out.push_str(&format!("\n#### {}\n\n{}", dataset.name, t.render()));
@@ -78,6 +82,7 @@ fn part_b(flags: &Flags) -> String {
     let mut t = MarkdownTable::new(&[
         "nodes",
         "grain(ball-d)",
+        "grain(ball-d) warm",
         "grain(ball-d)+prune",
         "grain(nn-d)+prune",
         "age",
@@ -88,6 +93,7 @@ fn part_b(flags: &Flags) -> String {
         let ctx = SelectionContext::new(&dataset, flags.seed);
 
         let ball = time_grain(&dataset, GrainConfig::ball_d(), budget);
+        let ball_warm = time_grain_warm(&dataset, GrainConfig::ball_d(), budget);
         let pruned_cfg = GrainConfig {
             prune: Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
             ..GrainConfig::ball_d()
@@ -98,7 +104,9 @@ fn part_b(flags: &Flags) -> String {
         // runs 1.6x slower than ball-D *with* uninfluential-node dismissal).
         let nn_keep = (2_000.0 / dataset.split.train.len() as f64).min(1.0);
         let nn_cfg = GrainConfig {
-            prune: Some(PruneStrategy::WalkMass { keep_fraction: nn_keep }),
+            prune: Some(PruneStrategy::WalkMass {
+                keep_fraction: nn_keep,
+            }),
             ..GrainConfig::nn_d()
         };
         let nn = time_grain(&dataset, nn_cfg, budget);
@@ -116,6 +124,7 @@ fn part_b(flags: &Flags) -> String {
         t.push_row(vec![
             n.to_string(),
             table::secs(ball),
+            table::secs(ball_warm),
             table::secs(ball_pruned),
             table::secs(nn),
             age,
@@ -125,7 +134,7 @@ fn part_b(flags: &Flags) -> String {
 }
 
 fn time_grain(dataset: &Dataset, config: GrainConfig, budget: usize) -> Duration {
-    let selector = GrainSelector::new(config);
+    let selector = GrainSelector::new(config).expect("runtime configs are valid");
     let outcome = selector.select(
         &dataset.graph,
         &dataset.features,
@@ -133,4 +142,13 @@ fn time_grain(dataset: &Dataset, config: GrainConfig, budget: usize) -> Duration
         budget,
     );
     outcome.timings.total
+}
+
+/// Steady-state serving cost: the second `select` on a warm engine pays
+/// only greedy maximization — the paper's precompute is fully amortized.
+fn time_grain_warm(dataset: &Dataset, config: GrainConfig, budget: usize) -> Duration {
+    let mut engine = SelectionEngine::new(config, &dataset.graph, &dataset.features)
+        .expect("runtime configs are valid");
+    let _cold = engine.select(&dataset.split.train, budget);
+    engine.select(&dataset.split.train, budget).timings.total
 }

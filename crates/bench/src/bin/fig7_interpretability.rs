@@ -9,8 +9,8 @@
 //! quantitative claims behind the figure: activated-node counts and
 //! activated-crowd spread.
 
-use grain_bench::{Flags, MarkdownTable};
 use grain_bench::lineup::inner_train_cfg;
+use grain_bench::{Flags, MarkdownTable};
 use grain_core::GrainSelector;
 use grain_data::Dataset;
 use grain_linalg::{distance, pca, DenseMatrix};
@@ -38,19 +38,19 @@ fn main() {
     sample.sort_unstable();
 
     // 2-D layout of the aggregated feature space (PCA on X^(2)).
-    let smoothed = propagate(&dataset.graph, Kernel::RandomWalk { k: 2 }, &dataset.features);
+    let smoothed = propagate(
+        &dataset.graph,
+        Kernel::RandomWalk { k: 2 },
+        &dataset.features,
+    );
     let embedding = distance::normalized_embedding(&smoothed);
     let layout = pca::pca(&embedding, 2, 60, flags.seed).projected;
 
     let index = GrainSelector::ball_d().activation_index(&dataset.graph);
 
     // Grain (ball-D) restricted to the sample.
-    let grain_sel = GrainSelector::ball_d().select(
-        &dataset.graph,
-        &dataset.features,
-        &sample,
-        budget,
-    );
+    let grain_sel =
+        GrainSelector::ball_d().select(&dataset.graph, &dataset.features, &sample, budget);
     // AGE restricted to the sample.
     let sub = restricted_dataset(&dataset, &sample);
     let ctx = SelectionContext::new(&sub, flags.seed);
@@ -67,8 +67,7 @@ fn main() {
     ]);
     let mut block = String::from("## Figure 7: seed/activated distribution (PCA layout)\n\n");
     for (name, selected) in [("grain(ball-d)", &grain_sel.selected), ("age", &age_sel)] {
-        let sigma: std::collections::HashSet<u32> =
-            index.sigma(selected).into_iter().collect();
+        let sigma: std::collections::HashSet<u32> = index.sigma(selected).into_iter().collect();
         let activated: Vec<u32> = sample
             .iter()
             .copied()

@@ -60,7 +60,10 @@ fn main() {
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {name}: {e}"));
         assert!(status.success(), "experiment {name} failed with {status}");
-        eprintln!("==> {name} finished in {:.1}s", started.elapsed().as_secs_f64());
+        eprintln!(
+            "==> {name} finished in {:.1}s",
+            started.elapsed().as_secs_f64()
+        );
     }
     println!("report written to {out_path}");
 }

@@ -7,7 +7,7 @@
 //! as one of the design-choice ablations.
 
 use grain_bench::{evaluate_selection, EvalSpec, Flags, MarkdownTable};
-use grain_core::{GrainConfig, GrainSelector};
+use grain_core::{GrainConfig, SelectionEngine};
 use grain_gnn::TrainConfig;
 use grain_influence::ThetaRule;
 use grain_select::ModelKind;
@@ -18,28 +18,47 @@ fn main() {
     let budget = 20 * dataset.num_classes;
     let spec = EvalSpec {
         model: ModelKind::default(),
-        train: TrainConfig { seed: flags.seed, ..TrainConfig::fast() },
+        train: TrainConfig {
+            seed: flags.seed,
+            ..TrainConfig::fast()
+        },
         model_repeats: if flags.fast { 1 } else { 2 },
     };
     let mut block = format!(
         "## Sensitivity (extension): Grain (ball-D) hyper-parameters on {} (B = 20C)\n",
         dataset.name
     );
+    // One warm engine serves the whole scan: within each sweep only the
+    // artifact its knob keys rebuilds (theta the index, r the ball lists,
+    // gamma nothing). Crossing a sweep boundary resets the previous knob to
+    // its default, which may rebuild that one artifact once more.
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &dataset.graph, &dataset.features)
+        .expect("ball-D defaults are valid");
 
     // θ sweep (relative rule).
     let mut t = MarkdownTable::new(&["theta (relative)", "sigma(S)", "accuracy (%)"]);
     for theta in [0.05f32, 0.1, 0.25, 0.5, 0.75] {
-        let cfg = GrainConfig { theta: ThetaRule::RelativeToRowMax(theta), ..GrainConfig::ball_d() };
-        let (sigma, acc) = run(&dataset, cfg, budget, &spec);
-        t.push_row(vec![format!("{theta}"), sigma.to_string(), format!("{:.1}", acc * 100.0)]);
+        let cfg = GrainConfig {
+            theta: ThetaRule::RelativeToRowMax(theta),
+            ..GrainConfig::ball_d()
+        };
+        let (sigma, acc) = run(&mut engine, &dataset, cfg, budget, &spec);
+        t.push_row(vec![
+            format!("{theta}"),
+            sigma.to_string(),
+            format!("{:.1}", acc * 100.0),
+        ]);
     }
     block.push_str(&format!("\n### Activation threshold θ\n\n{}", t.render()));
 
     // r sweep.
     let mut t = MarkdownTable::new(&["radius r", "accuracy (%)"]);
     for radius in [0.01f32, 0.05, 0.1, 0.2] {
-        let cfg = GrainConfig { radius, ..GrainConfig::ball_d() };
-        let (_, acc) = run(&dataset, cfg, budget, &spec);
+        let cfg = GrainConfig {
+            radius,
+            ..GrainConfig::ball_d()
+        };
+        let (_, acc) = run(&mut engine, &dataset, cfg, budget, &spec);
         t.push_row(vec![format!("{radius}"), format!("{:.1}", acc * 100.0)]);
     }
     block.push_str(&format!("\n### Ball radius r\n\n{}", t.render()));
@@ -47,8 +66,11 @@ fn main() {
     // γ sweep.
     let mut t = MarkdownTable::new(&["gamma", "accuracy (%)"]);
     for gamma in [0.0f64, 0.25, 0.5, 1.0, 2.0] {
-        let cfg = GrainConfig { gamma, ..GrainConfig::ball_d() };
-        let (_, acc) = run(&dataset, cfg, budget, &spec);
+        let cfg = GrainConfig {
+            gamma,
+            ..GrainConfig::ball_d()
+        };
+        let (_, acc) = run(&mut engine, &dataset, cfg, budget, &spec);
         t.push_row(vec![format!("{gamma}"), format!("{:.1}", acc * 100.0)]);
     }
     block.push_str(&format!("\n### Diversity trade-off γ\n\n{}", t.render()));
@@ -62,17 +84,14 @@ fn main() {
 }
 
 fn run(
+    engine: &mut SelectionEngine<'_>,
     dataset: &grain_data::Dataset,
     cfg: GrainConfig,
     budget: usize,
     spec: &EvalSpec,
 ) -> (usize, f64) {
-    let outcome = GrainSelector::new(cfg).select(
-        &dataset.graph,
-        &dataset.features,
-        &dataset.split.train,
-        budget,
-    );
+    engine.set_config(cfg).expect("sweep configs are valid");
+    let outcome = engine.select(&dataset.split.train, budget);
     let acc = evaluate_selection(dataset, &outcome.selected, spec);
     (outcome.sigma.len(), acc)
 }

@@ -15,18 +15,46 @@ fn main() {
     // (dataset, downstream model, learning-based AL allowed?)
     let setups: Vec<(Dataset, ModelKind, bool)> = if flags.fast {
         vec![
-            (grain_data::synthetic::cora_like(flags.seed), ModelKind::default(), true),
-            (grain_data::synthetic::papers_like(6000, flags.seed), ModelKind::Sgc { k: 2 }, false),
+            (
+                grain_data::synthetic::cora_like(flags.seed),
+                ModelKind::default(),
+                true,
+            ),
+            (
+                grain_data::synthetic::papers_like(6000, flags.seed),
+                ModelKind::Sgc { k: 2 },
+                false,
+            ),
         ]
     } else {
         vec![
-            (grain_data::synthetic::cora_like(flags.seed), ModelKind::default(), true),
-            (grain_data::synthetic::citeseer_like(flags.seed), ModelKind::default(), true),
-            (grain_data::synthetic::pubmed_like(flags.seed), ModelKind::default(), true),
-            (grain_data::synthetic::reddit_like(flags.seed), ModelKind::default(), true),
+            (
+                grain_data::synthetic::cora_like(flags.seed),
+                ModelKind::default(),
+                true,
+            ),
+            (
+                grain_data::synthetic::citeseer_like(flags.seed),
+                ModelKind::default(),
+                true,
+            ),
+            (
+                grain_data::synthetic::pubmed_like(flags.seed),
+                ModelKind::default(),
+                true,
+            ),
+            (
+                grain_data::synthetic::reddit_like(flags.seed),
+                ModelKind::default(),
+                true,
+            ),
             // papers100M stand-in: SGC downstream (paper §4.3 does the same
             // because GCN runs out of memory); learning-based AL is OOT.
-            (grain_data::synthetic::papers_like(50_000, flags.seed), ModelKind::Sgc { k: 2 }, false),
+            (
+                grain_data::synthetic::papers_like(50_000, flags.seed),
+                ModelKind::Sgc { k: 2 },
+                false,
+            ),
         ]
     };
 
@@ -38,8 +66,7 @@ fn main() {
     header.extend(setups.iter().map(|(d, _, _)| d.name.clone()));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let mut out = MarkdownTable::new(&header_refs);
-    let mut cells: Vec<Vec<String>> =
-        vec![vec![String::from("-"); setups.len()]; names.len()];
+    let mut cells: Vec<Vec<String>> = vec![vec![String::from("-"); setups.len()]; names.len()];
 
     for (di, (dataset, eval_model, allow_learning)) in setups.iter().enumerate() {
         let budget = 20 * dataset.num_classes;
@@ -47,7 +74,11 @@ fn main() {
             let seed = flags.seed.wrapping_add(seed_rep as u64 * 131);
             let ctx = SelectionContext::new(dataset, seed);
             // Learning-based AL on the large corpus uses SGC internally too.
-            let inner = if *allow_learning { ModelKind::default() } else { ModelKind::Sgc { k: 2 } };
+            let inner = if *allow_learning {
+                ModelKind::default()
+            } else {
+                ModelKind::Sgc { k: 2 }
+            };
             let mut methods = al_lineup(seed, flags.fast, inner);
             for (mi, method) in methods.iter_mut().enumerate() {
                 if method.is_learning_based() && !allow_learning {
@@ -57,7 +88,10 @@ fn main() {
                 let (selected, _) = timed_selection(method.as_mut(), &ctx, budget);
                 let spec = EvalSpec {
                     model: *eval_model,
-                    train: TrainConfig { seed, ..TrainConfig::fast() },
+                    train: TrainConfig {
+                        seed,
+                        ..TrainConfig::fast()
+                    },
                     model_repeats: 1,
                 };
                 let acc = evaluate_selection(dataset, &selected, &spec);

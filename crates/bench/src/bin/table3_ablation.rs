@@ -45,7 +45,10 @@ fn main() {
                 let selected = variant.select(&ctx, budget);
                 let spec = EvalSpec {
                     model: ModelKind::default(),
-                    train: TrainConfig { seed, ..TrainConfig::fast() },
+                    train: TrainConfig {
+                        seed,
+                        ..TrainConfig::fast()
+                    },
                     model_repeats: 1,
                 };
                 acc_row[di] += evaluate_selection(dataset, &selected, &spec) / seeds as f64;
@@ -58,7 +61,11 @@ fn main() {
         for (di, &acc) in accs[vi].iter().enumerate() {
             row.push(format!("{:.1}", acc * 100.0));
             let delta = (acc - accs[full_row][di]) * 100.0;
-            row.push(if vi == full_row { "–".into() } else { format!("{delta:+.1}") });
+            row.push(if vi == full_row {
+                "–".into()
+            } else {
+                format!("{delta:+.1}")
+            });
         }
         out.push_row(row);
     }

@@ -35,7 +35,10 @@ fn main() {
             for (kind, acc) in models.iter().zip(accs[mi].iter_mut()) {
                 let spec = EvalSpec {
                     model: *kind,
-                    train: TrainConfig { seed, ..TrainConfig::fast() },
+                    train: TrainConfig {
+                        seed,
+                        ..TrainConfig::fast()
+                    },
                     model_repeats: 1,
                 };
                 *acc += evaluate_selection(&dataset, &selected, &spec) / seeds as f64;

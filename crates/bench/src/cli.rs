@@ -30,7 +30,10 @@ impl Flags {
 
     /// Parses an explicit argument iterator.
     pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
-        let mut flags = Flags { seed: 1, ..Default::default() };
+        let mut flags = Flags {
+            seed: 1,
+            ..Default::default()
+        };
         let mut it = args.into_iter().peekable();
         while let Some(arg) = it.next() {
             match arg.as_str() {

@@ -19,7 +19,11 @@ pub struct EvalSpec {
 
 impl Default for EvalSpec {
     fn default() -> Self {
-        Self { model: ModelKind::default(), train: TrainConfig::fast(), model_repeats: 1 }
+        Self {
+            model: ModelKind::default(),
+            train: TrainConfig::fast(),
+            model_repeats: 1,
+        }
     }
 }
 
@@ -34,7 +38,11 @@ pub fn evaluate_selection(dataset: &Dataset, selected: &[u32], spec: &EvalSpec) 
         let mut cfg = spec.train;
         cfg.seed = seed;
         model.train(&dataset.labels, selected, &dataset.split.val, &cfg);
-        accs.push(accuracy(&model.predict(), &dataset.labels, &dataset.split.test));
+        accs.push(accuracy(
+            &model.predict(),
+            &dataset.labels,
+            &dataset.split.test,
+        ));
     }
     grain_linalg::stats::mean(&accs)
 }
@@ -52,7 +60,10 @@ pub fn timed_selection(
 
 /// `(mean, std)` of a sample.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
-    (grain_linalg::stats::mean(xs), grain_linalg::stats::std_dev(xs))
+    (
+        grain_linalg::stats::mean(xs),
+        grain_linalg::stats::std_dev(xs),
+    )
 }
 
 #[cfg(test)]
@@ -69,7 +80,11 @@ mod tests {
         let picked = sel.select(&ctx, 4 * ds.num_classes);
         let spec = EvalSpec {
             model: ModelKind::Sgc { k: 2 },
-            train: TrainConfig { epochs: 80, patience: None, ..Default::default() },
+            train: TrainConfig {
+                epochs: 80,
+                patience: None,
+                ..Default::default()
+            },
             model_repeats: 2,
         };
         let acc = evaluate_selection(&ds, &picked, &spec);

@@ -64,8 +64,7 @@ mod tests {
     #[test]
     fn al_lineup_has_seven_distinct_methods() {
         let lineup = al_lineup(1, true, ModelKind::Sgc { k: 2 });
-        let names: std::collections::HashSet<&str> =
-            lineup.iter().map(|s| s.name()).collect();
+        let names: std::collections::HashSet<&str> = lineup.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 7);
         assert!(names.contains("grain(ball-d)"));
         assert!(names.contains("age"));
@@ -76,7 +75,12 @@ mod tests {
         let names: Vec<&str> = ablation_lineup().iter().map(|s| s.name()).collect();
         assert_eq!(
             names,
-            vec!["no-magnitude", "no-diversity", "classic-coverage", "grain(ball-d)"]
+            vec![
+                "no-magnitude",
+                "no-diversity",
+                "classic-coverage",
+                "grain(ball-d)"
+            ]
         );
     }
 

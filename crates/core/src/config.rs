@@ -62,7 +62,7 @@ pub enum GrainVariant {
 }
 
 /// Full pipeline configuration.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct GrainConfig {
     /// Propagation kernel inherited from the target GNN (Eq. 6 / Table 1).
     pub kernel: Kernel,
@@ -105,17 +105,26 @@ impl Default for GrainConfig {
 impl GrainConfig {
     /// The paper's "Grain (ball-D)" configuration.
     pub fn ball_d() -> Self {
-        Self { diversity: DiversityKind::Ball, ..Self::default() }
+        Self {
+            diversity: DiversityKind::Ball,
+            ..Self::default()
+        }
     }
 
     /// The paper's "Grain (NN-D)" configuration.
     pub fn nn_d() -> Self {
-        Self { diversity: DiversityKind::Nn, ..Self::default() }
+        Self {
+            diversity: DiversityKind::Nn,
+            ..Self::default()
+        }
     }
 
     /// Table 3 ablation constructor.
     pub fn ablation(variant: GrainVariant) -> Self {
-        Self { variant, ..Self::ball_d() }
+        Self {
+            variant,
+            ..Self::ball_d()
+        }
     }
 
     /// Validates parameter ranges, returning a description of the first
@@ -129,13 +138,19 @@ impl GrainConfig {
             return Err(format!("gamma must lie in [0,10], got {}", self.gamma));
         }
         if self.influence_eps < 0.0 {
-            return Err(format!("influence_eps must be >= 0, got {}", self.influence_eps));
+            return Err(format!(
+                "influence_eps must be >= 0, got {}",
+                self.influence_eps
+            ));
         }
-        if let Some(PruneStrategy::Degree { keep_fraction } | PruneStrategy::WalkMass { keep_fraction }) =
-            self.prune
+        if let Some(
+            PruneStrategy::Degree { keep_fraction } | PruneStrategy::WalkMass { keep_fraction },
+        ) = self.prune
         {
             if !(0.0 < keep_fraction && keep_fraction <= 1.0) {
-                return Err(format!("keep_fraction must lie in (0,1], got {keep_fraction}"));
+                return Err(format!(
+                    "keep_fraction must lie in (0,1], got {keep_fraction}"
+                ));
             }
         }
         Ok(())
@@ -164,8 +179,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_ranges() {
-        let bad_theta =
-            GrainConfig { theta: ThetaRule::FixedAbsolute(2.0), ..GrainConfig::default() };
+        let bad_theta = GrainConfig {
+            theta: ThetaRule::FixedAbsolute(2.0),
+            ..GrainConfig::default()
+        };
         assert!(bad_theta.validate().is_err());
         let bad_prune = GrainConfig {
             prune: Some(PruneStrategy::Degree { keep_fraction: 0.0 }),

@@ -9,12 +9,17 @@
 
 use super::DiversityFunction;
 use grain_linalg::{distance, DenseMatrix};
+use std::sync::Arc;
 
 /// Incremental ball-coverage diversity.
+///
+/// Ball membership lists are shared (`Arc`), so per-selection instances —
+/// the warm `SelectionEngine` builds one per `select` call — copy only the
+/// covered bitmap, not the precompute.
 #[derive(Clone, Debug)]
 pub struct BallDiversity {
     /// `balls[u]` = nodes within radius `r` of `u` (sorted, includes `u`).
-    balls: Vec<Vec<u32>>,
+    balls: Arc<Vec<Vec<u32>>>,
     covered: Vec<bool>,
     count: usize,
     upper_bound: usize,
@@ -27,22 +32,43 @@ impl BallDiversity {
     /// [`grain_linalg::distance::normalized_embedding`]).
     pub fn new(embedding: &DenseMatrix, radius: f32) -> Self {
         let balls = distance::radius_neighbors(embedding, radius);
-        Self::from_balls(balls, embedding.rows())
+        Self::from_shared(Arc::new(balls), embedding.rows())
     }
 
     /// Builds from explicit ball membership lists (used by tests and by
     /// callers that cache the radius query).
     pub fn from_balls(balls: Vec<Vec<u32>>, n: usize) -> Self {
-        // D̂ = |∪_u G_u|: with self-inclusion this is n, but compute it
-        // honestly in case custom balls omit members.
+        Self::from_shared(Arc::new(balls), n)
+    }
+
+    /// Builds from shared ball membership lists without copying them.
+    pub fn from_shared(balls: Arc<Vec<Vec<u32>>>, n: usize) -> Self {
+        let upper_bound = Self::union_size(&balls, n);
+        Self::from_shared_with_bound(balls, n, upper_bound)
+    }
+
+    /// `|∪_u G_u|` of the given lists — the D̂ normalization constant.
+    /// With self-inclusive balls this is `n`, but compute it honestly in
+    /// case custom balls omit members.
+    pub fn union_size(balls: &[Vec<u32>], n: usize) -> usize {
         let mut seen = vec![false; n];
-        for ball in &balls {
+        for ball in balls {
             for &w in ball {
                 seen[w as usize] = true;
             }
         }
-        let upper_bound = seen.iter().filter(|&&b| b).count();
-        Self { balls, covered: vec![false; n], count: 0, upper_bound }
+        seen.iter().filter(|&&b| b).count()
+    }
+
+    /// Builds from shared lists and their precomputed [`Self::union_size`]
+    /// — the warm-engine path, which touches no list at construction.
+    pub fn from_shared_with_bound(balls: Arc<Vec<Vec<u32>>>, n: usize, upper_bound: usize) -> Self {
+        Self {
+            balls,
+            covered: vec![false; n],
+            count: 0,
+            upper_bound,
+        }
     }
 
     /// Ball membership of node `u`.
@@ -110,11 +136,8 @@ mod tests {
 
     fn embedding() -> DenseMatrix {
         // Three tight points near (1,0) and one far point near (0,1).
-        let mut m = DenseMatrix::from_vec(
-            4,
-            2,
-            vec![1.0, 0.0, 0.999, 0.045, 0.998, 0.063, 0.0, 1.0],
-        );
+        let mut m =
+            DenseMatrix::from_vec(4, 2, vec![1.0, 0.0, 0.999, 0.045, 0.998, 0.063, 0.0, 1.0]);
         ops::l2_normalize_rows(&mut m);
         m
     }

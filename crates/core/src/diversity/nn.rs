@@ -9,12 +9,17 @@
 
 use super::DiversityFunction;
 use grain_linalg::{distance, DenseMatrix};
+use std::sync::Arc;
 
 /// Incremental nearest-activated-neighbor diversity.
+///
+/// The embedding is shared (`Arc`), so per-selection instances — the warm
+/// `SelectionEngine` builds one per `select` call — copy only the `mind`
+/// state array, not the `n × d` matrix.
 #[derive(Clone, Debug)]
 pub struct NnDiversity {
     /// L2-normalized embedding rows.
-    embedding: DenseMatrix,
+    embedding: Arc<DenseMatrix>,
     /// Current `min_{v in σ(S)} d(w, v)` per node `w`.
     mind: Vec<f32>,
     /// `d_max` constant.
@@ -30,9 +35,22 @@ impl NnDiversity {
     /// anchor sampling beyond (see
     /// [`grain_linalg::distance::max_pairwise_distance`]).
     pub fn new(embedding: DenseMatrix, exact_limit: usize) -> Self {
-        let dmax = distance::max_pairwise_distance(&embedding, exact_limit).max(f32::EPSILON);
+        let dmax = distance::max_pairwise_distance(&embedding, exact_limit);
+        Self::from_parts(Arc::new(embedding), dmax)
+    }
+
+    /// Builds from a shared embedding and precomputed `d_max` — the warm
+    /// engine path, which caches both across selections instead of copying
+    /// the matrix and rescanning pairs.
+    pub fn from_parts(embedding: Arc<DenseMatrix>, dmax: f32) -> Self {
+        let dmax = dmax.max(f32::EPSILON);
         let n = embedding.rows();
-        Self { embedding, mind: vec![dmax; n], dmax, value: 0.0 }
+        Self {
+            embedding,
+            mind: vec![dmax; n],
+            dmax,
+            value: 0.0,
+        }
     }
 
     /// The `d_max` normalization constant in use.
@@ -120,11 +138,7 @@ mod tests {
     use grain_linalg::ops;
 
     fn embedding() -> DenseMatrix {
-        let mut m = DenseMatrix::from_vec(
-            4,
-            2,
-            vec![1.0, 0.0, 0.9, 0.43, 0.0, 1.0, -1.0, 0.0],
-        );
+        let mut m = DenseMatrix::from_vec(4, 2, vec![1.0, 0.0, 0.9, 0.43, 0.0, 1.0, -1.0, 0.0]);
         ops::l2_normalize_rows(&mut m);
         m
     }

@@ -1,0 +1,559 @@
+//! The staged, artifact-caching selection engine.
+//!
+//! Grain's pipeline is model-free precompute: for a fixed graph and
+//! feature matrix, every §3 artifact is a pure function of a few config
+//! fields —
+//!
+//! | artifact | depends on |
+//! |---|---|
+//! | transition matrix `T` | `kernel.transition_kind()` |
+//! | propagated features `X^(k)` | `kernel` |
+//! | normalized embedding | `kernel` |
+//! | influence rows `I_v(·, k)` | `kernel`, `influence_eps` |
+//! | activation index `act[u]` | rows + `theta` |
+//! | ball membership lists | embedding + `radius` |
+//! | NN `d_max` constant | embedding |
+//!
+//! — and only the greedy maximization varies with `budget` and the
+//! ablation variant. [`SelectionEngine`] materializes each artifact once,
+//! keyed by exactly the fields above, and reuses it across `select` calls:
+//! a budget sweep, a γ/θ sensitivity scan, or a serving loop answering
+//! many selection requests over one corpus pays the heavy stages once.
+//!
+//! [`crate::selector::GrainSelector::select`] is a thin one-shot wrapper
+//! over a fresh engine, so both paths run byte-identical stage code and
+//! produce bit-identical selections.
+
+use crate::config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm};
+use crate::diversity::{BallDiversity, DiversityFunction, NnDiversity, NullDiversity};
+use crate::greedy::{lazy_greedy, plain_greedy};
+use crate::objective::{DimObjective, DiversityScope};
+use crate::prune::prune_candidates;
+use crate::selector::{SelectionOutcome, SelectionTimings};
+use grain_graph::{transition_matrix, CsrMatrix, Graph, TransitionKind};
+use grain_influence::{ActivationIndex, InfluenceRows, ThetaRule};
+use grain_linalg::{distance, DenseMatrix};
+use grain_prop::cache::PropagationCache;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Exact-`d_max` cutoff for NN diversity; beyond this row count the constant
+/// is estimated by anchor sampling (see `grain-linalg::distance`).
+pub(crate) const NN_DMAX_EXACT_LIMIT: usize = 2048;
+
+/// How often each artifact class has been (re)built — the cache audit
+/// trail. A warm budget sweep must increment nothing after its first call;
+/// a config change must increment exactly the artifacts it invalidates.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Transition matrices `T` materialized.
+    pub transition_builds: usize,
+    /// Propagations `X^(k)` computed (per distinct kernel).
+    pub propagation_builds: usize,
+    /// L2-normalized embeddings derived from `X^(k)`.
+    pub embedding_builds: usize,
+    /// Influence-row computations.
+    pub influence_builds: usize,
+    /// Activation-index inversions.
+    pub index_builds: usize,
+    /// Diversity precomputations (ball lists or NN `d_max`).
+    pub diversity_builds: usize,
+    /// `select` calls answered.
+    pub selections: usize,
+}
+
+/// Cache key for artifacts derived from the propagation kernel. `f32`
+/// parameters are compared by bit pattern via [`grain_prop::Kernel::cache_key`].
+type KernelKey = String;
+
+/// Ball membership lists keyed by (kernel, radius bits), shared with the
+/// per-selection `BallDiversity` instances without copying; the union
+/// coverage bound rides along so warm selects touch no list.
+type BallCache = Option<((KernelKey, u32), (Arc<Vec<Vec<u32>>>, usize))>;
+
+/// Staged Grain pipeline with per-artifact caching over one (graph,
+/// features) pair.
+///
+/// Build it once per corpus, then call [`SelectionEngine::select`] per
+/// request; use [`SelectionEngine::set_config`] between calls to move
+/// through config space while keeping every artifact the new config does
+/// not invalidate.
+pub struct SelectionEngine<'g> {
+    config: GrainConfig,
+    graph: &'g Graph,
+    features: &'g DenseMatrix,
+    propagation: PropagationCache<'g>,
+    transition: Option<(TransitionKind, CsrMatrix)>,
+    embedding: Option<(KernelKey, Arc<DenseMatrix>)>,
+    rows: Option<((KernelKey, u32), InfluenceRows)>,
+    index: Option<((KernelKey, u32, ThetaRule), ActivationIndex)>,
+    balls: BallCache,
+    nn_dmax: Option<(KernelKey, f32)>,
+    stats: EngineStats,
+}
+
+impl<'g> SelectionEngine<'g> {
+    /// An engine over `graph`/`features` with a validated configuration.
+    pub fn new(
+        config: GrainConfig,
+        graph: &'g Graph,
+        features: &'g DenseMatrix,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if features.rows() != graph.num_nodes() {
+            return Err(format!(
+                "feature rows ({}) must match node count ({})",
+                features.rows(),
+                graph.num_nodes()
+            ));
+        }
+        Ok(Self {
+            config,
+            graph,
+            features,
+            propagation: PropagationCache::new(graph, features),
+            transition: None,
+            embedding: None,
+            rows: None,
+            index: None,
+            balls: None,
+            nn_dmax: None,
+            stats: EngineStats::default(),
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GrainConfig {
+        &self.config
+    }
+
+    /// The graph this engine serves.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+
+    /// The raw (unpropagated) feature matrix.
+    pub fn features(&self) -> &DenseMatrix {
+        self.features
+    }
+
+    /// Swaps the configuration, keeping every cached artifact whose key
+    /// fields are unchanged. Artifacts are rebuilt lazily on the next
+    /// `select`, so sweeping e.g. `gamma` or `budget` rebuilds nothing and
+    /// sweeping `theta` rebuilds only the activation index.
+    pub fn set_config(&mut self, config: GrainConfig) -> Result<(), String> {
+        config.validate()?;
+        self.config = config;
+        Ok(())
+    }
+
+    /// Cache audit counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Selects up to `budget` nodes from `candidates` under the active
+    /// configuration, reusing every cached artifact that is still valid.
+    ///
+    /// # Panics
+    /// Panics if a candidate id is out of range.
+    pub fn select(&mut self, candidates: &[u32], budget: usize) -> SelectionOutcome {
+        self.select_variant(self.config.variant, candidates, budget)
+    }
+
+    /// Like [`SelectionEngine::select`] with the variant overridden for
+    /// this call only — Table 3 ablation sweeps share all artifacts, since
+    /// the variant affects only the greedy objective.
+    pub fn select_variant(
+        &mut self,
+        variant: GrainVariant,
+        candidates: &[u32],
+        budget: usize,
+    ) -> SelectionOutcome {
+        for &c in candidates {
+            assert!(
+                (c as usize) < self.graph.num_nodes(),
+                "candidate {c} out of range"
+            );
+        }
+        let t0 = Instant::now();
+
+        // 1. Decoupled propagation (Eq. 6) on the kernel's transition matrix.
+        self.ensure_transition();
+        self.ensure_propagation();
+        let propagation = t0.elapsed();
+
+        // 2. Influence rows under the kernel Jacobian (Def. 3.1 / Eq. 9).
+        let t1 = Instant::now();
+        self.ensure_rows();
+        let influence = t1.elapsed();
+
+        // 3. Activation index (Def. 3.2) + diversity precomputation (§3.3).
+        let t2 = Instant::now();
+        self.ensure_index();
+        self.ensure_embedding();
+        let diversity = self.build_diversity(variant);
+        // §3.4 candidate pruning is per-pool, not a cached artifact.
+        let rows = &self.rows.as_ref().expect("rows ensured").1;
+        let pool: Vec<u32> = match self.config.prune {
+            Some(strategy) => prune_candidates(strategy, self.graph, rows, candidates),
+            None => candidates.to_vec(),
+        };
+        let indexing = t2.elapsed();
+
+        // 4. Greedy DIM maximization (Algorithm 1 / CELF) — the only stage
+        // that depends on budget and variant.
+        let t3 = Instant::now();
+        let (scope, magnitude_weight, gamma) = variant_parameters(variant, self.config.gamma);
+        let index = &self.index.as_ref().expect("index ensured").1;
+        let mut objective =
+            DimObjective::with_variant(index, diversity, gamma, magnitude_weight, scope);
+        let trace = match self.config.algorithm {
+            GreedyAlgorithm::Plain => plain_greedy(&mut objective, &pool, budget),
+            GreedyAlgorithm::Lazy => lazy_greedy(&mut objective, &pool, budget),
+        };
+        let greedy = t3.elapsed();
+
+        self.stats.selections += 1;
+        SelectionOutcome {
+            sigma: objective.sigma(),
+            diversity_value: objective.diversity_value(),
+            selected: trace.selected,
+            objective_trace: trace.objective_trace,
+            evaluations: trace.evaluations,
+            candidates_after_prune: pool.len(),
+            timings: SelectionTimings {
+                propagation,
+                influence,
+                indexing,
+                greedy,
+                total: t0.elapsed(),
+            },
+        }
+    }
+
+    /// Runs one warm budget sweep: `select` at each budget in turn, all
+    /// sharing the cached artifacts. Selections are bit-identical to
+    /// independent one-shot runs at the same budgets.
+    pub fn select_budgets(
+        &mut self,
+        candidates: &[u32],
+        budgets: &[usize],
+    ) -> Vec<SelectionOutcome> {
+        budgets
+            .iter()
+            .map(|&b| self.select(candidates, b))
+            .collect()
+    }
+
+    /// The activation index under the current config (built or cached) —
+    /// interpretability experiments read activation lists directly.
+    pub fn activation_index(&mut self) -> &ActivationIndex {
+        self.ensure_transition();
+        self.ensure_rows();
+        self.ensure_index();
+        &self.index.as_ref().expect("index ensured").1
+    }
+
+    /// The influence rows under the current config (built or cached).
+    pub fn influence_rows(&mut self) -> &InfluenceRows {
+        self.ensure_transition();
+        self.ensure_rows();
+        &self.rows.as_ref().expect("rows ensured").1
+    }
+
+    fn ensure_transition(&mut self) {
+        let kind = self.config.kernel.transition_kind();
+        if self.transition.as_ref().map(|(k, _)| *k) != Some(kind) {
+            let t = transition_matrix(self.graph, kind, true);
+            self.transition = Some((kind, t));
+            self.stats.transition_builds += 1;
+        }
+    }
+
+    fn ensure_propagation(&mut self) {
+        let kernel = self.config.kernel;
+        if !self.propagation.contains(kernel) {
+            self.stats.propagation_builds += 1;
+        }
+        let transition = &self.transition.as_ref().expect("transition ensured").1;
+        self.propagation.get_with(kernel, transition);
+    }
+
+    fn ensure_embedding(&mut self) {
+        let key = self.config.kernel.cache_key();
+        if self.embedding.as_ref().map(|(k, _)| k) != Some(&key) {
+            let embedding = {
+                let transition = &self.transition.as_ref().expect("transition ensured").1;
+                let smoothed = self.propagation.get_with(self.config.kernel, transition);
+                distance::normalized_embedding(smoothed)
+            };
+            self.embedding = Some((key, Arc::new(embedding)));
+            self.stats.embedding_builds += 1;
+        }
+    }
+
+    fn ensure_rows(&mut self) {
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+        );
+        if self.rows.as_ref().map(|(k, _)| k) != Some(&key) {
+            let transition = &self.transition.as_ref().expect("transition ensured").1;
+            let rows = InfluenceRows::for_kernel(
+                transition,
+                self.config.kernel,
+                self.config.influence_eps,
+            );
+            self.rows = Some((key, rows));
+            self.stats.influence_builds += 1;
+        }
+    }
+
+    fn ensure_index(&mut self) {
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+            self.config.theta,
+        );
+        if self.index.as_ref().map(|(k, _)| k) != Some(&key) {
+            let rows = &self.rows.as_ref().expect("rows ensured").1;
+            let index = ActivationIndex::build_with_rule(rows, self.config.theta);
+            self.index = Some((key, index));
+            self.stats.index_builds += 1;
+        }
+    }
+
+    fn ensure_balls(&mut self) {
+        let key = (self.config.kernel.cache_key(), self.config.radius.to_bits());
+        if self.balls.as_ref().map(|(k, _)| k) != Some(&key) {
+            let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
+            let balls = distance::radius_neighbors(embedding, self.config.radius);
+            let bound = BallDiversity::union_size(&balls, self.graph.num_nodes());
+            self.balls = Some((key, (Arc::new(balls), bound)));
+            self.stats.diversity_builds += 1;
+        }
+    }
+
+    fn ensure_nn_dmax(&mut self) {
+        let key = self.config.kernel.cache_key();
+        if self.nn_dmax.as_ref().map(|(k, _)| k) != Some(&key) {
+            let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
+            let dmax = distance::max_pairwise_distance(embedding, NN_DMAX_EXACT_LIMIT);
+            self.nn_dmax = Some((key, dmax));
+            self.stats.diversity_builds += 1;
+        }
+    }
+
+    /// A fresh per-selection diversity state over the cached precompute
+    /// (greedy consumes diversity state, so each call copies only the
+    /// incremental state; the precompute itself is `Arc`-shared).
+    fn build_diversity(&mut self, variant: GrainVariant) -> Box<dyn DiversityFunction + Send> {
+        let kind = match variant {
+            GrainVariant::NoDiversity => return Box::new(NullDiversity),
+            // Both seed-scoped ablations are defined on ball coverage.
+            GrainVariant::NoMagnitude | GrainVariant::ClassicCoverage => DiversityKind::Ball,
+            GrainVariant::Full => self.config.diversity,
+        };
+        match kind {
+            DiversityKind::Ball => {
+                self.ensure_balls();
+                let (balls, bound) = self.balls.as_ref().expect("balls ensured").1.clone();
+                Box::new(BallDiversity::from_shared_with_bound(
+                    balls,
+                    self.graph.num_nodes(),
+                    bound,
+                ))
+            }
+            DiversityKind::Nn => {
+                self.ensure_nn_dmax();
+                let dmax = self.nn_dmax.as_ref().expect("dmax ensured").1;
+                let embedding = Arc::clone(&self.embedding.as_ref().expect("embedding ensured").1);
+                Box::new(NnDiversity::from_parts(embedding, dmax))
+            }
+        }
+    }
+}
+
+/// Table 3 ablation parameters: diversity scope, magnitude weight, γ.
+fn variant_parameters(variant: GrainVariant, gamma: f64) -> (DiversityScope, f64, f64) {
+    match variant {
+        GrainVariant::Full => (DiversityScope::Activated, 1.0, gamma),
+        GrainVariant::NoDiversity => (DiversityScope::Activated, 1.0, 0.0),
+        GrainVariant::NoMagnitude => (DiversityScope::Seeds, 0.0, gamma.max(1.0)),
+        GrainVariant::ClassicCoverage => (DiversityScope::Seeds, 1.0, gamma),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::selector::GrainSelector;
+    use grain_graph::generators::{self, SbmConfig};
+    use grain_prop::Kernel;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dataset(seed: u64) -> (Graph, DenseMatrix) {
+        let cfg = SbmConfig {
+            block_sizes: vec![40, 40, 40],
+            mean_degree_in: 6.0,
+            mean_degree_out: 1.0,
+            degree_exponent: 0.0,
+        };
+        let (g, labels) = generators::degree_corrected_sbm(&cfg, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+        let d = 6usize;
+        let mut x = DenseMatrix::zeros(g.num_nodes(), d);
+        for (v, &label) in labels.iter().enumerate() {
+            let c = label as usize;
+            for (j, value) in x.row_mut(v).iter_mut().enumerate() {
+                let base = if j % 3 == c { 1.0 } else { 0.1 };
+                *value = base + rng.random::<f32>() * 0.2;
+            }
+        }
+        (g, x)
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_mismatched_features() {
+        let (g, x) = dataset(1);
+        let bad = GrainConfig {
+            gamma: -1.0,
+            ..GrainConfig::ball_d()
+        };
+        assert!(SelectionEngine::new(bad, &g, &x).is_err());
+        let short = DenseMatrix::zeros(3, 2);
+        assert!(SelectionEngine::new(GrainConfig::ball_d(), &g, &short).is_err());
+    }
+
+    #[test]
+    fn warm_sweep_matches_one_shot_and_builds_once() {
+        let (g, x) = dataset(2);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let cfg = GrainConfig::ball_d();
+        let mut engine = SelectionEngine::new(cfg, &g, &x).unwrap();
+        let budgets = [3usize, 6, 9, 12, 15];
+        let warm = engine.select_budgets(&candidates, &budgets);
+        let stats = engine.stats();
+        assert_eq!(stats.propagation_builds, 1);
+        assert_eq!(stats.influence_builds, 1);
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.transition_builds, 1);
+        assert_eq!(stats.diversity_builds, 1);
+        assert_eq!(stats.selections, budgets.len());
+        let selector = GrainSelector::new(cfg).unwrap();
+        for (outcome, &budget) in warm.iter().zip(&budgets) {
+            let fresh = selector.select(&g, &x, &candidates, budget);
+            assert_eq!(outcome.selected, fresh.selected, "budget {budget}");
+            assert_eq!(outcome.sigma, fresh.sigma, "budget {budget}");
+            assert_eq!(
+                outcome.objective_trace, fresh.objective_trace,
+                "budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn theta_change_rebuilds_only_the_index() {
+        let (g, x) = dataset(3);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        engine.select(&candidates, 8);
+        let before = engine.stats();
+        let mut cfg = *engine.config();
+        cfg.theta = ThetaRule::RelativeToRowMax(0.4);
+        engine.set_config(cfg).unwrap();
+        engine.select(&candidates, 8);
+        let after = engine.stats();
+        assert_eq!(after.index_builds, before.index_builds + 1);
+        assert_eq!(after.propagation_builds, before.propagation_builds);
+        assert_eq!(after.transition_builds, before.transition_builds);
+        assert_eq!(after.influence_builds, before.influence_builds);
+        assert_eq!(after.embedding_builds, before.embedding_builds);
+        assert_eq!(after.diversity_builds, before.diversity_builds);
+    }
+
+    #[test]
+    fn kernel_depth_change_rebuilds_kernel_artifacts_but_not_transition() {
+        let (g, x) = dataset(4);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        engine.select(&candidates, 8);
+        let before = engine.stats();
+        let mut cfg = *engine.config();
+        cfg.kernel = Kernel::RandomWalk { k: 3 };
+        engine.set_config(cfg).unwrap();
+        engine.select(&candidates, 8);
+        let after = engine.stats();
+        // Same TransitionKind -> T is reused; everything downstream of the
+        // kernel key rebuilds.
+        assert_eq!(after.transition_builds, before.transition_builds);
+        assert_eq!(after.propagation_builds, before.propagation_builds + 1);
+        assert_eq!(after.influence_builds, before.influence_builds + 1);
+        assert_eq!(after.index_builds, before.index_builds + 1);
+        assert_eq!(after.embedding_builds, before.embedding_builds + 1);
+        assert_eq!(after.diversity_builds, before.diversity_builds + 1);
+    }
+
+    #[test]
+    fn gamma_and_budget_changes_rebuild_nothing() {
+        let (g, x) = dataset(5);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        engine.select(&candidates, 6);
+        let before = engine.stats();
+        let mut cfg = *engine.config();
+        cfg.gamma = 0.5;
+        engine.set_config(cfg).unwrap();
+        engine.select(&candidates, 11);
+        let after = engine.stats();
+        assert_eq!(
+            EngineStats {
+                selections: before.selections + 1,
+                ..before
+            },
+            after
+        );
+    }
+
+    #[test]
+    fn variant_override_shares_artifacts() {
+        let (g, x) = dataset(6);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        for variant in [
+            GrainVariant::Full,
+            GrainVariant::NoDiversity,
+            GrainVariant::NoMagnitude,
+            GrainVariant::ClassicCoverage,
+        ] {
+            let out = engine.select_variant(variant, &candidates, 5);
+            assert_eq!(out.selected.len(), 5, "variant {variant:?}");
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.propagation_builds, 1);
+        assert_eq!(stats.influence_builds, 1);
+        assert_eq!(stats.index_builds, 1);
+        assert_eq!(stats.diversity_builds, 1);
+    }
+
+    #[test]
+    fn kernel_round_trip_reuses_propagation_cache() {
+        let (g, x) = dataset(7);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        let base = *engine.config();
+        engine.select(&candidates, 5);
+        let mut deep = base;
+        deep.kernel = Kernel::RandomWalk { k: 3 };
+        engine.set_config(deep).unwrap();
+        engine.select(&candidates, 5);
+        engine.set_config(base).unwrap();
+        engine.select(&candidates, 5);
+        // The k=2 embedding was evicted (single-slot) but the propagation
+        // cache is a map: returning to k=2 propagates nothing new.
+        assert_eq!(engine.stats().propagation_builds, 2);
+        assert_eq!(engine.stats().influence_builds, 3);
+    }
+}

@@ -55,7 +55,11 @@ pub fn plain_greedy(
         selected.push(chosen);
         trace.push(objective.value());
     }
-    GreedyTrace { selected, objective_trace: trace, evaluations }
+    GreedyTrace {
+        selected,
+        objective_trace: trace,
+        evaluations,
+    }
 }
 
 /// CELF lazy greedy.
@@ -100,7 +104,11 @@ pub fn lazy_greedy(
         .iter()
         .map(|&c| {
             evaluations += 1;
-            Entry { gain: objective.marginal_gain(c), neg_id: -(c as i64), round: 0 }
+            Entry {
+                gain: objective.marginal_gain(c),
+                neg_id: -(c as i64),
+                round: 0,
+            }
         })
         .collect();
     let mut selected = Vec::with_capacity(budget);
@@ -117,10 +125,18 @@ pub fn lazy_greedy(
         } else {
             let c = (-top.neg_id) as u32;
             evaluations += 1;
-            heap.push(Entry { gain: objective.marginal_gain(c), neg_id: top.neg_id, round });
+            heap.push(Entry {
+                gain: objective.marginal_gain(c),
+                neg_id: top.neg_id,
+                round,
+            });
         }
     }
-    GreedyTrace { selected, objective_trace: trace, evaluations }
+    GreedyTrace {
+        selected,
+        objective_trace: trace,
+        evaluations,
+    }
 }
 
 #[cfg(test)]
@@ -138,7 +154,12 @@ mod tests {
     impl Cover {
         fn new(sets: Vec<Vec<usize>>, weights: Vec<f64>) -> Self {
             let n = weights.len();
-            Self { sets, weights, covered: vec![false; n], value: 0.0 }
+            Self {
+                sets,
+                weights,
+                covered: vec![false; n],
+                value: 0.0,
+            }
         }
     }
     impl MarginalObjective for Cover {

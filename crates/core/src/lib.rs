@@ -20,17 +20,22 @@
 //! Both make `F` monotone + submodular, so [`greedy`] (Algorithm 1) and the
 //! lazily evaluated CELF variant carry the `1 - 1/e` approximation
 //! guarantee. [`prune`] implements the §3.4 efficiency optimizations that
-//! dismiss uninfluential candidates up front. [`selector::GrainSelector`]
-//! packages the full pipeline (propagate → influence → index → greedy) and
-//! exposes the paper's ablation variants (Table 3).
+//! dismiss uninfluential candidates up front. [`engine::SelectionEngine`]
+//! stages the pipeline (propagate → influence → index → greedy) with
+//! per-artifact caching so repeated selections over one corpus pay the
+//! heavy precompute once; [`selector::GrainSelector`] is the one-shot
+//! wrapper over a fresh engine and exposes the paper's ablation variants
+//! (Table 3).
 
 pub mod config;
 pub mod diversity;
+pub mod engine;
 pub mod greedy;
 pub mod objective;
 pub mod prune;
 pub mod selector;
 
-pub use config::{DiversityKind, GrainConfig, GreedyAlgorithm, GrainVariant, PruneStrategy};
+pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
+pub use engine::{EngineStats, SelectionEngine};
 pub use objective::DimObjective;
 pub use selector::{GrainSelector, SelectionOutcome};

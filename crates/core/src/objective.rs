@@ -154,7 +154,9 @@ mod tests {
         let feats = DenseMatrix::from_vec(
             n,
             4,
-            (0..n * 4).map(|i| ((i * 31 % 17) as f32) * 0.1 + 0.01).collect(),
+            (0..n * 4)
+                .map(|i| ((i * 31 % 17) as f32) * 0.1 + 0.01)
+                .collect(),
         );
         let emb = distance::normalized_embedding(&feats);
         (idx, emb)
@@ -191,8 +193,7 @@ mod tests {
     fn no_magnitude_variant_ignores_coverage() {
         let (idx, emb) = setup(30, 3);
         let div = BallDiversity::new(&emb, 0.1);
-        let mut obj =
-            DimObjective::with_variant(&idx, div, 1.0, 0.0, DiversityScope::Seeds);
+        let mut obj = DimObjective::with_variant(&idx, div, 1.0, 0.0, DiversityScope::Seeds);
         obj.add(2);
         // Magnitude weight 0: value only reflects diversity.
         assert!(obj.value() > 0.0);
@@ -230,8 +231,7 @@ mod tests {
     fn seeds_scope_feeds_seed_itself() {
         let (idx, emb) = setup(20, 6);
         let div = BallDiversity::new(&emb, 0.3);
-        let mut classic =
-            DimObjective::with_variant(&idx, div, 1.0, 1.0, DiversityScope::Seeds);
+        let mut classic = DimObjective::with_variant(&idx, div, 1.0, 1.0, DiversityScope::Seeds);
         // Even a seed that activates nothing still contributes its own ball.
         let quiet: u32 = (0..20u32)
             .min_by_key(|&u| idx.activated_by(u as usize).len())

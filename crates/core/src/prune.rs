@@ -26,16 +26,25 @@ pub fn prune_candidates(
     }
     let (scores, keep_fraction): (Vec<f64>, f64) = match strategy {
         PruneStrategy::Degree { keep_fraction } => (
-            candidates.iter().map(|&c| graph.degree(c as usize) as f64).collect(),
+            candidates
+                .iter()
+                .map(|&c| graph.degree(c as usize) as f64)
+                .collect(),
             keep_fraction,
         ),
         PruneStrategy::WalkMass { keep_fraction } => {
             let mass = influence.walk_mass();
-            (candidates.iter().map(|&c| mass[c as usize] as f64).collect(), keep_fraction)
+            (
+                candidates
+                    .iter()
+                    .map(|&c| mass[c as usize] as f64)
+                    .collect(),
+                keep_fraction,
+            )
         }
     };
-    let keep = ((candidates.len() as f64 * keep_fraction).ceil() as usize)
-        .clamp(1, candidates.len());
+    let keep =
+        ((candidates.len() as f64 * keep_fraction).ceil() as usize).clamp(1, candidates.len());
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by(|&a, &b| {
         scores[b]
@@ -92,7 +101,10 @@ mod tests {
         );
         assert_eq!(kept.len(), 20);
         let mass = rows.walk_mass();
-        let min_kept = kept.iter().map(|&c| mass[c as usize]).fold(f32::MAX, f32::min);
+        let min_kept = kept
+            .iter()
+            .map(|&c| mass[c as usize])
+            .fold(f32::MAX, f32::min);
         let max_dropped = candidates
             .iter()
             .filter(|c| !kept.contains(c))
@@ -105,7 +117,9 @@ mod tests {
     fn at_least_one_candidate_survives() {
         let (g, rows) = fixtures();
         let kept = prune_candidates(
-            PruneStrategy::Degree { keep_fraction: 0.0001 },
+            PruneStrategy::Degree {
+                keep_fraction: 0.0001,
+            },
             &g,
             &rows,
             &[5, 6, 7],

@@ -1,4 +1,4 @@
-//! The end-to-end Grain selection pipeline.
+//! The one-shot Grain selector: a thin wrapper over [`SelectionEngine`].
 //!
 //! Wires together the full §3 stack:
 //!
@@ -10,21 +10,17 @@
 //!
 //! with optional §3.4 candidate pruning. One call = one labeling campaign:
 //! Grain is model-free and oracle-free, so the whole budget is selected in
-//! a single pass with no retraining in the loop.
+//! a single pass with no retraining in the loop. Every stage runs inside a
+//! fresh [`SelectionEngine`]; callers answering many selections over one
+//! corpus (budget sweeps, sensitivity scans, serving) should hold a warm
+//! engine instead — see [`GrainSelector::engine`].
 
-use crate::config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm};
-use crate::diversity::{BallDiversity, DiversityFunction, NnDiversity, NullDiversity};
-use crate::greedy::{lazy_greedy, plain_greedy, GreedyTrace};
-use crate::objective::{DimObjective, DiversityScope, MarginalObjective};
-use crate::prune::prune_candidates;
-use grain_graph::{transition_matrix, Graph};
-use grain_influence::{ActivationIndex, InfluenceRows};
-use grain_linalg::{distance, DenseMatrix};
-use std::time::{Duration, Instant};
-
-/// Exact-`d_max` cutoff for NN diversity; beyond this row count the constant
-/// is estimated by anchor sampling (see `grain-linalg::distance`).
-const NN_DMAX_EXACT_LIMIT: usize = 2048;
+use crate::config::GrainConfig;
+use crate::engine::SelectionEngine;
+use grain_graph::Graph;
+use grain_influence::ActivationIndex;
+use grain_linalg::DenseMatrix;
+use std::time::Duration;
 
 /// Wall-clock breakdown of one selection run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -92,25 +88,30 @@ pub struct GrainSelector {
 }
 
 impl GrainSelector {
-    /// Selector with an explicit configuration.
+    /// Selector with an explicit configuration, rejecting configurations
+    /// that fail [`GrainConfig::validate`].
+    pub fn new(config: GrainConfig) -> Result<Self, String> {
+        config.validate()?;
+        Ok(Self { config })
+    }
+
+    /// Selector with an explicit configuration, skipping validation.
     ///
-    /// # Panics
-    /// Panics if the configuration fails [`GrainConfig::validate`].
-    pub fn new(config: GrainConfig) -> Self {
-        if let Err(msg) = config.validate() {
-            panic!("invalid GrainConfig: {msg}");
-        }
+    /// Intended for constants already known to be valid; `select` still
+    /// validates when it builds its engine and panics up front (naming the
+    /// violation) if the configuration is invalid.
+    pub fn new_unchecked(config: GrainConfig) -> Self {
         Self { config }
     }
 
     /// The paper's "Grain (ball-D)" selector with Appendix A.4 defaults.
     pub fn ball_d() -> Self {
-        Self::new(GrainConfig::ball_d())
+        Self::new_unchecked(GrainConfig::ball_d())
     }
 
     /// The paper's "Grain (NN-D)" selector with Appendix A.4 defaults.
     pub fn nn_d() -> Self {
-        Self::new(GrainConfig::nn_d())
+        Self::new_unchecked(GrainConfig::nn_d())
     }
 
     /// The active configuration.
@@ -118,8 +119,20 @@ impl GrainSelector {
         &self.config
     }
 
+    /// A warm [`SelectionEngine`] over `graph`/`features` with this
+    /// selector's configuration — the amortized path for repeated
+    /// selections on one corpus.
+    pub fn engine<'g>(
+        &self,
+        graph: &'g Graph,
+        features: &'g DenseMatrix,
+    ) -> Result<SelectionEngine<'g>, String> {
+        SelectionEngine::new(self.config, graph, features)
+    }
+
     /// Selects up to `budget` nodes to label from `candidates`
-    /// (typically the training partition `V_train`).
+    /// (typically the training partition `V_train`) in a fresh one-shot
+    /// engine.
     ///
     /// # Panics
     /// Panics if `features.rows() != graph.num_nodes()` or a candidate id is
@@ -136,110 +149,25 @@ impl GrainSelector {
             graph.num_nodes(),
             "feature rows must match node count"
         );
-        for &c in candidates {
-            assert!((c as usize) < graph.num_nodes(), "candidate {c} out of range");
-        }
-        let cfg = &self.config;
-        let t0 = Instant::now();
-
-        // 1. Decoupled propagation (Eq. 6) on the kernel's transition matrix.
-        let t = transition_matrix(graph, cfg.kernel.transition_kind(), true);
-        let smoothed = grain_prop::propagate_with(&t, cfg.kernel, features);
-        let propagation = t0.elapsed();
-
-        // 2. Influence rows under the kernel Jacobian (Def. 3.1 / Eq. 9).
-        let t1 = Instant::now();
-        let rows = InfluenceRows::for_kernel(&t, cfg.kernel, cfg.influence_eps);
-        let influence = t1.elapsed();
-
-        // 3. Activation index (Def. 3.2) + candidate pruning (§3.4).
-        let t2 = Instant::now();
-        let index = ActivationIndex::build_with_rule(&rows, cfg.theta);
-        let pool: Vec<u32> = match cfg.prune {
-            Some(strategy) => prune_candidates(strategy, graph, &rows, candidates),
-            None => candidates.to_vec(),
-        };
-        // 4. Diversity over the L2-normalized aggregated feature space.
-        let embedding = distance::normalized_embedding(&smoothed);
-        let diversity = self.build_diversity(&embedding);
-        let indexing = t2.elapsed();
-
-        // 5. Greedy DIM maximization (Algorithm 1 / CELF).
-        let t3 = Instant::now();
-        let (scope, magnitude_weight, gamma) = self.variant_parameters();
-        let mut objective =
-            DimObjective::with_variant(&index, diversity, gamma, magnitude_weight, scope);
-        let trace = self.run_greedy(&mut objective, &pool, budget);
-        let greedy = t3.elapsed();
-
-        SelectionOutcome {
-            sigma: objective.sigma(),
-            diversity_value: objective.diversity_value(),
-            selected: trace.selected,
-            objective_trace: trace.objective_trace,
-            evaluations: trace.evaluations,
-            candidates_after_prune: pool.len(),
-            timings: SelectionTimings {
-                propagation,
-                influence,
-                indexing,
-                greedy,
-                total: t0.elapsed(),
-            },
-        }
-    }
-
-    fn build_diversity(&self, embedding: &DenseMatrix) -> Box<dyn DiversityFunction + Send> {
-        match self.config.variant {
-            GrainVariant::NoDiversity => Box::new(NullDiversity),
-            // Both seed-scoped ablations are defined on ball coverage.
-            GrainVariant::NoMagnitude | GrainVariant::ClassicCoverage => {
-                Box::new(BallDiversity::new(embedding, self.config.radius))
-            }
-            GrainVariant::Full => match self.config.diversity {
-                DiversityKind::Ball => Box::new(BallDiversity::new(embedding, self.config.radius)),
-                DiversityKind::Nn => {
-                    Box::new(NnDiversity::new(embedding.clone(), NN_DMAX_EXACT_LIMIT))
-                }
-            },
-        }
-    }
-
-    fn variant_parameters(&self) -> (DiversityScope, f64, f64) {
-        let gamma = self.config.gamma;
-        match self.config.variant {
-            GrainVariant::Full => (DiversityScope::Activated, 1.0, gamma),
-            GrainVariant::NoDiversity => (DiversityScope::Activated, 1.0, 0.0),
-            GrainVariant::NoMagnitude => (DiversityScope::Seeds, 0.0, gamma.max(1.0)),
-            GrainVariant::ClassicCoverage => (DiversityScope::Seeds, 1.0, gamma),
-        }
-    }
-
-    fn run_greedy(
-        &self,
-        objective: &mut impl MarginalObjective,
-        pool: &[u32],
-        budget: usize,
-    ) -> GreedyTrace {
-        match self.config.algorithm {
-            GreedyAlgorithm::Plain => plain_greedy(objective, pool, budget),
-            GreedyAlgorithm::Lazy => lazy_greedy(objective, pool, budget),
-        }
+        let mut engine = SelectionEngine::new(self.config, graph, features)
+            .unwrap_or_else(|e| panic!("invalid GrainConfig (was new_unchecked misused?): {e}"));
+        engine.select(candidates, budget)
     }
 
     /// Builds just the activation index for external inspection
     /// (interpretability experiments / Figure 7).
     pub fn activation_index(&self, graph: &Graph) -> ActivationIndex {
-        let t = transition_matrix(graph, self.config.kernel.transition_kind(), true);
-        let rows = InfluenceRows::for_kernel(&t, self.config.kernel, self.config.influence_eps);
-        ActivationIndex::build_with_rule(&rows, self.config.theta)
+        let features = DenseMatrix::zeros(graph.num_nodes(), 1);
+        let mut engine = SelectionEngine::new(self.config, graph, &features)
+            .unwrap_or_else(|e| panic!("invalid GrainConfig (was new_unchecked misused?): {e}"));
+        engine.activation_index().clone()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PruneStrategy;
+    use crate::config::{GrainVariant, GreedyAlgorithm, PruneStrategy};
     use grain_graph::generators::{self, SbmConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -286,7 +214,11 @@ mod tests {
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         let out = GrainSelector::ball_d().select(&g, &x, &candidates, 10);
         for w in out.objective_trace.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "trace decreased: {:?}", out.objective_trace);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "trace decreased: {:?}",
+                out.objective_trace
+            );
         }
     }
 
@@ -296,9 +228,13 @@ mod tests {
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         let mut cfg = GrainConfig::ball_d();
         cfg.algorithm = GreedyAlgorithm::Plain;
-        let plain = GrainSelector::new(cfg).select(&g, &x, &candidates, 8);
+        let plain = GrainSelector::new(cfg)
+            .unwrap()
+            .select(&g, &x, &candidates, 8);
         cfg.algorithm = GreedyAlgorithm::Lazy;
-        let lazy = GrainSelector::new(cfg).select(&g, &x, &candidates, 8);
+        let lazy = GrainSelector::new(cfg)
+            .unwrap()
+            .select(&g, &x, &candidates, 8);
         assert_eq!(plain.selected, lazy.selected);
         assert!(lazy.evaluations <= plain.evaluations);
     }
@@ -345,7 +281,9 @@ mod tests {
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         let mut cfg = GrainConfig::ball_d();
         cfg.prune = Some(PruneStrategy::Degree { keep_fraction: 0.2 });
-        let out = GrainSelector::new(cfg).select(&g, &x, &candidates, 6);
+        let out = GrainSelector::new(cfg)
+            .unwrap()
+            .select(&g, &x, &candidates, 6);
         assert_eq!(out.candidates_after_prune, 30);
         assert_eq!(out.selected.len(), 6);
     }
@@ -361,6 +299,7 @@ mod tests {
             GrainVariant::ClassicCoverage,
         ] {
             let out = GrainSelector::new(GrainConfig::ablation(variant))
+                .unwrap()
                 .select(&g, &x, &candidates, 5);
             assert_eq!(out.selected.len(), 5, "variant {variant:?}");
         }

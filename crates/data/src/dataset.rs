@@ -104,7 +104,11 @@ mod tests {
             features: DenseMatrix::zeros(4, 2),
             labels: vec![0, 0, 1, 1],
             num_classes: 2,
-            split: Split { train: vec![0, 1], val: vec![2], test: vec![3] },
+            split: Split {
+                train: vec![0, 1],
+                val: vec![2],
+                test: vec![3],
+            },
         }
     }
 
@@ -128,14 +132,22 @@ mod tests {
 
     #[test]
     fn split_validation_accepts_disjoint() {
-        let s = Split { train: vec![0], val: vec![1], test: vec![2] };
+        let s = Split {
+            train: vec![0],
+            val: vec![1],
+            test: vec![2],
+        };
         let _ = s.validated(4);
     }
 
     #[test]
     #[should_panic(expected = "overlap")]
     fn split_validation_rejects_overlap() {
-        let s = Split { train: vec![0, 1], val: vec![1], test: vec![] };
+        let s = Split {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![],
+        };
         let _ = s.validated(4);
     }
 }

@@ -19,6 +19,4 @@ pub mod synthetic;
 
 pub use dataset::{Dataset, Split};
 pub use loader::load_planetoid;
-pub use synthetic::{
-    citeseer_like, cora_like, papers_like, pubmed_like, reddit_like, CorpusSpec,
-};
+pub use synthetic::{citeseer_like, cora_like, papers_like, pubmed_like, reddit_like, CorpusSpec};

@@ -43,7 +43,11 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::Io(e) => write!(f, "dataset I/O error: {e}"),
-            LoadError::Parse { file, line, message } => {
+            LoadError::Parse {
+                file,
+                line,
+                message,
+            } => {
                 write!(f, "{file} file, line {line}: {message}")
             }
             LoadError::Empty => write!(f, "content file holds no nodes"),
@@ -208,8 +212,7 @@ paper_x paper_a\n";
 
     #[test]
     fn loads_nodes_edges_and_classes() {
-        let loaded =
-            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let loaded = load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
         let ds = &loaded.dataset;
         assert_eq!(ds.num_nodes(), 4);
         assert_eq!(ds.feature_dim(), 3);
@@ -222,8 +225,7 @@ paper_x paper_a\n";
 
     #[test]
     fn split_partitions_all_nodes() {
-        let loaded =
-            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let loaded = load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
         let s = &loaded.dataset.split;
         assert_eq!(s.train.len() + s.val.len() + s.test.len(), 4);
     }
@@ -232,7 +234,17 @@ paper_x paper_a\n";
     fn rejects_ragged_features() {
         let bad = "a 1 0 ml\nb 1 x\n";
         let err = load_planetoid("t", bad.as_bytes(), "".as_bytes(), 1, 1, 1).unwrap_err();
-        assert!(matches!(err, LoadError::Parse { file: "content", line: 2, .. }), "{err}");
+        assert!(
+            matches!(
+                err,
+                LoadError::Parse {
+                    file: "content",
+                    line: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -257,15 +269,10 @@ paper_x paper_a\n";
 
     #[test]
     fn loaded_dataset_flows_through_selection() {
-        let loaded =
-            load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
+        let loaded = load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
         let ds = &loaded.dataset;
-        let outcome = grain_core::GrainSelector::ball_d().select(
-            &ds.graph,
-            &ds.features,
-            &ds.split.train,
-            1,
-        );
+        let outcome =
+            grain_core::GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, 1);
         assert_eq!(outcome.selected.len(), 1);
     }
 }

@@ -71,7 +71,12 @@ impl CorpusSpec {
             self.feature_noise,
             seed ^ 0x5eed_f00d,
         );
-        let split = capped_split(self.num_nodes, self.val_target, self.test_target, seed ^ 0x51e7);
+        let split = capped_split(
+            self.num_nodes,
+            self.val_target,
+            self.test_target,
+            seed ^ 0x51e7,
+        );
         Dataset {
             name: self.name.clone(),
             graph,
@@ -126,7 +131,11 @@ pub fn block_class_features(
         let row = x.row_mut(v);
         for (j, value) in row.iter_mut().enumerate() {
             let expressed = center[j] > 0.0 && rng.random::<f32>() < signal_keep;
-            let base = if expressed { 0.15 + 0.5 * center[j] } else { 0.12 };
+            let base = if expressed {
+                0.15 + 0.5 * center[j]
+            } else {
+                0.12
+            };
             *value = (base + (rng.random::<f32>() - 0.5) * 2.0 * noise).max(0.0);
         }
     }
@@ -272,7 +281,11 @@ mod tests {
     #[test]
     fn reddit_like_is_dense() {
         let d = reddit_like(3);
-        assert!(d.graph.mean_degree() > 25.0, "mean degree {}", d.graph.mean_degree());
+        assert!(
+            d.graph.mean_degree() > 25.0,
+            "mean degree {}",
+            d.graph.mean_degree()
+        );
         assert_eq!(d.num_classes, 16);
     }
 

@@ -12,8 +12,16 @@ pub fn relu_inplace(m: &mut DenseMatrix) {
 /// ReLU backward: zeroes gradient entries where the forward *pre-activation*
 /// was non-positive.
 pub fn relu_backward_inplace(grad: &mut DenseMatrix, pre_activation: &DenseMatrix) {
-    assert_eq!(grad.shape(), pre_activation.shape(), "relu_backward: shape mismatch");
-    for (g, &z) in grad.as_mut_slice().iter_mut().zip(pre_activation.as_slice()) {
+    assert_eq!(
+        grad.shape(),
+        pre_activation.shape(),
+        "relu_backward: shape mismatch"
+    );
+    for (g, &z) in grad
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pre_activation.as_slice())
+    {
         if z <= 0.0 {
             *g = 0.0;
         }
@@ -51,7 +59,13 @@ pub fn dropout_mask(rows: usize, cols: usize, rate: f32, seed: u64) -> DenseMatr
     let scale = 1.0 / keep;
     let mut rng = StdRng::seed_from_u64(seed);
     let data = (0..rows * cols)
-        .map(|_| if rng.random::<f32>() < keep { scale } else { 0.0 })
+        .map(|_| {
+            if rng.random::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        })
         .collect();
     DenseMatrix::from_vec(rows, cols, data)
 }

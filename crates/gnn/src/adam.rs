@@ -20,7 +20,15 @@ impl Adam {
     /// Optimizer for a parameter with `size` entries at learning rate `lr`
     /// and default betas `(0.9, 0.999)`.
     pub fn new(size: usize, lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: vec![0.0; size], v: vec![0.0; size], t: 0 }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            m: vec![0.0; size],
+            v: vec![0.0; size],
+            t: 0,
+        }
     }
 
     /// Applies one update `param -= lr * m̂ / (sqrt(v̂) + eps)`.
@@ -28,8 +36,16 @@ impl Adam {
     /// # Panics
     /// Panics if shapes drift from the construction size.
     pub fn step(&mut self, param: &mut DenseMatrix, grad: &DenseMatrix) {
-        assert_eq!(param.shape(), grad.shape(), "adam: param/grad shape mismatch");
-        assert_eq!(param.as_slice().len(), self.m.len(), "adam: state size mismatch");
+        assert_eq!(
+            param.shape(),
+            grad.shape(),
+            "adam: param/grad shape mismatch"
+        );
+        assert_eq!(
+            param.as_slice().len(),
+            self.m.len(),
+            "adam: state size mismatch"
+        );
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t);
         let bc2 = 1.0 - self.beta2.powi(self.t);

@@ -43,7 +43,11 @@ impl AppnpModel {
         alpha: f32,
         seed: u64,
     ) -> Self {
-        assert_eq!(graph.num_nodes(), features.rows(), "feature rows != node count");
+        assert_eq!(
+            graph.num_nodes(),
+            features.rows(),
+            "feature rows != node count"
+        );
         assert!((0.0..=1.0).contains(&alpha), "alpha must lie in [0,1]");
         let a_hat = transition_matrix(graph, TransitionKind::Symmetric, true);
         let d = features.cols();
@@ -168,8 +172,8 @@ impl Model for AppnpModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::toy_dataset;
     use crate::metrics::accuracy;
+    use crate::testutil::toy_dataset;
 
     #[test]
     fn learns_two_community_classification() {
@@ -177,7 +181,12 @@ mod tests {
         let train: Vec<u32> = vec![0, 1, 2, 3, 40, 41, 42, 43];
         let test: Vec<u32> = (10..40).chain(50..80).collect();
         let mut model = AppnpModel::new(&g, &x, 2, 16, 4, 0.1, 7);
-        let cfg = TrainConfig { epochs: 120, dropout: 0.3, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 120,
+            dropout: 0.3,
+            patience: None,
+            ..Default::default()
+        };
         model.train(&labels, &train, &[], &cfg);
         let acc = accuracy(&model.predict(), &labels, &test);
         assert!(acc > 0.85, "test accuracy {acc}");
@@ -208,7 +217,10 @@ mod tests {
         let pb = model.ppr_propagate(&b);
         let lhs = ops::dot(pa.as_slice(), b.as_slice());
         let rhs = ops::dot(a.as_slice(), pb.as_slice());
-        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        assert!(
+            (lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

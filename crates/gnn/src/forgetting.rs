@@ -78,7 +78,11 @@ impl ForgettingTracker {
     pub fn most_forgotten(&self, count: usize) -> Vec<u32> {
         let mut scored = self.scores();
         scored.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        scored.into_iter().take(count).map(|(node, _)| node).collect()
+        scored
+            .into_iter()
+            .take(count)
+            .map(|(node, _)| node)
+            .collect()
     }
 }
 

@@ -30,7 +30,12 @@ impl LinearHead {
         let bias = DenseMatrix::full(embedding.rows(), 1, 1.0);
         let x = embedding.hconcat(&bias);
         let w = glorot_uniform(x.cols(), num_classes, seed);
-        Self { x, w, num_classes, seed }
+        Self {
+            x,
+            w,
+            num_classes,
+            seed,
+        }
     }
 
     /// Number of classes.
@@ -124,7 +129,12 @@ mod tests {
         let (x, labels) = toy();
         let idx: Vec<u32> = (0..40).collect();
         let mut head = LinearHead::new(&x, 2, 1);
-        let cfg = TrainConfig { epochs: 200, patience: None, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            patience: None,
+            dropout: 0.0,
+            ..Default::default()
+        };
         head.train(&labels, &idx, &[], &cfg, None);
         let acc = accuracy(&head.predict(), &labels, &idx);
         assert!(acc > 0.95, "accuracy {acc}");
@@ -136,7 +146,11 @@ mod tests {
         let train: Vec<u32> = (0..20).chain(20..30).collect();
         let val: Vec<u32> = (30..40).collect();
         let mut head = LinearHead::new(&x, 2, 2);
-        let cfg = TrainConfig { epochs: 500, patience: Some(5), ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: Some(5),
+            ..Default::default()
+        };
         let rep = head.train(&labels, &train, &val, &cfg, None);
         assert!(rep.epochs_run < 500, "ran all {} epochs", rep.epochs_run);
         assert!(rep.best_val_accuracy > 0.9);
@@ -148,7 +162,11 @@ mod tests {
         let idx: Vec<u32> = (0..40).collect();
         let mut head = LinearHead::new(&x, 2, 3);
         let mut count = 0usize;
-        let cfg = TrainConfig { epochs: 7, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 7,
+            patience: None,
+            ..Default::default()
+        };
         let mut hook = |_e: usize, _p: &DenseMatrix| count += 1;
         head.train(&labels, &idx, &[], &cfg, Some(&mut hook));
         assert_eq!(count, 7);

@@ -17,7 +17,10 @@ pub fn masked_cross_entropy(
     labels: &[u32],
     train_idx: &[u32],
 ) -> (f64, DenseMatrix) {
-    assert!(!train_idx.is_empty(), "cross-entropy needs at least one labeled row");
+    assert!(
+        !train_idx.is_empty(),
+        "cross-entropy needs at least one labeled row"
+    );
     assert_eq!(logits.rows(), labels.len(), "labels must cover all rows");
     let c = logits.cols();
     let probs = softmax_rows(logits);

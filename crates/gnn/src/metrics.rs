@@ -50,7 +50,11 @@ pub fn macro_f1(probs: &DenseMatrix, labels: &[u32], idx: &[u32], num_classes: u
         } else {
             0.0
         };
-        let recall = if support > 0 { tp[c] as f64 / support as f64 } else { 0.0 };
+        let recall = if support > 0 {
+            tp[c] as f64 / support as f64
+        } else {
+            0.0
+        };
         if precision + recall > 0.0 {
             f1_sum += 2.0 * precision * recall / (precision + recall);
         }
@@ -84,7 +88,10 @@ pub fn mean_prediction_entropy(probs: &DenseMatrix, idx: &[u32]) -> f64 {
     if idx.is_empty() {
         return 0.0;
     }
-    idx.iter().map(|&i| row_entropy(probs.row(i as usize))).sum::<f64>() / idx.len() as f64
+    idx.iter()
+        .map(|&i| row_entropy(probs.row(i as usize)))
+        .sum::<f64>()
+        / idx.len() as f64
 }
 
 /// Entropy of one probability row.
@@ -100,11 +107,7 @@ mod tests {
     use super::*;
 
     fn probs() -> DenseMatrix {
-        DenseMatrix::from_vec(
-            4,
-            2,
-            vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.3, 0.7],
-        )
+        DenseMatrix::from_vec(4, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4, 0.3, 0.7])
     }
 
     #[test]

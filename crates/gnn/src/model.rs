@@ -49,7 +49,12 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// Fast profile for tests and inner AL loops.
     pub fn fast() -> Self {
-        Self { epochs: 90, patience: Some(20), min_epochs: 35, ..Self::default() }
+        Self {
+            epochs: 90,
+            patience: Some(20),
+            min_epochs: 35,
+            ..Self::default()
+        }
     }
 }
 
@@ -108,9 +113,7 @@ pub trait Model {
 /// Predicted class per node: row-wise argmax of probabilities.
 pub fn predicted_classes(probs: &DenseMatrix) -> Vec<u32> {
     (0..probs.rows())
-        .map(|i| {
-            grain_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as u32
-        })
+        .map(|i| grain_linalg::stats::argmax(probs.row(i)).unwrap_or(0) as u32)
         .collect()
 }
 

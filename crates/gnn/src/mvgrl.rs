@@ -35,7 +35,9 @@ impl MvgrlSimModel {
         let adjacency_view = propagate(graph, Kernel::SymNorm { k }, features);
         let diffusion_view = propagate(graph, Kernel::Ppr { k, alpha }, features);
         let embedding = adjacency_view.hconcat(&diffusion_view);
-        Self { head: LinearHead::new(&embedding, num_classes, seed) }
+        Self {
+            head: LinearHead::new(&embedding, num_classes, seed),
+        }
     }
 }
 
@@ -67,8 +69,8 @@ impl Model for MvgrlSimModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::toy_dataset;
     use crate::metrics::accuracy;
+    use crate::testutil::toy_dataset;
 
     #[test]
     fn learns_two_community_classification() {
@@ -76,7 +78,11 @@ mod tests {
         let train: Vec<u32> = vec![0, 1, 2, 3, 40, 41, 42, 43];
         let test: Vec<u32> = (10..40).chain(50..80).collect();
         let mut model = MvgrlSimModel::new(&g, &x, 2, 2, 0.1, 1);
-        let cfg = TrainConfig { epochs: 150, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 150,
+            patience: None,
+            ..Default::default()
+        };
         model.train(&labels, &train, &[], &cfg);
         let acc = accuracy(&model.predict(), &labels, &test);
         assert!(acc > 0.85, "test accuracy {acc}");

@@ -22,13 +22,17 @@ impl SgcModel {
         seed: u64,
     ) -> Self {
         let smoothed = propagate(graph, Kernel::SymNorm { k }, features);
-        Self { head: LinearHead::new(&smoothed, num_classes, seed) }
+        Self {
+            head: LinearHead::new(&smoothed, num_classes, seed),
+        }
     }
 
     /// Builds from an already-propagated embedding (lets callers share the
     /// propagation cache with the selector).
     pub fn from_embedding(embedding: &DenseMatrix, num_classes: usize, seed: u64) -> Self {
-        Self { head: LinearHead::new(embedding, num_classes, seed) }
+        Self {
+            head: LinearHead::new(embedding, num_classes, seed),
+        }
     }
 }
 
@@ -60,8 +64,8 @@ impl Model for SgcModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::toy_dataset;
     use crate::metrics::accuracy;
+    use crate::testutil::toy_dataset;
 
     #[test]
     fn learns_two_community_classification() {
@@ -69,7 +73,11 @@ mod tests {
         let train: Vec<u32> = vec![0, 1, 2, 3, 40, 41, 42, 43];
         let test: Vec<u32> = (10..40).chain(50..80).collect();
         let mut model = SgcModel::new(&g, &x, 2, 2, 1);
-        let cfg = TrainConfig { epochs: 150, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 150,
+            patience: None,
+            ..Default::default()
+        };
         model.train(&labels, &train, &[], &cfg);
         let acc = accuracy(&model.predict(), &labels, &test);
         assert!(acc > 0.85, "test accuracy {acc}");
@@ -80,7 +88,11 @@ mod tests {
         let (g, x, labels) = toy_dataset(12);
         let train: Vec<u32> = vec![0, 1, 40, 41];
         let test: Vec<u32> = (10..40).chain(50..80).collect();
-        let cfg = TrainConfig { epochs: 150, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 150,
+            patience: None,
+            ..Default::default()
+        };
         let mut smoothed = SgcModel::new(&g, &x, 2, 2, 1);
         smoothed.train(&labels, &train, &[], &cfg);
         let mut raw = SgcModel::new(&g, &x, 2, 0, 1);

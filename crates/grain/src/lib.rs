@@ -69,8 +69,8 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        DiversityKind, GrainConfig, GrainSelector, GrainVariant, GreedyAlgorithm, PruneStrategy,
-        SelectionOutcome,
+        DiversityKind, EngineStats, GrainConfig, GrainSelector, GrainVariant, GreedyAlgorithm,
+        PruneStrategy, SelectionEngine, SelectionOutcome,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

@@ -159,7 +159,10 @@ pub fn average_clustering_coefficient(g: &Graph) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|v| local_clustering_coefficient(g, v)).sum::<f64>() / n as f64
+    (0..n)
+        .map(|v| local_clustering_coefficient(g, v))
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Induced subgraph on `nodes` (sorted, deduplicated internally).

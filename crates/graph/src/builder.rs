@@ -15,12 +15,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Builder for a graph with `n` nodes.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: Vec::new() }
+        Self {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates capacity for `m` edges.
     pub fn with_capacity(n: usize, m: usize) -> Self {
-        Self { n, edges: Vec::with_capacity(m) }
+        Self {
+            n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Adds an undirected unit-weight edge. Self-loops are ignored.

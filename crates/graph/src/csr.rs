@@ -21,7 +21,13 @@ pub struct CsrMatrix {
 impl CsrMatrix {
     /// Empty matrix with the given shape.
     pub fn empty(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Builds from (row, col, value) triplets.
@@ -37,7 +43,10 @@ impl CsrMatrix {
     ) -> Self {
         let mut counts = vec![0usize; rows + 1];
         for &(r, _, _) in triplets {
-            assert!((r as usize) < rows, "triplet row {r} out of bounds ({rows} rows)");
+            assert!(
+                (r as usize) < rows,
+                "triplet row {r} out of bounds ({rows} rows)"
+            );
             counts[r as usize + 1] += 1;
         }
         for i in 0..rows {
@@ -47,7 +56,10 @@ impl CsrMatrix {
         let mut col_idx = vec![0u32; triplets.len()];
         let mut values = vec![0f32; triplets.len()];
         for &(r, c, v) in triplets {
-            assert!((c as usize) < cols, "triplet col {c} out of bounds ({cols} cols)");
+            assert!(
+                (c as usize) < cols,
+                "triplet col {c} out of bounds ({cols} cols)"
+            );
             let slot = order[r as usize];
             order[r as usize] += 1;
             col_idx[slot] = c;
@@ -82,21 +94,40 @@ impl CsrMatrix {
             }
             out_row_ptr.push(out_cols.len());
         }
-        Self { rows, cols, row_ptr: out_row_ptr, col_idx: out_cols, values: out_vals }
+        Self {
+            rows,
+            cols,
+            row_ptr: out_row_ptr,
+            col_idx: out_cols,
+            values: out_vals,
+        }
     }
 
     /// Builds directly from CSR arrays (rows must be sorted by column).
     ///
     /// # Panics
     /// Panics if the arrays are inconsistent or any row is unsorted.
-    pub fn from_raw(rows: usize, cols: usize, row_ptr: Vec<usize>, col_idx: Vec<u32>, values: Vec<f32>) -> Self {
+    pub fn from_raw(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Self {
         assert_eq!(row_ptr.len(), rows + 1, "row_ptr length mismatch");
         assert_eq!(col_idx.len(), values.len(), "col/value length mismatch");
-        assert_eq!(*row_ptr.last().unwrap_or(&0), col_idx.len(), "row_ptr tail mismatch");
+        assert_eq!(
+            *row_ptr.last().unwrap_or(&0),
+            col_idx.len(),
+            "row_ptr tail mismatch"
+        );
         for r in 0..rows {
             let s = row_ptr[r];
             let e = row_ptr[r + 1];
-            assert!(s <= e && e <= col_idx.len(), "row_ptr not monotone at row {r}");
+            assert!(
+                s <= e && e <= col_idx.len(),
+                "row_ptr not monotone at row {r}"
+            );
             for w in col_idx[s..e].windows(2) {
                 assert!(w[0] < w[1], "row {r} has unsorted or duplicate columns");
             }
@@ -104,7 +135,13 @@ impl CsrMatrix {
                 assert!((last as usize) < cols, "column out of bounds in row {r}");
             }
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -160,12 +197,18 @@ impl CsrMatrix {
 
     /// Sum of values per row.
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.rows).map(|r| self.row_values(r).iter().sum()).collect()
+        (0..self.rows)
+            .map(|r| self.row_values(r).iter().sum())
+            .collect()
     }
 
     /// Multiplies each row `r` by `factors[r]` in place.
     pub fn scale_rows(&mut self, factors: &[f32]) {
-        assert_eq!(factors.len(), self.rows, "scale_rows: factor count mismatch");
+        assert_eq!(
+            factors.len(),
+            self.rows,
+            "scale_rows: factor count mismatch"
+        );
         for (r, &f) in factors.iter().enumerate() {
             for v in &mut self.values[self.row_ptr[r]..self.row_ptr[r + 1]] {
                 *v *= f;
@@ -175,7 +218,11 @@ impl CsrMatrix {
 
     /// Multiplies each column `c` by `factors[c]` in place.
     pub fn scale_cols(&mut self, factors: &[f32]) {
-        assert_eq!(factors.len(), self.cols, "scale_cols: factor count mismatch");
+        assert_eq!(
+            factors.len(),
+            self.cols,
+            "scale_cols: factor count mismatch"
+        );
         for (c, v) in self.col_idx.iter().zip(self.values.iter_mut()) {
             *v *= factors[*c as usize];
         }
@@ -203,7 +250,13 @@ impl CsrMatrix {
             }
         }
         row_ptr.rotate_right(0); // counts already is the final row_ptr prefix
-        CsrMatrix { rows: self.cols, cols: self.rows, row_ptr, col_idx, values }
+        CsrMatrix {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Sparse × dense product `self * rhs`, parallel over output rows.
@@ -299,7 +352,12 @@ mod tests {
         // [[0, 1, 2],
         //  [3, 0, 0],
         //  [0, 4, 0]]
-        CsrMatrix::from_triplets(3, 3, &[(0, 1, 1.), (0, 2, 2.), (1, 0, 3.), (2, 1, 4.)], false)
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 1.), (0, 2, 2.), (1, 0, 3.), (2, 1, 4.)],
+            false,
+        )
     }
 
     #[test]

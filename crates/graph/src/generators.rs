@@ -21,7 +21,10 @@ use rand::{Rng, SeedableRng};
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct random edges.
 pub fn erdos_renyi_gnm(n: usize, m: usize, seed: u64) -> Graph {
-    assert!(n >= 2 || m == 0, "G(n,m) needs at least two nodes for edges");
+    assert!(
+        n >= 2 || m == 0,
+        "G(n,m) needs at least two nodes for edges"
+    );
     let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
     let m = m.min(max_edges);
     let mut rng = StdRng::seed_from_u64(seed);
@@ -216,7 +219,11 @@ impl CumTable {
             acc += weights[v as usize];
             cum.push(acc);
         }
-        Self { nodes: nodes.to_vec(), cum, total: acc }
+        Self {
+            nodes: nodes.to_vec(),
+            cum,
+            total: acc,
+        }
     }
 
     fn sample(&self, rng: &mut StdRng) -> u32 {
@@ -249,7 +256,10 @@ mod tests {
         let g = erdos_renyi_gnp(100, 0.1, 3);
         let expect = 0.1 * (100.0 * 99.0 / 2.0);
         let got = g.num_edges() as f64;
-        assert!((got - expect).abs() < expect * 0.35, "got {got}, expected ~{expect}");
+        assert!(
+            (got - expect).abs() < expect * 0.35,
+            "got {got}, expected ~{expect}"
+        );
     }
 
     #[test]
@@ -313,7 +323,10 @@ mod tests {
             mean_degree_out: 0.0,
             degree_exponent: 0.0,
         };
-        let skewed = SbmConfig { degree_exponent: 1.5, ..base.clone() };
+        let skewed = SbmConfig {
+            degree_exponent: 1.5,
+            ..base.clone()
+        };
         let (g0, _) = degree_corrected_sbm(&base, 8);
         let (g1, _) = degree_corrected_sbm(&skewed, 8);
         let max0 = g0.degrees().into_iter().max().unwrap();

@@ -37,7 +37,9 @@ impl Graph {
         // from_triplets sums duplicates; a doubled (u,v) input therefore
         // yields a doubled weight, matching multigraph semantics collapsed
         // onto a weighted simple graph.
-        Self { adj: CsrMatrix::from_triplets(n, n, &triplets, false) }
+        Self {
+            adj: CsrMatrix::from_triplets(n, n, &triplets, false),
+        }
     }
 
     /// Wraps an existing symmetric adjacency matrix.

@@ -81,9 +81,20 @@ pub fn read_edge_list(r: impl Read) -> Result<Graph, EdgeListError> {
             continue;
         }
         let mut parts = trimmed.split_whitespace();
-        let parse_err = || EdgeListError::Parse { line: i + 1, content: trimmed.to_string() };
-        let u: u32 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
-        let v: u32 = parts.next().ok_or_else(parse_err)?.parse().map_err(|_| parse_err())?;
+        let parse_err = || EdgeListError::Parse {
+            line: i + 1,
+            content: trimmed.to_string(),
+        };
+        let u: u32 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(parse_err)?
+            .parse()
+            .map_err(|_| parse_err())?;
         let w: f32 = match parts.next() {
             Some(t) => t.parse().map_err(|_| parse_err())?,
             None => 1.0,
@@ -91,7 +102,11 @@ pub fn read_edge_list(r: impl Read) -> Result<Graph, EdgeListError> {
         max_node = max_node.max(u).max(v);
         edges.push((u, v, w));
     }
-    let n = declared_nodes.max(if edges.is_empty() { 0 } else { max_node as usize + 1 });
+    let n = declared_nodes.max(if edges.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    });
     Ok(Graph::from_weighted_edges(n, edges))
 }
 

@@ -20,7 +20,12 @@ pub struct CoverageState<'a> {
 impl<'a> CoverageState<'a> {
     /// Empty coverage (`S = ∅`).
     pub fn new(index: &'a ActivationIndex) -> Self {
-        Self { index, covered: vec![false; index.num_nodes()], count: 0, seeds: Vec::new() }
+        Self {
+            index,
+            covered: vec![false; index.num_nodes()],
+            count: 0,
+            seeds: Vec::new(),
+        }
     }
 
     /// The activation index this state tracks.

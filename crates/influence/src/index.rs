@@ -97,7 +97,11 @@ impl ActivationIndex {
         for lst in &mut act {
             lst.sort_unstable();
         }
-        Self { act, theta, k: rows.k() }
+        Self {
+            act,
+            theta,
+            k: rows.k(),
+        }
     }
 
     /// The `q`-quantile of all nonzero normalized influence values.
@@ -235,10 +239,7 @@ mod tests {
         // Under RelativeToRowMax every node appears in at least the list of
         // its strongest influencer, so sigma over all seeds covers V.
         let g = generators::erdos_renyi_gnm(40, 100, 12);
-        let idx = ActivationIndex::build_with_rule(
-            &rows(&g, 2),
-            ThetaRule::RelativeToRowMax(0.25),
-        );
+        let idx = ActivationIndex::build_with_rule(&rows(&g, 2), ThetaRule::RelativeToRowMax(0.25));
         let all: Vec<u32> = (0..40u32).collect();
         assert_eq!(idx.sigma_size(&all), 40);
     }

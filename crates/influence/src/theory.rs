@@ -16,7 +16,10 @@ pub fn check_monotone_pair(
     subset: &[u32],
     superset: &[u32],
 ) -> PropertyResult {
-    debug_assert!(is_subset(subset, superset), "check_monotone_pair needs S ⊆ T");
+    debug_assert!(
+        is_subset(subset, superset),
+        "check_monotone_pair needs S ⊆ T"
+    );
     let fs = f(subset);
     let ft = f(superset);
     if fs <= ft + 1e-6 {
@@ -36,7 +39,10 @@ pub fn check_submodular_triple(
     superset: &[u32],
     x: u32,
 ) -> PropertyResult {
-    debug_assert!(is_subset(subset, superset), "check_submodular_triple needs S ⊆ T");
+    debug_assert!(
+        is_subset(subset, superset),
+        "check_submodular_triple needs S ⊆ T"
+    );
     debug_assert!(!superset.contains(&x), "x must lie outside T");
     let fs = f(subset);
     let ft = f(superset);
@@ -57,12 +63,12 @@ pub fn check_submodular_triple(
 /// Exhaustively checks monotonicity + submodularity over every chain
 /// `S ⊆ T ⊆ U` with `|U| <= universe.len()`. Exponential — only for small
 /// universes in tests (≤ ~10 elements).
-pub fn check_all_chains(
-    f: &mut dyn FnMut(&[u32]) -> f64,
-    universe: &[u32],
-) -> PropertyResult {
+pub fn check_all_chains(f: &mut dyn FnMut(&[u32]) -> f64, universe: &[u32]) -> PropertyResult {
     let n = universe.len();
-    assert!(n <= 12, "check_all_chains is exponential; universe too large");
+    assert!(
+        n <= 12,
+        "check_all_chains is exponential; universe too large"
+    );
     let subsets: Vec<Vec<u32>> = (0..(1usize << n))
         .map(|mask| {
             (0..n)

@@ -20,12 +20,20 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Matrix of zeros with the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Matrix filled with `value`.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Identity matrix of size `n`.
@@ -54,7 +62,11 @@ impl DenseMatrix {
     /// Fallible variant of [`DenseMatrix::from_vec`] for untrusted input.
     pub fn try_from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
         if data.len() != rows * cols {
-            return Err(ShapeError { rows, cols, len: data.len() });
+            return Err(ShapeError {
+                rows,
+                cols,
+                len: data.len(),
+            });
         }
         Ok(Self { rows, cols, data })
     }
@@ -65,10 +77,19 @@ impl DenseMatrix {
         let c = rows.first().map_or(0, |row| row.len());
         let mut data = Vec::with_capacity(r * c);
         for (i, row) in rows.iter().enumerate() {
-            assert_eq!(row.len(), c, "DenseMatrix::from_rows: row {i} has length {} != {c}", row.len());
+            assert_eq!(
+                row.len(),
+                c,
+                "DenseMatrix::from_rows: row {i} has length {} != {c}",
+                row.len()
+            );
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.

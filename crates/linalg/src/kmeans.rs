@@ -87,7 +87,12 @@ pub fn kmeans(data: &DenseMatrix, k: usize, max_iter: usize, seed: u64) -> KMean
         }
         inertia = new_inertia;
     }
-    KMeansResult { centroids, assignment, inertia, iterations }
+    KMeansResult {
+        centroids,
+        assignment,
+        inertia,
+        iterations,
+    }
 }
 
 /// k-means++ seeding: iteratively samples new centers proportional to the

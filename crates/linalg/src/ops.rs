@@ -204,7 +204,9 @@ pub fn l1_normalize_rows(m: &mut DenseMatrix) {
 
 /// Per-row L2 norms.
 pub fn row_norms(m: &DenseMatrix) -> Vec<f32> {
-    (0..m.rows()).map(|i| dot(m.row(i), m.row(i)).sqrt()).collect()
+    (0..m.rows())
+        .map(|i| dot(m.row(i), m.row(i)).sqrt())
+        .collect()
 }
 
 /// Column-wise mean vector.

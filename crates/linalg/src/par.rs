@@ -19,7 +19,9 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Runs `f(start, end)` over disjoint chunks of `0..len` on scoped threads.

@@ -86,7 +86,11 @@ pub fn pca(data: &DenseMatrix, k: usize, iters: usize, seed: u64) -> PcaResult {
         }
     }
     let projected = ops::matmul_nt(&centered, &components);
-    PcaResult { projected, components, explained_variance: explained }
+    PcaResult {
+        projected,
+        components,
+        explained_variance: explained,
+    }
 }
 
 fn normalize(v: &mut [f32]) {

@@ -5,8 +5,8 @@
 //! makes sure each kernel propagates exactly once per graph.
 
 use crate::kernel::Kernel;
-use crate::propagate::propagate;
-use grain_graph::Graph;
+use crate::propagate::{propagate, propagate_with};
+use grain_graph::{CsrMatrix, Graph};
 use grain_linalg::DenseMatrix;
 use std::collections::HashMap;
 
@@ -27,7 +27,11 @@ impl<'g> PropagationCache<'g> {
             features.rows(),
             graph.num_nodes()
         );
-        Self { graph, features, cache: HashMap::new() }
+        Self {
+            graph,
+            features,
+            cache: HashMap::new(),
+        }
     }
 
     /// The propagated embedding for `kernel`, computed on first use.
@@ -38,6 +42,27 @@ impl<'g> PropagationCache<'g> {
             self.cache.insert(key.clone(), value);
         }
         &self.cache[&key]
+    }
+
+    /// Like [`PropagationCache::get`], but propagates over a prebuilt
+    /// transition matrix on a miss — callers that already hold `T` (the
+    /// selection engine caches it for the influence rows) avoid rebuilding
+    /// it here.
+    ///
+    /// # Panics
+    /// Panics if `transition` does not match the cached graph's node count.
+    pub fn get_with(&mut self, kernel: Kernel, transition: &CsrMatrix) -> &DenseMatrix {
+        let key = kernel.cache_key();
+        if !self.cache.contains_key(&key) {
+            let value = propagate_with(transition, kernel, self.features);
+            self.cache.insert(key.clone(), value);
+        }
+        &self.cache[&key]
+    }
+
+    /// True if `kernel` has already been propagated.
+    pub fn contains(&self, kernel: Kernel) -> bool {
+        self.cache.contains_key(&kernel.cache_key())
     }
 
     /// Number of kernels materialized so far.

@@ -65,9 +65,10 @@ impl Kernel {
         match self {
             Kernel::SymNorm { .. } => TransitionKind::Symmetric,
             Kernel::TriangleIa { .. } => TransitionKind::TriangleInduced,
-            Kernel::RandomWalk { .. } | Kernel::Ppr { .. } | Kernel::S2gc { .. } | Kernel::Gbp { .. } => {
-                TransitionKind::RandomWalk
-            }
+            Kernel::RandomWalk { .. }
+            | Kernel::Ppr { .. }
+            | Kernel::S2gc { .. }
+            | Kernel::Gbp { .. } => TransitionKind::RandomWalk,
         }
     }
 
@@ -136,8 +137,14 @@ mod tests {
 
     #[test]
     fn transition_kinds_match_table1() {
-        assert_eq!(Kernel::SymNorm { k: 2 }.transition_kind(), TransitionKind::Symmetric);
-        assert_eq!(Kernel::RandomWalk { k: 2 }.transition_kind(), TransitionKind::RandomWalk);
+        assert_eq!(
+            Kernel::SymNorm { k: 2 }.transition_kind(),
+            TransitionKind::Symmetric
+        );
+        assert_eq!(
+            Kernel::RandomWalk { k: 2 }.transition_kind(),
+            TransitionKind::RandomWalk
+        );
         assert_eq!(
             Kernel::TriangleIa { k: 2 }.transition_kind(),
             TransitionKind::TriangleInduced

@@ -82,7 +82,11 @@ mod tests {
     use grain_graph::TransitionKind;
 
     fn features(n: usize, d: usize) -> DenseMatrix {
-        DenseMatrix::from_vec(n, d, (0..n * d).map(|i| ((i * 37 % 11) as f32) * 0.1).collect())
+        DenseMatrix::from_vec(
+            n,
+            d,
+            (0..n * d).map(|i| ((i * 37 % 11) as f32) * 0.1).collect(),
+        )
     }
 
     fn test_graph() -> Graph {
@@ -93,7 +97,11 @@ mod tests {
     fn zero_steps_is_identity_for_iterative_kernels() {
         let g = test_graph();
         let x = features(30, 4);
-        for kernel in [Kernel::SymNorm { k: 0 }, Kernel::RandomWalk { k: 0 }, Kernel::Ppr { k: 0, alpha: 0.1 }] {
+        for kernel in [
+            Kernel::SymNorm { k: 0 },
+            Kernel::RandomWalk { k: 0 },
+            Kernel::Ppr { k: 0, alpha: 0.1 },
+        ] {
             let y = propagate(&g, kernel, &x);
             assert_eq!(y, x, "{} should be identity at k=0", kernel.name());
         }
@@ -140,7 +148,11 @@ mod tests {
         let y = propagate(&g, Kernel::Gbp { k, beta }, &x);
         let want = (1.0 - beta.powi(k as i32 + 1)) / (1.0 - beta);
         for i in 0..30 {
-            assert!((y.get(i, 0) - want).abs() < 1e-4, "{} vs {want}", y.get(i, 0));
+            assert!(
+                (y.get(i, 0) - want).abs() < 1e-4,
+                "{} vs {want}",
+                y.get(i, 0)
+            );
         }
     }
 

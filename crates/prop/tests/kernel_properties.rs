@@ -8,7 +8,9 @@ use proptest::prelude::*;
 fn features(n: usize, d: usize, seed: u64) -> DenseMatrix {
     let data: Vec<f32> = (0..n * d)
         .map(|i| {
-            let h = (i as u64).wrapping_mul(seed | 1).wrapping_mul(0x9e3779b97f4a7c15);
+            let h = (i as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_mul(0x9e3779b97f4a7c15);
             ((h >> 40) % 1000) as f32 * 0.002
         })
         .collect();

@@ -76,7 +76,9 @@ pub(crate) fn percentile_ranks(scores: &[f64]) -> Vec<f64> {
 
 /// Per-node entropy percentile of the current predictions.
 pub(crate) fn entropy_ranks(probs: &DenseMatrix) -> Vec<f64> {
-    let scores: Vec<f64> = (0..probs.rows()).map(|i| row_entropy(probs.row(i))).collect();
+    let scores: Vec<f64> = (0..probs.rows())
+        .map(|i| row_entropy(probs.row(i)))
+        .collect();
     percentile_ranks(&scores)
 }
 
@@ -112,7 +114,11 @@ pub struct AgeSelector {
 impl AgeSelector {
     /// AGE retraining `model_kind` each round.
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
-        Self { model_kind, seed, train_cfg: TrainConfig::fast() }
+        Self {
+            model_kind,
+            seed,
+            train_cfg: TrainConfig::fast(),
+        }
     }
 
     /// Overrides the per-round training configuration.
@@ -139,7 +145,10 @@ impl NodeSelector for AgeSelector {
         labeled.truncate(budget);
         let mut model = self.model_kind.build(ds, self.seed);
         let per_round = ds.num_classes.max(1);
-        let total_rounds = budget.saturating_sub(labeled.len()).div_ceil(per_round).max(1);
+        let total_rounds = budget
+            .saturating_sub(labeled.len())
+            .div_ceil(per_round)
+            .max(1);
         let mut round = 0usize;
         while labeled.len() < budget {
             model.reset(self.seed.wrapping_add(round as u64));
@@ -149,7 +158,11 @@ impl NodeSelector for AgeSelector {
             let probs = model.predict();
             let entropy = entropy_ranks(&probs);
             // Time-sensitive weights: uncertainty grows with rounds.
-            let progress = if total_rounds <= 1 { 1.0 } else { round as f64 / (total_rounds - 1) as f64 };
+            let progress = if total_rounds <= 1 {
+                1.0
+            } else {
+                round as f64 / (total_rounds - 1) as f64
+            };
             // Cap the uncertainty weight: AGE shifts toward uncertainty but
             // never abandons density/centrality entirely (pure-entropy picks
             // degenerate boundary sets under a weak inner model).
@@ -204,8 +217,11 @@ mod tests {
     fn age_selects_budget_nodes() {
         let ds = papers_like(400, 10);
         let ctx = SelectionContext::new(&ds, 4);
-        let mut sel = AgeSelector::new(ModelKind::Sgc { k: 2 }, 2)
-            .with_train_config(TrainConfig { epochs: 15, patience: None, ..Default::default() });
+        let mut sel = AgeSelector::new(ModelKind::Sgc { k: 2 }, 2).with_train_config(TrainConfig {
+            epochs: 15,
+            patience: None,
+            ..Default::default()
+        });
         let budget = 2 * ds.num_classes + 5;
         let picked = sel.select(&ctx, budget);
         assert_eq!(picked.len(), budget);

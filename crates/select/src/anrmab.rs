@@ -36,7 +36,13 @@ pub struct AnrmabSelector {
 impl AnrmabSelector {
     /// ANRMAB retraining `model_kind` each round.
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
-        Self { model_kind, seed, train_cfg: TrainConfig::fast(), eta: 0.4, last_weights: [1.0; 3] }
+        Self {
+            model_kind,
+            seed,
+            train_cfg: TrainConfig::fast(),
+            eta: 0.4,
+            last_weights: [1.0; 3],
+        }
     }
 
     /// Overrides the per-round training configuration.
@@ -153,8 +159,12 @@ mod tests {
     fn anrmab_selects_budget_nodes() {
         let ds = papers_like(400, 11);
         let ctx = SelectionContext::new(&ds, 5);
-        let mut sel = AnrmabSelector::new(ModelKind::Sgc { k: 2 }, 3)
-            .with_train_config(TrainConfig { epochs: 15, patience: None, ..Default::default() });
+        let mut sel =
+            AnrmabSelector::new(ModelKind::Sgc { k: 2 }, 3).with_train_config(TrainConfig {
+                epochs: 15,
+                patience: None,
+                ..Default::default()
+            });
         let budget = 2 * ds.num_classes + 8;
         let picked = sel.select(&ctx, budget);
         assert_eq!(picked.len(), budget);
@@ -165,8 +175,12 @@ mod tests {
     fn bandit_weights_move_from_uniform() {
         let ds = papers_like(400, 12);
         let ctx = SelectionContext::new(&ds, 6);
-        let mut sel = AnrmabSelector::new(ModelKind::Sgc { k: 2 }, 4)
-            .with_train_config(TrainConfig { epochs: 15, patience: None, ..Default::default() });
+        let mut sel =
+            AnrmabSelector::new(ModelKind::Sgc { k: 2 }, 4).with_train_config(TrainConfig {
+                epochs: 15,
+                patience: None,
+                ..Default::default()
+            });
         // 2C initial pool + 3 bandit rounds so the EXP3 update fires.
         let _ = sel.select(&ctx, 5 * ds.num_classes);
         let w = sel.last_weights();
@@ -179,7 +193,11 @@ mod tests {
     fn deterministic_given_seeds() {
         let ds = papers_like(300, 13);
         let ctx = SelectionContext::new(&ds, 7);
-        let cfg = TrainConfig { epochs: 10, patience: None, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 10,
+            patience: None,
+            ..Default::default()
+        };
         let a = AnrmabSelector::new(ModelKind::Sgc { k: 2 }, 5)
             .with_train_config(cfg)
             .select(&ctx, 2 * ds.num_classes);

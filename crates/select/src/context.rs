@@ -29,7 +29,11 @@ impl<'a> SelectionContext<'a> {
             Kernel::RandomWalk { k: 2 },
             &dataset.features,
         );
-        Self { dataset, seed, smoothed }
+        Self {
+            dataset,
+            seed,
+            smoothed,
+        }
     }
 
     /// The candidate pool (the train partition).

@@ -30,7 +30,11 @@ pub struct MaxEntropySelector {
 impl MaxEntropySelector {
     /// New selector training `model_kind` on the full pool.
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
-        Self { model_kind, seed, train_cfg: TrainConfig::fast() }
+        Self {
+            model_kind,
+            seed,
+            train_cfg: TrainConfig::fast(),
+        }
     }
 
     /// Overrides the training configuration.
@@ -77,8 +81,15 @@ impl ForgettingSelector {
     /// New selector tracking forgetting during full-pool training.
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
         // Forgetting statistics need the full trajectory: no early stop.
-        let train_cfg = TrainConfig { patience: None, ..TrainConfig::fast() };
-        Self { model_kind, seed, train_cfg }
+        let train_cfg = TrainConfig {
+            patience: None,
+            ..TrainConfig::fast()
+        };
+        Self {
+            model_kind,
+            seed,
+            train_cfg,
+        }
     }
 
     /// Overrides the training configuration (patience is forced off).
@@ -117,15 +128,19 @@ mod tests {
     use grain_data::synthetic::papers_like;
 
     fn fast_cfg() -> TrainConfig {
-        TrainConfig { epochs: 20, patience: None, ..Default::default() }
+        TrainConfig {
+            epochs: 20,
+            patience: None,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn max_entropy_returns_valid_subset() {
         let ds = papers_like(300, 20);
         let ctx = SelectionContext::new(&ds, 1);
-        let mut sel = MaxEntropySelector::new(ModelKind::Sgc { k: 2 }, 2)
-            .with_train_config(fast_cfg());
+        let mut sel =
+            MaxEntropySelector::new(ModelKind::Sgc { k: 2 }, 2).with_train_config(fast_cfg());
         let picked = sel.select(&ctx, 25);
         assert_eq!(picked.len(), 25);
         validate_selection(&picked, ctx.candidates(), 25).unwrap();
@@ -135,8 +150,8 @@ mod tests {
     fn forgetting_returns_valid_subset() {
         let ds = papers_like(300, 21);
         let ctx = SelectionContext::new(&ds, 2);
-        let mut sel = ForgettingSelector::new(ModelKind::Sgc { k: 2 }, 3)
-            .with_train_config(fast_cfg());
+        let mut sel =
+            ForgettingSelector::new(ModelKind::Sgc { k: 2 }, 3).with_train_config(fast_cfg());
         let picked = sel.select(&ctx, 25);
         assert_eq!(picked.len(), 25);
         validate_selection(&picked, ctx.candidates(), 25).unwrap();
@@ -148,8 +163,8 @@ mod tests {
         // the plain first-k ids (sanity: the criterion is actually ranking).
         let ds = papers_like(300, 22);
         let ctx = SelectionContext::new(&ds, 3);
-        let mut sel = MaxEntropySelector::new(ModelKind::Sgc { k: 2 }, 4)
-            .with_train_config(fast_cfg());
+        let mut sel =
+            MaxEntropySelector::new(ModelKind::Sgc { k: 2 }, 4).with_train_config(fast_cfg());
         let picked = sel.select(&ctx, 10);
         let first_k: Vec<u32> = ctx.candidates().iter().take(10).copied().collect();
         assert_ne!(picked, first_k);

@@ -92,7 +92,11 @@ mod tests {
         let picked = sel.select(&ctx, ds.num_classes);
         let classes: std::collections::HashSet<u32> =
             picked.iter().map(|&v| ds.labels[v as usize]).collect();
-        assert!(classes.len() >= ds.num_classes / 3, "classes covered: {}", classes.len());
+        assert!(
+            classes.len() >= ds.num_classes / 3,
+            "classes covered: {}",
+            classes.len()
+        );
     }
 
     #[test]

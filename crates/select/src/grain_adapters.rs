@@ -1,8 +1,32 @@
 //! Grain selectors behind the common [`NodeSelector`] trait.
+//!
+//! Single selections run one-shot through [`GrainSelector`]; budget sweeps
+//! ([`NodeSelector::select_sweep`]) share one warm
+//! [`grain_core::SelectionEngine`], so propagation, influence rows, the
+//! activation index, and the diversity precompute are built once per sweep
+//! instead of once per budget.
 
 use crate::context::SelectionContext;
 use crate::traits::NodeSelector;
 use grain_core::{GrainConfig, GrainSelector, GrainVariant, SelectionOutcome};
+
+/// Runs `budgets` through one warm engine and records the last outcome.
+fn engine_sweep(
+    selector: &GrainSelector,
+    ctx: &SelectionContext<'_>,
+    budgets: &[usize],
+    last_outcome: Option<&mut Option<SelectionOutcome>>,
+) -> Vec<Vec<u32>> {
+    let mut engine = selector
+        .engine(&ctx.dataset.graph, &ctx.dataset.features)
+        .expect("adapter configs are validated at construction");
+    let mut outcomes = engine.select_budgets(ctx.candidates(), budgets);
+    let selections = outcomes.iter().map(|o| o.selected.clone()).collect();
+    if let Some(slot) = last_outcome {
+        *slot = outcomes.pop();
+    }
+    selections
+}
 
 /// Grain (ball-D) adapter.
 pub struct GrainBallSelector {
@@ -13,13 +37,20 @@ pub struct GrainBallSelector {
 impl GrainBallSelector {
     /// Appendix A.4 defaults.
     pub fn with_defaults() -> Self {
-        Self { inner: GrainSelector::ball_d(), last_outcome: None }
+        Self {
+            inner: GrainSelector::ball_d(),
+            last_outcome: None,
+        }
     }
 
     /// Custom configuration (diversity kind forced to Ball by the caller's
-    /// config; this constructor does not override it).
-    pub fn new(config: GrainConfig) -> Self {
-        Self { inner: GrainSelector::new(config), last_outcome: None }
+    /// config; this constructor does not override it). Errors on a
+    /// configuration that fails [`GrainConfig::validate`].
+    pub fn new(config: GrainConfig) -> Result<Self, String> {
+        Ok(Self {
+            inner: GrainSelector::new(config)?,
+            last_outcome: None,
+        })
     }
 
     /// Full outcome of the most recent selection (timings, σ, trace).
@@ -44,6 +75,10 @@ impl NodeSelector for GrainBallSelector {
         self.last_outcome = Some(outcome);
         selected
     }
+
+    fn select_sweep(&mut self, ctx: &SelectionContext<'_>, budgets: &[usize]) -> Vec<Vec<u32>> {
+        engine_sweep(&self.inner, ctx, budgets, Some(&mut self.last_outcome))
+    }
 }
 
 /// Grain (NN-D) adapter.
@@ -55,12 +90,19 @@ pub struct GrainNnSelector {
 impl GrainNnSelector {
     /// Appendix A.4 defaults.
     pub fn with_defaults() -> Self {
-        Self { inner: GrainSelector::nn_d(), last_outcome: None }
+        Self {
+            inner: GrainSelector::nn_d(),
+            last_outcome: None,
+        }
     }
 
-    /// Custom configuration.
-    pub fn new(config: GrainConfig) -> Self {
-        Self { inner: GrainSelector::new(config), last_outcome: None }
+    /// Custom configuration. Errors on a configuration that fails
+    /// [`GrainConfig::validate`].
+    pub fn new(config: GrainConfig) -> Result<Self, String> {
+        Ok(Self {
+            inner: GrainSelector::new(config)?,
+            last_outcome: None,
+        })
     }
 
     /// Full outcome of the most recent selection.
@@ -85,6 +127,10 @@ impl NodeSelector for GrainNnSelector {
         self.last_outcome = Some(outcome);
         selected
     }
+
+    fn select_sweep(&mut self, ctx: &SelectionContext<'_>, budgets: &[usize]) -> Vec<Vec<u32>> {
+        engine_sweep(&self.inner, ctx, budgets, Some(&mut self.last_outcome))
+    }
 }
 
 /// Table 3 ablation adapter.
@@ -96,7 +142,10 @@ pub struct GrainAblationSelector {
 impl GrainAblationSelector {
     /// Ablation selector for `variant` with ball-D defaults otherwise.
     pub fn new(variant: GrainVariant) -> Self {
-        Self { inner: GrainSelector::new(GrainConfig::ablation(variant)), variant }
+        Self {
+            inner: GrainSelector::new_unchecked(GrainConfig::ablation(variant)),
+            variant,
+        }
     }
 }
 
@@ -112,8 +161,17 @@ impl NodeSelector for GrainAblationSelector {
 
     fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
         self.inner
-            .select(&ctx.dataset.graph, &ctx.dataset.features, ctx.candidates(), budget)
+            .select(
+                &ctx.dataset.graph,
+                &ctx.dataset.features,
+                ctx.candidates(),
+                budget,
+            )
             .selected
+    }
+
+    fn select_sweep(&mut self, ctx: &SelectionContext<'_>, budgets: &[usize]) -> Vec<Vec<u32>> {
+        engine_sweep(&self.inner, ctx, budgets, None)
     }
 }
 
@@ -143,6 +201,32 @@ mod tests {
         let mut sel = GrainNnSelector::with_defaults();
         let picked = sel.select(&ctx, 10);
         validate_selection(&picked, ctx.candidates(), 10).unwrap();
+    }
+
+    #[test]
+    fn adapter_constructors_reject_invalid_configs() {
+        let bad = GrainConfig {
+            gamma: -3.0,
+            ..GrainConfig::ball_d()
+        };
+        assert!(GrainBallSelector::new(bad).is_err());
+        assert!(GrainNnSelector::new(bad).is_err());
+        assert!(GrainBallSelector::new(GrainConfig::ball_d()).is_ok());
+    }
+
+    #[test]
+    fn warm_sweep_matches_per_budget_selects() {
+        let ds = papers_like(350, 33);
+        let ctx = SelectionContext::new(&ds, 4);
+        let budgets = [4usize, 8, 12];
+        let mut sweep_sel = GrainBallSelector::with_defaults();
+        let sweep = sweep_sel.select_sweep(&ctx, &budgets);
+        assert!(sweep_sel.last_outcome().is_some());
+        for (picked, &b) in sweep.iter().zip(&budgets) {
+            let mut fresh = GrainBallSelector::with_defaults();
+            assert_eq!(picked, &fresh.select(&ctx, b), "budget {b}");
+            validate_selection(picked, ctx.candidates(), b).unwrap();
+        }
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl ModelKind {
     pub fn table4_lineup() -> Vec<ModelKind> {
         vec![
             ModelKind::Sgc { k: 2 },
-            ModelKind::Appnp { hidden: 64, k: 5, alpha: 0.1 },
+            ModelKind::Appnp {
+                hidden: 64,
+                k: 5,
+                alpha: 0.1,
+            },
             ModelKind::Gcn { hidden: 64 },
             ModelKind::MvgrlSim { k: 2, alpha: 0.1 },
         ]

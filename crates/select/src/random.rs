@@ -27,7 +27,9 @@ impl NodeSelector for RandomSelector {
 
     fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32> {
         // Distinct stream per call so repeated runs are independent draws.
-        let mut rng = StdRng::seed_from_u64(self.seed ^ ctx.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.draws));
+        let mut rng = StdRng::seed_from_u64(
+            self.seed ^ ctx.seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.draws),
+        );
         self.draws += 1;
         let mut pool = ctx.candidates().to_vec();
         pool.shuffle(&mut rng);

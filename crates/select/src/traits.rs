@@ -11,6 +11,22 @@ pub trait NodeSelector {
     /// pool. Must return distinct in-pool node ids.
     fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32>;
 
+    /// One selection per budget, for budget-sweep experiments.
+    ///
+    /// The default runs a single selection at the largest budget and
+    /// slices prefixes — correct for every prefix-consistent method in the
+    /// lineup (see `grain-bench::lineup`). Methods with a cheaper warm
+    /// path (the Grain adapters share one `SelectionEngine` across the
+    /// sweep) override this.
+    fn select_sweep(&mut self, ctx: &SelectionContext<'_>, budgets: &[usize]) -> Vec<Vec<u32>> {
+        let max_budget = budgets.iter().copied().max().unwrap_or(0);
+        let selected = self.select(ctx, max_budget);
+        budgets
+            .iter()
+            .map(|&b| selected[..b.min(selected.len())].to_vec())
+            .collect()
+    }
+
     /// True for methods that train models during selection (AGE, ANRMAB) —
     /// the runtime experiments report this distinction.
     fn is_learning_based(&self) -> bool {

@@ -1,0 +1,79 @@
+//! Offline shim for the `crossbeam` scoped-thread API.
+//!
+//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join`; std has shipped structured scoped threads
+//! since 1.63, so the shim delegates to `std::thread::scope`.
+//!
+//! Behavioral difference kept intentionally: when a spawned thread panics
+//! and the handle was not joined, std re-raises the panic after the scope
+//! instead of returning `Err` — callers treat both as fatal, so the
+//! `.expect(...)` they attach simply never fires on the std path.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Spawn handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Scope mirroring `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// The argument crossbeam passes to spawned closures (a scope handle
+    /// for nested spawns). Nothing in this workspace nests spawns, so the
+    /// shim passes an opaque placeholder; closures bind it as `|_|`.
+    pub struct NestedScope {
+        _private: (),
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure may borrow from the
+        /// enclosing stack frame.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(NestedScope { _private: () })),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing spawns are allowed; all
+    /// spawned threads are joined before `scope` returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let mut sums = [0u64; 2];
+        let (a, b) = sums.split_at_mut(1);
+        super::thread::scope(|scope| {
+            let h1 = scope.spawn(|_| a[0] = data[..2].iter().sum());
+            let h2 = scope.spawn(|_| b[0] = data[2..].iter().sum());
+            h1.join().unwrap();
+            h2.join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(sums, [3, 7]);
+    }
+}

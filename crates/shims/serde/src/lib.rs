@@ -1,0 +1,15 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op derive macros and defines empty marker traits so
+//! `use serde::{Deserialize, Serialize}` resolves both the macro and the
+//! trait name, exactly as with the real crate. Swap this path dependency
+//! for the real `serde` (same version key in the workspace manifest) once
+//! network access or vendoring is available; no source change needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The workspace builds with no network access, so the real serde proc
+//! macros are unavailable. Nothing in the repo serializes at runtime yet —
+//! the derives exist so model/config types are serialization-ready — hence
+//! the shim derives validate nothing and emit no code. The `serde(...)`
+//! helper attribute is accepted (and ignored) for forward compatibility.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

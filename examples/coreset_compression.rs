@@ -27,7 +27,11 @@ fn main() {
 
     let keep = pool.len() / 20; // 5% label rate
     let ctx = SelectionContext::new(&dataset, 1);
-    let inner = TrainConfig { epochs: 25, patience: None, ..Default::default() };
+    let inner = TrainConfig {
+        epochs: 25,
+        patience: None,
+        ..Default::default()
+    };
     let mut methods: Vec<Box<dyn NodeSelector>> = vec![
         Box::new(GrainBallSelector::with_defaults()),
         Box::new(RandomSelector::new(5)),

@@ -45,11 +45,8 @@ fn main() {
         &dataset.split.val,
         &TrainConfig::default(),
     );
-    let test_acc = grain::gnn::metrics::accuracy(
-        &model.predict(),
-        &dataset.labels,
-        &dataset.split.test,
-    );
+    let test_acc =
+        grain::gnn::metrics::accuracy(&model.predict(), &dataset.labels, &dataset.split.test);
     println!(
         "GCN trained {} epochs (best val {:.1}%) — test accuracy {:.1}%",
         report.epochs_run,
@@ -68,11 +65,8 @@ fn main() {
         &dataset.split.val,
         &TrainConfig::default(),
     );
-    let random_acc = grain::gnn::metrics::accuracy(
-        &model_r.predict(),
-        &dataset.labels,
-        &dataset.split.test,
-    );
+    let random_acc =
+        grain::gnn::metrics::accuracy(&model_r.predict(), &dataset.labels, &dataset.split.test);
     println!(
         "random selection with the same budget: {:.1}% (grain advantage {:+.1} points)",
         random_acc * 100.0,

@@ -23,11 +23,20 @@ fn main() {
     let budget = dataset.budget(20);
     for (label, prune) in [
         ("no pruning", None),
-        ("degree top-20%", Some(PruneStrategy::Degree { keep_fraction: 0.2 })),
-        ("walk-mass top-20%", Some(PruneStrategy::WalkMass { keep_fraction: 0.2 })),
+        (
+            "degree top-20%",
+            Some(PruneStrategy::Degree { keep_fraction: 0.2 }),
+        ),
+        (
+            "walk-mass top-20%",
+            Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
+        ),
     ] {
-        let config = GrainConfig { prune, ..GrainConfig::ball_d() };
-        let selector = GrainSelector::new(config);
+        let config = GrainConfig {
+            prune,
+            ..GrainConfig::ball_d()
+        };
+        let selector = GrainSelector::new(config).expect("valid config");
         let outcome = selector.select(
             &dataset.graph,
             &dataset.features,

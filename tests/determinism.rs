@@ -47,7 +47,12 @@ fn gnn_training_is_deterministic_per_seed() {
     let train: Vec<u32> = ds.split.train.iter().take(32).copied().collect();
     let run = |seed: u64| {
         let mut model = ModelKind::Gcn { hidden: 16 }.build(&ds, seed);
-        let cfg = TrainConfig { epochs: 20, patience: None, seed, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 20,
+            patience: None,
+            seed,
+            ..Default::default()
+        };
         model.train(&ds.labels, &train, &[], &cfg);
         model.predict()
     };

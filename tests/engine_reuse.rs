@@ -1,0 +1,210 @@
+//! The warm `SelectionEngine` contract: staged artifacts are built once,
+//! shared across selections, invalidated precisely, and never change what
+//! gets selected.
+
+use grain::prelude::*;
+
+fn corpus() -> grain::data::Dataset {
+    grain::data::synthetic::papers_like(900, 17)
+}
+
+#[test]
+fn warm_budget_sweep_is_bit_identical_to_one_shot_selects() {
+    let ds = corpus();
+    let budgets = [4usize, 8, 12, 16, 20];
+    let config = GrainConfig::ball_d();
+
+    let mut engine = SelectionEngine::new(config, &ds.graph, &ds.features).unwrap();
+    let warm = engine.select_budgets(&ds.split.train, &budgets);
+
+    // The heavy §3 stages ran exactly once across the whole sweep.
+    let stats = engine.stats();
+    assert_eq!(stats.propagation_builds, 1, "propagation must run once");
+    assert_eq!(
+        stats.influence_builds, 1,
+        "influence rows must be computed once"
+    );
+    assert_eq!(stats.index_builds, 1, "activation index must be built once");
+    assert_eq!(stats.transition_builds, 1);
+    assert_eq!(stats.embedding_builds, 1);
+    assert_eq!(stats.diversity_builds, 1);
+    assert_eq!(stats.selections, budgets.len());
+
+    // Bit-identical to five independent one-shot runs.
+    let selector = GrainSelector::new(config).unwrap();
+    for (outcome, &budget) in warm.iter().zip(&budgets) {
+        let fresh = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
+        assert_eq!(
+            outcome.selected, fresh.selected,
+            "selection at budget {budget}"
+        );
+        assert_eq!(outcome.sigma, fresh.sigma, "sigma at budget {budget}");
+        assert_eq!(
+            outcome.objective_trace, fresh.objective_trace,
+            "objective trace at budget {budget}"
+        );
+        assert_eq!(
+            outcome.evaluations, fresh.evaluations,
+            "evaluations at budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn nn_diversity_warm_sweep_matches_one_shot_too() {
+    let ds = grain::data::synthetic::papers_like(500, 23);
+    let budgets = [3usize, 9, 15];
+    let config = GrainConfig::nn_d();
+    let mut engine = SelectionEngine::new(config, &ds.graph, &ds.features).unwrap();
+    let warm = engine.select_budgets(&ds.split.train, &budgets);
+    assert_eq!(
+        engine.stats().diversity_builds,
+        1,
+        "d_max must be computed once"
+    );
+    let selector = GrainSelector::new(config).unwrap();
+    for (outcome, &budget) in warm.iter().zip(&budgets) {
+        let fresh = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
+        assert_eq!(
+            outcome.selected, fresh.selected,
+            "NN-D selection at budget {budget}"
+        );
+    }
+}
+
+#[test]
+fn theta_change_invalidates_only_the_activation_index() {
+    let ds = corpus();
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features).unwrap();
+    engine.select(&ds.split.train, 10);
+    let before = engine.stats();
+
+    let mut cfg = *engine.config();
+    cfg.theta = ThetaRule::RelativeToRowMax(0.5);
+    engine.set_config(cfg).unwrap();
+    let outcome = engine.select(&ds.split.train, 10);
+    assert_eq!(outcome.selected.len(), 10);
+
+    let after = engine.stats();
+    assert_eq!(
+        after.index_builds,
+        before.index_builds + 1,
+        "index must rebuild"
+    );
+    assert_eq!(
+        after.propagation_builds, before.propagation_builds,
+        "propagation must persist"
+    );
+    assert_eq!(
+        after.transition_builds, before.transition_builds,
+        "transition must persist"
+    );
+    assert_eq!(
+        after.influence_builds, before.influence_builds,
+        "rows must persist"
+    );
+    assert_eq!(
+        after.embedding_builds, before.embedding_builds,
+        "embedding must persist"
+    );
+    assert_eq!(
+        after.diversity_builds, before.diversity_builds,
+        "diversity must persist"
+    );
+}
+
+#[test]
+fn kernel_depth_change_invalidates_kernel_artifacts_only() {
+    let ds = corpus();
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features).unwrap();
+    engine.select(&ds.split.train, 10);
+    let before = engine.stats();
+
+    let mut cfg = *engine.config();
+    cfg.kernel = Kernel::RandomWalk { k: 3 };
+    engine.set_config(cfg).unwrap();
+    engine.select(&ds.split.train, 10);
+
+    let after = engine.stats();
+    // Same TransitionKind, so T persists; every kernel-keyed artifact
+    // rebuilds exactly once.
+    assert_eq!(
+        after.transition_builds, before.transition_builds,
+        "transition must persist"
+    );
+    assert_eq!(after.propagation_builds, before.propagation_builds + 1);
+    assert_eq!(after.influence_builds, before.influence_builds + 1);
+    assert_eq!(after.index_builds, before.index_builds + 1);
+    assert_eq!(after.embedding_builds, before.embedding_builds + 1);
+    assert_eq!(after.diversity_builds, before.diversity_builds + 1);
+
+    // And the warm result still matches a one-shot at the new config.
+    let warm = engine.select(&ds.split.train, 10);
+    let fresh =
+        GrainSelector::new(cfg)
+            .unwrap()
+            .select(&ds.graph, &ds.features, &ds.split.train, 10);
+    assert_eq!(warm.selected, fresh.selected);
+}
+
+#[test]
+fn radius_change_invalidates_only_the_diversity_precompute() {
+    let ds = corpus();
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features).unwrap();
+    engine.select(&ds.split.train, 10);
+    let before = engine.stats();
+
+    let mut cfg = *engine.config();
+    cfg.radius = 0.1;
+    engine.set_config(cfg).unwrap();
+    engine.select(&ds.split.train, 10);
+
+    let after = engine.stats();
+    assert_eq!(
+        after.diversity_builds,
+        before.diversity_builds + 1,
+        "balls must rebuild"
+    );
+    assert_eq!(
+        after.index_builds, before.index_builds,
+        "index must persist"
+    );
+    assert_eq!(after.propagation_builds, before.propagation_builds);
+    assert_eq!(after.influence_builds, before.influence_builds);
+    assert_eq!(after.embedding_builds, before.embedding_builds);
+}
+
+#[test]
+fn gamma_algorithm_and_variant_changes_rebuild_nothing() {
+    let ds = corpus();
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features).unwrap();
+    engine.select(&ds.split.train, 8);
+    let before = engine.stats();
+
+    let mut cfg = *engine.config();
+    cfg.gamma = 0.25;
+    cfg.algorithm = GreedyAlgorithm::Plain;
+    engine.set_config(cfg).unwrap();
+    engine.select(&ds.split.train, 8);
+    engine.select_variant(GrainVariant::NoDiversity, &ds.split.train, 8);
+
+    let after = engine.stats();
+    assert_eq!(after.propagation_builds, before.propagation_builds);
+    assert_eq!(after.transition_builds, before.transition_builds);
+    assert_eq!(after.influence_builds, before.influence_builds);
+    assert_eq!(after.index_builds, before.index_builds);
+    assert_eq!(after.embedding_builds, before.embedding_builds);
+    assert_eq!(after.diversity_builds, before.diversity_builds);
+    assert_eq!(after.selections, before.selections + 2);
+}
+
+#[test]
+fn selector_facade_engine_constructor_round_trips() {
+    let ds = corpus();
+    let selector = GrainSelector::ball_d();
+    let mut engine = selector.engine(&ds.graph, &ds.features).unwrap();
+    let warm = engine.select(&ds.split.train, 12);
+    let one_shot = selector.select(&ds.graph, &ds.features, &ds.split.train, 12);
+    assert_eq!(warm.selected, one_shot.selected);
+    assert_eq!(engine.config(), selector.config());
+}

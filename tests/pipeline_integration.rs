@@ -11,12 +11,7 @@ fn dataset() -> Dataset {
 fn full_active_learning_pipeline_runs() {
     let ds = dataset();
     let budget = ds.budget(2);
-    let outcome = GrainSelector::ball_d().select(
-        &ds.graph,
-        &ds.features,
-        &ds.split.train,
-        budget,
-    );
+    let outcome = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
     assert_eq!(outcome.selected.len(), budget);
     let mut model = ModelKind::Gcn { hidden: 32 }.build(&ds, 1);
     let report = model.train(
@@ -62,13 +57,14 @@ fn kernels_plug_into_the_same_pipeline() {
         Kernel::Ppr { k: 2, alpha: 0.1 },
         Kernel::S2gc { k: 2, alpha: 0.1 },
     ] {
-        let config = GrainConfig { kernel, ..GrainConfig::ball_d() };
-        let outcome = GrainSelector::new(config).select(
-            &ds.graph,
-            &ds.features,
-            &ds.split.train,
-            8,
-        );
+        let config = GrainConfig {
+            kernel,
+            ..GrainConfig::ball_d()
+        };
+        let outcome =
+            GrainSelector::new(config)
+                .unwrap()
+                .select(&ds.graph, &ds.features, &ds.split.train, 8);
         assert_eq!(outcome.selected.len(), 8, "kernel {}", kernel.name());
         assert!(!outcome.sigma.is_empty(), "kernel {}", kernel.name());
     }

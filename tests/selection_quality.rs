@@ -9,7 +9,12 @@ use grain_linalg::stats;
 /// this battery fast while still exercising graph structure).
 fn evaluate(ds: &Dataset, selection: &[u32], seed: u64) -> f64 {
     let mut model = ModelKind::Sgc { k: 2 }.build(ds, seed);
-    let cfg = TrainConfig { epochs: 60, patience: None, seed, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 60,
+        patience: None,
+        seed,
+        ..Default::default()
+    };
     model.train(&ds.labels, selection, &ds.split.val, &cfg);
     grain::gnn::metrics::accuracy(&model.predict(), &ds.labels, &ds.split.test)
 }
@@ -45,7 +50,8 @@ fn grain_activates_more_nodes_than_any_baseline_selection() {
     let selector = GrainSelector::new(GrainConfig {
         variant: GrainVariant::NoDiversity, // pure influence maximization
         ..GrainConfig::ball_d()
-    });
+    })
+    .unwrap();
     let outcome = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
     let index = selector.activation_index(&ds.graph);
     let ctx = SelectionContext::new(&ds, 1);
@@ -54,8 +60,14 @@ fn grain_activates_more_nodes_than_any_baseline_selection() {
             "random",
             Box::new(grain::select::random::RandomSelector::new(1)) as Box<dyn NodeSelector>,
         ),
-        ("degree", Box::new(grain::select::degree::DegreeSelector::new())),
-        ("kcg", Box::new(grain::select::kcenter::KCenterGreedySelector::new(1))),
+        (
+            "degree",
+            Box::new(grain::select::degree::DegreeSelector::new()),
+        ),
+        (
+            "kcg",
+            Box::new(grain::select::kcenter::KCenterGreedySelector::new(1)),
+        ),
     ] {
         let picked = baseline.select(&ctx, budget);
         let sigma = index.sigma_size(&picked);
@@ -72,8 +84,11 @@ fn diversity_term_spreads_selections_across_classes() {
     let ds = grain::data::synthetic::papers_like(1600, 7);
     let budget = ds.num_classes; // one pick per class is ideal
     let full = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
-    let classes: std::collections::HashSet<u32> =
-        full.selected.iter().map(|&v| ds.labels[v as usize]).collect();
+    let classes: std::collections::HashSet<u32> = full
+        .selected
+        .iter()
+        .map(|&v| ds.labels[v as usize])
+        .collect();
     // With the diversity term, a C-node budget should cover well over half
     // the classes on a separable corpus.
     assert!(
@@ -92,13 +107,18 @@ fn celf_evaluations_beat_plain_greedy_substantially() {
         algorithm: GreedyAlgorithm::Plain,
         ..GrainConfig::ball_d()
     })
+    .unwrap()
     .select(&ds.graph, &ds.features, &ds.split.train, budget);
     let lazy = GrainSelector::new(GrainConfig {
         algorithm: GreedyAlgorithm::Lazy,
         ..GrainConfig::ball_d()
     })
+    .unwrap()
     .select(&ds.graph, &ds.features, &ds.split.train, budget);
-    assert_eq!(plain.selected, lazy.selected, "CELF must not change the result");
+    assert_eq!(
+        plain.selected, lazy.selected,
+        "CELF must not change the result"
+    );
     assert!(
         (lazy.evaluations as f64) < 0.5 * plain.evaluations as f64,
         "CELF used {} evaluations vs plain {}",
@@ -116,8 +136,12 @@ fn pruning_trades_little_quality_for_speed() {
         prune: Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
         ..GrainConfig::ball_d()
     };
-    let pruned =
-        GrainSelector::new(pruned_cfg).select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let pruned = GrainSelector::new(pruned_cfg).unwrap().select(
+        &ds.graph,
+        &ds.features,
+        &ds.split.train,
+        budget,
+    );
     // The pruned run still reaches at least 80% of the full objective.
     let f_full = *full.objective_trace.last().unwrap();
     let f_pruned = *pruned.objective_trace.last().unwrap();

@@ -20,7 +20,9 @@ fn instance(nodes: usize, edges: usize, seed: u64) -> (Graph, DenseMatrix, Activ
     let rows = InfluenceRows::compute(&t, 2, 0.0);
     let idx = ActivationIndex::build_with_rule(&rows, ThetaRule::RelativeToRowMax(0.3));
     let data: Vec<f32> = (0..nodes * 4)
-        .map(|i| (((i as u64).wrapping_mul(seed ^ 0x9e3779b97f4a7c15) >> 33) % 97) as f32 * 0.05 + 0.01)
+        .map(|i| {
+            (((i as u64).wrapping_mul(seed ^ 0x9e3779b97f4a7c15) >> 33) % 97) as f32 * 0.05 + 0.01
+        })
         .collect();
     let x = DenseMatrix::from_vec(nodes, 4, data);
     (g, x, idx)
