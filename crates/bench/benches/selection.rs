@@ -2,7 +2,7 @@
 //! ablations, plain vs CELF greedy, with and without §3.4 pruning).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use grain_core::{GrainConfig, GrainSelector, GreedyAlgorithm, PruneStrategy};
+use grain_core::{GrainConfig, GreedyAlgorithm, PruneStrategy, SelectionEngine};
 use grain_data::synthetic::papers_like;
 
 fn bench_variants(c: &mut Criterion) {
@@ -23,14 +23,10 @@ fn bench_variants(c: &mut Criterion) {
     ];
     for (name, cfg) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            let selector = GrainSelector::new(*cfg).expect("bench configs are valid");
             b.iter(|| {
-                let out = selector.select(
-                    &dataset.graph,
-                    &dataset.features,
-                    &dataset.split.train,
-                    budget,
-                );
+                let mut engine = SelectionEngine::new(*cfg, &dataset.graph, &dataset.features)
+                    .expect("bench configs are valid");
+                let out = engine.select(&dataset.split.train, budget);
                 std::hint::black_box(out.selected.len())
             })
         });
@@ -52,14 +48,10 @@ fn bench_celf_vs_plain(c: &mut Criterion) {
             ..GrainConfig::ball_d()
         };
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
-            let selector = GrainSelector::new(*cfg).expect("bench configs are valid");
             b.iter(|| {
-                let out = selector.select(
-                    &dataset.graph,
-                    &dataset.features,
-                    &dataset.split.train,
-                    budget,
-                );
+                let mut engine = SelectionEngine::new(*cfg, &dataset.graph, &dataset.features)
+                    .expect("bench configs are valid");
+                let out = engine.select(&dataset.split.train, budget);
                 std::hint::black_box(out.evaluations)
             })
         });

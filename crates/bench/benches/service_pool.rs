@@ -1,0 +1,91 @@
+//! Criterion microbenchmark: `GrainService` engine-pool routing, reported
+//! alongside `engine_reuse`. Three regimes at n = 4000:
+//!
+//! * **pool-hit** — the steady serving state: the request's
+//!   `(graph, fingerprint)` key is resident, so the service pays only key
+//!   lookup + greedy maximization on warm artifacts;
+//! * **cold-build** — first contact with a key: a fresh engine plus every
+//!   §3 artifact;
+//! * **evicted-rebuild** — a capacity-1 pool alternating two keys: each
+//!   request rebuilds the engine the previous one evicted (the thrash the
+//!   `evicted_rebuilds` counter exists to expose).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grain_core::{Budget, GrainConfig, GrainService, PoolEvent, SelectionRequest};
+use grain_data::synthetic::papers_like;
+use grain_influence::ThetaRule;
+
+fn theta_config(theta: f32) -> GrainConfig {
+    GrainConfig {
+        theta: ThetaRule::RelativeToRowMax(theta),
+        ..GrainConfig::ball_d()
+    }
+}
+
+fn bench_pool_regimes(c: &mut Criterion) {
+    let dataset = papers_like(4_000, 29);
+    let budget = 2 * dataset.num_classes;
+    let request = |cfg: GrainConfig| {
+        SelectionRequest::new("papers", cfg, Budget::Fixed(budget))
+            .with_candidates(dataset.split.train.clone())
+    };
+    let mut group = c.benchmark_group("service-pool");
+    group.sample_size(10);
+
+    // Warm pool hit: one resident engine answers every iteration.
+    group.bench_function(BenchmarkId::from_parameter("pool-hit"), |b| {
+        let mut service = GrainService::new();
+        service
+            .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+            .expect("corpus registers");
+        let req = request(GrainConfig::ball_d());
+        let _prime = service.select(&req).expect("prime request");
+        b.iter(|| {
+            let report = service.select(&req).expect("warm request");
+            assert!(report.fully_warm());
+            std::hint::black_box(report.outcomes[0].selected.len())
+        })
+    });
+
+    // Cold build: a fresh service per iteration — key never seen, every
+    // artifact built (the engine_reuse "cold" regime plus routing).
+    group.bench_function(BenchmarkId::from_parameter("cold-build"), |b| {
+        b.iter(|| {
+            let mut service = GrainService::new();
+            service
+                .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+                .expect("corpus registers");
+            let report = service
+                .select(&request(GrainConfig::ball_d()))
+                .expect("cold");
+            std::hint::black_box(report.outcomes[0].selected.len())
+        })
+    });
+
+    // Evicted rebuild: capacity-1 pool, two fingerprints alternating; each
+    // iteration issues exactly one request, which always rebuilds the
+    // engine the previous iteration evicted. (The resident sibling still
+    // donates its X^(k), so the rebuild pays the post-propagation stages.)
+    group.bench_function(BenchmarkId::from_parameter("evicted-rebuild"), |b| {
+        let mut service = GrainService::with_capacity(1);
+        service
+            .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+            .expect("corpus registers");
+        let ping = request(theta_config(0.25));
+        let pong = request(theta_config(0.5));
+        let _ = service.select(&ping).expect("prime ping");
+        let _ = service.select(&pong).expect("prime pong (evicts ping)");
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            let req = if flip { &ping } else { &pong };
+            let report = service.select(req).expect("rebuild");
+            assert_eq!(report.pool_event, PoolEvent::RebuildAfterEviction);
+            std::hint::black_box(report.outcomes[0].selected.len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_regimes);
+criterion_main!(benches);

@@ -10,11 +10,10 @@
 
 use grain_bench::table;
 use grain_bench::{EvalSpec, Flags, MarkdownTable};
-use grain_core::GrainSelector;
+use grain_core::{GrainConfig, GrainService};
 use grain_data::synthetic::cora_like;
 use grain_gnn::TrainConfig;
 use grain_linalg::{distance, stats};
-use grain_prop::{propagate, Kernel};
 use grain_select::ModelKind;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -29,13 +28,17 @@ fn main() {
     } else {
         cora_like(flags.seed)
     };
-    let index = GrainSelector::ball_d().activation_index(&dataset.graph);
-    let smoothed = propagate(
-        &dataset.graph,
-        Kernel::RandomWalk { k: 2 },
-        &dataset.features,
-    );
-    let embedding = distance::normalized_embedding(&smoothed);
+    // One service-pooled engine provides both artifacts (index + X^(2))
+    // from one store.
+    let mut service = GrainService::new();
+    service
+        .register_graph("fig2", dataset.graph.clone(), dataset.features.clone())
+        .expect("synthetic corpus is well-formed");
+    let (engine, _) = service
+        .engine("fig2", &GrainConfig::ball_d())
+        .expect("ball-D defaults are valid");
+    let index = engine.activation_index().clone();
+    let embedding = engine.normalized_embedding();
 
     let spec = EvalSpec {
         model: ModelKind::Gcn { hidden: 64 },

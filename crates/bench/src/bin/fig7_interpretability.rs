@@ -11,10 +11,9 @@
 
 use grain_bench::lineup::inner_train_cfg;
 use grain_bench::{Flags, MarkdownTable};
-use grain_core::GrainSelector;
+use grain_core::{Budget, GrainConfig, GrainService, SelectionRequest};
 use grain_data::Dataset;
 use grain_linalg::{distance, pca, DenseMatrix};
-use grain_prop::{propagate, Kernel};
 use grain_select::age::AgeSelector;
 use grain_select::{ModelKind, NodeSelector, SelectionContext};
 use rand::rngs::StdRng;
@@ -37,20 +36,27 @@ fn main() {
     sample.truncate(sample_size);
     sample.sort_unstable();
 
-    // 2-D layout of the aggregated feature space (PCA on X^(2)).
-    let smoothed = propagate(
-        &dataset.graph,
-        Kernel::RandomWalk { k: 2 },
-        &dataset.features,
-    );
-    let embedding = distance::normalized_embedding(&smoothed);
+    // One service-pooled engine supplies the layout embedding, the
+    // activation index, and the Grain selection from a single artifact
+    // store.
+    let mut service = GrainService::new();
+    service
+        .register_graph("fig7", dataset.graph.clone(), dataset.features.clone())
+        .expect("synthetic corpus is well-formed");
+    let (engine, _) = service
+        .engine("fig7", &GrainConfig::ball_d())
+        .expect("ball-D defaults are valid");
+    let embedding = engine.normalized_embedding();
     let layout = pca::pca(&embedding, 2, 60, flags.seed).projected;
 
-    let index = GrainSelector::ball_d().activation_index(&dataset.graph);
+    let index = engine.activation_index().clone();
 
-    // Grain (ball-D) restricted to the sample.
-    let grain_sel =
-        GrainSelector::ball_d().select(&dataset.graph, &dataset.features, &sample, budget);
+    // Grain (ball-D) restricted to the sample — a typed request answered
+    // by the engine we just warmed (the report's pool event is a hit).
+    let request = SelectionRequest::new("fig7", GrainConfig::ball_d(), Budget::Fixed(budget))
+        .with_candidates(sample.clone());
+    let grain_report = service.select(&request).expect("valid request");
+    let grain_sel = grain_report.outcome();
     // AGE restricted to the sample.
     let sub = restricted_dataset(&dataset, &sample);
     let ctx = SelectionContext::new(&sub, flags.seed);

@@ -84,7 +84,7 @@ fn main() {
 }
 
 fn run(
-    engine: &mut SelectionEngine<'_>,
+    engine: &mut SelectionEngine,
     dataset: &grain_data::Dataset,
     cfg: GrainConfig,
     budget: usize,

@@ -4,6 +4,7 @@
 //! radius `r = 0.05`, trade-off `γ = 1`, and a depth-2 propagation matching
 //! the 2-layer GCN used throughout the evaluation.
 
+use crate::error::{GrainError, GrainResult};
 use grain_influence::index::ThetaRule;
 use grain_prop::Kernel;
 use serde::{Deserialize, Serialize};
@@ -38,7 +39,7 @@ pub enum PruneStrategy {
         keep_fraction: f64,
     },
     /// Keep the top fraction by received random-walk mass
-    /// (Σ_v I_v(u, k), the distribution of random walkers of [26]).
+    /// (Σ_v I_v(u, k), the distribution of random walkers of \[26\]).
     WalkMass {
         /// Fraction of candidates retained, in `(0, 1]`.
         keep_fraction: f64,
@@ -57,7 +58,7 @@ pub enum GrainVariant {
     NoMagnitude,
     /// "Classic Coverage": keep the magnitude term but compute diversity
     /// from balls centered on `S` instead of `σ(S)` — the i.i.d.-style
-    /// coverage of [45] that ignores propagation.
+    /// coverage of \[45\] that ignores propagation.
     ClassicCoverage,
 }
 
@@ -104,6 +105,7 @@ impl Default for GrainConfig {
 
 impl GrainConfig {
     /// The paper's "Grain (ball-D)" configuration.
+    #[must_use]
     pub fn ball_d() -> Self {
         Self {
             diversity: DiversityKind::Ball,
@@ -112,6 +114,7 @@ impl GrainConfig {
     }
 
     /// The paper's "Grain (NN-D)" configuration.
+    #[must_use]
     pub fn nn_d() -> Self {
         Self {
             diversity: DiversityKind::Nn,
@@ -120,6 +123,7 @@ impl GrainConfig {
     }
 
     /// Table 3 ablation constructor.
+    #[must_use]
     pub fn ablation(variant: GrainVariant) -> Self {
         Self {
             variant,
@@ -127,20 +131,28 @@ impl GrainConfig {
         }
     }
 
-    /// Validates parameter ranges, returning a description of the first
-    /// violation.
-    pub fn validate(&self) -> Result<(), String> {
-        self.theta.validate()?;
+    /// Validates parameter ranges, returning the first violation as a
+    /// typed [`GrainError::InvalidConfig`].
+    pub fn validate(&self) -> GrainResult<()> {
+        self.theta
+            .validate()
+            .map_err(|message| GrainError::config("theta", message))?;
         if !(0.0..=1.0).contains(&self.radius) {
-            return Err(format!("radius must lie in [0,1], got {}", self.radius));
+            return Err(GrainError::config(
+                "radius",
+                format!("must lie in [0,1], got {}", self.radius),
+            ));
         }
         if !(0.0..=10.0).contains(&self.gamma) {
-            return Err(format!("gamma must lie in [0,10], got {}", self.gamma));
+            return Err(GrainError::config(
+                "gamma",
+                format!("must lie in [0,10], got {}", self.gamma),
+            ));
         }
         if self.influence_eps < 0.0 {
-            return Err(format!(
-                "influence_eps must be >= 0, got {}",
-                self.influence_eps
+            return Err(GrainError::config(
+                "influence_eps",
+                format!("must be >= 0, got {}", self.influence_eps),
             ));
         }
         if let Some(
@@ -148,12 +160,40 @@ impl GrainConfig {
         ) = self.prune
         {
             if !(0.0 < keep_fraction && keep_fraction <= 1.0) {
-                return Err(format!(
-                    "keep_fraction must lie in (0,1], got {keep_fraction}"
+                return Err(GrainError::config(
+                    "prune.keep_fraction",
+                    format!("must lie in (0,1], got {keep_fraction}"),
                 ));
             }
         }
         Ok(())
+    }
+
+    /// A stable key over exactly the fields that determine the engine's
+    /// cached artifacts (transition matrix, `X^(k)`, influence rows,
+    /// activation index, ball lists, NN `d_max`).
+    ///
+    /// Two configs with equal fingerprints can share one warm
+    /// [`crate::SelectionEngine`] with zero rebuilds: the remaining fields
+    /// (`gamma`, `algorithm`, `prune`, `variant`) only steer the greedy
+    /// stage and ride along via [`crate::SelectionEngine::set_config`].
+    /// The [`crate::service::EnginePool`] keys engines by this fingerprint.
+    ///
+    /// `f32` parameters enter by bit pattern, consistent with the engine's
+    /// internal cache keys.
+    #[must_use]
+    pub fn artifact_fingerprint(&self) -> String {
+        let theta = match self.theta {
+            ThetaRule::FixedAbsolute(t) => format!("abs:{:08x}", t.to_bits()),
+            ThetaRule::RelativeToRowMax(t) => format!("rel:{:08x}", t.to_bits()),
+            ThetaRule::GlobalQuantile(q) => format!("q:{:016x}", q.to_bits()),
+        };
+        format!(
+            "{}|eps:{:08x}|theta:{theta}|r:{:08x}",
+            self.kernel.cache_key(),
+            self.influence_eps.to_bits(),
+            self.radius.to_bits(),
+        )
     }
 }
 
@@ -196,5 +236,73 @@ mod tests {
         let c = GrainConfig::ablation(GrainVariant::NoMagnitude);
         assert_eq!(c.variant, GrainVariant::NoMagnitude);
         assert_eq!(c.diversity, DiversityKind::Ball);
+    }
+
+    #[test]
+    fn validation_errors_name_the_field() {
+        let bad = GrainConfig {
+            gamma: -1.0,
+            ..GrainConfig::default()
+        };
+        match bad.validate() {
+            Err(GrainError::InvalidConfig { field, .. }) => assert_eq!(field, "gamma"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        let bad_theta = GrainConfig {
+            theta: ThetaRule::FixedAbsolute(2.0),
+            ..GrainConfig::default()
+        };
+        match bad_theta.validate() {
+            Err(GrainError::InvalidConfig { field, .. }) => assert_eq!(field, "theta"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fingerprint_ignores_greedy_only_fields() {
+        let base = GrainConfig::ball_d();
+        let mut greedy_only = base;
+        greedy_only.gamma = 0.25;
+        greedy_only.algorithm = GreedyAlgorithm::Plain;
+        greedy_only.variant = GrainVariant::NoDiversity;
+        greedy_only.prune = Some(PruneStrategy::Degree { keep_fraction: 0.5 });
+        assert_eq!(
+            base.artifact_fingerprint(),
+            greedy_only.artifact_fingerprint()
+        );
+        // NN-D shares the same artifacts too (separate diversity slots).
+        assert_eq!(
+            base.artifact_fingerprint(),
+            GrainConfig::nn_d().artifact_fingerprint()
+        );
+    }
+
+    #[test]
+    fn fingerprint_splits_on_artifact_fields() {
+        let base = GrainConfig::ball_d();
+        for changed in [
+            GrainConfig {
+                kernel: Kernel::RandomWalk { k: 3 },
+                ..base
+            },
+            GrainConfig {
+                theta: ThetaRule::RelativeToRowMax(0.4),
+                ..base
+            },
+            GrainConfig {
+                radius: 0.1,
+                ..base
+            },
+            GrainConfig {
+                influence_eps: 1e-3,
+                ..base
+            },
+        ] {
+            assert_ne!(
+                base.artifact_fingerprint(),
+                changed.artifact_fingerprint(),
+                "{changed:?}"
+            );
+        }
     }
 }

@@ -26,6 +26,7 @@
 
 use crate::config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm};
 use crate::diversity::{BallDiversity, DiversityFunction, NnDiversity, NullDiversity};
+use crate::error::{GrainError, GrainResult};
 use crate::greedy::{lazy_greedy, plain_greedy};
 use crate::objective::{DimObjective, DiversityScope};
 use crate::prune::prune_candidates;
@@ -62,6 +63,36 @@ pub struct EngineStats {
     pub selections: usize,
 }
 
+impl EngineStats {
+    /// The counter increments accumulated since `earlier` — the
+    /// cache-miss breakdown of one request window. All-zero build counters
+    /// mean the window was served entirely from warm artifacts.
+    #[must_use]
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            transition_builds: self.transition_builds - earlier.transition_builds,
+            propagation_builds: self.propagation_builds - earlier.propagation_builds,
+            embedding_builds: self.embedding_builds - earlier.embedding_builds,
+            influence_builds: self.influence_builds - earlier.influence_builds,
+            index_builds: self.index_builds - earlier.index_builds,
+            diversity_builds: self.diversity_builds - earlier.diversity_builds,
+            selections: self.selections - earlier.selections,
+        }
+    }
+
+    /// Total artifact (re)builds in this window — zero for a fully warm
+    /// request.
+    #[must_use]
+    pub fn total_builds(&self) -> usize {
+        self.transition_builds
+            + self.propagation_builds
+            + self.embedding_builds
+            + self.influence_builds
+            + self.index_builds
+            + self.diversity_builds
+    }
+}
+
 /// Cache key for artifacts derived from the propagation kernel. `f32`
 /// parameters are compared by bit pattern via [`grain_prop::Kernel::cache_key`].
 type KernelKey = String;
@@ -78,11 +109,16 @@ type BallCache = Option<((KernelKey, u32), (Arc<Vec<Vec<u32>>>, usize))>;
 /// request; use [`SelectionEngine::set_config`] between calls to move
 /// through config space while keeping every artifact the new config does
 /// not invalidate.
-pub struct SelectionEngine<'g> {
+///
+/// The engine owns its corpus through [`Arc`] handles, so it can live in a
+/// long-lived pool (see [`crate::service::EnginePool`]) and share the
+/// underlying graph/features with other engines and with baseline
+/// selectors at zero copy cost.
+pub struct SelectionEngine {
     config: GrainConfig,
-    graph: &'g Graph,
-    features: &'g DenseMatrix,
-    propagation: PropagationCache<'g>,
+    graph: Arc<Graph>,
+    features: Arc<DenseMatrix>,
+    propagation: PropagationCache,
     transition: Option<(TransitionKind, CsrMatrix)>,
     embedding: Option<(KernelKey, Arc<DenseMatrix>)>,
     rows: Option<((KernelKey, u32), InfluenceRows)>,
@@ -92,26 +128,37 @@ pub struct SelectionEngine<'g> {
     stats: EngineStats,
 }
 
-impl<'g> SelectionEngine<'g> {
-    /// An engine over `graph`/`features` with a validated configuration.
-    pub fn new(
+impl SelectionEngine {
+    /// An engine over borrowed `graph`/`features` with a validated
+    /// configuration. The corpus is cloned into shared handles; callers
+    /// that already hold `Arc`s (or can give up ownership) should use
+    /// [`SelectionEngine::over`] instead, which copies nothing.
+    pub fn new(config: GrainConfig, graph: &Graph, features: &DenseMatrix) -> GrainResult<Self> {
+        Self::over(config, graph.clone(), features.clone())
+    }
+
+    /// An engine over shared corpus handles — the zero-copy constructor
+    /// the serving tier uses. Accepts owned values or `Arc`s.
+    pub fn over(
         config: GrainConfig,
-        graph: &'g Graph,
-        features: &'g DenseMatrix,
-    ) -> Result<Self, String> {
+        graph: impl Into<Arc<Graph>>,
+        features: impl Into<Arc<DenseMatrix>>,
+    ) -> GrainResult<Self> {
         config.validate()?;
+        let graph = graph.into();
+        let features = features.into();
         if features.rows() != graph.num_nodes() {
-            return Err(format!(
-                "feature rows ({}) must match node count ({})",
-                features.rows(),
-                graph.num_nodes()
-            ));
+            return Err(GrainError::FeatureShape {
+                feature_rows: features.rows(),
+                num_nodes: graph.num_nodes(),
+            });
         }
+        let propagation = PropagationCache::new(Arc::clone(&graph), Arc::clone(&features));
         Ok(Self {
             config,
             graph,
             features,
-            propagation: PropagationCache::new(graph, features),
+            propagation,
             transition: None,
             embedding: None,
             rows: None,
@@ -129,19 +176,60 @@ impl<'g> SelectionEngine<'g> {
 
     /// The graph this engine serves.
     pub fn graph(&self) -> &Graph {
-        self.graph
+        &self.graph
     }
 
     /// The raw (unpropagated) feature matrix.
     pub fn features(&self) -> &DenseMatrix {
-        self.features
+        &self.features
+    }
+
+    /// Shared handle to the graph this engine serves.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
+    }
+
+    /// Shared handle to the raw feature matrix.
+    pub fn features_arc(&self) -> Arc<DenseMatrix> {
+        Arc::clone(&self.features)
+    }
+
+    /// The propagated embedding `X^(k)` under the active kernel, built or
+    /// cached — the shared artifact baseline selectors (FeatProp, KCG,
+    /// core-set methods) smooth their distances on, so Grain and every
+    /// baseline read bit-identical propagation from one store.
+    pub fn propagated(&mut self) -> Arc<DenseMatrix> {
+        self.ensure_transition();
+        self.ensure_propagation();
+        let transition = &self.transition.as_ref().expect("transition ensured").1;
+        self.propagation.get_with(self.config.kernel, transition)
+    }
+
+    /// Seeds the propagation cache with an externally computed `X^(k)`
+    /// for the active kernel, sharing the allocation — used when this
+    /// engine is a private companion of another engine (e.g. a
+    /// [`crate::service::GrainService`]-pooled one) that already holds
+    /// the artifact, so it is never re-propagated here.
+    ///
+    /// # Panics
+    /// Panics if `value` does not have one row per graph node.
+    pub fn seed_propagated(&mut self, value: Arc<DenseMatrix>) {
+        self.propagation.seed(self.config.kernel, value);
+    }
+
+    /// The cached `X^(k)` for `kernel` if this engine has already
+    /// propagated (or been seeded with) it — computes nothing on a miss.
+    /// Siblings over the same corpus use this to seed each other via
+    /// [`SelectionEngine::seed_propagated`].
+    pub fn propagated_if_cached(&self, kernel: grain_prop::Kernel) -> Option<Arc<DenseMatrix>> {
+        self.propagation.get_cached(kernel)
     }
 
     /// Swaps the configuration, keeping every cached artifact whose key
     /// fields are unchanged. Artifacts are rebuilt lazily on the next
     /// `select`, so sweeping e.g. `gamma` or `budget` rebuilds nothing and
     /// sweeping `theta` rebuilds only the activation index.
-    pub fn set_config(&mut self, config: GrainConfig) -> Result<(), String> {
+    pub fn set_config(&mut self, config: GrainConfig) -> GrainResult<()> {
         config.validate()?;
         self.config = config;
         Ok(())
@@ -196,7 +284,7 @@ impl<'g> SelectionEngine<'g> {
         // §3.4 candidate pruning is per-pool, not a cached artifact.
         let rows = &self.rows.as_ref().expect("rows ensured").1;
         let pool: Vec<u32> = match self.config.prune {
-            Some(strategy) => prune_candidates(strategy, self.graph, rows, candidates),
+            Some(strategy) => prune_candidates(strategy, &self.graph, rows, candidates),
             None => candidates.to_vec(),
         };
         let indexing = t2.elapsed();
@@ -246,6 +334,17 @@ impl<'g> SelectionEngine<'g> {
             .collect()
     }
 
+    /// The L2-normalized rows of `X^(k)` under the active kernel (built
+    /// or cached) — the embedding Grain distances diversity on; layout /
+    /// interpretability consumers read it from the same store instead of
+    /// re-normalizing the propagation themselves.
+    pub fn normalized_embedding(&mut self) -> Arc<DenseMatrix> {
+        self.ensure_transition();
+        self.ensure_propagation();
+        self.ensure_embedding();
+        Arc::clone(&self.embedding.as_ref().expect("embedding ensured").1)
+    }
+
     /// The activation index under the current config (built or cached) —
     /// interpretability experiments read activation lists directly.
     pub fn activation_index(&mut self) -> &ActivationIndex {
@@ -265,7 +364,7 @@ impl<'g> SelectionEngine<'g> {
     fn ensure_transition(&mut self) {
         let kind = self.config.kernel.transition_kind();
         if self.transition.as_ref().map(|(k, _)| *k) != Some(kind) {
-            let t = transition_matrix(self.graph, kind, true);
+            let t = transition_matrix(&self.graph, kind, true);
             self.transition = Some((kind, t));
             self.stats.transition_builds += 1;
         }
@@ -277,7 +376,7 @@ impl<'g> SelectionEngine<'g> {
             self.stats.propagation_builds += 1;
         }
         let transition = &self.transition.as_ref().expect("transition ensured").1;
-        self.propagation.get_with(kernel, transition);
+        let _ = self.propagation.get_with(kernel, transition);
     }
 
     fn ensure_embedding(&mut self) {
@@ -286,7 +385,7 @@ impl<'g> SelectionEngine<'g> {
             let embedding = {
                 let transition = &self.transition.as_ref().expect("transition ensured").1;
                 let smoothed = self.propagation.get_with(self.config.kernel, transition);
-                distance::normalized_embedding(smoothed)
+                distance::normalized_embedding(&smoothed)
             };
             self.embedding = Some((key, Arc::new(embedding)));
             self.stats.embedding_builds += 1;
@@ -444,6 +543,8 @@ mod tests {
         assert_eq!(stats.selections, budgets.len());
         let selector = GrainSelector::new(cfg).unwrap();
         for (outcome, &budget) in warm.iter().zip(&budgets) {
+            // The deprecated shim is the reference cold path here on purpose.
+            #[allow(deprecated)]
             let fresh = selector.select(&g, &x, &candidates, budget);
             assert_eq!(outcome.selected, fresh.selected, "budget {budget}");
             assert_eq!(outcome.sigma, fresh.sigma, "budget {budget}");

@@ -1,0 +1,140 @@
+//! Typed errors for the Grain selection API.
+//!
+//! Every fallible operation in `grain-core` — configuration validation,
+//! engine construction, service requests — returns [`GrainError`] instead
+//! of a bare `String`, so callers can match on the failure class (and the
+//! serving tier can map classes onto response codes) while `Display` still
+//! yields the precise human-readable message the old strings carried.
+
+use std::error::Error;
+use std::fmt;
+
+/// Result alias used throughout `grain-core`.
+pub type GrainResult<T> = Result<T, GrainError>;
+
+/// Everything that can go wrong answering a selection request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GrainError {
+    /// A [`crate::GrainConfig`] field is outside its legal range.
+    InvalidConfig {
+        /// The offending field ("theta", "radius", "gamma", ...).
+        field: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// The feature matrix does not have one row per graph node.
+    FeatureShape {
+        /// Rows in the offered feature matrix.
+        feature_rows: usize,
+        /// Nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A request named a graph id never registered with the service.
+    UnknownGraph {
+        /// The unresolved graph id.
+        graph: String,
+    },
+    /// A graph id was registered twice. Corpora are immutable once
+    /// registered (pooled engines may hold them), so re-registration is
+    /// rejected even with identical data.
+    GraphAlreadyRegistered {
+        /// The duplicated graph id.
+        graph: String,
+    },
+    /// A candidate node id is not a node of the requested graph.
+    CandidateOutOfRange {
+        /// The offending candidate id.
+        candidate: u32,
+        /// Nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A [`crate::service::Budget`] cannot be resolved against the pool.
+    InvalidBudget {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl fmt::Display for GrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GrainError::InvalidConfig { field, message } => {
+                write!(f, "invalid config field `{field}`: {message}")
+            }
+            GrainError::FeatureShape {
+                feature_rows,
+                num_nodes,
+            } => write!(
+                f,
+                "feature rows ({feature_rows}) must match node count ({num_nodes})"
+            ),
+            GrainError::UnknownGraph { graph } => {
+                write!(f, "graph {graph:?} is not registered with the service")
+            }
+            GrainError::GraphAlreadyRegistered { graph } => {
+                write!(f, "graph {graph:?} is already registered")
+            }
+            GrainError::CandidateOutOfRange {
+                candidate,
+                num_nodes,
+            } => write!(
+                f,
+                "candidate {candidate} out of range for a graph of {num_nodes} nodes"
+            ),
+            GrainError::InvalidBudget { message } => write!(f, "invalid budget: {message}"),
+        }
+    }
+}
+
+impl Error for GrainError {}
+
+impl GrainError {
+    /// Wraps a validation message from a lower-level crate (e.g.
+    /// `ThetaRule::validate`) as an [`GrainError::InvalidConfig`].
+    pub fn config(field: &'static str, message: impl Into<String>) -> Self {
+        GrainError::InvalidConfig {
+            field,
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_the_detail() {
+        let e = GrainError::config("gamma", "must lie in [0,10], got -1");
+        assert_eq!(
+            e.to_string(),
+            "invalid config field `gamma`: must lie in [0,10], got -1"
+        );
+        let e = GrainError::FeatureShape {
+            feature_rows: 3,
+            num_nodes: 9,
+        };
+        assert!(e.to_string().contains("feature rows (3)"));
+        let e = GrainError::UnknownGraph {
+            graph: "cora".into(),
+        };
+        assert!(e.to_string().contains("\"cora\""));
+    }
+
+    #[test]
+    fn errors_are_matchable_and_comparable() {
+        let a = GrainError::InvalidBudget {
+            message: "empty sweep".into(),
+        };
+        assert_eq!(
+            a,
+            GrainError::InvalidBudget {
+                message: "empty sweep".into()
+            }
+        );
+        assert!(matches!(a, GrainError::InvalidBudget { .. }));
+        // It is a std error (boxable, `?`-compatible with Box<dyn Error>).
+        let boxed: Box<dyn std::error::Error> = Box::new(a);
+        assert!(boxed.source().is_none());
+    }
+}

@@ -23,19 +23,31 @@
 //! dismiss uninfluential candidates up front. [`engine::SelectionEngine`]
 //! stages the pipeline (propagate → influence → index → greedy) with
 //! per-artifact caching so repeated selections over one corpus pay the
-//! heavy precompute once; [`selector::GrainSelector`] is the one-shot
-//! wrapper over a fresh engine and exposes the paper's ablation variants
-//! (Table 3).
+//! heavy precompute once.
+//!
+//! The public front door is [`service::GrainService`]: register graphs
+//! once, then answer typed [`service::SelectionRequest`]s (fixed,
+//! fractional, or sweep [`service::Budget`]s) from an LRU
+//! [`service::EnginePool`] of warm engines, with every failure reported as
+//! a [`error::GrainError`]. [`selector::GrainSelector`] remains as the
+//! legacy one-shot wrapper over a fresh engine (its positional `select`
+//! is deprecated — see the module docs for the migration path).
 
 pub mod config;
 pub mod diversity;
 pub mod engine;
+pub mod error;
 pub mod greedy;
 pub mod objective;
 pub mod prune;
 pub mod selector;
+pub mod service;
 
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
 pub use engine::{EngineStats, SelectionEngine};
+pub use error::{GrainError, GrainResult};
 pub use objective::DimObjective;
 pub use selector::{GrainSelector, SelectionOutcome};
+pub use service::{
+    Budget, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport, SelectionRequest,
+};

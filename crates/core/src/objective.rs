@@ -16,7 +16,7 @@ use grain_influence::{ActivationIndex, CoverageState};
 pub enum DiversityScope {
     /// Newly activated nodes `σ(S ∪ {u}) \ σ(S)` — Grain's formulation.
     Activated,
-    /// The seed itself — the classic i.i.d.-style coverage of [45].
+    /// The seed itself — the classic i.i.d.-style coverage of \[45\].
     Seeds,
 }
 

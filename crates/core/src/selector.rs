@@ -13,10 +13,20 @@
 //! a single pass with no retraining in the loop. Every stage runs inside a
 //! fresh [`SelectionEngine`]; callers answering many selections over one
 //! corpus (budget sweeps, sensitivity scans, serving) should hold a warm
-//! engine instead — see [`GrainSelector::engine`].
+//! engine instead — see [`GrainSelector::engine`] — or go through
+//! [`crate::service::GrainService`], the pooled request/response front
+//! door.
+//!
+//! **Deprecation path.** The positional one-shot
+//! [`GrainSelector::select`] predates the service API and is kept as a
+//! thin shim for one more release: it builds a fresh engine per call, so
+//! results stay bit-identical to the warm path, but repeated calls re-pay
+//! every pipeline stage. New code should issue
+//! [`crate::service::SelectionRequest`]s instead.
 
 use crate::config::GrainConfig;
 use crate::engine::SelectionEngine;
+use crate::error::GrainResult;
 use grain_graph::Graph;
 use grain_influence::ActivationIndex;
 use grain_linalg::DenseMatrix;
@@ -90,7 +100,7 @@ pub struct GrainSelector {
 impl GrainSelector {
     /// Selector with an explicit configuration, rejecting configurations
     /// that fail [`GrainConfig::validate`].
-    pub fn new(config: GrainConfig) -> Result<Self, String> {
+    pub fn new(config: GrainConfig) -> GrainResult<Self> {
         config.validate()?;
         Ok(Self { config })
     }
@@ -100,16 +110,19 @@ impl GrainSelector {
     /// Intended for constants already known to be valid; `select` still
     /// validates when it builds its engine and panics up front (naming the
     /// violation) if the configuration is invalid.
+    #[must_use]
     pub fn new_unchecked(config: GrainConfig) -> Self {
         Self { config }
     }
 
     /// The paper's "Grain (ball-D)" selector with Appendix A.4 defaults.
+    #[must_use]
     pub fn ball_d() -> Self {
         Self::new_unchecked(GrainConfig::ball_d())
     }
 
     /// The paper's "Grain (NN-D)" selector with Appendix A.4 defaults.
+    #[must_use]
     pub fn nn_d() -> Self {
         Self::new_unchecked(GrainConfig::nn_d())
     }
@@ -121,12 +134,9 @@ impl GrainSelector {
 
     /// A warm [`SelectionEngine`] over `graph`/`features` with this
     /// selector's configuration — the amortized path for repeated
-    /// selections on one corpus.
-    pub fn engine<'g>(
-        &self,
-        graph: &'g Graph,
-        features: &'g DenseMatrix,
-    ) -> Result<SelectionEngine<'g>, String> {
+    /// selections on one corpus. The corpus is cloned into the engine;
+    /// use [`SelectionEngine::over`] with `Arc` handles to share instead.
+    pub fn engine(&self, graph: &Graph, features: &DenseMatrix) -> GrainResult<SelectionEngine> {
         SelectionEngine::new(self.config, graph, features)
     }
 
@@ -137,6 +147,12 @@ impl GrainSelector {
     /// # Panics
     /// Panics if `features.rows() != graph.num_nodes()` or a candidate id is
     /// out of range.
+    #[deprecated(
+        since = "0.2.0",
+        note = "issue a `SelectionRequest` to `GrainService` (pooled, typed errors) or hold a \
+                warm `SelectionEngine`; this positional shim rebuilds every artifact per call \
+                and will be removed in the next release"
+    )]
     pub fn select(
         &self,
         graph: &Graph,
@@ -156,6 +172,12 @@ impl GrainSelector {
 
     /// Builds just the activation index for external inspection
     /// (interpretability experiments / Figure 7).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SelectionEngine::activation_index` on a warm engine (features are ignored \
+                by the index, so any engine over the graph serves); this shim rebuilds the \
+                index per call"
+    )]
     pub fn activation_index(&self, graph: &Graph) -> ActivationIndex {
         let features = DenseMatrix::zeros(graph.num_nodes(), 1);
         let mut engine = SelectionEngine::new(self.config, graph, &features)
@@ -171,6 +193,20 @@ mod tests {
     use grain_graph::generators::{self, SbmConfig};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
+
+    /// One-shot selection through a fresh engine — the supported
+    /// replacement for the deprecated positional `GrainSelector::select`.
+    fn one_shot(
+        config: GrainConfig,
+        g: &Graph,
+        x: &DenseMatrix,
+        candidates: &[u32],
+        budget: usize,
+    ) -> SelectionOutcome {
+        SelectionEngine::new(config, g, x)
+            .unwrap()
+            .select(candidates, budget)
+    }
 
     fn dataset(seed: u64) -> (Graph, DenseMatrix) {
         let cfg = SbmConfig {
@@ -199,7 +235,7 @@ mod tests {
     fn selects_exactly_budget_nodes() {
         let (g, x) = dataset(1);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        let out = GrainSelector::ball_d().select(&g, &x, &candidates, 12);
+        let out = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 12);
         assert_eq!(out.selected.len(), 12);
         // No duplicates.
         let mut uniq = out.selected.clone();
@@ -209,10 +245,24 @@ mod tests {
     }
 
     #[test]
+    fn deprecated_select_shim_matches_engine_path() {
+        // The one-more-release compat shim must stay bit-identical to the
+        // engine it wraps.
+        let (g, x) = dataset(1);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        #[allow(deprecated)]
+        let shim = GrainSelector::ball_d().select(&g, &x, &candidates, 12);
+        let engine = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 12);
+        assert_eq!(shim.selected, engine.selected);
+        assert_eq!(shim.sigma, engine.sigma);
+        assert_eq!(shim.objective_trace, engine.objective_trace);
+    }
+
+    #[test]
     fn objective_trace_is_monotone() {
         let (g, x) = dataset(2);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        let out = GrainSelector::ball_d().select(&g, &x, &candidates, 10);
+        let out = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 10);
         for w in out.objective_trace.windows(2) {
             assert!(
                 w[1] >= w[0] - 1e-9,
@@ -228,13 +278,9 @@ mod tests {
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         let mut cfg = GrainConfig::ball_d();
         cfg.algorithm = GreedyAlgorithm::Plain;
-        let plain = GrainSelector::new(cfg)
-            .unwrap()
-            .select(&g, &x, &candidates, 8);
+        let plain = one_shot(cfg, &g, &x, &candidates, 8);
         cfg.algorithm = GreedyAlgorithm::Lazy;
-        let lazy = GrainSelector::new(cfg)
-            .unwrap()
-            .select(&g, &x, &candidates, 8);
+        let lazy = one_shot(cfg, &g, &x, &candidates, 8);
         assert_eq!(plain.selected, lazy.selected);
         assert!(lazy.evaluations <= plain.evaluations);
     }
@@ -243,9 +289,12 @@ mod tests {
     fn grain_beats_random_on_sigma_coverage() {
         let (g, x) = dataset(4);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        let out = GrainSelector::ball_d().select(&g, &x, &candidates, 10);
+        let out = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 10);
         // Random baselines: mean sigma over several draws.
-        let idx = GrainSelector::ball_d().activation_index(&g);
+        let idx = SelectionEngine::new(GrainConfig::ball_d(), &g, &x)
+            .unwrap()
+            .activation_index()
+            .clone();
         let mut rng = StdRng::seed_from_u64(99);
         let mut random_sigma = 0.0;
         let trials = 20;
@@ -271,7 +320,7 @@ mod tests {
     fn candidates_restrict_selection() {
         let (g, x) = dataset(5);
         let candidates: Vec<u32> = (0..30u32).collect();
-        let out = GrainSelector::ball_d().select(&g, &x, &candidates, 5);
+        let out = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 5);
         assert!(out.selected.iter().all(|&s| s < 30));
     }
 
@@ -281,9 +330,7 @@ mod tests {
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         let mut cfg = GrainConfig::ball_d();
         cfg.prune = Some(PruneStrategy::Degree { keep_fraction: 0.2 });
-        let out = GrainSelector::new(cfg)
-            .unwrap()
-            .select(&g, &x, &candidates, 6);
+        let out = one_shot(cfg, &g, &x, &candidates, 6);
         assert_eq!(out.candidates_after_prune, 30);
         assert_eq!(out.selected.len(), 6);
     }
@@ -298,9 +345,7 @@ mod tests {
             GrainVariant::NoMagnitude,
             GrainVariant::ClassicCoverage,
         ] {
-            let out = GrainSelector::new(GrainConfig::ablation(variant))
-                .unwrap()
-                .select(&g, &x, &candidates, 5);
+            let out = one_shot(GrainConfig::ablation(variant), &g, &x, &candidates, 5);
             assert_eq!(out.selected.len(), 5, "variant {variant:?}");
         }
     }
@@ -314,8 +359,8 @@ mod tests {
         for seed in 8..12 {
             let (g, x) = dataset(seed);
             let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-            let ball = GrainSelector::ball_d().select(&g, &x, &candidates, 10);
-            let nn = GrainSelector::nn_d().select(&g, &x, &candidates, 10);
+            let ball = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 10);
+            let nn = one_shot(GrainConfig::nn_d(), &g, &x, &candidates, 10);
             assert_eq!(nn.selected.len(), 10);
             assert!(nn.diversity_value > 0.0);
             if ball.selected != nn.selected {
@@ -331,7 +376,7 @@ mod tests {
         let (g, x) = dataset(10);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
         // Over-provision: ask for far more nodes than the objective needs.
-        let out = GrainSelector::ball_d().select(&g, &x, &candidates, 120);
+        let out = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 120);
         let effective = out.effective_budget(1e-3);
         assert!(effective <= out.selected.len());
         assert!(effective > 0);
@@ -346,8 +391,8 @@ mod tests {
     fn deterministic_given_same_inputs() {
         let (g, x) = dataset(9);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        let a = GrainSelector::ball_d().select(&g, &x, &candidates, 7);
-        let b = GrainSelector::ball_d().select(&g, &x, &candidates, 7);
+        let a = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 7);
+        let b = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 7);
         assert_eq!(a.selected, b.selected);
     }
 }

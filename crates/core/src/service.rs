@@ -1,0 +1,858 @@
+//! `GrainService` — the request/response front door of the selection
+//! pipeline.
+//!
+//! PR 2 made [`SelectionEngine`] the serving substrate; this module makes
+//! it *multi-tenant*. A [`GrainService`] owns
+//!
+//! * a **corpus registry**: graphs and feature matrices registered once
+//!   under a string id and shared via `Arc` with every engine, and
+//! * an [`EnginePool`]: an LRU map of warm engines keyed by
+//!   `(graph id, artifact fingerprint)` — see
+//!   [`GrainConfig::artifact_fingerprint`] — with a configurable capacity
+//!   and eviction statistics,
+//!
+//! and answers typed [`SelectionRequest`]s with [`SelectionReport`]s that
+//! carry the selections together with the observability a serving tier
+//! needs: per-stage timings, the pool event (hit / cold miss / rebuild
+//! after eviction), and the exact artifact rebuild counts the request
+//! triggered.
+//!
+//! Because the pool key is the *artifact* fingerprint, requests that only
+//! differ in greedy-stage fields (`gamma`, `variant`, `algorithm`,
+//! `prune`, budget) share one engine and rebuild nothing; requests that
+//! differ in artifact fields (kernel, `theta`, `radius`, `influence_eps`)
+//! get their own engine so alternating workloads never thrash the
+//! single-slot artifact caches. Warm answers are bit-identical to cold
+//! one-shot runs — the engine contract (`tests/engine_reuse.rs`) extends
+//! to the pool.
+
+use crate::config::{GrainConfig, GrainVariant};
+use crate::engine::{EngineStats, SelectionEngine};
+use crate::error::{GrainError, GrainResult};
+use crate::selector::SelectionOutcome;
+use grain_graph::Graph;
+use grain_linalg::DenseMatrix;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Default engine-pool capacity of [`GrainService::new`].
+pub const DEFAULT_POOL_CAPACITY: usize = 8;
+
+/// How a request expresses its labeling budget.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Budget {
+    /// Select exactly `n` nodes (clamped to the candidate-pool size).
+    Fixed(usize),
+    /// Select a fraction of the candidate pool, in `(0, 1]`; resolves to
+    /// at least one node.
+    Fraction(f64),
+    /// A budget sweep: one selection per entry, answered by a single warm
+    /// engine (entries clamped to the pool size).
+    Sweep(Vec<usize>),
+}
+
+impl Budget {
+    /// Resolves the budget against a candidate pool of `pool_size` nodes
+    /// into the list of concrete budgets to run.
+    pub fn resolve(&self, pool_size: usize) -> GrainResult<Vec<usize>> {
+        match self {
+            Budget::Fixed(n) => Ok(vec![(*n).min(pool_size)]),
+            Budget::Fraction(f) => {
+                if !(0.0 < *f && *f <= 1.0) {
+                    return Err(GrainError::InvalidBudget {
+                        message: format!("fraction must lie in (0,1], got {f}"),
+                    });
+                }
+                if pool_size == 0 {
+                    return Ok(vec![0]);
+                }
+                let n = ((*f * pool_size as f64).round() as usize).clamp(1, pool_size);
+                Ok(vec![n])
+            }
+            Budget::Sweep(budgets) => {
+                if budgets.is_empty() {
+                    return Err(GrainError::InvalidBudget {
+                        message: "sweep must name at least one budget".into(),
+                    });
+                }
+                Ok(budgets.iter().map(|&b| b.min(pool_size)).collect())
+            }
+        }
+    }
+}
+
+/// A selection request against a registered graph.
+///
+/// Grain selection is deterministic, so `seed` does not influence the
+/// result; it is carried through to the report so mixed workloads that
+/// interleave Grain with stochastic baselines can keep one bookkeeping
+/// scheme.
+#[derive(Clone, Debug)]
+pub struct SelectionRequest {
+    /// Id of a graph previously passed to [`GrainService::register_graph`].
+    pub graph: String,
+    /// Full pipeline configuration.
+    pub config: GrainConfig,
+    /// Labeling budget (fixed, fractional, or a sweep).
+    pub budget: Budget,
+    /// Candidate pool; `None` selects from all nodes.
+    pub candidates: Option<Vec<u32>>,
+    /// Per-request override of `config.variant` (Table 3 ablations share
+    /// every artifact, so sweeping variants hits one warm engine).
+    pub variant: Option<GrainVariant>,
+    /// Echoed into the report; see the struct docs.
+    pub seed: u64,
+}
+
+impl SelectionRequest {
+    /// A request selecting from all nodes of `graph` at `budget`.
+    #[must_use]
+    pub fn new(graph: impl Into<String>, config: GrainConfig, budget: Budget) -> Self {
+        Self {
+            graph: graph.into(),
+            config,
+            budget,
+            candidates: None,
+            variant: None,
+            seed: 0,
+        }
+    }
+
+    /// Restricts selection to an explicit candidate pool (typically the
+    /// train partition).
+    #[must_use]
+    pub fn with_candidates(mut self, candidates: Vec<u32>) -> Self {
+        self.candidates = Some(candidates);
+        self
+    }
+
+    /// Overrides the config's variant for this request only.
+    #[must_use]
+    pub fn with_variant(mut self, variant: GrainVariant) -> Self {
+        self.variant = Some(variant);
+        self
+    }
+
+    /// Tags the request with a bookkeeping seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What happened in the [`EnginePool`] when a request was routed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoolEvent {
+    /// A warm engine answered; no engine was constructed.
+    Hit,
+    /// First time this `(graph, fingerprint)` key was seen.
+    ColdMiss,
+    /// The key had been evicted earlier and its engine was rebuilt — the
+    /// signal that the pool capacity is too small for the workload.
+    RebuildAfterEviction,
+}
+
+/// Aggregate [`EnginePool`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Lookups answered by a pooled engine.
+    pub hits: usize,
+    /// Lookups that built an engine for a never-seen key.
+    pub cold_misses: usize,
+    /// Lookups that rebuilt an engine for a previously evicted key.
+    pub evicted_rebuilds: usize,
+    /// Engines pushed out by capacity.
+    pub evictions: usize,
+}
+
+impl PoolStats {
+    /// All lookups that had to build an engine.
+    #[must_use]
+    pub fn misses(&self) -> usize {
+        self.cold_misses + self.evicted_rebuilds
+    }
+
+    /// Total lookups routed through the pool.
+    #[must_use]
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses()
+    }
+}
+
+/// Pool key: one engine per (graph, artifact fingerprint).
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
+struct PoolKey {
+    graph: String,
+    fingerprint: String,
+}
+
+/// How many distinct evicted keys the pool remembers for classifying a
+/// rebuild as [`PoolEvent::RebuildAfterEviction`] rather than a cold
+/// miss. Bounds the pool's memory in a long-lived service sweeping many
+/// artifact fingerprints; once full, rebuilds of keys evicted beyond the
+/// horizon are reported as cold misses — a benign misclassification.
+const EVICTED_KEY_MEMORY: usize = 4096;
+
+/// An LRU map of warm [`SelectionEngine`]s.
+///
+/// Capacity is the number of engines kept warm at once; the least
+/// recently used engine is dropped when a new key arrives at a full pool.
+/// Lookup order is tracked per *use*, so a steady mixed workload keeps
+/// its hot engines resident. Rebuilds of previously evicted keys are
+/// counted separately from cold misses — a rising
+/// [`PoolStats::evicted_rebuilds`] is the capacity-tuning signal.
+pub struct EnginePool {
+    capacity: usize,
+    /// Most recently used first.
+    entries: Vec<(PoolKey, SelectionEngine)>,
+    stats: PoolStats,
+    /// Evicted keys, capped at [`EVICTED_KEY_MEMORY`].
+    evicted: HashSet<PoolKey>,
+}
+
+impl EnginePool {
+    /// A pool keeping up to `capacity` warm engines (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            stats: PoolStats::default(),
+            evicted: HashSet::new(),
+        }
+    }
+
+    /// Maximum number of resident engines.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of engines currently resident.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no engine is resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats
+    }
+
+    /// Resident `(graph, fingerprint)` keys, most recently used first.
+    pub fn keys(&self) -> Vec<(&str, &str)> {
+        self.entries
+            .iter()
+            .map(|(k, _)| (k.graph.as_str(), k.fingerprint.as_str()))
+            .collect()
+    }
+
+    /// Drops every resident engine (counters are kept).
+    pub fn clear(&mut self) {
+        let keys: Vec<PoolKey> = self.entries.drain(..).map(|(key, _)| key).collect();
+        for key in keys {
+            self.remember_evicted(key);
+        }
+    }
+
+    /// Records an evicted key, up to [`EVICTED_KEY_MEMORY`] distinct keys.
+    fn remember_evicted(&mut self, key: PoolKey) {
+        if self.evicted.len() < EVICTED_KEY_MEMORY {
+            self.evicted.insert(key);
+        }
+    }
+
+    /// The cached `X^(k)` under `kernel` from any resident engine serving
+    /// `graph`, if one holds it. Engines are keyed by the full artifact
+    /// fingerprint (kernel, θ, ε, r), but `X^(k)` depends on the kernel
+    /// alone — a new engine for another fingerprint of the same graph
+    /// seeds from a sibling instead of re-propagating.
+    fn cached_propagation(
+        &self,
+        graph: &str,
+        kernel: grain_prop::Kernel,
+    ) -> Option<Arc<DenseMatrix>> {
+        self.entries
+            .iter()
+            .filter(|(key, _)| key.graph == graph)
+            .find_map(|(_, engine)| engine.propagated_if_cached(kernel))
+    }
+
+    /// Re-homes entries whose engine a caller re-keyed through the
+    /// `&mut` handle ([`crate::SelectionEngine::set_config`] with an
+    /// artifact-field change): the stored key is updated to the engine's
+    /// actual fingerprint so a lookup never serves wrong-keyed caches.
+    /// When re-homing collides with a resident key, the less recently
+    /// used entry is dropped and counted as an eviction.
+    fn rehome(&mut self) {
+        let mut changed = false;
+        for (key, engine) in &mut self.entries {
+            let actual = engine.config().artifact_fingerprint();
+            if key.fingerprint != actual {
+                key.fingerprint = actual;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+        // Entries are MRU-first: keep the first occurrence of each key.
+        let mut seen: HashSet<PoolKey> = HashSet::new();
+        let mut dropped: Vec<PoolKey> = Vec::new();
+        self.entries.retain(|(key, _)| {
+            if seen.insert(key.clone()) {
+                true
+            } else {
+                dropped.push(key.clone());
+                false
+            }
+        });
+        for key in dropped {
+            self.remember_evicted(key);
+            self.stats.evictions += 1;
+        }
+    }
+
+    fn get_or_insert_with(
+        &mut self,
+        key: PoolKey,
+        build: impl FnOnce() -> GrainResult<SelectionEngine>,
+    ) -> GrainResult<(&mut SelectionEngine, PoolEvent)> {
+        self.rehome();
+        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+            self.stats.hits += 1;
+            return Ok((&mut self.entries[0].1, PoolEvent::Hit));
+        }
+        let engine = build()?;
+        let event = if self.evicted.contains(&key) {
+            self.stats.evicted_rebuilds += 1;
+            PoolEvent::RebuildAfterEviction
+        } else {
+            self.stats.cold_misses += 1;
+            PoolEvent::ColdMiss
+        };
+        if self.entries.len() == self.capacity {
+            let (lru_key, _) = self.entries.pop().expect("pool is non-empty at capacity");
+            self.remember_evicted(lru_key);
+            self.stats.evictions += 1;
+        }
+        self.entries.insert(0, (key, engine));
+        Ok((&mut self.entries[0].1, event))
+    }
+}
+
+/// Answer to a [`SelectionRequest`]: the selections plus the cache
+/// observability of the request.
+#[derive(Clone, Debug)]
+pub struct SelectionReport {
+    /// The graph the request ran against.
+    pub graph: String,
+    /// The request's bookkeeping seed, echoed.
+    pub seed: u64,
+    /// Concrete budgets after [`Budget::resolve`], in execution order.
+    pub budgets: Vec<usize>,
+    /// One outcome per budget (selection, σ, objective trace, per-stage
+    /// timings, greedy evaluation counts).
+    pub outcomes: Vec<SelectionOutcome>,
+    /// What the engine pool did for this request.
+    pub pool_event: PoolEvent,
+    /// Artifact (re)builds this request triggered — the cache hit/miss
+    /// breakdown per pipeline stage; all-zero build counters mean the
+    /// request was answered entirely from warm artifacts.
+    pub artifact_builds: EngineStats,
+    /// Pool counters after the request.
+    pub pool_stats: PoolStats,
+}
+
+impl SelectionReport {
+    /// The single outcome of a [`Budget::Fixed`]/[`Budget::Fraction`]
+    /// request.
+    ///
+    /// # Panics
+    /// Panics on a sweep report with more than one budget — iterate
+    /// [`SelectionReport::outcomes`] instead.
+    pub fn outcome(&self) -> &SelectionOutcome {
+        assert_eq!(
+            self.outcomes.len(),
+            1,
+            "outcome() is for single-budget reports; this sweep has {} — iterate .outcomes",
+            self.outcomes.len()
+        );
+        &self.outcomes[0]
+    }
+
+    /// True when the request touched no cold state: the pool hit a warm
+    /// engine and zero artifacts were rebuilt.
+    #[must_use]
+    pub fn fully_warm(&self) -> bool {
+        self.pool_event == PoolEvent::Hit && self.artifact_builds.total_builds() == 0
+    }
+}
+
+/// One corpus registered with the service.
+struct Corpus {
+    graph: Arc<Graph>,
+    features: Arc<DenseMatrix>,
+}
+
+/// Multi-tenant selection service: many graphs, many configs, one pool of
+/// warm engines, one artifact store.
+///
+/// ```
+/// use grain_core::service::{Budget, GrainService, SelectionRequest};
+/// use grain_core::GrainConfig;
+/// use grain_graph::generators;
+/// use grain_linalg::DenseMatrix;
+///
+/// let graph = generators::erdos_renyi_gnm(200, 600, 7);
+/// let features = DenseMatrix::full(200, 8, 1.0);
+/// let mut service = GrainService::new();
+/// service.register_graph("demo", graph, features)?;
+///
+/// let request = SelectionRequest::new("demo", GrainConfig::ball_d(), Budget::Fixed(10));
+/// let report = service.select(&request)?;
+/// assert_eq!(report.outcome().selected.len(), 10);
+///
+/// // The same request again is answered fully warm, bit-identically.
+/// let again = service.select(&request)?;
+/// assert!(again.fully_warm());
+/// assert_eq!(again.outcome().selected, report.outcome().selected);
+/// # Ok::<(), grain_core::GrainError>(())
+/// ```
+pub struct GrainService {
+    corpora: HashMap<String, Corpus>,
+    pool: EnginePool,
+}
+
+impl Default for GrainService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GrainService {
+    /// A service with the default pool capacity
+    /// ([`DEFAULT_POOL_CAPACITY`]).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_POOL_CAPACITY)
+    }
+
+    /// A service keeping up to `capacity` warm engines.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            corpora: HashMap::new(),
+            pool: EnginePool::new(capacity),
+        }
+    }
+
+    /// Registers a corpus under `id`. Accepts owned values or `Arc`s;
+    /// every engine serving this graph shares the handles without
+    /// copying. Registering the same id twice is an error — corpora are
+    /// immutable once registered, since pooled engines may hold them.
+    pub fn register_graph(
+        &mut self,
+        id: impl Into<String>,
+        graph: impl Into<Arc<Graph>>,
+        features: impl Into<Arc<DenseMatrix>>,
+    ) -> GrainResult<()> {
+        let id = id.into();
+        let graph = graph.into();
+        let features = features.into();
+        if features.rows() != graph.num_nodes() {
+            return Err(GrainError::FeatureShape {
+                feature_rows: features.rows(),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        if self.corpora.contains_key(&id) {
+            return Err(GrainError::GraphAlreadyRegistered { graph: id });
+        }
+        self.corpora.insert(id, Corpus { graph, features });
+        Ok(())
+    }
+
+    /// Registered graph ids, sorted.
+    pub fn graphs(&self) -> Vec<&str> {
+        let mut ids: Vec<&str> = self.corpora.keys().map(String::as_str).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Shared handle to a registered graph.
+    pub fn graph(&self, id: &str) -> GrainResult<Arc<Graph>> {
+        self.corpus(id).map(|c| Arc::clone(&c.graph))
+    }
+
+    /// Shared handle to a registered feature matrix.
+    pub fn features(&self, id: &str) -> GrainResult<Arc<DenseMatrix>> {
+        self.corpus(id).map(|c| Arc::clone(&c.features))
+    }
+
+    /// The pool (inspection: capacity, resident keys, stats).
+    pub fn pool(&self) -> &EnginePool {
+        &self.pool
+    }
+
+    /// Aggregate pool counters.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Routes `(graph, config)` to its warm engine, building or rebuilding
+    /// it if needed, and aligns the engine's greedy-stage fields with
+    /// `config`.
+    ///
+    /// This is also the baseline path: selectors that are not Grain pull
+    /// shared artifacts (e.g. the propagated `X^(k)` via
+    /// [`SelectionEngine::propagated`]) from the same engine Grain
+    /// requests use, so every method reads one artifact store.
+    pub fn engine(
+        &mut self,
+        graph_id: &str,
+        config: &GrainConfig,
+    ) -> GrainResult<(&mut SelectionEngine, PoolEvent)> {
+        config.validate()?;
+        let corpus = self.corpus(graph_id)?;
+        let (graph, features) = (Arc::clone(&corpus.graph), Arc::clone(&corpus.features));
+        let key = PoolKey {
+            graph: graph_id.to_string(),
+            fingerprint: config.artifact_fingerprint(),
+        };
+        // X^(k) depends on the kernel alone, not the full fingerprint: a
+        // fresh engine adopts a resident sibling's propagation so e.g. a
+        // θ sweep through the service re-propagates nothing.
+        let seed = self.pool.cached_propagation(graph_id, config.kernel);
+        let (engine, event) = self.pool.get_or_insert_with(key, || {
+            let mut engine = SelectionEngine::over(*config, graph, features)?;
+            if let Some(propagated) = seed {
+                engine.seed_propagated(propagated);
+            }
+            Ok(engine)
+        })?;
+        // Same fingerprint can still differ in greedy-stage fields; the
+        // precise invalidation in set_config keeps all artifacts.
+        engine.set_config(*config)?;
+        Ok((engine, event))
+    }
+
+    /// Answers a selection request.
+    ///
+    /// Typed failures: [`GrainError::UnknownGraph`] for an unregistered
+    /// id, [`GrainError::InvalidConfig`] from config validation,
+    /// [`GrainError::CandidateOutOfRange`] instead of the engine's panic,
+    /// and [`GrainError::InvalidBudget`] from [`Budget::resolve`].
+    pub fn select(&mut self, request: &SelectionRequest) -> GrainResult<SelectionReport> {
+        let corpus = self.corpus(&request.graph)?;
+        let num_nodes = corpus.graph.num_nodes();
+        // Borrow the request's pool on the hot path — a warm request must
+        // cost only greedy, not a per-request candidate copy.
+        let candidates: Cow<'_, [u32]> = match &request.candidates {
+            Some(pool) => {
+                for &c in pool {
+                    if c as usize >= num_nodes {
+                        return Err(GrainError::CandidateOutOfRange {
+                            candidate: c,
+                            num_nodes,
+                        });
+                    }
+                }
+                Cow::Borrowed(pool.as_slice())
+            }
+            None => Cow::Owned((0..num_nodes as u32).collect()),
+        };
+        let budgets = request.budget.resolve(candidates.len())?;
+        let mut config = request.config;
+        if let Some(variant) = request.variant {
+            config.variant = variant;
+        }
+        let (engine, pool_event) = self.engine(&request.graph, &config)?;
+        let before = engine.stats();
+        let outcomes: Vec<SelectionOutcome> = budgets
+            .iter()
+            .map(|&b| engine.select(&candidates, b))
+            .collect();
+        let artifact_builds = engine.stats().delta_since(&before);
+        Ok(SelectionReport {
+            graph: request.graph.clone(),
+            seed: request.seed,
+            budgets,
+            outcomes,
+            pool_event,
+            artifact_builds,
+            pool_stats: self.pool.stats(),
+        })
+    }
+
+    fn corpus(&self, id: &str) -> GrainResult<&Corpus> {
+        self.corpora
+            .get(id)
+            .ok_or_else(|| GrainError::UnknownGraph {
+                graph: id.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grain_graph::generators;
+
+    fn corpus(n: usize, seed: u64) -> (Graph, DenseMatrix) {
+        let g = generators::erdos_renyi_gnm(n, 3 * n, seed);
+        let mut x = DenseMatrix::zeros(n, 6);
+        for v in 0..n {
+            for (j, value) in x.row_mut(v).iter_mut().enumerate() {
+                *value = ((v * 31 + j * 7 + seed as usize) % 13) as f32 * 0.1;
+            }
+        }
+        (g, x)
+    }
+
+    fn service_with(graphs: &[(&str, u64)]) -> GrainService {
+        let mut service = GrainService::with_capacity(4);
+        for &(id, seed) in graphs {
+            let (g, x) = corpus(120, seed);
+            service.register_graph(id, g, x).unwrap();
+        }
+        service
+    }
+
+    #[test]
+    fn sibling_engines_share_propagation() {
+        // A second artifact fingerprint for the same graph (radius change)
+        // gets its own pooled engine, but adopts the sibling's X^(k)
+        // instead of re-propagating.
+        let mut service = service_with(&[("g", 1)]);
+        let base = GrainConfig::ball_d();
+        let first = service
+            .select(&SelectionRequest::new("g", base, Budget::Fixed(5)))
+            .unwrap();
+        assert_eq!(first.artifact_builds.propagation_builds, 1);
+        let deep = GrainConfig {
+            radius: base.radius * 2.0,
+            ..base
+        };
+        let second = service
+            .select(&SelectionRequest::new("g", deep, Budget::Fixed(5)))
+            .unwrap();
+        assert_eq!(second.pool_event, PoolEvent::ColdMiss);
+        assert_eq!(
+            second.artifact_builds.propagation_builds, 0,
+            "the new engine must adopt the sibling's propagation"
+        );
+        assert_eq!(service.pool().len(), 2);
+    }
+
+    #[test]
+    fn rekeyed_engines_are_rehomed_not_served_stale() {
+        // A caller can re-key a checked-out engine via set_config; the
+        // pool must re-index it under its actual fingerprint instead of
+        // serving its caches for the old key.
+        let mut service = service_with(&[("g", 1)]);
+        let base = GrainConfig::ball_d();
+        let (engine, _) = service.engine("g", &base).unwrap();
+        let deep = GrainConfig {
+            kernel: grain_prop::Kernel::RandomWalk { k: 3 },
+            ..base
+        };
+        engine.set_config(deep).unwrap();
+        // The re-keyed engine now answers for `deep`...
+        let (_, event) = service.engine("g", &deep).unwrap();
+        assert_eq!(event, PoolEvent::Hit);
+        // ...and a request for `base` builds fresh instead of hitting the
+        // wrong-keyed caches.
+        let (_, event) = service.engine("g", &base).unwrap();
+        assert_eq!(event, PoolEvent::ColdMiss);
+        assert_eq!(service.pool().len(), 2);
+    }
+
+    #[test]
+    fn fixed_and_fraction_budgets_resolve() {
+        assert_eq!(Budget::Fixed(5).resolve(100).unwrap(), vec![5]);
+        assert_eq!(Budget::Fixed(500).resolve(100).unwrap(), vec![100]);
+        assert_eq!(Budget::Fraction(0.1).resolve(100).unwrap(), vec![10]);
+        assert_eq!(Budget::Fraction(1e-9).resolve(100).unwrap(), vec![1]);
+        assert_eq!(Budget::Fraction(0.5).resolve(0).unwrap(), vec![0]);
+        assert!(matches!(
+            Budget::Fraction(0.0).resolve(100),
+            Err(GrainError::InvalidBudget { .. })
+        ));
+        assert!(matches!(
+            Budget::Fraction(1.5).resolve(100),
+            Err(GrainError::InvalidBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_budgets_resolve_in_order() {
+        assert_eq!(
+            Budget::Sweep(vec![4, 8, 200]).resolve(100).unwrap(),
+            vec![4, 8, 100]
+        );
+        assert!(matches!(
+            Budget::Sweep(vec![]).resolve(100),
+            Err(GrainError::InvalidBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_graph_and_bad_candidates_are_typed() {
+        let mut service = service_with(&[("a", 1)]);
+        let missing = SelectionRequest::new("nope", GrainConfig::ball_d(), Budget::Fixed(3));
+        assert_eq!(
+            service.select(&missing).unwrap_err(),
+            GrainError::UnknownGraph {
+                graph: "nope".into()
+            }
+        );
+        let out_of_range = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(3))
+            .with_candidates(vec![0, 5, 9000]);
+        assert_eq!(
+            service.select(&out_of_range).unwrap_err(),
+            GrainError::CandidateOutOfRange {
+                candidate: 9000,
+                num_nodes: 120
+            }
+        );
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut service = service_with(&[("a", 1)]);
+        let (g, x) = corpus(50, 9);
+        assert_eq!(
+            service.register_graph("a", g, x),
+            Err(GrainError::GraphAlreadyRegistered { graph: "a".into() })
+        );
+        let (g, x) = corpus(50, 9);
+        let short = DenseMatrix::zeros(3, 2);
+        assert!(matches!(
+            service.register_graph("b", g, short),
+            Err(GrainError::FeatureShape { .. })
+        ));
+        drop(x);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_pool_and_match() {
+        let mut service = service_with(&[("a", 1)]);
+        let request = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(8));
+        let cold = service.select(&request).unwrap();
+        assert_eq!(cold.pool_event, PoolEvent::ColdMiss);
+        assert!(cold.artifact_builds.total_builds() > 0);
+        let warm = service.select(&request).unwrap();
+        assert!(warm.fully_warm());
+        assert_eq!(warm.outcome().selected, cold.outcome().selected);
+        assert_eq!(warm.outcome().sigma, cold.outcome().sigma);
+        assert_eq!(service.pool_stats().hits, 1);
+        assert_eq!(service.pool_stats().cold_misses, 1);
+    }
+
+    #[test]
+    fn greedy_only_config_changes_share_one_engine() {
+        let mut service = service_with(&[("a", 2)]);
+        let base = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(6));
+        let _ = service.select(&base).unwrap();
+        let mut gamma = GrainConfig::ball_d();
+        gamma.gamma = 0.25;
+        let tweaked = SelectionRequest::new("a", gamma, Budget::Fixed(6))
+            .with_variant(GrainVariant::NoDiversity);
+        let report = service.select(&tweaked).unwrap();
+        assert!(report.fully_warm(), "greedy-only change must not rebuild");
+        assert_eq!(service.pool().len(), 1);
+    }
+
+    #[test]
+    fn variant_override_applies() {
+        let mut service = service_with(&[("a", 3)]);
+        let full = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(6));
+        let ablated = full.clone().with_variant(GrainVariant::NoDiversity);
+        let a = service.select(&full).unwrap();
+        let b = service.select(&ablated).unwrap();
+        // NoDiversity ignores the diversity term; traces must differ.
+        assert_ne!(a.outcome().objective_trace, b.outcome().objective_trace);
+    }
+
+    #[test]
+    fn sweep_reports_one_outcome_per_budget() {
+        let mut service = service_with(&[("a", 4)]);
+        let request =
+            SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Sweep(vec![3, 6, 9]));
+        let report = service.select(&request).unwrap();
+        assert_eq!(report.budgets, vec![3, 6, 9]);
+        assert_eq!(report.outcomes.len(), 3);
+        for (outcome, budget) in report.outcomes.iter().zip(&report.budgets) {
+            assert_eq!(outcome.selected.len(), *budget);
+        }
+        // Artifacts were built once for the whole sweep.
+        assert_eq!(report.artifact_builds.propagation_builds, 1);
+        assert_eq!(report.artifact_builds.selections, 3);
+    }
+
+    #[test]
+    fn cross_graph_requests_use_distinct_engines() {
+        let mut service = service_with(&[("a", 5), ("b", 6)]);
+        let cfg = GrainConfig::ball_d();
+        let ra = service
+            .select(&SelectionRequest::new("a", cfg, Budget::Fixed(5)))
+            .unwrap();
+        let rb = service
+            .select(&SelectionRequest::new("b", cfg, Budget::Fixed(5)))
+            .unwrap();
+        assert_eq!(ra.pool_event, PoolEvent::ColdMiss);
+        assert_eq!(rb.pool_event, PoolEvent::ColdMiss);
+        assert_eq!(service.pool().len(), 2);
+        let keys = service.pool().keys();
+        assert_eq!(keys[0].0, "b", "MRU first");
+        assert_eq!(keys[1].0, "a");
+    }
+
+    #[test]
+    fn lru_evicts_and_counts_rebuilds() {
+        let mut service = GrainService::with_capacity(1);
+        for (id, seed) in [("a", 7), ("b", 8)] {
+            let (g, x) = corpus(80, seed);
+            service.register_graph(id, g, x).unwrap();
+        }
+        let cfg = GrainConfig::ball_d();
+        let ra = service
+            .select(&SelectionRequest::new("a", cfg, Budget::Fixed(4)))
+            .unwrap();
+        let _ = service
+            .select(&SelectionRequest::new("b", cfg, Budget::Fixed(4)))
+            .unwrap();
+        let ra2 = service
+            .select(&SelectionRequest::new("a", cfg, Budget::Fixed(4)))
+            .unwrap();
+        assert_eq!(ra2.pool_event, PoolEvent::RebuildAfterEviction);
+        assert_eq!(service.pool_stats().evictions, 2);
+        assert_eq!(service.pool_stats().evicted_rebuilds, 1);
+        // Thrash or not, the answers stay bit-identical.
+        assert_eq!(ra.outcome().selected, ra2.outcome().selected);
+        assert_eq!(ra.outcome().objective_trace, ra2.outcome().objective_trace);
+    }
+
+    #[test]
+    fn outcome_accessor_guards_sweeps() {
+        let mut service = service_with(&[("a", 10)]);
+        let report = service
+            .select(&SelectionRequest::new(
+                "a",
+                GrainConfig::ball_d(),
+                Budget::Sweep(vec![2, 4]),
+            ))
+            .unwrap();
+        let caught =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| report.outcome().clone()));
+        assert!(caught.is_err(), "outcome() must panic on sweeps");
+    }
+}

@@ -271,8 +271,13 @@ paper_x paper_a\n";
     fn loaded_dataset_flows_through_selection() {
         let loaded = load_planetoid("toy", CONTENT.as_bytes(), CITES.as_bytes(), 1, 1, 7).unwrap();
         let ds = &loaded.dataset;
-        let outcome =
-            grain_core::GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, 1);
+        let outcome = grain_core::SelectionEngine::new(
+            grain_core::GrainConfig::ball_d(),
+            &ds.graph,
+            &ds.features,
+        )
+        .unwrap()
+        .select(&ds.split.train, 1);
         assert_eq!(outcome.selected.len(), 1);
     }
 }

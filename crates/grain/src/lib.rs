@@ -12,21 +12,39 @@
 //!
 //! ## Quick start
 //!
+//! The front door is [`GrainService`](core::service::GrainService):
+//! register each graph once, then answer typed
+//! [`SelectionRequest`](core::service::SelectionRequest)s from a pool of
+//! warm engines. Repeated and related requests (budget sweeps, ablations,
+//! γ scans) share cached pipeline artifacts and come back bit-identical
+//! to cold runs.
+//!
 //! ```
 //! use grain::prelude::*;
 //!
 //! // A synthetic citation-style corpus (Cora-like, scaled-down here).
 //! let dataset = grain::data::synthetic::papers_like(500, 42);
 //!
+//! // Register the corpus once; engines share it from then on.
+//! let mut service = GrainService::new();
+//! service.register_graph(
+//!     "papers",
+//!     dataset.graph.clone(),
+//!     dataset.features.clone(),
+//! )?;
+//!
 //! // Select 20 nodes to label with Grain (ball-D), Appendix A.4 defaults.
-//! let selector = GrainSelector::ball_d();
-//! let outcome = selector.select(
-//!     &dataset.graph,
-//!     &dataset.features,
-//!     &dataset.split.train,
-//!     20,
-//! );
+//! let request = SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(20))
+//!     .with_candidates(dataset.split.train.clone());
+//! let report = service.select(&request)?;
+//! let outcome = report.outcome();
 //! assert_eq!(outcome.selected.len(), 20);
+//!
+//! // The same request again is a pool hit: zero artifacts rebuilt, the
+//! // identical selection.
+//! let warm = service.select(&request)?;
+//! assert!(warm.fully_warm());
+//! assert_eq!(warm.outcome().selected, outcome.selected);
 //!
 //! // Train a GCN on the selection and measure test accuracy.
 //! let mut model = ModelKind::Gcn { hidden: 32 }.build(&dataset, 0);
@@ -42,15 +60,30 @@
 //!     &dataset.split.test,
 //! );
 //! assert!(acc > 0.0);
+//! # Ok::<(), GrainError>(())
 //! ```
+//!
+//! ## Migrating from `GrainSelector::select`
+//!
+//! The pre-service one-shot API, `GrainSelector::select(&graph,
+//! &features, &candidates, budget)`, is deprecated and will be removed in
+//! the next release. It still compiles (one release of grace) and stays
+//! bit-identical, but rebuilds every pipeline artifact per call and
+//! reports failures by panicking. Replace it with either
+//!
+//! * a [`SelectionRequest`](core::service::SelectionRequest) to a
+//!   [`GrainService`](core::service::GrainService) (pooling, typed
+//!   [`GrainError`](core::error::GrainError)s, cache observability), or
+//! * a [`SelectionEngine`](core::engine::SelectionEngine) held directly
+//!   when you manage exactly one corpus/config yourself.
 //!
 //! ## Crate map
 //!
 //! | module | contents |
 //! |---|---|
-//! | [`core`] | DIM objective, ball/NN diversity, greedy + CELF (the paper's §3) |
+//! | [`core`] | DIM objective, diversity, greedy + CELF, engine, service (§3) |
 //! | [`influence`] | feature-influence rows, activation index (§3.1–3.2) |
-//! | [`prop`] | the six Table 1 propagation kernels |
+//! | [`prop`] | the six Table 1 propagation kernels + propagation cache |
 //! | [`graph`] | CSR graphs, generators, transition matrices |
 //! | [`gnn`] | GCN / SGC / APPNP / MVGRL-sim with manual backprop |
 //! | [`select`] | AGE, ANRMAB, KCG, Random, Degree, core-set baselines |
@@ -69,8 +102,9 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        DiversityKind, EngineStats, GrainConfig, GrainSelector, GrainVariant, GreedyAlgorithm,
-        PruneStrategy, SelectionEngine, SelectionOutcome,
+        Budget, DiversityKind, EngineStats, GrainConfig, GrainError, GrainResult, GrainSelector,
+        GrainService, GrainVariant, GreedyAlgorithm, PoolEvent, PoolStats, PruneStrategy,
+        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

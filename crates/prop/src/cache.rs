@@ -3,23 +3,37 @@
 //! The selection pipeline evaluates several components (influence rows,
 //! diversity, downstream GNN inputs) that all consume `X^(k)`; the cache
 //! makes sure each kernel propagates exactly once per graph.
+//!
+//! The cache owns its corpus through [`Arc`] handles and stores each
+//! artifact as an `Arc<DenseMatrix>`, so a long-lived serving tier (an
+//! engine pool, a selection context feeding baselines) can hold the cache
+//! without borrowing and hand out shared `X^(k)` views without copying.
 
 use crate::kernel::Kernel;
 use crate::propagate::{propagate, propagate_with};
 use grain_graph::{CsrMatrix, Graph};
 use grain_linalg::DenseMatrix;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Per-graph memoization of `X^(k)` per kernel.
-pub struct PropagationCache<'g> {
-    graph: &'g Graph,
-    features: &'g DenseMatrix,
-    cache: HashMap<String, DenseMatrix>,
+pub struct PropagationCache {
+    graph: Arc<Graph>,
+    features: Arc<DenseMatrix>,
+    cache: HashMap<String, Arc<DenseMatrix>>,
 }
 
-impl<'g> PropagationCache<'g> {
+impl PropagationCache {
     /// New cache over a graph and its raw feature matrix `X^(0)`.
-    pub fn new(graph: &'g Graph, features: &'g DenseMatrix) -> Self {
+    ///
+    /// Accepts anything convertible into shared handles: owned values or
+    /// preexisting `Arc`s (the engine-pool path, zero copies).
+    ///
+    /// # Panics
+    /// Panics if `features.rows() != graph.num_nodes()`.
+    pub fn new(graph: impl Into<Arc<Graph>>, features: impl Into<Arc<DenseMatrix>>) -> Self {
+        let graph = graph.into();
+        let features = features.into();
         assert_eq!(
             graph.num_nodes(),
             features.rows(),
@@ -35,13 +49,14 @@ impl<'g> PropagationCache<'g> {
     }
 
     /// The propagated embedding for `kernel`, computed on first use.
-    pub fn get(&mut self, kernel: Kernel) -> &DenseMatrix {
+    /// The returned handle shares the cached allocation.
+    pub fn get(&mut self, kernel: Kernel) -> Arc<DenseMatrix> {
         let key = kernel.cache_key();
         if !self.cache.contains_key(&key) {
-            let value = propagate(self.graph, kernel, self.features);
-            self.cache.insert(key.clone(), value);
+            let value = propagate(&self.graph, kernel, &self.features);
+            self.cache.insert(key.clone(), Arc::new(value));
         }
-        &self.cache[&key]
+        Arc::clone(&self.cache[&key])
     }
 
     /// Like [`PropagationCache::get`], but propagates over a prebuilt
@@ -51,13 +66,37 @@ impl<'g> PropagationCache<'g> {
     ///
     /// # Panics
     /// Panics if `transition` does not match the cached graph's node count.
-    pub fn get_with(&mut self, kernel: Kernel, transition: &CsrMatrix) -> &DenseMatrix {
+    pub fn get_with(&mut self, kernel: Kernel, transition: &CsrMatrix) -> Arc<DenseMatrix> {
         let key = kernel.cache_key();
         if !self.cache.contains_key(&key) {
-            let value = propagate_with(transition, kernel, self.features);
-            self.cache.insert(key.clone(), value);
+            let value = propagate_with(transition, kernel, &self.features);
+            self.cache.insert(key.clone(), Arc::new(value));
         }
-        &self.cache[&key]
+        Arc::clone(&self.cache[&key])
+    }
+
+    /// Inserts a precomputed `X^(k)` for `kernel`, sharing the allocation.
+    /// A caller that already holds the artifact (e.g. a pooled engine
+    /// handing its propagation to a private companion cache) seeds it here
+    /// so the kernel never re-propagates.
+    ///
+    /// # Panics
+    /// Panics if `value` does not have one row per graph node.
+    pub fn seed(&mut self, kernel: Kernel, value: Arc<DenseMatrix>) {
+        assert_eq!(
+            value.rows(),
+            self.graph.num_nodes(),
+            "seeded rows ({}) must match node count ({})",
+            value.rows(),
+            self.graph.num_nodes()
+        );
+        self.cache.insert(kernel.cache_key(), value);
+    }
+
+    /// The cached `X^(k)` for `kernel` if it has already been propagated
+    /// (or seeded), without computing anything on a miss.
+    pub fn get_cached(&self, kernel: Kernel) -> Option<Arc<DenseMatrix>> {
+        self.cache.get(&kernel.cache_key()).map(Arc::clone)
     }
 
     /// True if `kernel` has already been propagated.
@@ -77,12 +116,22 @@ impl<'g> PropagationCache<'g> {
 
     /// The raw (unpropagated) feature matrix.
     pub fn raw_features(&self) -> &DenseMatrix {
-        self.features
+        &self.features
+    }
+
+    /// Shared handle to the raw feature matrix.
+    pub fn features_arc(&self) -> Arc<DenseMatrix> {
+        Arc::clone(&self.features)
     }
 
     /// The underlying graph.
     pub fn graph(&self) -> &Graph {
-        self.graph
+        &self.graph
+    }
+
+    /// Shared handle to the underlying graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        Arc::clone(&self.graph)
     }
 }
 
@@ -95,7 +144,7 @@ mod tests {
     fn caches_one_entry_per_kernel() {
         let g = generators::erdos_renyi_gnm(20, 40, 3);
         let x = DenseMatrix::full(20, 4, 1.0);
-        let mut cache = PropagationCache::new(&g, &x);
+        let mut cache = PropagationCache::new(g, x);
         assert!(cache.is_empty());
         let _ = cache.get(Kernel::RandomWalk { k: 2 });
         let _ = cache.get(Kernel::RandomWalk { k: 2 });
@@ -108,10 +157,29 @@ mod tests {
     fn cached_value_matches_direct_propagation() {
         let g = generators::erdos_renyi_gnm(15, 30, 4);
         let x = DenseMatrix::from_vec(15, 2, (0..30).map(|i| i as f32 * 0.1).collect());
-        let mut cache = PropagationCache::new(&g, &x);
         let kernel = Kernel::Ppr { k: 2, alpha: 0.1 };
         let direct = propagate(&g, kernel, &x);
-        assert_eq!(cache.get(kernel), &direct);
+        let mut cache = PropagationCache::new(g, x);
+        assert_eq!(&*cache.get(kernel), &direct);
+    }
+
+    #[test]
+    fn repeated_gets_share_one_allocation() {
+        let g = generators::erdos_renyi_gnm(12, 24, 6);
+        let x = DenseMatrix::full(12, 3, 0.5);
+        let mut cache = PropagationCache::new(g, x);
+        let a = cache.get(Kernel::RandomWalk { k: 2 });
+        let b = cache.get(Kernel::RandomWalk { k: 2 });
+        assert!(Arc::ptr_eq(&a, &b), "cache must hand out shared views");
+    }
+
+    #[test]
+    fn arc_corpus_is_not_copied() {
+        let g = Arc::new(generators::erdos_renyi_gnm(10, 20, 7));
+        let x = Arc::new(DenseMatrix::zeros(10, 2));
+        let cache = PropagationCache::new(Arc::clone(&g), Arc::clone(&x));
+        assert!(Arc::ptr_eq(&cache.graph_arc(), &g));
+        assert!(Arc::ptr_eq(&cache.features_arc(), &x));
     }
 
     #[test]
@@ -119,6 +187,6 @@ mod tests {
     fn rejects_mismatched_features() {
         let g = generators::erdos_renyi_gnm(10, 20, 5);
         let x = DenseMatrix::zeros(5, 2);
-        let _ = PropagationCache::new(&g, &x);
+        let _ = PropagationCache::new(g, x);
     }
 }

@@ -113,6 +113,7 @@ pub struct AgeSelector {
 
 impl AgeSelector {
     /// AGE retraining `model_kind` each round.
+    #[must_use]
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
         Self {
             model_kind,
@@ -122,6 +123,7 @@ impl AgeSelector {
     }
 
     /// Overrides the per-round training configuration.
+    #[must_use]
     pub fn with_train_config(mut self, cfg: TrainConfig) -> Self {
         self.train_cfg = cfg;
         self

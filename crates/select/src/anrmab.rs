@@ -35,6 +35,7 @@ pub struct AnrmabSelector {
 
 impl AnrmabSelector {
     /// ANRMAB retraining `model_kind` each round.
+    #[must_use]
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
         Self {
             model_kind,
@@ -46,6 +47,7 @@ impl AnrmabSelector {
     }
 
     /// Overrides the per-round training configuration.
+    #[must_use]
     pub fn with_train_config(mut self, cfg: TrainConfig) -> Self {
         self.train_cfg = cfg;
         self

@@ -1,10 +1,22 @@
 //! Shared selection context.
+//!
+//! One dataset + seed + the *shared* smoothed embedding every selector
+//! distances on. The context no longer propagates features privately:
+//! `X^(k)` comes from a [`SelectionEngine`]'s propagation cache — either
+//! an engine the context builds itself ([`SelectionContext::new`]) or a
+//! pooled engine handed down from a
+//! [`grain_core::service::GrainService`]
+//! ([`SelectionContext::from_engine`]). Either way, Grain and every
+//! baseline read the identical `X^(k)` artifact from one store.
 
+use grain_core::{GrainConfig, SelectionEngine};
 use grain_data::Dataset;
+use grain_graph::Graph;
 use grain_linalg::DenseMatrix;
-use grain_prop::{propagate, Kernel};
+use std::cell::{RefCell, RefMut};
+use std::sync::Arc;
 
-/// One dataset + seed + cached propagated embedding.
+/// One dataset + seed + shared smoothed embedding + a warm engine.
 ///
 /// All selectors see the same context; *oracle-free* methods (Grain,
 /// Random, Degree, KCG) never read `dataset.labels`, while learning-based
@@ -16,23 +28,78 @@ pub struct SelectionContext<'a> {
     pub dataset: &'a Dataset,
     /// Seed for any stochastic selector decisions.
     pub seed: u64,
-    /// Cached 2-step random-walk smoothed features (the representation AGE
-    /// density and KCG distances operate on, per FeatProp/AGE practice).
-    smoothed: DenseMatrix,
+    /// `X^(k)` under the context engine's kernel, shared with the engine's
+    /// propagation cache (the representation AGE density and KCG distances
+    /// operate on, per FeatProp/AGE practice).
+    smoothed: Arc<DenseMatrix>,
+    /// The warm engine backing this context. Grain adapters select through
+    /// it; its artifact caches are the context's artifact store.
+    engine: RefCell<SelectionEngine>,
 }
 
 impl<'a> SelectionContext<'a> {
-    /// Builds the context, propagating features once.
+    /// Builds the context with its own engine over the dataset (corpus is
+    /// cloned into shared handles once; `X^(k)` is propagated once, in the
+    /// engine's cache).
+    ///
+    /// # Panics
+    /// Panics if `dataset.features` does not have one row per node.
     pub fn new(dataset: &'a Dataset, seed: u64) -> Self {
-        let smoothed = propagate(
-            &dataset.graph,
-            Kernel::RandomWalk { k: 2 },
-            &dataset.features,
+        let engine = SelectionEngine::over(
+            GrainConfig::default(),
+            dataset.graph.clone(),
+            dataset.features.clone(),
+        )
+        .expect("dataset features must match its graph");
+        Self::over_engine(dataset, seed, engine)
+    }
+
+    /// Wraps an engine the caller built (e.g. over preexisting `Arc`
+    /// handles); the context owns it and draws `X^(k)` from its cache.
+    pub fn over_engine(dataset: &'a Dataset, seed: u64, mut engine: SelectionEngine) -> Self {
+        assert_eq!(
+            engine.graph().num_nodes(),
+            dataset.num_nodes(),
+            "engine corpus must match the dataset"
         );
+        let smoothed = engine.propagated();
         Self {
             dataset,
             seed,
             smoothed,
+            engine: RefCell::new(engine),
+        }
+    }
+
+    /// Context over a *pooled* engine (checked out of a
+    /// [`grain_core::service::GrainService`] for the duration of this
+    /// call): the smoothed embedding is the pooled engine's `X^(k)`
+    /// artifact — the same allocation, no copy — so baselines running
+    /// under this context compare bit-identically against Grain requests
+    /// the service answers from that engine. The context's own engine
+    /// shares the corpus handles and is seeded with the pooled `X^(k)`,
+    /// so plain `select`/`select_sweep` calls routed through it never
+    /// re-propagate (deeper artifacts — influence rows, the activation
+    /// index — are still built privately on first Grain use; hand the
+    /// pooled engine to
+    /// [`crate::traits::NodeSelector::select_sweep_with`] to share those
+    /// too).
+    pub fn from_engine(dataset: &'a Dataset, seed: u64, engine: &mut SelectionEngine) -> Self {
+        assert_eq!(
+            engine.graph().num_nodes(),
+            dataset.num_nodes(),
+            "engine corpus must match the dataset"
+        );
+        let smoothed = engine.propagated();
+        let mut own =
+            SelectionEngine::over(*engine.config(), engine.graph_arc(), engine.features_arc())
+                .expect("source engine config was validated");
+        own.seed_propagated(Arc::clone(&smoothed));
+        Self {
+            dataset,
+            seed,
+            smoothed,
+            engine: RefCell::new(own),
         }
     }
 
@@ -41,9 +108,36 @@ impl<'a> SelectionContext<'a> {
         &self.dataset.split.train
     }
 
-    /// The cached 2-step smoothed embedding.
+    /// The shared smoothed embedding.
     pub fn smoothed(&self) -> &DenseMatrix {
         &self.smoothed
+    }
+
+    /// Shared handle to the smoothed embedding (the engine cache's
+    /// allocation).
+    pub fn smoothed_arc(&self) -> Arc<DenseMatrix> {
+        Arc::clone(&self.smoothed)
+    }
+
+    /// Shared handle to the context's graph.
+    pub fn graph_arc(&self) -> Arc<Graph> {
+        self.engine.borrow().graph_arc()
+    }
+
+    /// Shared handle to the context's raw feature matrix.
+    pub fn features_arc(&self) -> Arc<DenseMatrix> {
+        self.engine.borrow().features_arc()
+    }
+
+    /// Mutable access to the context's engine (Grain adapters select
+    /// through it; every selector in a lineup shares its artifact caches).
+    ///
+    /// # Panics
+    /// Panics if the engine is already borrowed — don't call this from
+    /// inside [`crate::traits::NodeSelector::select_sweep_with`], which
+    /// already holds an engine.
+    pub fn engine(&self) -> RefMut<'_, SelectionEngine> {
+        self.engine.borrow_mut()
     }
 
     /// Oracle access: the ground-truth label of a node the selector has
@@ -65,5 +159,57 @@ mod tests {
         assert_eq!(ctx.candidates(), ds.split.train.as_slice());
         assert_eq!(ctx.smoothed().shape(), (400, ds.feature_dim()));
         assert_eq!(ctx.oracle_label(0), ds.labels[0]);
+    }
+
+    #[test]
+    fn smoothed_is_the_engine_cache_artifact() {
+        // The ROADMAP open item: the context must not propagate privately.
+        let ds = papers_like(300, 2);
+        let ctx = SelectionContext::new(&ds, 1);
+        let engine_view = ctx.engine().propagated();
+        assert!(
+            Arc::ptr_eq(&ctx.smoothed_arc(), &engine_view),
+            "context smoothing must be the engine's X^(k) allocation"
+        );
+    }
+
+    #[test]
+    fn from_engine_shares_the_pooled_artifact() {
+        let ds = papers_like(250, 3);
+        let mut pooled = SelectionEngine::over(
+            GrainConfig::default(),
+            ds.graph.clone(),
+            ds.features.clone(),
+        )
+        .unwrap();
+        let pooled_view = pooled.propagated();
+        let ctx = SelectionContext::from_engine(&ds, 4, &mut pooled);
+        assert!(
+            Arc::ptr_eq(&ctx.smoothed_arc(), &pooled_view),
+            "baselines must read the pooled engine's X^(k), not a copy"
+        );
+        // And the context's own engine shares the corpus handles.
+        assert!(Arc::ptr_eq(&ctx.graph_arc(), &pooled.graph_arc()));
+        assert!(Arc::ptr_eq(&ctx.features_arc(), &pooled.features_arc()));
+        // The context engine is seeded with the pooled X^(k): routing a
+        // select through it re-propagates nothing and shares the pooled
+        // allocation.
+        let shadow_view = ctx.engine().propagated();
+        assert!(Arc::ptr_eq(&shadow_view, &pooled_view));
+        assert_eq!(ctx.engine().stats().propagation_builds, 0);
+    }
+
+    #[test]
+    fn smoothed_matches_direct_propagation() {
+        // Value-level check: the engine path computes the same X^(k) the
+        // old private `propagate` call produced.
+        let ds = papers_like(200, 5);
+        let ctx = SelectionContext::new(&ds, 1);
+        let direct = grain_prop::propagate(
+            &ds.graph,
+            grain_prop::Kernel::RandomWalk { k: 2 },
+            &ds.features,
+        );
+        assert_eq!(ctx.smoothed(), &direct);
     }
 }

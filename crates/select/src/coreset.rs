@@ -29,6 +29,7 @@ pub struct MaxEntropySelector {
 
 impl MaxEntropySelector {
     /// New selector training `model_kind` on the full pool.
+    #[must_use]
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
         Self {
             model_kind,
@@ -38,6 +39,7 @@ impl MaxEntropySelector {
     }
 
     /// Overrides the training configuration.
+    #[must_use]
     pub fn with_train_config(mut self, cfg: TrainConfig) -> Self {
         self.train_cfg = cfg;
         self
@@ -79,6 +81,7 @@ pub struct ForgettingSelector {
 
 impl ForgettingSelector {
     /// New selector tracking forgetting during full-pool training.
+    #[must_use]
     pub fn new(model_kind: ModelKind, seed: u64) -> Self {
         // Forgetting statistics need the full trajectory: no early stop.
         let train_cfg = TrainConfig {
@@ -93,6 +96,7 @@ impl ForgettingSelector {
     }
 
     /// Overrides the training configuration (patience is forced off).
+    #[must_use]
     pub fn with_train_config(mut self, mut cfg: TrainConfig) -> Self {
         cfg.patience = None;
         self.train_cfg = cfg;

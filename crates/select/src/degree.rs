@@ -9,6 +9,7 @@ pub struct DegreeSelector;
 
 impl DegreeSelector {
     /// New degree selector.
+    #[must_use]
     pub fn new() -> Self {
         Self
     }

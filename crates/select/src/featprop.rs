@@ -19,6 +19,7 @@ pub struct FeatPropSelector {
 
 impl FeatPropSelector {
     /// Seeded selector (k-means++ initialization).
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { seed }
     }

@@ -19,6 +19,7 @@ pub struct KCenterGreedySelector {
 
 impl KCenterGreedySelector {
     /// Seeded selector (the seed picks the initial center).
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { seed }
     }

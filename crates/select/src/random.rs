@@ -15,6 +15,7 @@ pub struct RandomSelector {
 
 impl RandomSelector {
     /// Seeded random selector.
+    #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { seed, draws: 0 }
     }

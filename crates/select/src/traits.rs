@@ -1,6 +1,7 @@
 //! The selector interface.
 
 use crate::context::SelectionContext;
+use grain_core::SelectionEngine;
 
 /// A node-selection strategy (active learning or core-set).
 pub trait NodeSelector {
@@ -11,20 +12,42 @@ pub trait NodeSelector {
     /// pool. Must return distinct in-pool node ids.
     fn select(&mut self, ctx: &SelectionContext<'_>, budget: usize) -> Vec<u32>;
 
-    /// One selection per budget, for budget-sweep experiments.
+    /// One selection per budget against an explicit warm engine — the
+    /// serving path: a harness checks an engine out of a
+    /// [`grain_core::service::GrainService`] pool and every method in the
+    /// lineup draws from its artifact caches.
     ///
     /// The default runs a single selection at the largest budget and
     /// slices prefixes — correct for every prefix-consistent method in the
-    /// lineup (see `grain-bench::lineup`). Methods with a cheaper warm
-    /// path (the Grain adapters share one `SelectionEngine` across the
-    /// sweep) override this.
+    /// lineup (see `grain-bench::lineup`); prefix methods distance on the
+    /// context's smoothed embedding, which *is* an engine artifact, so the
+    /// engine parameter goes unused. The Grain adapters override this to
+    /// run the whole sweep through `engine`.
+    fn select_sweep_with(
+        &mut self,
+        ctx: &SelectionContext<'_>,
+        engine: &mut SelectionEngine,
+        budgets: &[usize],
+    ) -> Vec<Vec<u32>> {
+        let _ = engine;
+        let max_budget = budgets.iter().copied().max().unwrap_or(0);
+        let selected = self.select(ctx, max_budget);
+        prefix_sweep(&selected, budgets)
+    }
+
+    /// One selection per budget, for budget-sweep experiments.
+    ///
+    /// The default slices prefixes of one max-budget `select` call and
+    /// never borrows [`SelectionContext::engine`], so a selector whose
+    /// `select` draws on the context engine can inherit it safely.
+    /// Engine-backed selectors that override
+    /// [`NodeSelector::select_sweep_with`] should also override this to
+    /// route the sweep through the context's engine (as the Grain
+    /// adapters do).
     fn select_sweep(&mut self, ctx: &SelectionContext<'_>, budgets: &[usize]) -> Vec<Vec<u32>> {
         let max_budget = budgets.iter().copied().max().unwrap_or(0);
         let selected = self.select(ctx, max_budget);
-        budgets
-            .iter()
-            .map(|&b| selected[..b.min(selected.len())].to_vec())
-            .collect()
+        prefix_sweep(&selected, budgets)
     }
 
     /// True for methods that train models during selection (AGE, ANRMAB) —
@@ -32,6 +55,15 @@ pub trait NodeSelector {
     fn is_learning_based(&self) -> bool {
         false
     }
+}
+
+/// Slices one max-budget selection into per-budget prefixes — the shared
+/// body of the default sweep implementations.
+fn prefix_sweep(selected: &[u32], budgets: &[usize]) -> Vec<Vec<u32>> {
+    budgets
+        .iter()
+        .map(|&b| selected[..b.min(selected.len())].to_vec())
+        .collect()
 }
 
 /// Validates a selection result in tests and the harness: distinct,

@@ -2,6 +2,11 @@
 //! subset that preserves accuracy — the paper's second scenario (§2.1,
 //! Figures 5/8).
 //!
+//! Every method runs through one `GrainService`: the Grain adapter
+//! answers its selection from the pooled engine, and the core-set
+//! baselines (random, max-entropy, forgetting) distance on the same
+//! engine's `X^(k)` artifact via the context built from it.
+//!
 //! ```text
 //! cargo run -p grain --release --example coreset_compression
 //! ```
@@ -11,7 +16,7 @@ use grain::select::coreset::{ForgettingSelector, MaxEntropySelector};
 use grain::select::grain_adapters::GrainBallSelector;
 use grain::select::random::RandomSelector;
 
-fn main() {
+fn main() -> GrainResult<()> {
     let dataset = grain::data::synthetic::papers_like(4000, 11);
     let pool = &dataset.split.train;
     println!(
@@ -26,7 +31,13 @@ fn main() {
     println!("reference accuracy (full pool): {:.1}%", reference * 100.0);
 
     let keep = pool.len() / 20; // 5% label rate
-    let ctx = SelectionContext::new(&dataset, 1);
+
+    // One service owns the corpus; one pooled engine backs the whole
+    // compression lineup — Grain and the baselines read one artifact store.
+    let mut service = GrainService::new();
+    service.register_graph("papers", dataset.graph.clone(), dataset.features.clone())?;
+    let (engine, _) = service.engine("papers", &GrainConfig::ball_d())?;
+    let ctx = SelectionContext::from_engine(&dataset, 1, engine);
     let inner = TrainConfig {
         epochs: 25,
         patience: None,
@@ -40,7 +51,10 @@ fn main() {
     ];
     println!("\nkeeping {} nodes (5% of the pool):", keep);
     for method in &mut methods {
-        let subset = method.select(&ctx, keep);
+        let subset = method
+            .select_sweep_with(&ctx, engine, &[keep])
+            .pop()
+            .expect("one budget in, one selection out");
         let acc = train_and_test(&dataset, &subset, &train_cfg);
         println!(
             "  {:<14} accuracy {:>5.1}%  (gap {:+.1} points)",
@@ -49,6 +63,12 @@ fn main() {
             (acc - reference) * 100.0
         );
     }
+    let stats = engine.stats();
+    println!(
+        "\n(shared pooled engine built propagation {}x for the entire lineup)",
+        stats.propagation_builds
+    );
+    Ok(())
 }
 
 fn train_and_test(dataset: &Dataset, train_nodes: &[u32], cfg: &TrainConfig) -> f64 {

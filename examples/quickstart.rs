@@ -1,4 +1,5 @@
-//! Quickstart: select nodes to label with Grain and train a GCN on them.
+//! Quickstart: stand up a `GrainService`, request a selection, and train
+//! a GCN on the returned labels.
 //!
 //! ```text
 //! cargo run -p grain --release --example quickstart
@@ -6,7 +7,7 @@
 
 use grain::prelude::*;
 
-fn main() {
+fn main() -> GrainResult<()> {
     // 1. A graph dataset. Here: a synthetic citation-style corpus with
     //    2708 nodes and 7 classes (a stand-in for Cora; see grain::data).
     let dataset = grain::data::synthetic::cora_like(42);
@@ -18,28 +19,41 @@ fn main() {
         dataset.num_classes
     );
 
-    // 2. Grain (ball-D) with the paper's Appendix A.4 defaults: select a
+    // 2. Register the corpus with a service once; every request shares the
+    //    pooled engines' cached artifacts from then on.
+    let mut service = GrainService::new();
+    service.register_graph("cora", dataset.graph.clone(), dataset.features.clone())?;
+
+    // 3. Grain (ball-D) with the paper's Appendix A.4 defaults: request a
     //    labeling budget of B = 2C nodes from the training pool. Grain is
     //    model-free: no GNN is trained during selection.
     let budget = dataset.budget(2);
-    let selector = GrainSelector::ball_d();
-    let outcome = selector.select(
-        &dataset.graph,
-        &dataset.features,
-        &dataset.split.train,
-        budget,
-    );
+    let request = SelectionRequest::new("cora", GrainConfig::ball_d(), Budget::Fixed(budget))
+        .with_candidates(dataset.split.train.clone());
+    let report = service.select(&request)?;
+    let outcome = report.outcome().clone();
     println!(
-        "selected {} nodes in {:.1?} (sigma(S) activates {} nodes, {} gain evaluations)",
+        "selected {} nodes in {:.1?} (sigma(S) activates {} nodes, {} gain evaluations, pool {:?})",
         outcome.selected.len(),
         outcome.timings.total,
         outcome.sigma.len(),
         outcome.evaluations,
+        report.pool_event,
     );
 
-    // 3. Train a 2-layer GCN on the selected labels and evaluate.
+    // The same request again is a pool hit answered from warm artifacts —
+    // bit-identical, at a fraction of the cost.
+    let warm = service.select(&request)?;
+    println!(
+        "warm repeat: fully_warm = {}, total {:.1?} (vs cold {:.1?})",
+        warm.fully_warm(),
+        warm.outcome().timings.total,
+        outcome.timings.total,
+    );
+
+    // 4. Train a 2-layer GCN on the selected labels and evaluate.
     let mut model = ModelKind::Gcn { hidden: 64 }.build(&dataset, 0);
-    let report = model.train(
+    let train_report = model.train(
         &dataset.labels,
         &outcome.selected,
         &dataset.split.val,
@@ -49,12 +63,12 @@ fn main() {
         grain::gnn::metrics::accuracy(&model.predict(), &dataset.labels, &dataset.split.test);
     println!(
         "GCN trained {} epochs (best val {:.1}%) — test accuracy {:.1}%",
-        report.epochs_run,
-        report.best_val_accuracy * 100.0,
+        train_report.epochs_run,
+        train_report.best_val_accuracy * 100.0,
         test_acc * 100.0
     );
 
-    // 4. Compare against random selection with the same budget.
+    // 5. Compare against random selection with the same budget.
     let mut random = grain::select::random::RandomSelector::new(7);
     let ctx = SelectionContext::new(&dataset, 7);
     let random_pick = grain::select::NodeSelector::select(&mut random, &ctx, budget);
@@ -72,4 +86,5 @@ fn main() {
         random_acc * 100.0,
         (test_acc - random_acc) * 100.0
     );
+    Ok(())
 }

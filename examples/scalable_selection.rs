@@ -1,13 +1,18 @@
 //! Scalable selection on a large graph with §3.4 candidate pruning —
 //! the ogbn-papers100M regime in miniature (Figure 6b/9).
 //!
+//! All three pruning variants go through one `GrainService`: they share
+//! an artifact fingerprint (pruning is a greedy-stage field), so a single
+//! pooled engine answers every request and the heavy propagation /
+//! influence stages are paid exactly once.
+//!
 //! ```text
 //! cargo run -p grain --release --example scalable_selection
 //! ```
 
 use grain::prelude::*;
 
-fn main() {
+fn main() -> GrainResult<()> {
     // A 100k-node papers-like corpus (adjust the size to taste).
     let n = 100_000;
     println!("generating papers-like corpus with {n} nodes ...");
@@ -19,6 +24,9 @@ fn main() {
         dataset.graph.num_edges(),
         dataset.num_classes
     );
+
+    let mut service = GrainService::new();
+    service.register_graph("papers", dataset.graph.clone(), dataset.features.clone())?;
 
     let budget = dataset.budget(20);
     for (label, prune) in [
@@ -36,17 +44,14 @@ fn main() {
             prune,
             ..GrainConfig::ball_d()
         };
-        let selector = GrainSelector::new(config).expect("valid config");
-        let outcome = selector.select(
-            &dataset.graph,
-            &dataset.features,
-            &dataset.split.train,
-            budget,
-        );
+        let request = SelectionRequest::new("papers", config, Budget::Fixed(budget))
+            .with_candidates(dataset.split.train.clone());
+        let report = service.select(&request)?;
+        let outcome = report.outcome();
         println!(
             "grain(ball-d) [{label:<18}] total {:>8.2?}  \
              (propagation {:.2?}, influence {:.2?}, indexing {:.2?}, greedy {:.2?}; \
-             pool {} -> {} candidates, sigma {})",
+             pool {} -> {} candidates, sigma {}, engine pool: {:?})",
             outcome.timings.total,
             outcome.timings.propagation,
             outcome.timings.influence,
@@ -55,11 +60,19 @@ fn main() {
             dataset.split.train.len(),
             outcome.candidates_after_prune,
             outcome.sigma.len(),
+            report.pool_event,
         );
     }
+    let stats = service.pool_stats();
     println!(
-        "\nLearning-based AL would retrain a GNN {} times on this graph to select \
+        "\nengine pool after the scan: {} hit(s), {} cold miss(es) — the \
+         pruning variants shared one engine, so propagation ran once.",
+        stats.hits, stats.cold_misses
+    );
+    println!(
+        "Learning-based AL would retrain a GNN {} times on this graph to select \
          the same budget — the cost Grain's model-free design removes.",
         20
     );
+    Ok(())
 }

@@ -19,9 +19,13 @@ fn datasets_are_seed_deterministic() {
 fn grain_selection_is_deterministic() {
     let ds = grain::data::synthetic::papers_like(1000, 5);
     let run = || {
-        GrainSelector::ball_d()
-            .select(&ds.graph, &ds.features, &ds.split.train, 20)
-            .selected
+        let mut service = GrainService::new();
+        service
+            .register_graph("papers", ds.graph.clone(), ds.features.clone())
+            .unwrap();
+        let request = SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(20))
+            .with_candidates(ds.split.train.clone());
+        service.select(&request).unwrap().outcome().selected.clone()
     };
     assert_eq!(run(), run());
 }
@@ -30,13 +34,15 @@ fn grain_selection_is_deterministic() {
 fn selection_is_thread_count_invariant() {
     // GRAIN_THREADS=1 must give the same selection as the default count.
     let ds = grain::data::synthetic::papers_like(800, 6);
-    let multi = GrainSelector::ball_d()
-        .select(&ds.graph, &ds.features, &ds.split.train, 15)
-        .selected;
+    let one_shot = || {
+        SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features)
+            .unwrap()
+            .select(&ds.split.train, 15)
+            .selected
+    };
+    let multi = one_shot();
     std::env::set_var("GRAIN_THREADS", "1");
-    let single = GrainSelector::ball_d()
-        .select(&ds.graph, &ds.features, &ds.split.train, 15)
-        .selected;
+    let single = one_shot();
     std::env::remove_var("GRAIN_THREADS");
     assert_eq!(multi, single);
 }

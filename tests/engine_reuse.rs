@@ -8,6 +8,13 @@ fn corpus() -> grain::data::Dataset {
     grain::data::synthetic::papers_like(900, 17)
 }
 
+/// Cold reference: a fresh engine per call.
+fn one_shot(config: GrainConfig, ds: &Dataset, budget: usize) -> SelectionOutcome {
+    SelectionEngine::new(config, &ds.graph, &ds.features)
+        .unwrap()
+        .select(&ds.split.train, budget)
+}
+
 #[test]
 fn warm_budget_sweep_is_bit_identical_to_one_shot_selects() {
     let ds = corpus();
@@ -31,9 +38,8 @@ fn warm_budget_sweep_is_bit_identical_to_one_shot_selects() {
     assert_eq!(stats.selections, budgets.len());
 
     // Bit-identical to five independent one-shot runs.
-    let selector = GrainSelector::new(config).unwrap();
     for (outcome, &budget) in warm.iter().zip(&budgets) {
-        let fresh = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
+        let fresh = one_shot(config, &ds, budget);
         assert_eq!(
             outcome.selected, fresh.selected,
             "selection at budget {budget}"
@@ -62,9 +68,8 @@ fn nn_diversity_warm_sweep_matches_one_shot_too() {
         1,
         "d_max must be computed once"
     );
-    let selector = GrainSelector::new(config).unwrap();
     for (outcome, &budget) in warm.iter().zip(&budgets) {
-        let fresh = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
+        let fresh = one_shot(config, &ds, budget);
         assert_eq!(
             outcome.selected, fresh.selected,
             "NN-D selection at budget {budget}"
@@ -140,10 +145,7 @@ fn kernel_depth_change_invalidates_kernel_artifacts_only() {
 
     // And the warm result still matches a one-shot at the new config.
     let warm = engine.select(&ds.split.train, 10);
-    let fresh =
-        GrainSelector::new(cfg)
-            .unwrap()
-            .select(&ds.graph, &ds.features, &ds.split.train, 10);
+    let fresh = one_shot(cfg, &ds, 10);
     assert_eq!(warm.selected, fresh.selected);
 }
 
@@ -204,7 +206,169 @@ fn selector_facade_engine_constructor_round_trips() {
     let selector = GrainSelector::ball_d();
     let mut engine = selector.engine(&ds.graph, &ds.features).unwrap();
     let warm = engine.select(&ds.split.train, 12);
-    let one_shot = selector.select(&ds.graph, &ds.features, &ds.split.train, 12);
-    assert_eq!(warm.selected, one_shot.selected);
+    // The deprecated positional shim must agree with the engine it wraps
+    // for the one release it remains.
+    #[allow(deprecated)]
+    let shim = selector.select(&ds.graph, &ds.features, &ds.split.train, 12);
+    assert_eq!(warm.selected, shim.selected);
     assert_eq!(engine.config(), selector.config());
+}
+
+// ---------------------------------------------------------------------------
+// EnginePool contract: the engine guarantees above must survive pooling.
+// ---------------------------------------------------------------------------
+
+/// A second corpus that shares nothing with `corpus()`.
+fn corpus_b() -> grain::data::Dataset {
+    grain::data::synthetic::papers_like(700, 91)
+}
+
+fn pooled_service(capacity: usize) -> (GrainService, Dataset, Dataset) {
+    let a = corpus();
+    let b = corpus_b();
+    let mut service = GrainService::with_capacity(capacity);
+    service
+        .register_graph("a", a.graph.clone(), a.features.clone())
+        .unwrap();
+    service
+        .register_graph("b", b.graph.clone(), b.features.clone())
+        .unwrap();
+    (service, a, b)
+}
+
+fn theta_config(theta: f32) -> GrainConfig {
+    GrainConfig {
+        theta: ThetaRule::RelativeToRowMax(theta),
+        ..GrainConfig::ball_d()
+    }
+}
+
+#[test]
+fn pool_evicts_in_lru_order() {
+    let (mut service, a, _) = pooled_service(2);
+    let configs = [theta_config(0.25), theta_config(0.4), theta_config(0.6)];
+    let request = |cfg: GrainConfig| {
+        SelectionRequest::new("a", cfg, Budget::Fixed(5)).with_candidates(a.split.train.clone())
+    };
+    // Fill: [c0], [c1, c0].
+    service.select(&request(configs[0])).unwrap();
+    service.select(&request(configs[1])).unwrap();
+    // Touch c0 so c1 becomes the LRU: [c0, c1].
+    assert_eq!(
+        service.select(&request(configs[0])).unwrap().pool_event,
+        PoolEvent::Hit
+    );
+    // c2 arrives: c1 (LRU) must be evicted, keeping [c2, c0].
+    service.select(&request(configs[2])).unwrap();
+    assert_eq!(service.pool_stats().evictions, 1);
+    assert_eq!(
+        service.select(&request(configs[0])).unwrap().pool_event,
+        PoolEvent::Hit,
+        "recently used engine must have survived"
+    );
+    assert_eq!(
+        service.select(&request(configs[1])).unwrap().pool_event,
+        PoolEvent::RebuildAfterEviction,
+        "LRU engine must have been evicted"
+    );
+}
+
+#[test]
+fn capacity_one_pool_thrashes_but_stays_correct() {
+    let (mut service, a, _) = pooled_service(1);
+    let c0 = theta_config(0.25);
+    let c1 = theta_config(0.5);
+    let request = |cfg: GrainConfig| {
+        SelectionRequest::new("a", cfg, Budget::Fixed(6)).with_candidates(a.split.train.clone())
+    };
+    let first = service.select(&request(c0)).unwrap();
+    let mut alternating = Vec::new();
+    for _ in 0..2 {
+        alternating.push(service.select(&request(c1)).unwrap());
+        alternating.push(service.select(&request(c0)).unwrap());
+    }
+    // Five alternating requests on a capacity-1 pool: two cold misses,
+    // then every request rebuilds the engine the previous one evicted.
+    let stats = service.pool_stats();
+    assert_eq!(stats.cold_misses, 2);
+    assert_eq!(stats.evicted_rebuilds, 3);
+    assert_eq!(stats.evictions, 4);
+    assert_eq!(stats.hits, 0, "capacity-1 alternation can never hit");
+    // Thrash changes cost, never answers.
+    let last = alternating.last().unwrap();
+    assert_eq!(last.outcome().selected, first.outcome().selected);
+    assert_eq!(
+        last.outcome().objective_trace,
+        first.outcome().objective_trace
+    );
+}
+
+#[test]
+fn same_config_on_two_graphs_uses_two_engines() {
+    let (mut service, a, b) = pooled_service(4);
+    let cfg = GrainConfig::ball_d();
+    let ra = service
+        .select(
+            &SelectionRequest::new("a", cfg, Budget::Fixed(8))
+                .with_candidates(a.split.train.clone()),
+        )
+        .unwrap();
+    let rb = service
+        .select(
+            &SelectionRequest::new("b", cfg, Budget::Fixed(8))
+                .with_candidates(b.split.train.clone()),
+        )
+        .unwrap();
+    // Same fingerprint, different graph id: two distinct engines, each
+    // cold-built, and isolated results.
+    assert_eq!(ra.pool_event, PoolEvent::ColdMiss);
+    assert_eq!(rb.pool_event, PoolEvent::ColdMiss);
+    assert_eq!(service.pool().len(), 2);
+    assert_ne!(
+        ra.outcome().selected,
+        rb.outcome().selected,
+        "independent corpora should almost surely select differently"
+    );
+    // And each matches its own cold one-shot engine.
+    for (report, ds) in [(&ra, &a), (&rb, &b)] {
+        let fresh = SelectionEngine::new(cfg, &ds.graph, &ds.features)
+            .unwrap()
+            .select(&ds.split.train, 8);
+        assert_eq!(report.outcome().selected, fresh.selected);
+    }
+}
+
+#[test]
+fn pool_hit_is_bit_identical_to_cold_engine() {
+    let (mut service, a, _) = pooled_service(4);
+    let cfg = GrainConfig::nn_d();
+    let request = SelectionRequest::new("a", cfg, Budget::Sweep(vec![4, 9, 14]))
+        .with_candidates(a.split.train.clone());
+    let cold_report = service.select(&request).unwrap();
+    let warm_report = service.select(&request).unwrap();
+    assert!(warm_report.fully_warm());
+    for ((warm, cold), &budget) in warm_report
+        .outcomes
+        .iter()
+        .zip(&cold_report.outcomes)
+        .zip(&warm_report.budgets)
+    {
+        // Warm-vs-cold within the pool ...
+        assert_eq!(warm.selected, cold.selected, "budget {budget}");
+        assert_eq!(warm.sigma, cold.sigma, "budget {budget}");
+        assert_eq!(
+            warm.objective_trace, cold.objective_trace,
+            "budget {budget}"
+        );
+        assert_eq!(warm.evaluations, cold.evaluations, "budget {budget}");
+        // ... and against an engine that never saw the pool.
+        let fresh = SelectionEngine::new(cfg, &a.graph, &a.features)
+            .unwrap()
+            .select(&a.split.train, budget);
+        assert_eq!(warm.selected, fresh.selected, "budget {budget}");
+        assert_eq!(
+            warm.objective_trace, fresh.objective_trace,
+            "budget {budget}"
+        );
+    }
 }

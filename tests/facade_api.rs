@@ -17,6 +17,36 @@ fn prelude_covers_the_quickstart_surface() {
     let _div = DiversityKind::Nn;
     let _algo = GreedyAlgorithm::Lazy;
     let _prune = PruneStrategy::Degree { keep_fraction: 0.5 };
+    // The service layer is reachable through the prelude too.
+    let _service = GrainService::with_capacity(2);
+    let _request = SelectionRequest::new("papers", config, Budget::Fraction(0.1))
+        .with_variant(GrainVariant::NoDiversity)
+        .with_seed(7);
+    let _budget = Budget::Sweep(vec![4, 8]);
+    let _event = PoolEvent::ColdMiss;
+    let _stats = PoolStats::default();
+    let _err: GrainError = GrainError::UnknownGraph {
+        graph: "papers".into(),
+    };
+}
+
+#[test]
+fn service_round_trip_through_the_prelude() {
+    let ds = grain::data::synthetic::papers_like(200, 4);
+    let mut service = GrainService::new();
+    service
+        .register_graph("papers", ds.graph.clone(), ds.features.clone())
+        .unwrap();
+    let report = service
+        .select(
+            &SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(6))
+                .with_candidates(ds.split.train.clone()),
+        )
+        .unwrap();
+    assert_eq!(report.outcome().selected.len(), 6);
+    assert_eq!(report.pool_event, PoolEvent::ColdMiss);
+    assert_eq!(service.pool_stats().cold_misses, 1);
+    assert_eq!(service.graphs(), vec!["papers"]);
 }
 
 #[test]
@@ -37,7 +67,9 @@ fn module_reexports_are_wired() {
 #[test]
 fn selection_outcome_exposes_observability_fields() {
     let ds = grain::data::synthetic::papers_like(300, 2);
-    let outcome = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, 8);
+    let outcome = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features)
+        .unwrap()
+        .select(&ds.split.train, 8);
     // All reporting fields are populated.
     assert_eq!(outcome.selected.len(), 8);
     assert_eq!(outcome.objective_trace.len(), 8);

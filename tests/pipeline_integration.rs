@@ -7,11 +7,31 @@ fn dataset() -> Dataset {
     grain::data::synthetic::papers_like(900, 5)
 }
 
+/// One-shot selection through a fresh engine (the supported replacement
+/// for the deprecated positional `GrainSelector::select`).
+fn one_shot(
+    config: GrainConfig,
+    graph: &Graph,
+    features: &DenseMatrix,
+    candidates: &[u32],
+    budget: usize,
+) -> SelectionOutcome {
+    SelectionEngine::new(config, graph, features)
+        .unwrap()
+        .select(candidates, budget)
+}
+
 #[test]
 fn full_active_learning_pipeline_runs() {
     let ds = dataset();
     let budget = ds.budget(2);
-    let outcome = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let outcome = one_shot(
+        GrainConfig::ball_d(),
+        &ds.graph,
+        &ds.features,
+        &ds.split.train,
+        budget,
+    );
     assert_eq!(outcome.selected.len(), budget);
     let mut model = ModelKind::Gcn { hidden: 32 }.build(&ds, 1);
     let report = model.train(
@@ -30,7 +50,7 @@ fn full_active_learning_pipeline_runs() {
 fn selection_stays_inside_candidate_pool() {
     let ds = dataset();
     let pool: Vec<u32> = ds.split.train.iter().take(100).copied().collect();
-    let outcome = GrainSelector::nn_d().select(&ds.graph, &ds.features, &pool, 10);
+    let outcome = one_shot(GrainConfig::nn_d(), &ds.graph, &ds.features, &pool, 10);
     for s in &outcome.selected {
         assert!(pool.contains(s));
     }
@@ -41,10 +61,9 @@ fn sigma_members_receive_threshold_influence() {
     // Every activated node must have an influence entry above the rule's
     // cutoff from at least one seed — ties Definition 3.2 to the output.
     let ds = dataset();
-    let selector = GrainSelector::ball_d();
-    let outcome = selector.select(&ds.graph, &ds.features, &ds.split.train, 12);
-    let index = selector.activation_index(&ds.graph);
-    let sigma_direct = index.sigma(&outcome.selected);
+    let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &ds.graph, &ds.features).unwrap();
+    let outcome = engine.select(&ds.split.train, 12);
+    let sigma_direct = engine.activation_index().sigma(&outcome.selected);
     assert_eq!(outcome.sigma, sigma_direct);
 }
 
@@ -61,10 +80,7 @@ fn kernels_plug_into_the_same_pipeline() {
             kernel,
             ..GrainConfig::ball_d()
         };
-        let outcome =
-            GrainSelector::new(config)
-                .unwrap()
-                .select(&ds.graph, &ds.features, &ds.split.train, 8);
+        let outcome = one_shot(config, &ds.graph, &ds.features, &ds.split.train, 8);
         assert_eq!(outcome.selected.len(), 8, "kernel {}", kernel.name());
         assert!(!outcome.sigma.is_empty(), "kernel {}", kernel.name());
     }
@@ -95,6 +111,6 @@ fn graph_io_round_trips_through_the_pipeline() {
     grain::graph::io::write_edge_list(&ds.graph, &mut buf).unwrap();
     let g2 = grain::graph::io::read_edge_list(buf.as_slice()).unwrap();
     assert_eq!(g2.num_nodes(), ds.graph.num_nodes());
-    let outcome = GrainSelector::ball_d().select(&g2, &ds.features, &ds.split.train, 6);
+    let outcome = one_shot(GrainConfig::ball_d(), &g2, &ds.features, &ds.split.train, 6);
     assert_eq!(outcome.selected.len(), 6);
 }

@@ -5,6 +5,14 @@
 use grain::prelude::*;
 use grain_linalg::stats;
 
+/// One-shot selection through a fresh engine (the supported replacement
+/// for the deprecated positional `GrainSelector::select`).
+fn one_shot(config: GrainConfig, ds: &Dataset, budget: usize) -> SelectionOutcome {
+    SelectionEngine::new(config, &ds.graph, &ds.features)
+        .unwrap()
+        .select(&ds.split.train, budget)
+}
+
 /// Trains an SGC head on `selection` and returns test accuracy (SGC keeps
 /// this battery fast while still exercising graph structure).
 fn evaluate(ds: &Dataset, selection: &[u32], seed: u64) -> f64 {
@@ -27,8 +35,7 @@ fn grain_beats_random_selection_on_average() {
     for seed in 0..3u64 {
         let ds = grain::data::synthetic::papers_like(1200, 100 + seed);
         let budget = ds.budget(2);
-        let outcome =
-            GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+        let outcome = one_shot(GrainConfig::ball_d(), &ds, budget);
         grain_accs.push(evaluate(&ds, &outcome.selected, seed));
         let ctx = SelectionContext::new(&ds, seed);
         let mut random = grain::select::random::RandomSelector::new(seed);
@@ -47,13 +54,13 @@ fn grain_beats_random_selection_on_average() {
 fn grain_activates_more_nodes_than_any_baseline_selection() {
     let ds = grain::data::synthetic::papers_like(1500, 42);
     let budget = ds.budget(2);
-    let selector = GrainSelector::new(GrainConfig {
+    let config = GrainConfig {
         variant: GrainVariant::NoDiversity, // pure influence maximization
         ..GrainConfig::ball_d()
-    })
-    .unwrap();
-    let outcome = selector.select(&ds.graph, &ds.features, &ds.split.train, budget);
-    let index = selector.activation_index(&ds.graph);
+    };
+    let mut engine = SelectionEngine::new(config, &ds.graph, &ds.features).unwrap();
+    let outcome = engine.select(&ds.split.train, budget);
+    let index = engine.activation_index().clone();
     let ctx = SelectionContext::new(&ds, 1);
     for (name, mut baseline) in [
         (
@@ -83,7 +90,7 @@ fn grain_activates_more_nodes_than_any_baseline_selection() {
 fn diversity_term_spreads_selections_across_classes() {
     let ds = grain::data::synthetic::papers_like(1600, 7);
     let budget = ds.num_classes; // one pick per class is ideal
-    let full = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let full = one_shot(GrainConfig::ball_d(), &ds, budget);
     let classes: std::collections::HashSet<u32> = full
         .selected
         .iter()
@@ -103,18 +110,22 @@ fn diversity_term_spreads_selections_across_classes() {
 fn celf_evaluations_beat_plain_greedy_substantially() {
     let ds = grain::data::synthetic::papers_like(2000, 8);
     let budget = ds.budget(2);
-    let plain = GrainSelector::new(GrainConfig {
-        algorithm: GreedyAlgorithm::Plain,
-        ..GrainConfig::ball_d()
-    })
-    .unwrap()
-    .select(&ds.graph, &ds.features, &ds.split.train, budget);
-    let lazy = GrainSelector::new(GrainConfig {
-        algorithm: GreedyAlgorithm::Lazy,
-        ..GrainConfig::ball_d()
-    })
-    .unwrap()
-    .select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let plain = one_shot(
+        GrainConfig {
+            algorithm: GreedyAlgorithm::Plain,
+            ..GrainConfig::ball_d()
+        },
+        &ds,
+        budget,
+    );
+    let lazy = one_shot(
+        GrainConfig {
+            algorithm: GreedyAlgorithm::Lazy,
+            ..GrainConfig::ball_d()
+        },
+        &ds,
+        budget,
+    );
     assert_eq!(
         plain.selected, lazy.selected,
         "CELF must not change the result"
@@ -131,17 +142,12 @@ fn celf_evaluations_beat_plain_greedy_substantially() {
 fn pruning_trades_little_quality_for_speed() {
     let ds = grain::data::synthetic::papers_like(1500, 9);
     let budget = ds.budget(2);
-    let full = GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let full = one_shot(GrainConfig::ball_d(), &ds, budget);
     let pruned_cfg = GrainConfig {
         prune: Some(PruneStrategy::WalkMass { keep_fraction: 0.2 }),
         ..GrainConfig::ball_d()
     };
-    let pruned = GrainSelector::new(pruned_cfg).unwrap().select(
-        &ds.graph,
-        &ds.features,
-        &ds.split.train,
-        budget,
-    );
+    let pruned = one_shot(pruned_cfg, &ds, budget);
     // The pruned run still reaches at least 80% of the full objective.
     let f_full = *full.objective_trace.last().unwrap();
     let f_pruned = *pruned.objective_trace.last().unwrap();
@@ -156,12 +162,10 @@ fn oracle_free_methods_never_touch_labels() {
     // Corrupting labels must not change Grain/Degree/KCG selections.
     let mut ds = grain::data::synthetic::papers_like(800, 10);
     let budget = 12;
-    let grain_before =
-        GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let grain_before = one_shot(GrainConfig::ball_d(), &ds, budget);
     for l in ds.labels.iter_mut() {
         *l = 0;
     }
-    let grain_after =
-        GrainSelector::ball_d().select(&ds.graph, &ds.features, &ds.split.train, budget);
+    let grain_after = one_shot(GrainConfig::ball_d(), &ds, budget);
     assert_eq!(grain_before.selected, grain_after.selected);
 }

@@ -1,0 +1,167 @@
+//! The `GrainService` acceptance workload: 2 graphs × 2 configs × budget
+//! sweeps, Grain plus two baselines, through one service with a pool
+//! small enough to evict — and every warm answer bit-identical to its
+//! cold one-shot.
+
+use grain::prelude::*;
+use grain::select::featprop::FeatPropSelector;
+use grain::select::kcenter::KCenterGreedySelector;
+use std::sync::Arc;
+
+const BUDGETS: [usize; 3] = [4, 8, 12];
+
+fn configs() -> [GrainConfig; 2] {
+    [
+        GrainConfig::ball_d(),
+        GrainConfig {
+            theta: ThetaRule::RelativeToRowMax(0.5),
+            ..GrainConfig::ball_d()
+        },
+    ]
+}
+
+fn datasets() -> [(String, Dataset); 2] {
+    [
+        (
+            "cora".to_string(),
+            grain::data::synthetic::papers_like(600, 41),
+        ),
+        (
+            "pubmed".to_string(),
+            grain::data::synthetic::papers_like(500, 43),
+        ),
+    ]
+}
+
+#[test]
+fn mixed_workload_evicts_and_stays_bit_identical() {
+    let corpora = datasets();
+    // 2 graphs × 2 artifact configs = 4 pool keys; capacity 3 forces at
+    // least one eviction over the workload.
+    let mut service = GrainService::with_capacity(3);
+    for (id, ds) in &corpora {
+        service
+            .register_graph(id.clone(), ds.graph.clone(), ds.features.clone())
+            .unwrap();
+    }
+
+    let requests: Vec<(SelectionRequest, &Dataset)> = corpora
+        .iter()
+        .flat_map(|(id, ds)| {
+            configs().into_iter().map(move |cfg| {
+                (
+                    SelectionRequest::new(id.clone(), cfg, Budget::Sweep(BUDGETS.to_vec()))
+                        .with_candidates(ds.split.train.clone()),
+                    ds,
+                )
+            })
+        })
+        .collect();
+
+    // Round 1: cold. Also record the reference answer of a pool-free
+    // one-shot engine per (request, budget).
+    let mut round1 = Vec::new();
+    for (request, ds) in &requests {
+        let report = service.select(request).unwrap();
+        assert_eq!(report.outcomes.len(), BUDGETS.len());
+        for (outcome, &budget) in report.outcomes.iter().zip(&BUDGETS) {
+            let fresh = SelectionEngine::new(request.config, &ds.graph, &ds.features)
+                .unwrap()
+                .select(&ds.split.train, budget);
+            assert_eq!(
+                outcome.selected, fresh.selected,
+                "{} budget {budget}: service answer must match a cold engine",
+                request.graph
+            );
+            assert_eq!(outcome.objective_trace, fresh.objective_trace);
+        }
+        round1.push(report);
+    }
+
+    // Round 2: replay the whole workload, most-recent first (cycling 4
+    // keys through a capacity-3 pool in FIFO order would be the LRU worst
+    // case and never hit). Pool hits or rebuilds — every answer must be
+    // bit-identical to round 1.
+    for ((request, _), first) in requests.iter().zip(&round1).rev() {
+        let report = service.select(request).unwrap();
+        for (warm, cold) in report.outcomes.iter().zip(&first.outcomes) {
+            assert_eq!(warm.selected, cold.selected);
+            assert_eq!(warm.sigma, cold.sigma);
+            assert_eq!(warm.objective_trace, cold.objective_trace);
+            assert_eq!(warm.evaluations, cold.evaluations);
+        }
+    }
+
+    let stats = service.pool_stats();
+    assert!(
+        stats.evictions >= 1,
+        "4 keys through a capacity-3 pool must evict, got {stats:?}"
+    );
+    assert!(
+        stats.hits >= 1,
+        "the replay must hit at least one resident engine, got {stats:?}"
+    );
+    assert_eq!(stats.lookups(), 2 * requests.len());
+}
+
+#[test]
+fn baselines_in_the_workload_read_the_pooled_artifact_store() {
+    let corpora = datasets();
+    let mut service = GrainService::with_capacity(3);
+    for (id, ds) in &corpora {
+        service
+            .register_graph(id.clone(), ds.graph.clone(), ds.features.clone())
+            .unwrap();
+    }
+    let base = GrainConfig::ball_d();
+
+    for (id, ds) in &corpora {
+        // Check an engine out of the pool for this corpus and run the
+        // baselines against it.
+        let (engine, _) = service.engine(id, &base).unwrap();
+        let pooled_smoothed = engine.propagated();
+        let ctx = SelectionContext::from_engine(ds, 11, engine);
+        assert!(
+            Arc::ptr_eq(&ctx.smoothed_arc(), &pooled_smoothed),
+            "baseline smoothing must be the pooled engine's X^(k) allocation"
+        );
+
+        let mut featprop = FeatPropSelector::new(5);
+        let mut kcg = KCenterGreedySelector::new(5);
+        let fp_service = featprop.select_sweep_with(&ctx, engine, &BUDGETS);
+        let kcg_service = kcg.select_sweep_with(&ctx, engine, &BUDGETS);
+
+        // Grain through the service, same engine, same store.
+        let grain = service
+            .select(
+                &SelectionRequest::new(id.clone(), base, Budget::Sweep(BUDGETS.to_vec()))
+                    .with_candidates(ds.split.train.clone()),
+            )
+            .unwrap();
+
+        // Cold reference: a standalone context that built its own engine.
+        let cold_ctx = SelectionContext::new(ds, 11);
+        let fp_cold = FeatPropSelector::new(5).select_sweep(&cold_ctx, &BUDGETS);
+        let kcg_cold = KCenterGreedySelector::new(5).select_sweep(&cold_ctx, &BUDGETS);
+        assert_eq!(
+            fp_service, fp_cold,
+            "{id}: featprop must be bit-identical on pooled vs cold store"
+        );
+        assert_eq!(
+            kcg_service, kcg_cold,
+            "{id}: kcg must be bit-identical on pooled vs cold store"
+        );
+
+        // All three methods selected within the same candidate pool.
+        for sweep in [&fp_service, &kcg_service] {
+            for (selection, &budget) in sweep.iter().zip(&BUDGETS) {
+                grain::select::traits::validate_selection(selection, &ds.split.train, budget)
+                    .unwrap();
+            }
+        }
+        for (outcome, &budget) in grain.outcomes.iter().zip(&BUDGETS) {
+            grain::select::traits::validate_selection(&outcome.selected, &ds.split.train, budget)
+                .unwrap();
+        }
+    }
+}
