@@ -1,5 +1,5 @@
-//! Criterion microbenchmark: cold one-shot `GrainSelector::select` vs the
-//! warm `SelectionEngine` path, quantifying how much of a selection the
+//! Criterion microbenchmark: a cold one-shot engine per call vs the warm
+//! `SelectionEngine` path, quantifying how much of a selection the
 //! cached §3 artifacts amortize away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

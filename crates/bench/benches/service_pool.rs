@@ -34,7 +34,7 @@ fn bench_pool_regimes(c: &mut Criterion) {
 
     // Warm pool hit: one resident engine answers every iteration.
     group.bench_function(BenchmarkId::from_parameter("pool-hit"), |b| {
-        let mut service = GrainService::new();
+        let service = GrainService::new();
         service
             .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
             .expect("corpus registers");
@@ -51,7 +51,7 @@ fn bench_pool_regimes(c: &mut Criterion) {
     // artifact built (the engine_reuse "cold" regime plus routing).
     group.bench_function(BenchmarkId::from_parameter("cold-build"), |b| {
         b.iter(|| {
-            let mut service = GrainService::new();
+            let service = GrainService::new();
             service
                 .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
                 .expect("corpus registers");
@@ -67,7 +67,7 @@ fn bench_pool_regimes(c: &mut Criterion) {
     // engine the previous iteration evicted. (The resident sibling still
     // donates its X^(k), so the rebuild pays the post-propagation stages.)
     group.bench_function(BenchmarkId::from_parameter("evicted-rebuild"), |b| {
-        let mut service = GrainService::with_capacity(1);
+        let service = GrainService::with_capacity(1);
         service
             .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
             .expect("corpus registers");

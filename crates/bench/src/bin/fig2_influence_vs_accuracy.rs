@@ -30,15 +30,20 @@ fn main() {
     };
     // One service-pooled engine provides both artifacts (index + X^(2))
     // from one store.
-    let mut service = GrainService::new();
+    let service = GrainService::new();
     service
         .register_graph("fig2", dataset.graph.clone(), dataset.features.clone())
         .expect("synthetic corpus is well-formed");
-    let (engine, _) = service
+    let (checkout, _) = service
         .engine("fig2", &GrainConfig::ball_d())
         .expect("ball-D defaults are valid");
-    let index = engine.activation_index().clone();
-    let embedding = engine.normalized_embedding();
+    let (index, embedding) = {
+        let mut engine = checkout.lock();
+        (
+            engine.activation_index().clone(),
+            engine.normalized_embedding(),
+        )
+    };
 
     let spec = EvalSpec {
         model: ModelKind::Gcn { hidden: 64 },

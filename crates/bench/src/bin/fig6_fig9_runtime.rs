@@ -179,7 +179,7 @@ impl ServedCorpus {
         config: GrainConfig,
         budget: usize,
     ) -> (GrainService, SelectionRequest) {
-        let mut service = GrainService::new();
+        let service = GrainService::new();
         service
             .register_graph(
                 &self.name,
@@ -194,7 +194,7 @@ impl ServedCorpus {
 }
 
 fn time_grain(corpus: &ServedCorpus, config: GrainConfig, budget: usize) -> Duration {
-    let (mut service, request) = corpus.service_and_request(config, budget);
+    let (service, request) = corpus.service_and_request(config, budget);
     let report = service.select(&request).expect("runtime configs are valid");
     report.outcome().timings.total
 }
@@ -203,7 +203,7 @@ fn time_grain(corpus: &ServedCorpus, config: GrainConfig, budget: usize) -> Dura
 /// fully warm and pays only greedy maximization — the paper's precompute
 /// is fully amortized.
 fn time_grain_warm(corpus: &ServedCorpus, config: GrainConfig, budget: usize) -> Duration {
-    let (mut service, request) = corpus.service_and_request(config, budget);
+    let (service, request) = corpus.service_and_request(config, budget);
     let _cold = service.select(&request).expect("runtime configs are valid");
     let warm = service.select(&request).expect("runtime configs are valid");
     assert!(warm.fully_warm(), "repeat request must be a warm pool hit");

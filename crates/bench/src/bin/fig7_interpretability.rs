@@ -39,17 +39,21 @@ fn main() {
     // One service-pooled engine supplies the layout embedding, the
     // activation index, and the Grain selection from a single artifact
     // store.
-    let mut service = GrainService::new();
+    let service = GrainService::new();
     service
         .register_graph("fig7", dataset.graph.clone(), dataset.features.clone())
         .expect("synthetic corpus is well-formed");
-    let (engine, _) = service
+    let (checkout, _) = service
         .engine("fig7", &GrainConfig::ball_d())
         .expect("ball-D defaults are valid");
-    let embedding = engine.normalized_embedding();
+    let (embedding, index) = {
+        let mut engine = checkout.lock();
+        (
+            engine.normalized_embedding(),
+            engine.activation_index().clone(),
+        )
+    };
     let layout = pca::pca(&embedding, 2, 60, flags.seed).projected;
-
-    let index = engine.activation_index().clone();
 
     // Grain (ball-D) restricted to the sample — a typed request answered
     // by the engine we just warmed (the report's pool event is a hit).

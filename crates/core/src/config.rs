@@ -85,6 +85,17 @@ pub struct GrainConfig {
     pub prune: Option<PruneStrategy>,
     /// Full objective or a Table 3 ablation.
     pub variant: GrainVariant,
+    /// Worker threads for the artifact hot paths (`X^(k)` propagation
+    /// rounds, influence rows, activation-index inversion, ball lists,
+    /// NN `d_max`); `0` means auto (`GRAIN_THREADS` or the machine's
+    /// available parallelism).
+    ///
+    /// Deliberately **excluded** from
+    /// [`GrainConfig::artifact_fingerprint`]: every parallel kernel uses
+    /// row-range partitioning with fixed-order reductions, so artifacts
+    /// are bit-identical at any thread count — two configs differing only
+    /// here share one warm engine and rebuild nothing.
+    pub parallelism: usize,
 }
 
 impl Default for GrainConfig {
@@ -99,6 +110,7 @@ impl Default for GrainConfig {
             algorithm: GreedyAlgorithm::Lazy,
             prune: None,
             variant: GrainVariant::Full,
+            parallelism: 0,
         }
     }
 }
@@ -176,8 +188,10 @@ impl GrainConfig {
     /// Two configs with equal fingerprints can share one warm
     /// [`crate::SelectionEngine`] with zero rebuilds: the remaining fields
     /// (`gamma`, `algorithm`, `prune`, `variant`) only steer the greedy
-    /// stage and ride along via [`crate::SelectionEngine::set_config`].
-    /// The [`crate::service::EnginePool`] keys engines by this fingerprint.
+    /// stage and ride along via [`crate::SelectionEngine::set_config`],
+    /// and `parallelism` only changes how many workers build an artifact,
+    /// never its bits. The [`crate::service::EnginePool`] keys engines by
+    /// this fingerprint.
     ///
     /// `f32` parameters enter by bit pattern, consistent with the engine's
     /// internal cache keys.
@@ -266,6 +280,7 @@ mod tests {
         greedy_only.algorithm = GreedyAlgorithm::Plain;
         greedy_only.variant = GrainVariant::NoDiversity;
         greedy_only.prune = Some(PruneStrategy::Degree { keep_fraction: 0.5 });
+        greedy_only.parallelism = 8;
         assert_eq!(
             base.artifact_fingerprint(),
             greedy_only.artifact_fingerprint()

@@ -20,9 +20,12 @@
 //! a budget sweep, a γ/θ sensitivity scan, or a serving loop answering
 //! many selection requests over one corpus pays the heavy stages once.
 //!
-//! [`crate::selector::GrainSelector::select`] is a thin one-shot wrapper
-//! over a fresh engine, so both paths run byte-identical stage code and
-//! produce bit-identical selections.
+//! The artifact hot paths (propagation SpMM rounds, influence rows, the
+//! activation-index inversion, ball lists, NN `d_max`) run over
+//! [`GrainConfig::parallelism`] worker threads with row-range
+//! partitioning and fixed-order reductions, so every artifact is
+//! **bit-identical at any thread count** — which is why `parallelism` is
+//! not part of any cache key or of the artifact fingerprint.
 
 use crate::config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm};
 use crate::diversity::{BallDiversity, DiversityFunction, NnDiversity, NullDiversity};
@@ -202,7 +205,8 @@ impl SelectionEngine {
         self.ensure_transition();
         self.ensure_propagation();
         let transition = &self.transition.as_ref().expect("transition ensured").1;
-        self.propagation.get_with(self.config.kernel, transition)
+        self.propagation
+            .get_with_par(self.config.kernel, transition, self.config.parallelism)
     }
 
     /// Seeds the propagation cache with an externally computed `X^(k)`
@@ -376,7 +380,9 @@ impl SelectionEngine {
             self.stats.propagation_builds += 1;
         }
         let transition = &self.transition.as_ref().expect("transition ensured").1;
-        let _ = self.propagation.get_with(kernel, transition);
+        let _ = self
+            .propagation
+            .get_with_par(kernel, transition, self.config.parallelism);
     }
 
     fn ensure_embedding(&mut self) {
@@ -384,8 +390,12 @@ impl SelectionEngine {
         if self.embedding.as_ref().map(|(k, _)| k) != Some(&key) {
             let embedding = {
                 let transition = &self.transition.as_ref().expect("transition ensured").1;
-                let smoothed = self.propagation.get_with(self.config.kernel, transition);
-                distance::normalized_embedding(&smoothed)
+                let smoothed = self.propagation.get_with_par(
+                    self.config.kernel,
+                    transition,
+                    self.config.parallelism,
+                );
+                distance::normalized_embedding_par(&smoothed, self.config.parallelism)
             };
             self.embedding = Some((key, Arc::new(embedding)));
             self.stats.embedding_builds += 1;
@@ -399,10 +409,11 @@ impl SelectionEngine {
         );
         if self.rows.as_ref().map(|(k, _)| k) != Some(&key) {
             let transition = &self.transition.as_ref().expect("transition ensured").1;
-            let rows = InfluenceRows::for_kernel(
+            let rows = InfluenceRows::for_kernel_par(
                 transition,
                 self.config.kernel,
                 self.config.influence_eps,
+                self.config.parallelism,
             );
             self.rows = Some((key, rows));
             self.stats.influence_builds += 1;
@@ -417,7 +428,11 @@ impl SelectionEngine {
         );
         if self.index.as_ref().map(|(k, _)| k) != Some(&key) {
             let rows = &self.rows.as_ref().expect("rows ensured").1;
-            let index = ActivationIndex::build_with_rule(rows, self.config.theta);
+            let index = ActivationIndex::build_with_rule_par(
+                rows,
+                self.config.theta,
+                self.config.parallelism,
+            );
             self.index = Some((key, index));
             self.stats.index_builds += 1;
         }
@@ -427,7 +442,11 @@ impl SelectionEngine {
         let key = (self.config.kernel.cache_key(), self.config.radius.to_bits());
         if self.balls.as_ref().map(|(k, _)| k) != Some(&key) {
             let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
-            let balls = distance::radius_neighbors(embedding, self.config.radius);
+            let balls = distance::radius_neighbors_par(
+                embedding,
+                self.config.radius,
+                self.config.parallelism,
+            );
             let bound = BallDiversity::union_size(&balls, self.graph.num_nodes());
             self.balls = Some((key, (Arc::new(balls), bound)));
             self.stats.diversity_builds += 1;
@@ -438,7 +457,11 @@ impl SelectionEngine {
         let key = self.config.kernel.cache_key();
         if self.nn_dmax.as_ref().map(|(k, _)| k) != Some(&key) {
             let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
-            let dmax = distance::max_pairwise_distance(embedding, NN_DMAX_EXACT_LIMIT);
+            let dmax = distance::max_pairwise_distance_par(
+                embedding,
+                NN_DMAX_EXACT_LIMIT,
+                self.config.parallelism,
+            );
             self.nn_dmax = Some((key, dmax));
             self.stats.diversity_builds += 1;
         }
@@ -487,7 +510,6 @@ fn variant_parameters(variant: GrainVariant, gamma: f64) -> (DiversityScope, f64
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::selector::GrainSelector;
     use grain_graph::generators::{self, SbmConfig};
     use grain_prop::Kernel;
     use rand::rngs::StdRng;
@@ -541,11 +563,10 @@ mod tests {
         assert_eq!(stats.transition_builds, 1);
         assert_eq!(stats.diversity_builds, 1);
         assert_eq!(stats.selections, budgets.len());
-        let selector = GrainSelector::new(cfg).unwrap();
         for (outcome, &budget) in warm.iter().zip(&budgets) {
-            // The deprecated shim is the reference cold path here on purpose.
-            #[allow(deprecated)]
-            let fresh = selector.select(&g, &x, &candidates, budget);
+            let fresh = SelectionEngine::new(cfg, &g, &x)
+                .unwrap()
+                .select(&candidates, budget);
             assert_eq!(outcome.selected, fresh.selected, "budget {budget}");
             assert_eq!(outcome.sigma, fresh.sigma, "budget {budget}");
             assert_eq!(
@@ -553,6 +574,46 @@ mod tests {
                 "budget {budget}"
             );
         }
+    }
+
+    #[test]
+    fn parallelism_changes_rebuild_nothing_and_select_identically() {
+        // `parallelism` is a pure execution knob: changing it keeps every
+        // cached artifact (it is in no cache key) and any thread count
+        // selects the identical set.
+        let (g, x) = dataset(8);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let reference = {
+            let mut cfg = GrainConfig::ball_d();
+            cfg.parallelism = 1;
+            SelectionEngine::new(cfg, &g, &x)
+                .unwrap()
+                .select(&candidates, 9)
+        };
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        engine.select(&candidates, 9);
+        let before = engine.stats();
+        for parallelism in [2usize, 8] {
+            let mut cfg = *engine.config();
+            cfg.parallelism = parallelism;
+            engine.set_config(cfg).unwrap();
+            let out = engine.select(&candidates, 9);
+            assert_eq!(out.selected, reference.selected, "{parallelism} threads");
+            assert_eq!(out.sigma, reference.sigma, "{parallelism} threads");
+            assert_eq!(
+                out.objective_trace, reference.objective_trace,
+                "{parallelism} threads"
+            );
+        }
+        let after = engine.stats();
+        assert_eq!(
+            EngineStats {
+                selections: before.selections + 2,
+                ..before
+            },
+            after,
+            "parallelism swaps must not invalidate artifacts"
+        );
     }
 
     #[test]

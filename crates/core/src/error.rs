@@ -53,6 +53,14 @@ pub enum GrainError {
         /// Human-readable description of the violation.
         message: String,
     },
+    /// An engine build was abandoned (the building thread panicked) while
+    /// other requests were waiting on its build latch. The waiters get
+    /// this error instead of hanging; retrying the request starts a fresh
+    /// build.
+    EngineBuildAbandoned {
+        /// The graph id whose engine build died.
+        graph: String,
+    },
 }
 
 impl fmt::Display for GrainError {
@@ -82,6 +90,10 @@ impl fmt::Display for GrainError {
                 "candidate {candidate} out of range for a graph of {num_nodes} nodes"
             ),
             GrainError::InvalidBudget { message } => write!(f, "invalid budget: {message}"),
+            GrainError::EngineBuildAbandoned { graph } => write!(
+                f,
+                "engine build for graph {graph:?} was abandoned mid-flight; retry the request"
+            ),
         }
     }
 }

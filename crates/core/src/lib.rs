@@ -27,11 +27,14 @@
 //!
 //! The public front door is [`service::GrainService`]: register graphs
 //! once, then answer typed [`service::SelectionRequest`]s (fixed,
-//! fractional, or sweep [`service::Budget`]s) from an LRU
-//! [`service::EnginePool`] of warm engines, with every failure reported as
-//! a [`error::GrainError`]. [`selector::GrainSelector`] remains as the
-//! legacy one-shot wrapper over a fresh engine (its positional `select`
-//! is deprecated — see the module docs for the migration path).
+//! fractional, or sweep [`service::Budget`]s) from a **sharded, `&self`**
+//! [`service::EnginePool`] of warm engines — the service is
+//! `Send + Sync`, cold builds are deduplicated by per-key latches,
+//! batches fan out across shards via [`service::GrainService::submit_batch`],
+//! and every failure is a [`error::GrainError`].
+//! [`selector::GrainSelector`] remains as a thin validated-config facade
+//! whose `engine` constructor opens the staged pipeline directly (its
+//! deprecated positional one-shots are gone).
 
 pub mod config;
 pub mod diversity;
@@ -49,5 +52,6 @@ pub use error::{GrainError, GrainResult};
 pub use objective::DimObjective;
 pub use selector::{GrainSelector, SelectionOutcome};
 pub use service::{
-    Budget, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport, SelectionRequest,
+    Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,
+    SelectionRequest,
 };

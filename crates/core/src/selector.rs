@@ -11,24 +11,24 @@
 //! with optional §3.4 candidate pruning. One call = one labeling campaign:
 //! Grain is model-free and oracle-free, so the whole budget is selected in
 //! a single pass with no retraining in the loop. Every stage runs inside a
-//! fresh [`SelectionEngine`]; callers answering many selections over one
+//! [`SelectionEngine`]; callers answering many selections over one
 //! corpus (budget sweeps, sensitivity scans, serving) should hold a warm
-//! engine instead — see [`GrainSelector::engine`] — or go through
+//! engine — see [`GrainSelector::engine`] — or go through
 //! [`crate::service::GrainService`], the pooled request/response front
 //! door.
 //!
-//! **Deprecation path.** The positional one-shot
-//! [`GrainSelector::select`] predates the service API and is kept as a
-//! thin shim for one more release: it builds a fresh engine per call, so
-//! results stay bit-identical to the warm path, but repeated calls re-pay
-//! every pipeline stage. New code should issue
-//! [`crate::service::SelectionRequest`]s instead.
+//! The pre-service positional one-shots (`GrainSelector::select`,
+//! `GrainSelector::activation_index`) spent their one deprecation release
+//! as bit-identical shims and are now **removed**; [`GrainSelector`]
+//! remains as a thin, validated config holder whose
+//! [`GrainSelector::engine`] constructor is the supported path into the
+//! staged pipeline. Use [`SelectionEngine::activation_index`] on a warm
+//! engine where the removed index shim was used.
 
 use crate::config::GrainConfig;
 use crate::engine::SelectionEngine;
 use crate::error::GrainResult;
 use grain_graph::Graph;
-use grain_influence::ActivationIndex;
 use grain_linalg::DenseMatrix;
 use std::time::Duration;
 
@@ -107,9 +107,9 @@ impl GrainSelector {
 
     /// Selector with an explicit configuration, skipping validation.
     ///
-    /// Intended for constants already known to be valid; `select` still
-    /// validates when it builds its engine and panics up front (naming the
-    /// violation) if the configuration is invalid.
+    /// Intended for constants already known to be valid;
+    /// [`GrainSelector::engine`] still validates when it builds the
+    /// engine and reports an invalid configuration as a typed error.
     #[must_use]
     pub fn new_unchecked(config: GrainConfig) -> Self {
         Self { config }
@@ -139,51 +139,6 @@ impl GrainSelector {
     pub fn engine(&self, graph: &Graph, features: &DenseMatrix) -> GrainResult<SelectionEngine> {
         SelectionEngine::new(self.config, graph, features)
     }
-
-    /// Selects up to `budget` nodes to label from `candidates`
-    /// (typically the training partition `V_train`) in a fresh one-shot
-    /// engine.
-    ///
-    /// # Panics
-    /// Panics if `features.rows() != graph.num_nodes()` or a candidate id is
-    /// out of range.
-    #[deprecated(
-        since = "0.2.0",
-        note = "issue a `SelectionRequest` to `GrainService` (pooled, typed errors) or hold a \
-                warm `SelectionEngine`; this positional shim rebuilds every artifact per call \
-                and will be removed in the next release"
-    )]
-    pub fn select(
-        &self,
-        graph: &Graph,
-        features: &DenseMatrix,
-        candidates: &[u32],
-        budget: usize,
-    ) -> SelectionOutcome {
-        assert_eq!(
-            features.rows(),
-            graph.num_nodes(),
-            "feature rows must match node count"
-        );
-        let mut engine = SelectionEngine::new(self.config, graph, features)
-            .unwrap_or_else(|e| panic!("invalid GrainConfig (was new_unchecked misused?): {e}"));
-        engine.select(candidates, budget)
-    }
-
-    /// Builds just the activation index for external inspection
-    /// (interpretability experiments / Figure 7).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SelectionEngine::activation_index` on a warm engine (features are ignored \
-                by the index, so any engine over the graph serves); this shim rebuilds the \
-                index per call"
-    )]
-    pub fn activation_index(&self, graph: &Graph) -> ActivationIndex {
-        let features = DenseMatrix::zeros(graph.num_nodes(), 1);
-        let mut engine = SelectionEngine::new(self.config, graph, &features)
-            .unwrap_or_else(|e| panic!("invalid GrainConfig (was new_unchecked misused?): {e}"));
-        engine.activation_index().clone()
-    }
 }
 
 #[cfg(test)]
@@ -194,8 +149,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
-    /// One-shot selection through a fresh engine — the supported
-    /// replacement for the deprecated positional `GrainSelector::select`.
+    /// One-shot selection through a fresh engine.
     fn one_shot(
         config: GrainConfig,
         g: &Graph,
@@ -245,17 +199,16 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_select_shim_matches_engine_path() {
-        // The one-more-release compat shim must stay bit-identical to the
-        // engine it wraps.
+    fn selector_engine_constructor_matches_direct_engine() {
+        // The facade's engine constructor must be a pure pass-through.
         let (g, x) = dataset(1);
         let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
-        #[allow(deprecated)]
-        let shim = GrainSelector::ball_d().select(&g, &x, &candidates, 12);
-        let engine = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 12);
-        assert_eq!(shim.selected, engine.selected);
-        assert_eq!(shim.sigma, engine.sigma);
-        assert_eq!(shim.objective_trace, engine.objective_trace);
+        let mut via_facade = GrainSelector::ball_d().engine(&g, &x).unwrap();
+        let facade = via_facade.select(&candidates, 12);
+        let direct = one_shot(GrainConfig::ball_d(), &g, &x, &candidates, 12);
+        assert_eq!(facade.selected, direct.selected);
+        assert_eq!(facade.sigma, direct.sigma);
+        assert_eq!(facade.objective_trace, direct.objective_trace);
     }
 
     #[test]

@@ -1,21 +1,40 @@
-//! `GrainService` — the request/response front door of the selection
-//! pipeline.
+//! `GrainService` — the concurrent request/response front door of the
+//! selection pipeline.
 //!
-//! PR 2 made [`SelectionEngine`] the serving substrate; this module makes
-//! it *multi-tenant*. A [`GrainService`] owns
+//! PR 2 made [`SelectionEngine`] the serving substrate, PR 3 made it
+//! *multi-tenant*; this revision makes it **concurrent**. A
+//! [`GrainService`] is `&self` end to end (`Send + Sync`), so one
+//! instance behind an `Arc` serves selection requests from any number of
+//! threads. It owns
 //!
 //! * a **corpus registry**: graphs and feature matrices registered once
 //!   under a string id and shared via `Arc` with every engine, and
-//! * an [`EnginePool`]: an LRU map of warm engines keyed by
+//! * an [`EnginePool`]: a **sharded** LRU map of warm engines keyed by
 //!   `(graph id, artifact fingerprint)` — see
-//!   [`GrainConfig::artifact_fingerprint`] — with a configurable capacity
-//!   and eviction statistics,
+//!   [`GrainConfig::artifact_fingerprint`]. Keys hash onto `N` mutexed
+//!   shards, each an independent keyed map with LRU ordering, so
+//!   requests for unrelated engines never contend on one lock, and a
+//!   slow cold build on one shard cannot block hits on another.
 //!
-//! and answers typed [`SelectionRequest`]s with [`SelectionReport`]s that
-//! carry the selections together with the observability a serving tier
-//! needs: per-stage timings, the pool event (hit / cold miss / rebuild
-//! after eviction), and the exact artifact rebuild counts the request
-//! triggered.
+//! Three mechanisms make the concurrency safe *and* cheap:
+//!
+//! 1. **Per-key build latches.** The first request for a cold key claims
+//!    a build latch and constructs the engine *outside* the shard lock;
+//!    concurrent requests for the same key wait on the latch and share
+//!    the one engine instead of duplicating a half-second build
+//!    ([`PoolEvent::JoinedBuild`]). Requests for other keys sail past.
+//! 2. **Engine mutexes.** Each pooled engine lives behind its own
+//!    `Mutex`, so same-key requests serialize only against each other —
+//!    the first one through warms the artifact caches for the rest.
+//! 3. **Deterministic parallel artifacts.** The artifact hot paths run
+//!    over [`GrainConfig::parallelism`] workers with fixed-order
+//!    reductions, so artifacts are bit-identical at any thread count and
+//!    `parallelism` stays out of the pool key.
+//!
+//! [`GrainService::submit_batch`] is the batched entry point: it groups
+//! requests by engine key, runs the groups across worker threads (each
+//! group lands on its own shard/engine), and runs same-key requests —
+//! e.g. a budget sweep — sequentially on the one warm engine.
 //!
 //! Because the pool key is the *artifact* fingerprint, requests that only
 //! differ in greedy-stage fields (`gamma`, `variant`, `algorithm`,
@@ -24,20 +43,27 @@
 //! get their own engine so alternating workloads never thrash the
 //! single-slot artifact caches. Warm answers are bit-identical to cold
 //! one-shot runs — the engine contract (`tests/engine_reuse.rs`) extends
-//! to the pool.
+//! to the pool, and `tests/concurrent_service.rs` extends it across
+//! threads.
 
 use crate::config::{GrainConfig, GrainVariant};
 use crate::engine::{EngineStats, SelectionEngine};
 use crate::error::{GrainError, GrainResult};
 use crate::selector::SelectionOutcome;
 use grain_graph::Graph;
-use grain_linalg::DenseMatrix;
+use grain_linalg::{par, DenseMatrix};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, TryLockError};
 
-/// Default engine-pool capacity of [`GrainService::new`].
+/// Default total engine capacity of [`GrainService::new`]
+/// ([`DEFAULT_POOL_SHARDS`] shards × 2 engines).
 pub const DEFAULT_POOL_CAPACITY: usize = 8;
+
+/// Default shard count of [`GrainService::new`].
+pub const DEFAULT_POOL_SHARDS: usize = 4;
 
 /// How a request expresses its labeling budget.
 #[derive(Clone, Debug, PartialEq)]
@@ -140,6 +166,16 @@ impl SelectionRequest {
         self.seed = seed;
         self
     }
+
+    /// The effective configuration after the per-request variant
+    /// override.
+    fn effective_config(&self) -> GrainConfig {
+        let mut config = self.config;
+        if let Some(variant) = self.variant {
+            config.variant = variant;
+        }
+        config
+    }
 }
 
 /// What happened in the [`EnginePool`] when a request was routed.
@@ -147,14 +183,19 @@ impl SelectionRequest {
 pub enum PoolEvent {
     /// A warm engine answered; no engine was constructed.
     Hit,
-    /// First time this `(graph, fingerprint)` key was seen.
+    /// First time this `(graph, fingerprint)` key was seen; this request
+    /// built the engine.
     ColdMiss,
     /// The key had been evicted earlier and its engine was rebuilt — the
     /// signal that the pool capacity is too small for the workload.
     RebuildAfterEviction,
+    /// Another request was already building this key's engine; this
+    /// request waited on the build latch and shares the one result
+    /// instead of duplicating the build.
+    JoinedBuild,
 }
 
-/// Aggregate [`EnginePool`] counters.
+/// Aggregate [`EnginePool`] counters (summed across shards).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Lookups answered by a pooled engine.
@@ -163,6 +204,9 @@ pub struct PoolStats {
     pub cold_misses: usize,
     /// Lookups that rebuilt an engine for a previously evicted key.
     pub evicted_rebuilds: usize,
+    /// Lookups that waited on another request's in-flight build of the
+    /// same key instead of building their own engine.
+    pub build_joins: usize,
     /// Engines pushed out by capacity.
     pub evictions: usize,
 }
@@ -177,7 +221,36 @@ impl PoolStats {
     /// Total lookups routed through the pool.
     #[must_use]
     pub fn lookups(&self) -> usize {
-        self.hits + self.misses()
+        self.hits + self.misses() + self.build_joins
+    }
+}
+
+/// Live pool counters, kept out of the shard mutexes so reading a stats
+/// snapshot — which [`SelectionReport`] does once per request — never
+/// touches a shard lock. Increments happen on paths that already hold
+/// the relevant shard lock; reads are relaxed atomic loads.
+#[derive(Default)]
+struct PoolCounters {
+    hits: AtomicUsize,
+    cold_misses: AtomicUsize,
+    evicted_rebuilds: AtomicUsize,
+    build_joins: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl PoolCounters {
+    fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> PoolStats {
+        PoolStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            cold_misses: self.cold_misses.load(Ordering::Relaxed),
+            evicted_rebuilds: self.evicted_rebuilds.load(Ordering::Relaxed),
+            build_joins: self.build_joins.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -188,163 +261,492 @@ struct PoolKey {
     fingerprint: String,
 }
 
-/// How many distinct evicted keys the pool remembers for classifying a
-/// rebuild as [`PoolEvent::RebuildAfterEviction`] rather than a cold
-/// miss. Bounds the pool's memory in a long-lived service sweeping many
-/// artifact fingerprints; once full, rebuilds of keys evicted beyond the
-/// horizon are reported as cold misses — a benign misclassification.
-const EVICTED_KEY_MEMORY: usize = 4096;
+/// How many distinct evicted keys **each shard** remembers for
+/// classifying a rebuild as [`PoolEvent::RebuildAfterEviction`] rather
+/// than a cold miss. The cap is per-shard — a single global cap would let
+/// one shard's churn exhaust the whole budget and misclassify every other
+/// shard's rebuilds — and bounds the pool's memory in a long-lived
+/// service sweeping many artifact fingerprints; once a shard's horizon is
+/// full, rebuilds of its older evicted keys are reported as cold misses,
+/// a benign misclassification.
+const EVICTED_KEY_MEMORY_PER_SHARD: usize = 1024;
 
-/// An LRU map of warm [`SelectionEngine`]s.
-///
-/// Capacity is the number of engines kept warm at once; the least
-/// recently used engine is dropped when a new key arrives at a full pool.
-/// Lookup order is tracked per *use*, so a steady mixed workload keeps
-/// its hot engines resident. Rebuilds of previously evicted keys are
-/// counted separately from cold misses — a rising
-/// [`PoolStats::evicted_rebuilds`] is the capacity-tuning signal.
-pub struct EnginePool {
-    capacity: usize,
-    /// Most recently used first.
-    entries: Vec<(PoolKey, SelectionEngine)>,
-    stats: PoolStats,
-    /// Evicted keys, capped at [`EVICTED_KEY_MEMORY`].
+/// A pooled engine: shared ownership plus the per-engine lock that
+/// serializes same-key requests.
+type SharedEngine = Arc<Mutex<SelectionEngine>>;
+
+/// One-shot rendezvous for an in-flight engine build: the builder
+/// publishes the shared engine (or the build error), every waiter blocks
+/// on the condvar until it lands.
+#[derive(Default)]
+struct BuildLatch {
+    slot: Mutex<Option<GrainResult<SharedEngine>>>,
+    done: Condvar,
+}
+
+impl BuildLatch {
+    /// Publishes the build result; the first publication wins (later
+    /// calls — e.g. a panic-cleanup guard racing the success path — are
+    /// no-ops), and every waiter is woken.
+    fn fulfill(&self, result: GrainResult<SharedEngine>) {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(result);
+        }
+        drop(slot);
+        self.done.notify_all();
+    }
+
+    /// Blocks until the build result is published and returns it.
+    fn wait(&self) -> GrainResult<SharedEngine> {
+        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.done.wait(slot).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Removes the claimed build latch and publishes an error if the builder
+/// unwinds before publishing a result, so waiters fail fast instead of
+/// hanging on a dead latch.
+struct BuildGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: PoolKey,
+    latch: Arc<BuildLatch>,
+    completed: bool,
+}
+
+impl Drop for BuildGuard<'_> {
+    fn drop(&mut self) {
+        if self.completed {
+            return;
+        }
+        lock_shard(self.shard).building.remove(&self.key);
+        self.latch.fulfill(Err(GrainError::EngineBuildAbandoned {
+            graph: self.key.graph.clone(),
+        }));
+    }
+}
+
+/// One pool shard: an independent keyed engine map with LRU ordering,
+/// in-flight build latches, and its own eviction memory.
+#[derive(Default)]
+struct Shard {
+    /// Resident engines by key.
+    entries: HashMap<PoolKey, SharedEngine>,
+    /// Recency order over `entries` keys, most recently used first.
+    order: Vec<PoolKey>,
+    /// In-flight builds by key.
+    building: HashMap<PoolKey, Arc<BuildLatch>>,
+    /// Evicted keys, capped at [`EVICTED_KEY_MEMORY_PER_SHARD`].
     evicted: HashSet<PoolKey>,
 }
 
-impl EnginePool {
-    /// A pool keeping up to `capacity` warm engines (minimum 1).
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        Self {
-            capacity: capacity.max(1),
-            entries: Vec::new(),
-            stats: PoolStats::default(),
-            evicted: HashSet::new(),
+impl Shard {
+    /// Moves `key` to the front of the recency order.
+    fn touch(&mut self, key: &PoolKey) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let key = self.order.remove(pos);
+            self.order.insert(0, key);
         }
     }
 
-    /// Maximum number of resident engines.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of engines currently resident.
-    pub fn len(&self) -> usize {
-        self.entries.len()
-    }
-
-    /// True if no engine is resident.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
-    }
-
-    /// Aggregate counters.
-    pub fn stats(&self) -> PoolStats {
-        self.stats
-    }
-
-    /// Resident `(graph, fingerprint)` keys, most recently used first.
-    pub fn keys(&self) -> Vec<(&str, &str)> {
-        self.entries
-            .iter()
-            .map(|(k, _)| (k.graph.as_str(), k.fingerprint.as_str()))
-            .collect()
-    }
-
-    /// Drops every resident engine (counters are kept).
-    pub fn clear(&mut self) {
-        let keys: Vec<PoolKey> = self.entries.drain(..).map(|(key, _)| key).collect();
-        for key in keys {
-            self.remember_evicted(key);
-        }
-    }
-
-    /// Records an evicted key, up to [`EVICTED_KEY_MEMORY`] distinct keys.
+    /// Records an evicted key, up to the per-shard memory cap.
     fn remember_evicted(&mut self, key: PoolKey) {
-        if self.evicted.len() < EVICTED_KEY_MEMORY {
+        if self.evicted.len() < EVICTED_KEY_MEMORY_PER_SHARD {
             self.evicted.insert(key);
         }
     }
 
+    /// Inserts `key` at the MRU position, evicting this shard's LRU
+    /// engine if the shard is at `capacity`.
+    fn insert_mru(
+        &mut self,
+        key: PoolKey,
+        engine: SharedEngine,
+        capacity: usize,
+        counters: &PoolCounters,
+    ) {
+        debug_assert!(!self.entries.contains_key(&key));
+        if self.entries.len() == capacity {
+            if let Some(lru) = self.order.pop() {
+                self.entries.remove(&lru);
+                self.remember_evicted(lru);
+                PoolCounters::bump(&counters.evictions);
+            }
+        }
+        self.order.insert(0, key.clone());
+        self.entries.insert(key, engine);
+    }
+
+    /// Drops the entry for `key` (both map and recency order).
+    fn remove(&mut self, key: &PoolKey) {
+        self.entries.remove(key);
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            self.order.remove(pos);
+        }
+    }
+}
+
+fn lock_shard(shard: &Mutex<Shard>) -> MutexGuard<'_, Shard> {
+    // A panic inside a shard critical section cannot leave the map
+    // half-updated in a way later lookups mis-serve (every mutation is a
+    // complete insert/remove), so serving continues after poisoning.
+    shard.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn lock_engine(engine: &Mutex<SelectionEngine>) -> MutexGuard<'_, SelectionEngine> {
+    // Engine artifacts are staged: a panicked request may have built
+    // fewer artifacts than it wanted, never a torn one, so the engine
+    // stays servable after poisoning.
+    engine.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A sharded, concurrently usable map of warm [`SelectionEngine`]s.
+///
+/// Keys hash onto [`EnginePool::num_shards`] mutexed shards; each shard
+/// is an independent keyed map with LRU ordering and capacity
+/// [`EnginePool::shard_capacity`], so total capacity is
+/// `num_shards × shard_capacity` and eviction pressure on one shard never
+/// thrashes another. Recency is tracked per *use*, so a steady mixed
+/// workload keeps its hot engines resident. Rebuilds of previously
+/// evicted keys are counted separately from cold misses — a rising
+/// [`PoolStats::evicted_rebuilds`] is the capacity-tuning signal — with
+/// the eviction memory capped per shard (`EVICTED_KEY_MEMORY_PER_SHARD`).
+///
+/// Cold builds run *outside* the shard lock under a per-key build latch:
+/// concurrent requests for the same cold key build the engine exactly
+/// once ([`PoolEvent::JoinedBuild`] for the waiters), and requests for
+/// other keys on the same shard are blocked only for the latch
+/// bookkeeping, never for the build itself.
+pub struct EnginePool {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: usize,
+    counters: PoolCounters,
+}
+
+impl EnginePool {
+    /// A single-shard pool keeping up to `capacity` warm engines
+    /// (minimum 1) — one global LRU order, the deterministic choice for
+    /// capacity-sensitive tests and single-threaded embedders.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self::sharded(1, capacity)
+    }
+
+    /// A pool of `shards` independent LRU shards, each keeping up to
+    /// `shard_capacity` warm engines (both minimum 1).
+    #[must_use]
+    pub fn sharded(shards: usize, shard_capacity: usize) -> Self {
+        Self {
+            shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
+            shard_capacity: shard_capacity.max(1),
+            counters: PoolCounters::default(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maximum resident engines per shard.
+    pub fn shard_capacity(&self) -> usize {
+        self.shard_capacity
+    }
+
+    /// Maximum number of resident engines across all shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.len() * self.shard_capacity
+    }
+
+    /// Number of engines currently resident.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| lock_shard(s).entries.len())
+            .sum()
+    }
+
+    /// True if no engine is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate counters. A lock-free snapshot of relaxed atomics —
+    /// reading it (which every [`SelectionReport`] does) never contends
+    /// with requests on any shard.
+    pub fn stats(&self) -> PoolStats {
+        self.counters.snapshot()
+    }
+
+    /// Resident `(graph, fingerprint)` keys, shard-major, most recently
+    /// used first within each shard.
+    pub fn keys(&self) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_shard(shard);
+            out.extend(
+                shard
+                    .order
+                    .iter()
+                    .map(|k| (k.graph.clone(), k.fingerprint.clone())),
+            );
+        }
+        out
+    }
+
+    /// Drops every resident engine (counters are kept, evicted keys are
+    /// remembered).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            let mut shard = lock_shard(shard);
+            shard.order.clear();
+            let keys: Vec<PoolKey> = shard.entries.drain().map(|(key, _)| key).collect();
+            for key in keys {
+                shard.remember_evicted(key);
+            }
+        }
+    }
+
+    fn shard_of(&self, key: &PoolKey) -> usize {
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        (hasher.finish() as usize) % self.shards.len()
+    }
+
     /// The cached `X^(k)` under `kernel` from any resident engine serving
-    /// `graph`, if one holds it. Engines are keyed by the full artifact
-    /// fingerprint (kernel, θ, ε, r), but `X^(k)` depends on the kernel
-    /// alone — a new engine for another fingerprint of the same graph
-    /// seeds from a sibling instead of re-propagating.
+    /// `graph`, if one holds it *and* is not busy. Engines are keyed by
+    /// the full artifact fingerprint (kernel, θ, ε, r), but `X^(k)`
+    /// depends on the kernel alone — a new engine for another fingerprint
+    /// of the same graph seeds from a sibling instead of re-propagating.
+    /// Busy siblings are skipped (`try_lock`), trading an occasional
+    /// re-propagation for never blocking a build on a foreign request.
     fn cached_propagation(
         &self,
         graph: &str,
         kernel: grain_prop::Kernel,
     ) -> Option<Arc<DenseMatrix>> {
-        self.entries
-            .iter()
-            .filter(|(key, _)| key.graph == graph)
-            .find_map(|(_, engine)| engine.propagated_if_cached(kernel))
-    }
-
-    /// Re-homes entries whose engine a caller re-keyed through the
-    /// `&mut` handle ([`crate::SelectionEngine::set_config`] with an
-    /// artifact-field change): the stored key is updated to the engine's
-    /// actual fingerprint so a lookup never serves wrong-keyed caches.
-    /// When re-homing collides with a resident key, the less recently
-    /// used entry is dropped and counted as an eviction.
-    fn rehome(&mut self) {
-        let mut changed = false;
-        for (key, engine) in &mut self.entries {
-            let actual = engine.config().artifact_fingerprint();
-            if key.fingerprint != actual {
-                key.fingerprint = actual;
-                changed = true;
+        for shard in &self.shards {
+            let candidates: Vec<SharedEngine> = {
+                let shard = lock_shard(shard);
+                shard
+                    .entries
+                    .iter()
+                    .filter(|(key, _)| key.graph == graph)
+                    .map(|(_, engine)| Arc::clone(engine))
+                    .collect()
+            };
+            for engine in candidates {
+                let found = match engine.try_lock() {
+                    Ok(engine) => engine.propagated_if_cached(kernel),
+                    Err(TryLockError::Poisoned(poisoned)) => {
+                        poisoned.into_inner().propagated_if_cached(kernel)
+                    }
+                    Err(TryLockError::WouldBlock) => None,
+                };
+                if found.is_some() {
+                    return found;
+                }
             }
         }
-        if !changed {
-            return;
-        }
-        // Entries are MRU-first: keep the first occurrence of each key.
-        let mut seen: HashSet<PoolKey> = HashSet::new();
-        let mut dropped: Vec<PoolKey> = Vec::new();
-        self.entries.retain(|(key, _)| {
-            if seen.insert(key.clone()) {
-                true
+        None
+    }
+
+    /// Re-indexes an engine a checkout re-keyed through its `&mut` handle
+    /// ([`SelectionEngine::set_config`] with an artifact-field change):
+    /// the entry moves from `old_key`'s shard to the shard of the
+    /// engine's actual fingerprint, so a lookup never serves wrong-keyed
+    /// caches. When re-homing collides with a resident engine under the
+    /// new key, the re-keyed engine is dropped and counted as an
+    /// eviction.
+    fn rehome(&self, old_key: &PoolKey, engine: &SharedEngine, new_fingerprint: String) {
+        let new_key = PoolKey {
+            graph: old_key.graph.clone(),
+            fingerprint: new_fingerprint,
+        };
+        let old_idx = self.shard_of(old_key);
+        let new_idx = self.shard_of(&new_key);
+        // Lock shards in index order — this is the only path that holds
+        // two shard locks, so a consistent order rules out deadlock.
+        let (mut old_shard, mut new_shard) = if old_idx == new_idx {
+            (lock_shard(&self.shards[old_idx]), None)
+        } else {
+            let (first, second) = (old_idx.min(new_idx), old_idx.max(new_idx));
+            let first_guard = lock_shard(&self.shards[first]);
+            let second_guard = lock_shard(&self.shards[second]);
+            if old_idx < new_idx {
+                (first_guard, Some(second_guard))
             } else {
-                dropped.push(key.clone());
-                false
+                (second_guard, Some(first_guard))
             }
-        });
-        for key in dropped {
-            self.remember_evicted(key);
-            self.stats.evictions += 1;
+        };
+        let was_resident = old_shard
+            .entries
+            .get(old_key)
+            .is_some_and(|resident| Arc::ptr_eq(resident, engine));
+        if !was_resident {
+            return; // already re-homed by another checkout, or evicted
+        }
+        old_shard.remove(old_key);
+        let target = new_shard.as_mut().unwrap_or(&mut old_shard);
+        if target.entries.contains_key(&new_key) {
+            // The new key already has a (more recently built) engine;
+            // the re-keyed one is surplus.
+            PoolCounters::bump(&self.counters.evictions);
+        } else {
+            target.insert_mru(
+                new_key,
+                Arc::clone(engine),
+                self.shard_capacity,
+                &self.counters,
+            );
         }
     }
 
-    fn get_or_insert_with(
-        &mut self,
+    fn get_or_build(
+        &self,
         key: PoolKey,
         build: impl FnOnce() -> GrainResult<SelectionEngine>,
-    ) -> GrainResult<(&mut SelectionEngine, PoolEvent)> {
-        self.rehome();
-        if let Some(pos) = self.entries.iter().position(|(k, _)| *k == key) {
-            let entry = self.entries.remove(pos);
-            self.entries.insert(0, entry);
-            self.stats.hits += 1;
-            return Ok((&mut self.entries[0].1, PoolEvent::Hit));
+    ) -> GrainResult<(SharedEngine, PoolEvent)> {
+        enum Claim {
+            Hit(SharedEngine),
+            Join(Arc<BuildLatch>),
+            Build {
+                latch: Arc<BuildLatch>,
+                rebuilds_evicted: bool,
+            },
         }
-        let engine = build()?;
-        let event = if self.evicted.contains(&key) {
-            self.stats.evicted_rebuilds += 1;
-            PoolEvent::RebuildAfterEviction
-        } else {
-            self.stats.cold_misses += 1;
-            PoolEvent::ColdMiss
+        let shard_mutex = &self.shards[self.shard_of(&key)];
+        let claim = {
+            let mut shard = lock_shard(shard_mutex);
+            if let Some(engine) = shard.entries.get(&key).cloned() {
+                shard.touch(&key);
+                PoolCounters::bump(&self.counters.hits);
+                Claim::Hit(engine)
+            } else if let Some(latch) = shard.building.get(&key).cloned() {
+                PoolCounters::bump(&self.counters.build_joins);
+                Claim::Join(latch)
+            } else {
+                let latch = Arc::new(BuildLatch::default());
+                shard.building.insert(key.clone(), Arc::clone(&latch));
+                Claim::Build {
+                    rebuilds_evicted: shard.evicted.contains(&key),
+                    latch,
+                }
+            }
         };
-        if self.entries.len() == self.capacity {
-            let (lru_key, _) = self.entries.pop().expect("pool is non-empty at capacity");
-            self.remember_evicted(lru_key);
-            self.stats.evictions += 1;
+        match claim {
+            Claim::Hit(engine) => Ok((engine, PoolEvent::Hit)),
+            Claim::Join(latch) => latch.wait().map(|e| (e, PoolEvent::JoinedBuild)),
+            Claim::Build {
+                latch,
+                rebuilds_evicted,
+            } => {
+                let mut guard = BuildGuard {
+                    shard: shard_mutex,
+                    key: key.clone(),
+                    latch: Arc::clone(&latch),
+                    completed: false,
+                };
+                // The expensive part runs with no lock held: other keys
+                // on this shard stay fully servable meanwhile.
+                let built = build().map(|engine| Arc::new(Mutex::new(engine)));
+                let result = {
+                    let mut shard = lock_shard(shard_mutex);
+                    shard.building.remove(&key);
+                    match built {
+                        Ok(engine) => {
+                            if let Some(resident) = shard.entries.get(&key).cloned() {
+                                // A concurrent rehome parked a re-keyed
+                                // engine under this key while we were
+                                // building: the resident engine (warm
+                                // artifacts) wins, our fresh build is
+                                // surplus and simply dropped.
+                                shard.touch(&key);
+                                PoolCounters::bump(&self.counters.hits);
+                                Ok((resident, PoolEvent::Hit))
+                            } else {
+                                let event = if rebuilds_evicted {
+                                    PoolCounters::bump(&self.counters.evicted_rebuilds);
+                                    shard.evicted.remove(&key);
+                                    PoolEvent::RebuildAfterEviction
+                                } else {
+                                    PoolCounters::bump(&self.counters.cold_misses);
+                                    PoolEvent::ColdMiss
+                                };
+                                shard.insert_mru(
+                                    key,
+                                    Arc::clone(&engine),
+                                    self.shard_capacity,
+                                    &self.counters,
+                                );
+                                Ok((engine, event))
+                            }
+                        }
+                        Err(e) => Err(e),
+                    }
+                };
+                match &result {
+                    Ok((engine, _)) => latch.fulfill(Ok(Arc::clone(engine))),
+                    Err(e) => latch.fulfill(Err(e.clone())),
+                }
+                guard.completed = true;
+                result
+            }
         }
-        self.entries.insert(0, (key, engine));
-        Ok((&mut self.entries[0].1, event))
+    }
+}
+
+/// A pooled engine checked out of a [`GrainService`] for the duration of
+/// a caller's work — the concurrent replacement for the old
+/// `&mut SelectionEngine` handle.
+///
+/// [`EngineCheckout::lock`] grants exclusive access to the engine;
+/// callers that sweep configurations should apply
+/// [`SelectionEngine::set_config`] and run their selections under **one**
+/// lock session, so a concurrent request cannot interleave a different
+/// greedy-stage configuration.
+///
+/// Dropping the checkout re-indexes the pool if the caller re-keyed the
+/// engine to a different artifact fingerprint via `set_config`, so
+/// wrong-keyed caches are never served.
+pub struct EngineCheckout<'a> {
+    pool: &'a EnginePool,
+    key: PoolKey,
+    engine: SharedEngine,
+}
+
+impl EngineCheckout<'_> {
+    /// Locks the pooled engine for exclusive use. Same-key requests block
+    /// until the guard drops; unrelated keys are unaffected.
+    pub fn lock(&self) -> MutexGuard<'_, SelectionEngine> {
+        lock_engine(&self.engine)
+    }
+}
+
+impl Drop for EngineCheckout<'_> {
+    fn drop(&mut self) {
+        let fingerprint = match self.engine.try_lock() {
+            Ok(engine) => engine.config().artifact_fingerprint(),
+            Err(TryLockError::Poisoned(poisoned)) => {
+                poisoned.into_inner().config().artifact_fingerprint()
+            }
+            // The engine is busy (another checkout, or a transient
+            // sibling-X^(k) probe). Skipping is safe: a concurrent
+            // checkout's drop re-homes, and even if a re-keyed engine
+            // briefly stays under its old key, artifacts are internally
+            // keyed by their own config fields and the next hit's
+            // `set_config` re-aligns the engine — never a wrong answer,
+            // at worst one duplicate build.
+            Err(TryLockError::WouldBlock) => return,
+        };
+        if fingerprint != self.key.fingerprint {
+            self.pool.rehome(&self.key, &self.engine, fingerprint);
+        }
     }
 }
 
@@ -402,8 +804,10 @@ struct Corpus {
     features: Arc<DenseMatrix>,
 }
 
-/// Multi-tenant selection service: many graphs, many configs, one pool of
-/// warm engines, one artifact store.
+/// Multi-tenant, **concurrent** selection service: many graphs, many
+/// configs, one sharded pool of warm engines, one artifact store. Every
+/// method takes `&self` and the service is `Send + Sync`, so one
+/// instance behind an `Arc` serves any number of threads.
 ///
 /// ```
 /// use grain_core::service::{Budget, GrainService, SelectionRequest};
@@ -413,7 +817,7 @@ struct Corpus {
 ///
 /// let graph = generators::erdos_renyi_gnm(200, 600, 7);
 /// let features = DenseMatrix::full(200, 8, 1.0);
-/// let mut service = GrainService::new();
+/// let service = GrainService::new();
 /// service.register_graph("demo", graph, features)?;
 ///
 /// let request = SelectionRequest::new("demo", GrainConfig::ball_d(), Budget::Fixed(10));
@@ -424,10 +828,19 @@ struct Corpus {
 /// let again = service.select(&request)?;
 /// assert!(again.fully_warm());
 /// assert_eq!(again.outcome().selected, report.outcome().selected);
+///
+/// // Batched submission groups by engine key and fans groups out across
+/// // worker threads; answers come back in request order.
+/// let batch = vec![request.clone(), request.clone()];
+/// let reports = service.submit_batch(&batch);
+/// assert_eq!(reports.len(), 2);
+/// for answer in reports {
+///     assert_eq!(answer?.outcome().selected, report.outcome().selected);
+/// }
 /// # Ok::<(), grain_core::GrainError>(())
 /// ```
 pub struct GrainService {
-    corpora: HashMap<String, Corpus>,
+    corpora: RwLock<HashMap<String, Corpus>>,
     pool: EnginePool,
 }
 
@@ -438,19 +851,32 @@ impl Default for GrainService {
 }
 
 impl GrainService {
-    /// A service with the default pool capacity
-    /// ([`DEFAULT_POOL_CAPACITY`]).
+    /// A service with the default pool topology: [`DEFAULT_POOL_SHARDS`]
+    /// shards holding [`DEFAULT_POOL_CAPACITY`] engines in total.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_capacity(DEFAULT_POOL_CAPACITY)
+        Self::with_topology(
+            DEFAULT_POOL_SHARDS,
+            DEFAULT_POOL_CAPACITY.div_ceil(DEFAULT_POOL_SHARDS),
+        )
     }
 
-    /// A service keeping up to `capacity` warm engines.
+    /// A service with a **single-shard** pool keeping up to `capacity`
+    /// warm engines — one global LRU order with fully deterministic
+    /// eviction, the right choice when exact capacity behavior matters
+    /// more than lock spreading (tests, single-threaded embedders).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_topology(1, capacity)
+    }
+
+    /// A service with `shards` independent pool shards of
+    /// `shard_capacity` engines each.
+    #[must_use]
+    pub fn with_topology(shards: usize, shard_capacity: usize) -> Self {
         Self {
-            corpora: HashMap::new(),
-            pool: EnginePool::new(capacity),
+            corpora: RwLock::new(HashMap::new()),
+            pool: EnginePool::sharded(shards, shard_capacity),
         }
     }
 
@@ -459,7 +885,7 @@ impl GrainService {
     /// copying. Registering the same id twice is an error — corpora are
     /// immutable once registered, since pooled engines may hold them.
     pub fn register_graph(
-        &mut self,
+        &self,
         id: impl Into<String>,
         graph: impl Into<Arc<Graph>>,
         features: impl Into<Arc<DenseMatrix>>,
@@ -473,31 +899,33 @@ impl GrainService {
                 num_nodes: graph.num_nodes(),
             });
         }
-        if self.corpora.contains_key(&id) {
+        let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
+        if corpora.contains_key(&id) {
             return Err(GrainError::GraphAlreadyRegistered { graph: id });
         }
-        self.corpora.insert(id, Corpus { graph, features });
+        corpora.insert(id, Corpus { graph, features });
         Ok(())
     }
 
     /// Registered graph ids, sorted.
-    pub fn graphs(&self) -> Vec<&str> {
-        let mut ids: Vec<&str> = self.corpora.keys().map(String::as_str).collect();
+    pub fn graphs(&self) -> Vec<String> {
+        let corpora = self.corpora.read().unwrap_or_else(PoisonError::into_inner);
+        let mut ids: Vec<String> = corpora.keys().cloned().collect();
         ids.sort_unstable();
         ids
     }
 
     /// Shared handle to a registered graph.
     pub fn graph(&self, id: &str) -> GrainResult<Arc<Graph>> {
-        self.corpus(id).map(|c| Arc::clone(&c.graph))
+        self.corpus(id).map(|(graph, _)| graph)
     }
 
     /// Shared handle to a registered feature matrix.
     pub fn features(&self, id: &str) -> GrainResult<Arc<DenseMatrix>> {
-        self.corpus(id).map(|c| Arc::clone(&c.features))
+        self.corpus(id).map(|(_, features)| features)
     }
 
-    /// The pool (inspection: capacity, resident keys, stats).
+    /// The pool (inspection: topology, resident keys, stats).
     pub fn pool(&self) -> &EnginePool {
         &self.pool
     }
@@ -507,52 +935,87 @@ impl GrainService {
         self.pool.stats()
     }
 
-    /// Routes `(graph, config)` to its warm engine, building or rebuilding
-    /// it if needed, and aligns the engine's greedy-stage fields with
-    /// `config`.
+    /// Routes `(graph, config)` to its warm engine — building it under
+    /// the cold-build latch if needed — and aligns the engine's
+    /// greedy-stage fields with `config`.
     ///
     /// This is also the baseline path: selectors that are not Grain pull
     /// shared artifacts (e.g. the propagated `X^(k)` via
     /// [`SelectionEngine::propagated`]) from the same engine Grain
-    /// requests use, so every method reads one artifact store.
+    /// requests use, so every method reads one artifact store. Callers
+    /// hold the engine through [`EngineCheckout::lock`]; concurrent
+    /// same-key users should re-apply their config under their own lock
+    /// session before selecting (as [`GrainService::select`] does).
     pub fn engine(
-        &mut self,
+        &self,
         graph_id: &str,
         config: &GrainConfig,
-    ) -> GrainResult<(&mut SelectionEngine, PoolEvent)> {
+    ) -> GrainResult<(EngineCheckout<'_>, PoolEvent)> {
         config.validate()?;
-        let corpus = self.corpus(graph_id)?;
-        let (graph, features) = (Arc::clone(&corpus.graph), Arc::clone(&corpus.features));
+        let (graph, features) = self.corpus(graph_id)?;
+        let (checkout, event) = self.checkout_engine(graph_id, config, graph, features)?;
+        // Same fingerprint can still differ in greedy-stage fields; the
+        // precise invalidation in set_config keeps all artifacts.
+        checkout.lock().set_config(*config)?;
+        Ok((checkout, event))
+    }
+
+    /// Routes `(graph, config)` to its pooled engine without touching the
+    /// engine's lock — the shared body of [`GrainService::engine`] and
+    /// [`GrainService::select`], which each align the config under their
+    /// own lock session. `config` must already be validated and the
+    /// corpus handles already fetched, so the warm path pays for both
+    /// exactly once.
+    fn checkout_engine(
+        &self,
+        graph_id: &str,
+        config: &GrainConfig,
+        graph: Arc<Graph>,
+        features: Arc<DenseMatrix>,
+    ) -> GrainResult<(EngineCheckout<'_>, PoolEvent)> {
         let key = PoolKey {
             graph: graph_id.to_string(),
             fingerprint: config.artifact_fingerprint(),
         };
-        // X^(k) depends on the kernel alone, not the full fingerprint: a
-        // fresh engine adopts a resident sibling's propagation so e.g. a
-        // θ sweep through the service re-propagates nothing.
-        let seed = self.pool.cached_propagation(graph_id, config.kernel);
-        let (engine, event) = self.pool.get_or_insert_with(key, || {
+        let (engine, event) = self.pool.get_or_build(key.clone(), || {
             let mut engine = SelectionEngine::over(*config, graph, features)?;
-            if let Some(propagated) = seed {
+            // X^(k) depends on the kernel alone, not the full
+            // fingerprint: a fresh engine adopts a resident sibling's
+            // propagation so e.g. a θ sweep through the service
+            // re-propagates nothing. Probed only on an actual build —
+            // warm hits never scan the shards — and safe here because
+            // build closures run with no shard lock held.
+            if let Some(propagated) = self.pool.cached_propagation(graph_id, config.kernel) {
                 engine.seed_propagated(propagated);
             }
             Ok(engine)
         })?;
-        // Same fingerprint can still differ in greedy-stage fields; the
-        // precise invalidation in set_config keeps all artifacts.
-        engine.set_config(*config)?;
-        Ok((engine, event))
+        Ok((
+            EngineCheckout {
+                pool: &self.pool,
+                key,
+                engine,
+            },
+            event,
+        ))
     }
 
     /// Answers a selection request.
+    ///
+    /// Safe to call from any number of threads: requests for distinct
+    /// engine keys proceed independently (sharded pool), requests for the
+    /// same key serialize on that engine's mutex, and a cold key is built
+    /// exactly once however many requests race for it.
     ///
     /// Typed failures: [`GrainError::UnknownGraph`] for an unregistered
     /// id, [`GrainError::InvalidConfig`] from config validation,
     /// [`GrainError::CandidateOutOfRange`] instead of the engine's panic,
     /// and [`GrainError::InvalidBudget`] from [`Budget::resolve`].
-    pub fn select(&mut self, request: &SelectionRequest) -> GrainResult<SelectionReport> {
-        let corpus = self.corpus(&request.graph)?;
-        let num_nodes = corpus.graph.num_nodes();
+    pub fn select(&self, request: &SelectionRequest) -> GrainResult<SelectionReport> {
+        let config = request.effective_config();
+        config.validate()?;
+        let (graph, features) = self.corpus(&request.graph)?;
+        let num_nodes = graph.num_nodes();
         // Borrow the request's pool on the hot path — a warm request must
         // cost only greedy, not a per-request candidate copy.
         let candidates: Cow<'_, [u32]> = match &request.candidates {
@@ -570,17 +1033,20 @@ impl GrainService {
             None => Cow::Owned((0..num_nodes as u32).collect()),
         };
         let budgets = request.budget.resolve(candidates.len())?;
-        let mut config = request.config;
-        if let Some(variant) = request.variant {
-            config.variant = variant;
-        }
-        let (engine, pool_event) = self.engine(&request.graph, &config)?;
+        let (checkout, pool_event) =
+            self.checkout_engine(&request.graph, &config, graph, features)?;
+        // One lock session for config alignment plus every budget: a
+        // concurrent same-key request cannot interleave its own config.
+        let mut engine = checkout.lock();
+        engine.set_config(config)?;
         let before = engine.stats();
         let outcomes: Vec<SelectionOutcome> = budgets
             .iter()
             .map(|&b| engine.select(&candidates, b))
             .collect();
         let artifact_builds = engine.stats().delta_since(&before);
+        drop(engine);
+        drop(checkout);
         Ok(SelectionReport {
             graph: request.graph.clone(),
             seed: request.seed,
@@ -592,9 +1058,84 @@ impl GrainService {
         })
     }
 
-    fn corpus(&self, id: &str) -> GrainResult<&Corpus> {
-        self.corpora
+    /// Answers a batch of requests, exploiting the sharded pool: requests
+    /// are grouped by engine key `(graph, artifact fingerprint)`, groups
+    /// run across worker threads (each group's engine lives on its own
+    /// shard slot), and requests within a group — e.g. a budget sweep
+    /// over one fingerprint — run sequentially on the group's warm
+    /// engine in submission order.
+    ///
+    /// Reports come back in request order, each independently `Ok` or a
+    /// typed error, and are bit-identical to submitting the same requests
+    /// one by one ([`GrainService::select`]) in any order.
+    pub fn submit_batch(&self, requests: &[SelectionRequest]) -> Vec<GrainResult<SelectionReport>> {
+        self.submit_batch_with_workers(requests, 0)
+    }
+
+    /// [`GrainService::submit_batch`] with an explicit worker-thread cap
+    /// (`0` = auto). The effective worker count never exceeds the number
+    /// of distinct engine keys in the batch.
+    pub fn submit_batch_with_workers(
+        &self,
+        requests: &[SelectionRequest],
+        workers: usize,
+    ) -> Vec<GrainResult<SelectionReport>> {
+        // Group request indices by engine key, preserving submission
+        // order within each group (first-seen group order overall).
+        let mut group_of: HashMap<(String, String), usize> = HashMap::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            let key = (
+                request.graph.clone(),
+                request.effective_config().artifact_fingerprint(),
+            );
+            let group = *group_of.entry(key).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[group].push(i);
+        }
+        let workers = par::resolve_threads(workers).min(groups.len()).max(1);
+        if workers <= 1 {
+            return requests.iter().map(|r| self.select(r)).collect();
+        }
+        let mut slots: Vec<Option<GrainResult<SelectionReport>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let groups = &groups;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move |_| {
+                        let mut answered = Vec::new();
+                        let mut g = w;
+                        while g < groups.len() {
+                            for &i in &groups[g] {
+                                answered.push((i, self.select(&requests[i])));
+                            }
+                            g += workers;
+                        }
+                        answered
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, report) in handle.join().expect("batch worker panicked") {
+                    slots[i] = Some(report);
+                }
+            }
+        })
+        .expect("batch scope panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every request lands in exactly one group"))
+            .collect()
+    }
+
+    fn corpus(&self, id: &str) -> GrainResult<(Arc<Graph>, Arc<DenseMatrix>)> {
+        let corpora = self.corpora.read().unwrap_or_else(PoisonError::into_inner);
+        corpora
             .get(id)
+            .map(|c| (Arc::clone(&c.graph), Arc::clone(&c.features)))
             .ok_or_else(|| GrainError::UnknownGraph {
                 graph: id.to_string(),
             })
@@ -618,7 +1159,7 @@ mod tests {
     }
 
     fn service_with(graphs: &[(&str, u64)]) -> GrainService {
-        let mut service = GrainService::with_capacity(4);
+        let service = GrainService::with_capacity(4);
         for &(id, seed) in graphs {
             let (g, x) = corpus(120, seed);
             service.register_graph(id, g, x).unwrap();
@@ -627,11 +1168,18 @@ mod tests {
     }
 
     #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GrainService>();
+        assert_send_sync::<EnginePool>();
+    }
+
+    #[test]
     fn sibling_engines_share_propagation() {
         // A second artifact fingerprint for the same graph (radius change)
         // gets its own pooled engine, but adopts the sibling's X^(k)
         // instead of re-propagating.
-        let mut service = service_with(&[("g", 1)]);
+        let service = service_with(&[("g", 1)]);
         let base = GrainConfig::ball_d();
         let first = service
             .select(&SelectionRequest::new("g", base, Budget::Fixed(5)))
@@ -654,18 +1202,20 @@ mod tests {
 
     #[test]
     fn rekeyed_engines_are_rehomed_not_served_stale() {
-        // A caller can re-key a checked-out engine via set_config; the
-        // pool must re-index it under its actual fingerprint instead of
-        // serving its caches for the old key.
-        let mut service = service_with(&[("g", 1)]);
+        // A caller can re-key a checked-out engine via set_config; when
+        // the checkout drops, the pool must re-index it under its actual
+        // fingerprint instead of serving its caches for the old key.
+        let service = service_with(&[("g", 1)]);
         let base = GrainConfig::ball_d();
-        let (engine, _) = service.engine("g", &base).unwrap();
         let deep = GrainConfig {
             kernel: grain_prop::Kernel::RandomWalk { k: 3 },
             ..base
         };
-        engine.set_config(deep).unwrap();
-        // The re-keyed engine now answers for `deep`...
+        {
+            let (checkout, _) = service.engine("g", &base).unwrap();
+            checkout.lock().set_config(deep).unwrap();
+        } // drop re-homes
+          // The re-keyed engine now answers for `deep`...
         let (_, event) = service.engine("g", &deep).unwrap();
         assert_eq!(event, PoolEvent::Hit);
         // ...and a request for `base` builds fresh instead of hitting the
@@ -706,7 +1256,7 @@ mod tests {
 
     #[test]
     fn unknown_graph_and_bad_candidates_are_typed() {
-        let mut service = service_with(&[("a", 1)]);
+        let service = service_with(&[("a", 1)]);
         let missing = SelectionRequest::new("nope", GrainConfig::ball_d(), Budget::Fixed(3));
         assert_eq!(
             service.select(&missing).unwrap_err(),
@@ -727,7 +1277,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_is_rejected() {
-        let mut service = service_with(&[("a", 1)]);
+        let service = service_with(&[("a", 1)]);
         let (g, x) = corpus(50, 9);
         assert_eq!(
             service.register_graph("a", g, x),
@@ -744,7 +1294,7 @@ mod tests {
 
     #[test]
     fn repeat_requests_hit_the_pool_and_match() {
-        let mut service = service_with(&[("a", 1)]);
+        let service = service_with(&[("a", 1)]);
         let request = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(8));
         let cold = service.select(&request).unwrap();
         assert_eq!(cold.pool_event, PoolEvent::ColdMiss);
@@ -759,11 +1309,12 @@ mod tests {
 
     #[test]
     fn greedy_only_config_changes_share_one_engine() {
-        let mut service = service_with(&[("a", 2)]);
+        let service = service_with(&[("a", 2)]);
         let base = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(6));
         let _ = service.select(&base).unwrap();
         let mut gamma = GrainConfig::ball_d();
         gamma.gamma = 0.25;
+        gamma.parallelism = 2; // execution knob, not an artifact field
         let tweaked = SelectionRequest::new("a", gamma, Budget::Fixed(6))
             .with_variant(GrainVariant::NoDiversity);
         let report = service.select(&tweaked).unwrap();
@@ -773,7 +1324,7 @@ mod tests {
 
     #[test]
     fn variant_override_applies() {
-        let mut service = service_with(&[("a", 3)]);
+        let service = service_with(&[("a", 3)]);
         let full = SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Fixed(6));
         let ablated = full.clone().with_variant(GrainVariant::NoDiversity);
         let a = service.select(&full).unwrap();
@@ -784,7 +1335,7 @@ mod tests {
 
     #[test]
     fn sweep_reports_one_outcome_per_budget() {
-        let mut service = service_with(&[("a", 4)]);
+        let service = service_with(&[("a", 4)]);
         let request =
             SelectionRequest::new("a", GrainConfig::ball_d(), Budget::Sweep(vec![3, 6, 9]));
         let report = service.select(&request).unwrap();
@@ -800,7 +1351,7 @@ mod tests {
 
     #[test]
     fn cross_graph_requests_use_distinct_engines() {
-        let mut service = service_with(&[("a", 5), ("b", 6)]);
+        let service = service_with(&[("a", 5), ("b", 6)]);
         let cfg = GrainConfig::ball_d();
         let ra = service
             .select(&SelectionRequest::new("a", cfg, Budget::Fixed(5)))
@@ -812,13 +1363,14 @@ mod tests {
         assert_eq!(rb.pool_event, PoolEvent::ColdMiss);
         assert_eq!(service.pool().len(), 2);
         let keys = service.pool().keys();
-        assert_eq!(keys[0].0, "b", "MRU first");
+        // Single-shard pool: MRU first.
+        assert_eq!(keys[0].0, "b");
         assert_eq!(keys[1].0, "a");
     }
 
     #[test]
     fn lru_evicts_and_counts_rebuilds() {
-        let mut service = GrainService::with_capacity(1);
+        let service = GrainService::with_capacity(1);
         for (id, seed) in [("a", 7), ("b", 8)] {
             let (g, x) = corpus(80, seed);
             service.register_graph(id, g, x).unwrap();
@@ -842,8 +1394,74 @@ mod tests {
     }
 
     #[test]
+    fn sharded_pool_isolates_capacity_per_shard() {
+        // 4 shards × 1 engine: four distinct fingerprints spread over the
+        // shards; as long as two land on different shards, both stay
+        // resident — which a global capacity of 1 would forbid.
+        let service = GrainService::with_topology(4, 1);
+        let (g, x) = corpus(100, 11);
+        service.register_graph("a", g, x).unwrap();
+        assert_eq!(service.pool().num_shards(), 4);
+        assert_eq!(service.pool().capacity(), 4);
+        let base = GrainConfig::ball_d();
+        let configs: Vec<GrainConfig> = (0..4)
+            .map(|i| GrainConfig {
+                radius: base.radius + i as f32 * 0.01,
+                ..base
+            })
+            .collect();
+        for cfg in &configs {
+            let _ = service
+                .select(&SelectionRequest::new("a", *cfg, Budget::Fixed(4)))
+                .unwrap();
+        }
+        assert!(
+            service.pool().len() >= 2,
+            "4 keys over 4 single-slot shards must keep at least 2 resident"
+        );
+        let stats = service.pool_stats();
+        assert_eq!(stats.cold_misses, 4);
+    }
+
+    #[test]
+    fn submit_batch_answers_in_request_order_and_matches_serial() {
+        let service = service_with(&[("a", 12), ("b", 13)]);
+        let base = GrainConfig::ball_d();
+        let deep = GrainConfig {
+            theta: grain_influence::ThetaRule::RelativeToRowMax(0.5),
+            ..base
+        };
+        let requests = vec![
+            SelectionRequest::new("a", base, Budget::Fixed(5)),
+            SelectionRequest::new("b", base, Budget::Sweep(vec![3, 6])),
+            SelectionRequest::new("a", deep, Budget::Fixed(5)),
+            SelectionRequest::new("a", base, Budget::Fixed(7)), // same key as #0
+            SelectionRequest::new("nope", base, Budget::Fixed(2)), // typed error
+        ];
+        let serial: Vec<GrainResult<SelectionReport>> = {
+            let oracle = service_with(&[("a", 12), ("b", 13)]);
+            requests.iter().map(|r| oracle.select(r)).collect()
+        };
+        let batched = service.submit_batch(&requests);
+        assert_eq!(batched.len(), requests.len());
+        for (i, (batch, serial)) in batched.iter().zip(&serial).enumerate() {
+            match (batch, serial) {
+                (Ok(b), Ok(s)) => {
+                    assert_eq!(b.budgets, s.budgets, "request {i}");
+                    for (bo, so) in b.outcomes.iter().zip(&s.outcomes) {
+                        assert_eq!(bo.selected, so.selected, "request {i}");
+                        assert_eq!(bo.objective_trace, so.objective_trace, "request {i}");
+                    }
+                }
+                (Err(b), Err(s)) => assert_eq!(b, s, "request {i}"),
+                other => panic!("request {i}: batch/serial disagree: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn outcome_accessor_guards_sweeps() {
-        let mut service = service_with(&[("a", 10)]);
+        let service = service_with(&[("a", 10)]);
         let report = service
             .select(&SelectionRequest::new(
                 "a",

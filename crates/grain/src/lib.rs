@@ -14,10 +14,14 @@
 //!
 //! The front door is [`GrainService`](core::service::GrainService):
 //! register each graph once, then answer typed
-//! [`SelectionRequest`](core::service::SelectionRequest)s from a pool of
-//! warm engines. Repeated and related requests (budget sweeps, ablations,
-//! γ scans) share cached pipeline artifacts and come back bit-identical
-//! to cold runs.
+//! [`SelectionRequest`](core::service::SelectionRequest)s from a sharded
+//! pool of warm engines. The service is `&self` and `Send + Sync` — put
+//! it behind an `Arc` and call it from any number of threads, or hand a
+//! whole workload to
+//! [`submit_batch`](core::service::GrainService::submit_batch). Repeated
+//! and related requests (budget sweeps, ablations, γ scans) share cached
+//! pipeline artifacts and come back bit-identical to cold runs at any
+//! thread count.
 //!
 //! ```
 //! use grain::prelude::*;
@@ -26,7 +30,7 @@
 //! let dataset = grain::data::synthetic::papers_like(500, 42);
 //!
 //! // Register the corpus once; engines share it from then on.
-//! let mut service = GrainService::new();
+//! let service = GrainService::new();
 //! service.register_graph(
 //!     "papers",
 //!     dataset.graph.clone(),
@@ -66,16 +70,21 @@
 //! ## Migrating from `GrainSelector::select`
 //!
 //! The pre-service one-shot API, `GrainSelector::select(&graph,
-//! &features, &candidates, budget)`, is deprecated and will be removed in
-//! the next release. It still compiles (one release of grace) and stays
-//! bit-identical, but rebuilds every pipeline artifact per call and
-//! reports failures by panicking. Replace it with either
+//! &features, &candidates, budget)` (and its `activation_index`
+//! sibling), spent its one deprecation release as a bit-identical shim
+//! and is now **removed**. Replace it with either
 //!
 //! * a [`SelectionRequest`](core::service::SelectionRequest) to a
 //!   [`GrainService`](core::service::GrainService) (pooling, typed
-//!   [`GrainError`](core::error::GrainError)s, cache observability), or
+//!   [`GrainError`](core::error::GrainError)s, cache observability,
+//!   concurrency), or
 //! * a [`SelectionEngine`](core::engine::SelectionEngine) held directly
-//!   when you manage exactly one corpus/config yourself.
+//!   when you manage exactly one corpus/config yourself
+//!   ([`SelectionEngine::activation_index`](core::engine::SelectionEngine::activation_index)
+//!   covers the removed index shim).
+//!
+//! [`GrainSelector`](core::selector::GrainSelector) itself remains as a
+//! validated-config facade over the engine constructor.
 //!
 //! ## Crate map
 //!
@@ -102,9 +111,9 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        Budget, DiversityKind, EngineStats, GrainConfig, GrainError, GrainResult, GrainSelector,
-        GrainService, GrainVariant, GreedyAlgorithm, PoolEvent, PoolStats, PruneStrategy,
-        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest,
+        Budget, DiversityKind, EngineCheckout, EngineStats, GrainConfig, GrainError, GrainResult,
+        GrainSelector, GrainService, GrainVariant, GreedyAlgorithm, PoolEvent, PoolStats,
+        PruneStrategy, SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

@@ -5,7 +5,8 @@
 //! papers100M-style scaling experiments. Rows keep their column indices
 //! sorted, which the triangle-counting intersection relies on.
 
-use grain_linalg::{par, DenseMatrix};
+use grain_linalg::par::{self, SendPtr};
+use grain_linalg::DenseMatrix;
 use serde::{Deserialize, Serialize};
 
 /// Sparse row-major matrix.
@@ -264,6 +265,17 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn spmm(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        self.spmm_par(rhs, 0)
+    }
+
+    /// [`CsrMatrix::spmm`] over `threads` workers (`0` = auto). Each
+    /// output row is accumulated by exactly one worker in the same
+    /// left-to-right entry order, so the product is bit-identical at any
+    /// thread count.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn spmm_par(&self, rhs: &DenseMatrix, threads: usize) -> DenseMatrix {
         assert_eq!(
             self.cols,
             rhs.rows(),
@@ -276,7 +288,7 @@ impl CsrMatrix {
         let n = rhs.cols();
         let mut out = DenseMatrix::zeros(self.rows, n);
         let ptr = SendPtr(out.as_mut_slice().as_mut_ptr());
-        par::for_each_chunk(self.rows, 64, |start, end| {
+        par::for_each_chunk_with(threads, self.rows, 64, |start, end| {
             // Rebind so the closure captures the SendPtr wrapper, not its
             // raw-pointer field (edition-2021 disjoint capture).
             #[allow(clippy::redundant_locals)]
@@ -332,17 +344,6 @@ impl CsrMatrix {
             .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
-
-/// Raw pointer wrapper for disjoint parallel row writes.
-struct SendPtr<T>(*mut T);
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
 
 #[cfg(test)]
 mod tests {
@@ -404,6 +405,23 @@ mod tests {
         assert_eq!(y.row(0), &[13., 16.]);
         assert_eq!(y.row(1), &[3., 6.]);
         assert_eq!(y.row(2), &[12., 16.]);
+    }
+
+    #[test]
+    fn spmm_is_thread_count_invariant() {
+        let triplets: Vec<(u32, u32, f32)> = (0..600u32)
+            .map(|i| (i % 120, (i * 7) % 120, ((i % 13) as f32) * 0.3 - 1.0))
+            .collect();
+        let m = CsrMatrix::from_triplets(120, 120, &triplets, false);
+        let x = DenseMatrix::from_vec(
+            120,
+            5,
+            (0..600).map(|i| ((i * 31 % 17) as f32) * 0.1).collect(),
+        );
+        let serial = m.spmm_par(&x, 1);
+        for threads in [2usize, 3, 8] {
+            assert_eq!(m.spmm_par(&x, threads), serial, "{threads} threads");
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! selection can maintain incrementally.
 
 use crate::walk::InfluenceRows;
+use grain_linalg::par;
 use serde::{Deserialize, Serialize};
 
 /// How the activation threshold `θ` of Definition 3.2 is interpreted.
@@ -54,10 +55,18 @@ impl ThetaRule {
 }
 
 /// Inverted activation lists for a fixed threshold `θ`.
+///
+/// Stored in flat CSR form — one offsets array plus one concatenated
+/// items array — instead of a `Vec` per seed: greedy coverage updates
+/// stream over `act[u]` slices, and the flat layout keeps them contiguous
+/// in memory while letting the parallel builder write disjoint ranges.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ActivationIndex {
-    /// `act[u]` = nodes activated by seed `u`, sorted ascending.
-    act: Vec<Vec<u32>>,
+    /// `items[offsets[u]..offsets[u+1]]` = nodes activated by seed `u`,
+    /// sorted ascending.
+    offsets: Vec<usize>,
+    /// Concatenated activation lists.
+    items: Vec<u32>,
     theta: f32,
     k: usize,
 }
@@ -71,34 +80,83 @@ impl ActivationIndex {
 
     /// Builds the index under the given [`ThetaRule`].
     pub fn build_with_rule(rows: &InfluenceRows, rule: ThetaRule) -> Self {
+        Self::build_with_rule_par(rows, rule, 1)
+    }
+
+    /// [`ActivationIndex::build_with_rule`] inverting the influence rows
+    /// over `threads` workers (`0` = auto).
+    ///
+    /// Determinism: workers extract the qualifying `(seed, node)` pairs
+    /// of contiguous `v`-ranges in parallel (the threshold scan is the
+    /// bulk of the work), then one sequential counting-sort pass places
+    /// every pair. Within a range `v` ascends and ranges are placed in
+    /// ascending order, so every `act[u]` list comes out sorted by `v`
+    /// and bit-identical at any thread count. Auxiliary memory is
+    /// proportional to the *output* (one pair per activation) plus one
+    /// cursor array — not to `workers × n`.
+    pub fn build_with_rule_par(rows: &InfluenceRows, rule: ThetaRule, threads: usize) -> Self {
         let n = rows.num_nodes();
         let (theta, relative) = match rule {
             ThetaRule::FixedAbsolute(t) => (t, false),
             ThetaRule::RelativeToRowMax(t) => (t, true),
             ThetaRule::GlobalQuantile(q) => (Self::quantile_threshold(rows, q), false),
         };
-        let mut act: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for v in 0..n {
-            let row = rows.row(v);
-            let cutoff = if relative {
-                let row_max = row.iter().map(|&(_, w)| w).fold(0.0f32, f32::max);
+        let cutoff_of = |v: usize| -> f32 {
+            if relative {
+                let row_max = rows.row(v).iter().map(|&(_, w)| w).fold(0.0f32, f32::max);
                 theta * row_max
             } else {
                 theta
-            };
-            for &(u, w) in row {
-                if w > cutoff {
-                    act[u as usize].push(v as u32);
+            }
+        };
+
+        let workers = par::resolve_threads(threads).max(1).min(n.max(1));
+        let chunk = n.div_ceil(workers.max(1)).max(1);
+        let ranges: Vec<(usize, usize)> = (0..workers)
+            .map(|t| (t * chunk, ((t + 1) * chunk).min(n)))
+            .filter(|&(s, e)| s < e)
+            .collect();
+
+        // Parallel pass: each range extracts its qualifying
+        // (seed, activated node) pairs, v-ascending.
+        let pairs: Vec<Vec<(u32, u32)>> = par::par_map_with(workers, ranges.len(), 1, |r| {
+            let (start, end) = ranges[r];
+            let mut local = Vec::new();
+            for v in start..end {
+                let cutoff = cutoff_of(v);
+                for &(u, w) in rows.row(v) {
+                    if w > cutoff {
+                        local.push((u, v as u32));
+                    }
                 }
             }
+            local
+        });
+
+        // Sequential counting sort over the pairs, O(activations + n):
+        // count per seed, prefix into offsets, then place each range's
+        // pairs in range order so per-seed lists stay v-ascending.
+        let mut offsets = vec![0usize; n + 1];
+        for list in &pairs {
+            for &(u, _) in list {
+                offsets[u as usize + 1] += 1;
+            }
         }
-        // Row order of the outer loop already yields sorted lists, but make
-        // the invariant explicit and robust to future construction changes.
-        for lst in &mut act {
-            lst.sort_unstable();
+        for u in 0..n {
+            offsets[u + 1] += offsets[u];
         }
+        let mut cursors = offsets[..n].to_vec();
+        let mut items = vec![0u32; offsets[n]];
+        for list in &pairs {
+            for &(u, v) in list {
+                items[cursors[u as usize]] = v;
+                cursors[u as usize] += 1;
+            }
+        }
+
         Self {
-            act,
+            offsets,
+            items,
             theta,
             k: rows.k(),
         }
@@ -119,7 +177,7 @@ impl ActivationIndex {
 
     /// Number of nodes in the universe.
     pub fn num_nodes(&self) -> usize {
-        self.act.len()
+        self.offsets.len() - 1
     }
 
     /// The activation threshold `θ` this index was built with.
@@ -134,14 +192,14 @@ impl ActivationIndex {
 
     /// Nodes activated by a single seed `u` (sorted).
     pub fn activated_by(&self, u: usize) -> &[u32] {
-        &self.act[u]
+        &self.items[self.offsets[u]..self.offsets[u + 1]]
     }
 
     /// `σ(S)` — the activated set of a seed set, sorted, deduplicated.
     pub fn sigma(&self, seeds: &[u32]) -> Vec<u32> {
         let mut out: Vec<u32> = seeds
             .iter()
-            .flat_map(|&u| self.act[u as usize].iter().copied())
+            .flat_map(|&u| self.activated_by(u as usize).iter().copied())
             .collect();
         out.sort_unstable();
         out.dedup();
@@ -157,17 +215,15 @@ impl ActivationIndex {
     /// activated by at least one potential seed.
     pub fn max_coverage_bound(&self) -> usize {
         let mut seen = vec![false; self.num_nodes()];
-        for lst in &self.act {
-            for &v in lst {
-                seen[v as usize] = true;
-            }
+        for &v in &self.items {
+            seen[v as usize] = true;
         }
         seen.into_iter().filter(|&b| b).count()
     }
 
     /// Total size of all activation lists (memory/effort proxy).
     pub fn total_entries(&self) -> usize {
-        self.act.iter().map(Vec::len).sum()
+        self.items.len()
     }
 }
 
@@ -271,6 +327,30 @@ mod tests {
         assert!(ThetaRule::RelativeToRowMax(-0.1).validate().is_err());
         assert!(ThetaRule::GlobalQuantile(1.0).validate().is_err());
         assert!(ThetaRule::GlobalQuantile(0.9).validate().is_ok());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_for_every_rule() {
+        let g = generators::barabasi_albert(200, 3, 21);
+        let r = rows(&g, 2);
+        for rule in [
+            ThetaRule::FixedAbsolute(0.05),
+            ThetaRule::RelativeToRowMax(0.25),
+            ThetaRule::GlobalQuantile(0.5),
+        ] {
+            let serial = ActivationIndex::build_with_rule_par(&r, rule, 1);
+            for threads in [2usize, 3, 8] {
+                let par = ActivationIndex::build_with_rule_par(&r, rule, threads);
+                assert_eq!(par.theta(), serial.theta(), "{rule:?}");
+                for u in 0..200 {
+                    assert_eq!(
+                        par.activated_by(u),
+                        serial.activated_by(u),
+                        "{rule:?} seed {u} at {threads} threads"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! transitions this only compensates pruning loss.
 
 use grain_graph::CsrMatrix;
-use grain_linalg::par;
+use grain_linalg::par::{self, SendPtr};
 use grain_prop::Kernel;
 
 /// Per-power weights `c_l` such that the kernel's Jacobian w.r.t. the input
@@ -71,19 +71,35 @@ impl InfluenceRows {
         Self::compute_weighted(t, &kernel_power_weights(kernel), eps)
     }
 
+    /// [`InfluenceRows::for_kernel`] over `threads` workers (`0` = auto).
+    pub fn for_kernel_par(t: &CsrMatrix, kernel: Kernel, eps: f32, threads: usize) -> Self {
+        Self::compute_weighted_par(t, &kernel_power_weights(kernel), eps, threads)
+    }
+
     /// Computes normalized rows of `Σ_l weights[l] · T^l`, pruning frontier
     /// entries `< eps` between steps.
     ///
     /// # Panics
     /// Panics if `t` is not square or `weights` is empty.
     pub fn compute_weighted(t: &CsrMatrix, weights: &[f32], eps: f32) -> Self {
+        Self::compute_weighted_par(t, weights, eps, 0)
+    }
+
+    /// [`InfluenceRows::compute_weighted`] over `threads` workers
+    /// (`0` = auto). Every row `v` is scatter-gathered start to finish by
+    /// exactly one worker with thread-local scratch, so the rows are
+    /// bit-identical at any thread count.
+    ///
+    /// # Panics
+    /// Panics if `t` is not square or `weights` is empty.
+    pub fn compute_weighted_par(t: &CsrMatrix, weights: &[f32], eps: f32, threads: usize) -> Self {
         assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
         assert!(!weights.is_empty(), "need at least the T^0 weight");
         let k = weights.len() - 1;
         let n = t.rows();
         let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
         let out = SendPtr(rows.as_mut_ptr());
-        let threads = par::num_threads().max(1);
+        let threads = par::resolve_threads(threads).max(1);
         let chunk = n.div_ceil(threads).max(1);
         crossbeam::thread::scope(|scope| {
             for tix in 0..threads {
@@ -221,17 +237,6 @@ impl InfluenceRows {
     }
 }
 
-/// Raw pointer wrapper for disjoint parallel row writes.
-struct SendPtr<T>(*mut T);
-impl<T> Clone for SendPtr<T> {
-    fn clone(&self) -> Self {
-        *self
-    }
-}
-impl<T> Copy for SendPtr<T> {}
-unsafe impl<T> Send for SendPtr<T> {}
-unsafe impl<T> Sync for SendPtr<T> {}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +366,20 @@ mod tests {
         let b = InfluenceRows::compute(&t, 2, 1e-4);
         for v in 0..60 {
             assert_eq!(a.row(v), b.row(v));
+        }
+    }
+
+    #[test]
+    fn explicit_thread_counts_are_bit_identical() {
+        let g = generators::barabasi_albert(250, 3, 17);
+        let t = rw(&g);
+        let serial = InfluenceRows::for_kernel_par(&t, Kernel::Ppr { k: 2, alpha: 0.15 }, 1e-4, 1);
+        for threads in [2usize, 8] {
+            let par =
+                InfluenceRows::for_kernel_par(&t, Kernel::Ppr { k: 2, alpha: 0.15 }, 1e-4, threads);
+            for v in 0..250 {
+                assert_eq!(par.row(v), serial.row(v), "row {v} at {threads} threads");
+            }
         }
     }
 }

@@ -45,8 +45,15 @@ pub fn grain_distance(a: &[f32], b: &[f32]) -> f32 {
 /// Returns a copy of `m` with L2-normalized rows, the input representation
 /// for all diversity computations.
 pub fn normalized_embedding(m: &DenseMatrix) -> DenseMatrix {
+    normalized_embedding_par(m, 1)
+}
+
+/// [`normalized_embedding`] over `threads` workers (`0` = auto); rows
+/// normalize independently, so results are bit-identical at any thread
+/// count.
+pub fn normalized_embedding_par(m: &DenseMatrix, threads: usize) -> DenseMatrix {
     let mut out = m.clone();
-    ops::l2_normalize_rows(&mut out);
+    ops::l2_normalize_rows_par(&mut out, threads);
     out
 }
 
@@ -57,10 +64,17 @@ pub fn normalized_embedding(m: &DenseMatrix) -> DenseMatrix {
 /// squared-threshold comparison so no square roots are taken in the inner
 /// loop.
 pub fn radius_neighbors(normed: &DenseMatrix, r: f32) -> Vec<Vec<u32>> {
+    radius_neighbors_par(normed, r, 0)
+}
+
+/// [`radius_neighbors`] over `threads` workers (`0` = auto). Each row's
+/// neighbor list is computed independently by one worker, so the result
+/// is bit-identical at any thread count.
+pub fn radius_neighbors_par(normed: &DenseMatrix, r: f32, threads: usize) -> Vec<Vec<u32>> {
     let n = normed.rows();
     // grain_distance <= r  <=>  sq_euclidean <= (2r)^2
     let thresh = (2.0 * r) * (2.0 * r);
-    par::par_map(n, 8, |u| {
+    par::par_map_with(threads, n, 8, |u| {
         let row_u = normed.row(u);
         let mut out = Vec::new();
         for v in 0..n {
@@ -100,35 +114,52 @@ pub fn min_distance_to_set(points: &DenseMatrix, centers: &DenseMatrix) -> Vec<f
 /// which is an upper-bound-preserving choice because `d_max <= 1` under the
 /// normalized metric anyway.
 pub fn max_pairwise_distance(normed: &DenseMatrix, exact_limit: usize) -> f32 {
+    max_pairwise_distance_par(normed, exact_limit, 0)
+}
+
+/// [`max_pairwise_distance`] over `threads` workers (`0` = auto).
+///
+/// Each worker reduces a disjoint range of source rows to a local
+/// maximum; `f32::max` over exact squared distances is an
+/// order-independent reduction (no rounding is introduced by
+/// reassociation), so the result is bit-identical at any thread count.
+pub fn max_pairwise_distance_par(normed: &DenseMatrix, exact_limit: usize, threads: usize) -> f32 {
     let n = normed.rows();
     if n <= 1 {
         return 0.0;
     }
-    let mut best = 0.0f32;
-    if n <= exact_limit {
-        for u in 0..n {
+    let best_sq = if n <= exact_limit {
+        let partial = par::par_map_with(threads, n, 16, |u| {
+            let row = normed.row(u);
+            let mut best = 0.0f32;
             for v in (u + 1)..n {
-                let d = sq_euclidean(normed.row(u), normed.row(v));
+                let d = sq_euclidean(row, normed.row(v));
                 if d > best {
                     best = d;
                 }
             }
-        }
+            best
+        });
+        partial.into_iter().fold(0.0f32, f32::max)
     } else {
         // Deterministic stride sample of anchors; each anchor scans all rows.
         let anchors = exact_limit.max(16).min(n);
         let stride = (n / anchors).max(1);
-        for a in (0..n).step_by(stride) {
-            let row = normed.row(a);
+        let anchor_rows: Vec<usize> = (0..n).step_by(stride).collect();
+        let partial = par::par_map_with(threads, anchor_rows.len(), 1, |i| {
+            let row = normed.row(anchor_rows[i]);
+            let mut best = 0.0f32;
             for v in 0..n {
                 let d = sq_euclidean(row, normed.row(v));
                 if d > best {
                     best = d;
                 }
             }
-        }
-    }
-    best.sqrt() * 0.5
+            best
+        });
+        partial.into_iter().fold(0.0f32, f32::max)
+    };
+    best_sq.sqrt() * 0.5
 }
 
 /// Index of the nearest row of `centers` for every row of `points`
@@ -209,6 +240,35 @@ mod tests {
         let sampled = max_pairwise_distance(&m, 64);
         assert!(sampled <= exact + 1e-6);
         assert!(sampled > 0.0);
+    }
+
+    #[test]
+    fn parallel_distance_kernels_are_thread_count_invariant() {
+        let n = 300;
+        let data: Vec<f32> = (0..n * 3).map(|i| ((i * 29 % 19) as f32) - 9.0).collect();
+        let m = DenseMatrix::from_vec(n, 3, data);
+        let normed = normalized_embedding(&m);
+        let balls = radius_neighbors(&normed, 0.2);
+        let dmax_exact = max_pairwise_distance(&normed, usize::MAX);
+        let dmax_sampled = max_pairwise_distance(&normed, 64);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(normalized_embedding_par(&m, threads), normed, "{threads}");
+            assert_eq!(
+                radius_neighbors_par(&normed, 0.2, threads),
+                balls,
+                "{threads}"
+            );
+            assert_eq!(
+                max_pairwise_distance_par(&normed, usize::MAX, threads).to_bits(),
+                dmax_exact.to_bits(),
+                "{threads}"
+            );
+            assert_eq!(
+                max_pairwise_distance_par(&normed, 64, threads).to_bits(),
+                dmax_sampled.to_bits(),
+                "{threads}"
+            );
+        }
     }
 
     #[test]

@@ -174,19 +174,34 @@ pub fn hadamard(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
 
 /// L2-normalizes every row in place; zero rows are left untouched.
 pub fn l2_normalize_rows(m: &mut DenseMatrix) {
+    l2_normalize_rows_par(m, 1);
+}
+
+/// [`l2_normalize_rows`] over `threads` workers (`0` = auto); rows are
+/// normalized independently, so the result is bit-identical at any
+/// thread count.
+pub fn l2_normalize_rows_par(m: &mut DenseMatrix, threads: usize) {
     let cols = m.cols();
     if cols == 0 {
         return;
     }
-    for i in 0..m.rows() {
-        let row = m.row_mut(i);
-        let norm = dot(row, row).sqrt();
-        if norm > 0.0 {
-            for v in row {
-                *v /= norm;
+    let rows = m.rows();
+    let ptr = crate::par::SendPtr(m.as_mut_slice().as_mut_ptr());
+    crate::par::for_each_chunk_with(threads, rows, 128, |start, end| {
+        #[allow(clippy::redundant_locals)]
+        let ptr = ptr;
+        for i in start..end {
+            // SAFETY: each chunk normalizes a disjoint row range of `m`,
+            // which outlives the scoped threads.
+            let row = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(i * cols), cols) };
+            let norm = dot(row, row).sqrt();
+            if norm > 0.0 {
+                for v in row {
+                    *v /= norm;
+                }
             }
         }
-    }
+    });
 }
 
 /// L1-normalizes every row in place; zero rows are left untouched.
@@ -283,6 +298,18 @@ mod tests {
         l2_normalize_rows(&mut m);
         assert!((dot(m.row(0), m.row(0)) - 1.0).abs() < 1e-6);
         assert_eq!(m.row(1), &[0., 0.]); // zero row untouched
+    }
+
+    #[test]
+    fn l2_normalize_rows_is_thread_count_invariant() {
+        let data: Vec<f32> = (0..600).map(|i| ((i * 37 % 23) as f32) - 11.0).collect();
+        let mut serial = DenseMatrix::from_vec(200, 3, data.clone());
+        l2_normalize_rows(&mut serial);
+        for threads in [2usize, 7] {
+            let mut par = DenseMatrix::from_vec(200, 3, data.clone());
+            l2_normalize_rows_par(&mut par, threads);
+            assert_eq!(par, serial, "{threads} threads");
+        }
     }
 
     #[test]

@@ -24,6 +24,21 @@ pub fn num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves a caller-requested worker count: `0` means "auto" (the
+/// [`num_threads`] default), any other value is taken verbatim. This is
+/// the contract of every `*_with` helper below and of the `threads`
+/// parameter on the parallel kernels built on them (`spmm_par`,
+/// `propagate_par`, influence rows, ...): callers thread a configuration
+/// knob straight through and `0` keeps the environment-driven default.
+#[must_use]
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        num_threads()
+    } else {
+        requested
+    }
+}
+
 /// Runs `f(start, end)` over disjoint chunks of `0..len` on scoped threads.
 ///
 /// `f` must be safe to run concurrently on disjoint ranges. Falls back to a
@@ -33,7 +48,22 @@ pub fn for_each_chunk<F>(len: usize, min_chunk: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    let threads = num_threads().min(len / min_chunk.max(1)).max(1);
+    for_each_chunk_with(0, len, min_chunk, f);
+}
+
+/// [`for_each_chunk`] with an explicit worker count (`0` = auto).
+///
+/// Chunk *boundaries* depend on the worker count, but every index is
+/// processed by exactly one worker with the same per-index code, so any
+/// kernel whose per-index computation is self-contained is bit-identical
+/// at every thread count.
+pub fn for_each_chunk_with<F>(requested_threads: usize, len: usize, min_chunk: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = resolve_threads(requested_threads)
+        .min(len / min_chunk.max(1))
+        .max(1);
     if threads <= 1 || len == 0 {
         f(0, len);
         return;
@@ -94,10 +124,20 @@ where
     T: Send + Default + Clone,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_with(0, len, min_chunk, f)
+}
+
+/// [`par_map`] with an explicit worker count (`0` = auto). The output is
+/// bit-identical at every thread count: element `i` is always `f(i)`.
+pub fn par_map_with<T, F>(requested_threads: usize, len: usize, min_chunk: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
     let mut out = vec![T::default(); len];
     {
         let out_ptr = SendPtr(out.as_mut_ptr());
-        for_each_chunk(len, min_chunk, |start, end| {
+        for_each_chunk_with(requested_threads, len, min_chunk, |start, end| {
             // SAFETY: each chunk writes a disjoint index range of `out`,
             // and `out` outlives the scoped threads.
             let ptr = out_ptr;
@@ -110,7 +150,13 @@ where
 }
 
 /// Raw pointer wrapper asserting cross-thread safety for disjoint writes.
-struct SendPtr<T>(*mut T);
+///
+/// Shared by the parallel kernels across the workspace (SpMM, influence
+/// rows, row normalization): each worker writes a disjoint index range of
+/// the pointee, and the pointee outlives the scoped threads. Closures
+/// must rebind the wrapper (`let ptr = ptr;`) so edition-2021 disjoint
+/// capture moves the `SendPtr` itself rather than its raw-pointer field.
+pub struct SendPtr<T>(pub *mut T);
 impl<T> Clone for SendPtr<T> {
     fn clone(&self) -> Self {
         *self
@@ -164,5 +210,20 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_passes_explicit_and_defaults_zero() {
+        assert_eq!(resolve_threads(3), 3);
+        assert_eq!(resolve_threads(0), num_threads());
+    }
+
+    #[test]
+    fn explicit_thread_counts_agree() {
+        let want: Vec<u64> = (0..777).map(|i| (i * 3 + 1) as u64).collect();
+        for threads in [1usize, 2, 5, 16] {
+            let got = par_map_with(threads, 777, 4, |i| (i * 3 + 1) as u64);
+            assert_eq!(got, want, "{threads} threads");
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! without borrowing and hand out shared `X^(k)` views without copying.
 
 use crate::kernel::Kernel;
-use crate::propagate::{propagate, propagate_with};
+use crate::propagate::{propagate, propagate_with_par};
 use grain_graph::{CsrMatrix, Graph};
 use grain_linalg::DenseMatrix;
 use std::collections::HashMap;
@@ -67,9 +67,27 @@ impl PropagationCache {
     /// # Panics
     /// Panics if `transition` does not match the cached graph's node count.
     pub fn get_with(&mut self, kernel: Kernel, transition: &CsrMatrix) -> Arc<DenseMatrix> {
+        self.get_with_par(kernel, transition, 0)
+    }
+
+    /// [`PropagationCache::get_with`] propagating over `threads` workers
+    /// on a miss (`0` = auto). Because propagation is bit-identical at
+    /// any thread count (see [`propagate_with_par`]), the cached artifact
+    /// does not depend on the thread count it was built with — which is
+    /// why a serving parallelism knob can be excluded from engine cache
+    /// keys.
+    ///
+    /// # Panics
+    /// Panics if `transition` does not match the cached graph's node count.
+    pub fn get_with_par(
+        &mut self,
+        kernel: Kernel,
+        transition: &CsrMatrix,
+        threads: usize,
+    ) -> Arc<DenseMatrix> {
         let key = kernel.cache_key();
         if !self.cache.contains_key(&key) {
-            let value = propagate_with(transition, kernel, &self.features);
+            let value = propagate_with_par(transition, kernel, &self.features, threads);
             self.cache.insert(key.clone(), Arc::new(value));
         }
         Arc::clone(&self.cache[&key])

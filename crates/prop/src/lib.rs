@@ -21,4 +21,4 @@ pub mod kernel;
 pub mod propagate;
 
 pub use kernel::Kernel;
-pub use propagate::{propagate, propagate_with};
+pub use propagate::{propagate, propagate_with, propagate_with_par};

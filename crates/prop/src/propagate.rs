@@ -19,6 +19,22 @@ pub fn propagate(g: &Graph, kernel: Kernel, x: &DenseMatrix) -> DenseMatrix {
 /// # Panics
 /// Panics if `t` is not square of size `x.rows()`.
 pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMatrix {
+    propagate_with_par(t, kernel, x, 0)
+}
+
+/// [`propagate_with`] running every SpMM round over `threads` workers
+/// (`0` = auto). The per-round combination steps (`scale`/`axpy`) are
+/// sequential and each SpMM output row is accumulated by exactly one
+/// worker, so `X^(k)` is bit-identical at any thread count.
+///
+/// # Panics
+/// Panics if `t` is not square of size `x.rows()`.
+pub fn propagate_with_par(
+    t: &CsrMatrix,
+    kernel: Kernel,
+    x: &DenseMatrix,
+    threads: usize,
+) -> DenseMatrix {
     assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
     assert_eq!(
         t.cols(),
@@ -32,7 +48,7 @@ pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMa
         Kernel::SymNorm { k } | Kernel::RandomWalk { k } | Kernel::TriangleIa { k } => {
             let mut cur = x.clone();
             for _ in 0..k {
-                cur = t.spmm(&cur);
+                cur = t.spmm_par(&cur, threads);
             }
             cur
         }
@@ -40,7 +56,7 @@ pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMa
             // X^(k) = (1-a) T X^(k-1) + a X^(0)
             let mut cur = x.clone();
             for _ in 0..k {
-                let mut next = t.spmm(&cur);
+                let mut next = t.spmm_par(&cur, threads);
                 ops::scale(&mut next, 1.0 - alpha);
                 ops::axpy(&mut next, alpha, x);
                 cur = next;
@@ -53,7 +69,7 @@ pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMa
             let mut power = x.clone(); // T^l X
             let mut acc = DenseMatrix::zeros(x.rows(), x.cols());
             for _ in 0..k {
-                power = t.spmm(&power);
+                power = t.spmm_par(&power, threads);
                 ops::axpy(&mut acc, 1.0 - alpha, &power);
                 ops::axpy(&mut acc, alpha, x);
             }
@@ -66,7 +82,7 @@ pub fn propagate_with(t: &CsrMatrix, kernel: Kernel, x: &DenseMatrix) -> DenseMa
             let mut acc = x.clone(); // l = 0 term
             let mut weight = 1.0f32;
             for _ in 0..k {
-                power = t.spmm(&power);
+                power = t.spmm_par(&power, threads);
                 weight *= beta;
                 ops::axpy(&mut acc, weight, &power);
             }
@@ -175,6 +191,24 @@ mod tests {
         let a = propagate(&g, Kernel::RandomWalk { k: 2 }, &x);
         let b = propagate_with(&t, Kernel::RandomWalk { k: 2 }, &x);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn propagation_is_thread_count_invariant_per_kernel() {
+        let g = generators::erdos_renyi_gnm(200, 500, 21);
+        let x = features(200, 4);
+        for kernel in Kernel::all_table1(2) {
+            let t = transition_matrix(&g, kernel.transition_kind(), true);
+            let serial = propagate_with_par(&t, kernel, &x, 1);
+            for threads in [2usize, 8] {
+                assert_eq!(
+                    propagate_with_par(&t, kernel, &x, threads),
+                    serial,
+                    "{} at {threads} threads",
+                    kernel.name()
+                );
+            }
+        }
     }
 
     #[test]

@@ -30,10 +30,11 @@ fn main() -> GrainResult<()> {
     // embedding-space baselines (KCG), while the Grain adapters answer
     // their sweeps straight from the same engine via select_sweep_with —
     // one artifact store for Grain and every baseline.
-    let mut service = GrainService::new();
+    let service = GrainService::new();
     service.register_graph("citeseer", dataset.graph.clone(), dataset.features.clone())?;
-    let (engine, _) = service.engine("citeseer", &GrainConfig::ball_d())?;
-    let ctx = SelectionContext::from_engine(&dataset, seed, engine);
+    let (checkout, _) = service.engine("citeseer", &GrainConfig::ball_d())?;
+    let mut engine = checkout.lock();
+    let ctx = SelectionContext::from_engine(&dataset, seed, &mut engine);
 
     let inner_cfg = TrainConfig {
         epochs: 30,
@@ -63,7 +64,7 @@ fn main() -> GrainResult<()> {
     }
     println!();
     for method in &mut methods {
-        let sweep = method.select_sweep_with(&ctx, engine, &budgets);
+        let sweep = method.select_sweep_with(&ctx, &mut engine, &budgets);
         print!("{:<16}", method.name());
         for selection in &sweep {
             let mut model = ModelKind::Gcn { hidden: 64 }.build(&dataset, seed);

@@ -33,11 +33,13 @@ fn main() -> GrainResult<()> {
     let keep = pool.len() / 20; // 5% label rate
 
     // One service owns the corpus; one pooled engine backs the whole
-    // compression lineup — Grain and the baselines read one artifact store.
-    let mut service = GrainService::new();
+    // compression lineup — Grain and the baselines read one artifact
+    // store. The checkout is locked once for the whole campaign.
+    let service = GrainService::new();
     service.register_graph("papers", dataset.graph.clone(), dataset.features.clone())?;
-    let (engine, _) = service.engine("papers", &GrainConfig::ball_d())?;
-    let ctx = SelectionContext::from_engine(&dataset, 1, engine);
+    let (checkout, _) = service.engine("papers", &GrainConfig::ball_d())?;
+    let mut engine = checkout.lock();
+    let ctx = SelectionContext::from_engine(&dataset, 1, &mut engine);
     let inner = TrainConfig {
         epochs: 25,
         patience: None,
@@ -52,7 +54,7 @@ fn main() -> GrainResult<()> {
     println!("\nkeeping {} nodes (5% of the pool):", keep);
     for method in &mut methods {
         let subset = method
-            .select_sweep_with(&ctx, engine, &[keep])
+            .select_sweep_with(&ctx, &mut engine, &[keep])
             .pop()
             .expect("one budget in, one selection out");
         let acc = train_and_test(&dataset, &subset, &train_cfg);

@@ -21,7 +21,7 @@ fn main() -> GrainResult<()> {
 
     // 2. Register the corpus with a service once; every request shares the
     //    pooled engines' cached artifacts from then on.
-    let mut service = GrainService::new();
+    let service = GrainService::new();
     service.register_graph("cora", dataset.graph.clone(), dataset.features.clone())?;
 
     // 3. Grain (ball-D) with the paper's Appendix A.4 defaults: request a

@@ -1,0 +1,247 @@
+//! The concurrent `GrainService` contract: one shared `&self` service
+//! under M threads × mixed artifact fingerprints must answer every
+//! request bit-identically to a single-threaded oracle run, the cold
+//! build latch must construct each artifact exactly once however many
+//! requests race for it, and the `parallelism` knob must never change a
+//! selection.
+//!
+//! Run with `RUST_TEST_THREADS` unpinned so the harness itself adds
+//! scheduling noise on top of the in-test threads (CI does).
+
+use grain::prelude::*;
+use std::sync::{Arc, Barrier};
+
+const WORKER_THREADS: usize = 8;
+const ROUNDS_PER_WORKER: usize = 3;
+
+fn datasets() -> [(String, Dataset); 2] {
+    [
+        (
+            "cora".to_string(),
+            grain::data::synthetic::papers_like(500, 51),
+        ),
+        (
+            "pubmed".to_string(),
+            grain::data::synthetic::papers_like(420, 53),
+        ),
+    ]
+}
+
+fn register_all(service: &GrainService, corpora: &[(String, Dataset)]) {
+    for (id, ds) in corpora {
+        service
+            .register_graph(id.clone(), ds.graph.clone(), ds.features.clone())
+            .unwrap();
+    }
+}
+
+/// 2 graphs × 2 artifact fingerprints × {fixed, sweep} budgets, plus a
+/// greedy-only γ twist that shares an engine with its base fingerprint.
+fn mixed_requests(corpora: &[(String, Dataset)]) -> Vec<SelectionRequest> {
+    let base = GrainConfig::ball_d();
+    let tight = GrainConfig {
+        theta: ThetaRule::RelativeToRowMax(0.5),
+        ..base
+    };
+    let mut gamma = base;
+    gamma.gamma = 0.25;
+    let mut requests = Vec::new();
+    for (id, ds) in corpora {
+        for cfg in [base, tight, gamma] {
+            requests.push(
+                SelectionRequest::new(id.clone(), cfg, Budget::Fixed(6))
+                    .with_candidates(ds.split.train.clone()),
+            );
+            requests.push(
+                SelectionRequest::new(id.clone(), cfg, Budget::Sweep(vec![3, 9]))
+                    .with_candidates(ds.split.train.clone()),
+            );
+        }
+    }
+    requests
+}
+
+fn assert_same_answers(got: &SelectionReport, want: &SelectionReport, label: &str) {
+    assert_eq!(got.budgets, want.budgets, "{label}");
+    assert_eq!(got.outcomes.len(), want.outcomes.len(), "{label}");
+    for (g, w) in got.outcomes.iter().zip(&want.outcomes) {
+        assert_eq!(g.selected, w.selected, "{label}");
+        assert_eq!(g.sigma, w.sigma, "{label}");
+        assert_eq!(g.objective_trace, w.objective_trace, "{label}");
+        assert_eq!(g.evaluations, w.evaluations, "{label}");
+    }
+}
+
+#[test]
+fn grain_service_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GrainService>();
+    assert_send_sync::<Arc<GrainService>>();
+}
+
+#[test]
+fn concurrent_mixed_fingerprints_match_single_threaded_oracle() {
+    let corpora = datasets();
+    let requests = mixed_requests(&corpora);
+
+    // Oracle: the same workload through a fresh single-threaded service.
+    let oracle_service = GrainService::with_capacity(16);
+    register_all(&oracle_service, &corpora);
+    let oracle: Vec<SelectionReport> = requests
+        .iter()
+        .map(|r| oracle_service.select(r).unwrap())
+        .collect();
+
+    // Shared sharded service, M threads walking the request list from
+    // different offsets so every fingerprint sees cold and warm races.
+    let service = GrainService::with_topology(4, 2);
+    register_all(&service, &corpora);
+    std::thread::scope(|scope| {
+        for worker in 0..WORKER_THREADS {
+            let service = &service;
+            let requests = &requests;
+            let oracle = &oracle;
+            scope.spawn(move || {
+                for round in 0..ROUNDS_PER_WORKER {
+                    for step in 0..requests.len() {
+                        let i = (worker * 5 + round + step) % requests.len();
+                        let report = service.select(&requests[i]).unwrap();
+                        assert_same_answers(
+                            &report,
+                            &oracle[i],
+                            &format!("worker {worker} round {round} request {i}"),
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.pool_stats();
+    assert_eq!(
+        stats.lookups(),
+        WORKER_THREADS * ROUNDS_PER_WORKER * requests.len(),
+        "every request must be accounted for: {stats:?}"
+    );
+    assert!(
+        stats.hits > stats.misses(),
+        "a replayed workload must be dominated by warm hits: {stats:?}"
+    );
+}
+
+#[test]
+fn cold_build_latch_builds_each_artifact_exactly_once() {
+    let corpora = datasets();
+    let service = Arc::new(GrainService::with_topology(4, 2));
+    register_all(&service, &corpora);
+    let request = SelectionRequest::new("cora", GrainConfig::ball_d(), Budget::Fixed(8))
+        .with_candidates(corpora[0].1.split.train.clone());
+
+    let barrier = Arc::new(Barrier::new(WORKER_THREADS));
+    let reports: Vec<SelectionReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..WORKER_THREADS)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let barrier = Arc::clone(&barrier);
+                let request = request.clone();
+                scope.spawn(move || {
+                    barrier.wait(); // all threads hit the cold key together
+                    service.select(&request).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The latch admits exactly one builder; everyone else joins its build
+    // or hits the engine it published.
+    let mut cold_misses = 0;
+    let mut propagation_builds = 0;
+    let mut influence_builds = 0;
+    let mut index_builds = 0;
+    let mut diversity_builds = 0;
+    for report in &reports {
+        propagation_builds += report.artifact_builds.propagation_builds;
+        influence_builds += report.artifact_builds.influence_builds;
+        index_builds += report.artifact_builds.index_builds;
+        diversity_builds += report.artifact_builds.diversity_builds;
+        match report.pool_event {
+            PoolEvent::ColdMiss => cold_misses += 1,
+            PoolEvent::JoinedBuild | PoolEvent::Hit => {}
+            other => panic!("unexpected pool event {other:?}"),
+        }
+    }
+    assert_eq!(cold_misses, 1, "one builder only");
+    assert_eq!(propagation_builds, 1, "X^(k) must be propagated once");
+    assert_eq!(influence_builds, 1, "influence rows must be computed once");
+    assert_eq!(index_builds, 1, "activation index must be built once");
+    assert_eq!(diversity_builds, 1, "ball lists must be built once");
+    assert_eq!(service.pool().len(), 1, "one engine serves the whole race");
+
+    // And every racer got the bit-identical answer.
+    for report in &reports[1..] {
+        assert_same_answers(report, &reports[0], "latch race");
+    }
+}
+
+#[test]
+fn parallelism_knob_is_selection_invariant_and_shares_one_engine() {
+    let corpora = datasets();
+    let (_, ds) = &corpora[0];
+    let service = GrainService::new();
+    register_all(&service, &corpora);
+
+    let mut reference: Option<SelectionReport> = None;
+    for parallelism in [1usize, 2, 8] {
+        let mut config = GrainConfig::ball_d();
+        config.parallelism = parallelism;
+        let report = service
+            .select(
+                &SelectionRequest::new("cora", config, Budget::Sweep(vec![4, 8, 12]))
+                    .with_candidates(ds.split.train.clone()),
+            )
+            .unwrap();
+        if let Some(reference) = &reference {
+            assert_same_answers(&report, reference, &format!("parallelism {parallelism}"));
+            assert!(
+                report.fully_warm(),
+                "parallelism is no artifact field; engines must be shared"
+            );
+        } else {
+            assert_eq!(report.pool_event, PoolEvent::ColdMiss);
+            reference = Some(report);
+        }
+    }
+    assert_eq!(
+        service.pool().len(),
+        1,
+        "all parallelism values share one pooled engine"
+    );
+}
+
+#[test]
+fn submit_batch_is_bit_identical_to_serial_submission() {
+    let corpora = datasets();
+    let requests = mixed_requests(&corpora);
+
+    let serial_service = GrainService::with_capacity(16);
+    register_all(&serial_service, &corpora);
+    let serial: Vec<SelectionReport> = requests
+        .iter()
+        .map(|r| serial_service.select(r).unwrap())
+        .collect();
+
+    let batch_service = GrainService::with_topology(4, 2);
+    register_all(&batch_service, &corpora);
+    for workers in [1usize, 4] {
+        let batched = batch_service.submit_batch_with_workers(&requests, workers);
+        assert_eq!(batched.len(), requests.len());
+        for (i, report) in batched.into_iter().enumerate() {
+            assert_same_answers(
+                &report.unwrap(),
+                &serial[i],
+                &format!("batch workers {workers} request {i}"),
+            );
+        }
+    }
+}

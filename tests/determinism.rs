@@ -19,7 +19,7 @@ fn datasets_are_seed_deterministic() {
 fn grain_selection_is_deterministic() {
     let ds = grain::data::synthetic::papers_like(1000, 5);
     let run = || {
-        let mut service = GrainService::new();
+        let service = GrainService::new();
         service
             .register_graph("papers", ds.graph.clone(), ds.features.clone())
             .unwrap();

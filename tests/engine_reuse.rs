@@ -206,11 +206,9 @@ fn selector_facade_engine_constructor_round_trips() {
     let selector = GrainSelector::ball_d();
     let mut engine = selector.engine(&ds.graph, &ds.features).unwrap();
     let warm = engine.select(&ds.split.train, 12);
-    // The deprecated positional shim must agree with the engine it wraps
-    // for the one release it remains.
-    #[allow(deprecated)]
-    let shim = selector.select(&ds.graph, &ds.features, &ds.split.train, 12);
-    assert_eq!(warm.selected, shim.selected);
+    // The facade constructor must be a pure pass-through to the engine.
+    let fresh = one_shot(*selector.config(), &ds, 12);
+    assert_eq!(warm.selected, fresh.selected);
     assert_eq!(engine.config(), selector.config());
 }
 
@@ -226,7 +224,7 @@ fn corpus_b() -> grain::data::Dataset {
 fn pooled_service(capacity: usize) -> (GrainService, Dataset, Dataset) {
     let a = corpus();
     let b = corpus_b();
-    let mut service = GrainService::with_capacity(capacity);
+    let service = GrainService::with_capacity(capacity);
     service
         .register_graph("a", a.graph.clone(), a.features.clone())
         .unwrap();
@@ -245,7 +243,7 @@ fn theta_config(theta: f32) -> GrainConfig {
 
 #[test]
 fn pool_evicts_in_lru_order() {
-    let (mut service, a, _) = pooled_service(2);
+    let (service, a, _) = pooled_service(2);
     let configs = [theta_config(0.25), theta_config(0.4), theta_config(0.6)];
     let request = |cfg: GrainConfig| {
         SelectionRequest::new("a", cfg, Budget::Fixed(5)).with_candidates(a.split.train.clone())
@@ -275,7 +273,7 @@ fn pool_evicts_in_lru_order() {
 
 #[test]
 fn capacity_one_pool_thrashes_but_stays_correct() {
-    let (mut service, a, _) = pooled_service(1);
+    let (service, a, _) = pooled_service(1);
     let c0 = theta_config(0.25);
     let c1 = theta_config(0.5);
     let request = |cfg: GrainConfig| {
@@ -305,7 +303,7 @@ fn capacity_one_pool_thrashes_but_stays_correct() {
 
 #[test]
 fn same_config_on_two_graphs_uses_two_engines() {
-    let (mut service, a, b) = pooled_service(4);
+    let (service, a, b) = pooled_service(4);
     let cfg = GrainConfig::ball_d();
     let ra = service
         .select(
@@ -340,7 +338,7 @@ fn same_config_on_two_graphs_uses_two_engines() {
 
 #[test]
 fn pool_hit_is_bit_identical_to_cold_engine() {
-    let (mut service, a, _) = pooled_service(4);
+    let (service, a, _) = pooled_service(4);
     let cfg = GrainConfig::nn_d();
     let request = SelectionRequest::new("a", cfg, Budget::Sweep(vec![4, 9, 14]))
         .with_candidates(a.split.train.clone());

@@ -33,7 +33,7 @@ fn prelude_covers_the_quickstart_surface() {
 #[test]
 fn service_round_trip_through_the_prelude() {
     let ds = grain::data::synthetic::papers_like(200, 4);
-    let mut service = GrainService::new();
+    let service = GrainService::new();
     service
         .register_graph("papers", ds.graph.clone(), ds.features.clone())
         .unwrap();

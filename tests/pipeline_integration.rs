@@ -7,8 +7,7 @@ fn dataset() -> Dataset {
     grain::data::synthetic::papers_like(900, 5)
 }
 
-/// One-shot selection through a fresh engine (the supported replacement
-/// for the deprecated positional `GrainSelector::select`).
+/// One-shot selection through a fresh engine.
 fn one_shot(
     config: GrainConfig,
     graph: &Graph,

@@ -5,8 +5,7 @@
 use grain::prelude::*;
 use grain_linalg::stats;
 
-/// One-shot selection through a fresh engine (the supported replacement
-/// for the deprecated positional `GrainSelector::select`).
+/// One-shot selection through a fresh engine.
 fn one_shot(config: GrainConfig, ds: &Dataset, budget: usize) -> SelectionOutcome {
     SelectionEngine::new(config, &ds.graph, &ds.features)
         .unwrap()

@@ -38,7 +38,7 @@ fn mixed_workload_evicts_and_stays_bit_identical() {
     let corpora = datasets();
     // 2 graphs × 2 artifact configs = 4 pool keys; capacity 3 forces at
     // least one eviction over the workload.
-    let mut service = GrainService::with_capacity(3);
+    let service = GrainService::with_capacity(3);
     for (id, ds) in &corpora {
         service
             .register_graph(id.clone(), ds.graph.clone(), ds.features.clone())
@@ -107,7 +107,7 @@ fn mixed_workload_evicts_and_stays_bit_identical() {
 #[test]
 fn baselines_in_the_workload_read_the_pooled_artifact_store() {
     let corpora = datasets();
-    let mut service = GrainService::with_capacity(3);
+    let service = GrainService::with_capacity(3);
     for (id, ds) in &corpora {
         service
             .register_graph(id.clone(), ds.graph.clone(), ds.features.clone())
@@ -116,11 +116,12 @@ fn baselines_in_the_workload_read_the_pooled_artifact_store() {
     let base = GrainConfig::ball_d();
 
     for (id, ds) in &corpora {
-        // Check an engine out of the pool for this corpus and run the
-        // baselines against it.
-        let (engine, _) = service.engine(id, &base).unwrap();
+        // Check an engine out of the pool for this corpus, lock it for
+        // the whole lineup, and run the baselines against it.
+        let (checkout, _) = service.engine(id, &base).unwrap();
+        let mut engine = checkout.lock();
         let pooled_smoothed = engine.propagated();
-        let ctx = SelectionContext::from_engine(ds, 11, engine);
+        let ctx = SelectionContext::from_engine(ds, 11, &mut engine);
         assert!(
             Arc::ptr_eq(&ctx.smoothed_arc(), &pooled_smoothed),
             "baseline smoothing must be the pooled engine's X^(k) allocation"
@@ -128,8 +129,10 @@ fn baselines_in_the_workload_read_the_pooled_artifact_store() {
 
         let mut featprop = FeatPropSelector::new(5);
         let mut kcg = KCenterGreedySelector::new(5);
-        let fp_service = featprop.select_sweep_with(&ctx, engine, &BUDGETS);
-        let kcg_service = kcg.select_sweep_with(&ctx, engine, &BUDGETS);
+        let fp_service = featprop.select_sweep_with(&ctx, &mut engine, &BUDGETS);
+        let kcg_service = kcg.select_sweep_with(&ctx, &mut engine, &BUDGETS);
+        drop(engine);
+        drop(checkout);
 
         // Grain through the service, same engine, same store.
         let grain = service
