@@ -209,6 +209,40 @@ impl GrainConfig {
             self.radius.to_bits(),
         )
     }
+
+    /// A stable key over every field that determines a **selection
+    /// result**: the [`GrainConfig::artifact_fingerprint`] plus the
+    /// greedy-stage fields (`gamma`, `diversity`, `algorithm`, `prune`,
+    /// `variant`) that steer the maximization without touching cached
+    /// artifacts.
+    ///
+    /// Two configs with equal selection fingerprints produce bit-identical
+    /// [`crate::SelectionOutcome`]s over the same graph, candidate pool,
+    /// and budget — which is exactly the invariant the
+    /// [`crate::scheduler::Scheduler`] relies on to coalesce identical
+    /// in-flight requests into one execution. `parallelism` is excluded
+    /// for the same reason it is excluded from the artifact fingerprint:
+    /// every kernel is bit-identical at any thread count.
+    #[must_use]
+    pub fn selection_fingerprint(&self) -> String {
+        let prune = match self.prune {
+            None => "none".to_string(),
+            Some(PruneStrategy::Degree { keep_fraction }) => {
+                format!("deg:{:016x}", keep_fraction.to_bits())
+            }
+            Some(PruneStrategy::WalkMass { keep_fraction }) => {
+                format!("walk:{:016x}", keep_fraction.to_bits())
+            }
+        };
+        format!(
+            "{}|gamma:{:016x}|div:{:?}|alg:{:?}|prune:{prune}|var:{:?}",
+            self.artifact_fingerprint(),
+            self.gamma.to_bits(),
+            self.diversity,
+            self.algorithm,
+            self.variant,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +323,53 @@ mod tests {
         assert_eq!(
             base.artifact_fingerprint(),
             GrainConfig::nn_d().artifact_fingerprint()
+        );
+    }
+
+    #[test]
+    fn selection_fingerprint_splits_on_greedy_fields_only_where_results_differ() {
+        let base = GrainConfig::ball_d();
+        // Greedy-stage changes alter the selection fingerprint (they alter
+        // results) while leaving the artifact fingerprint alone.
+        for changed in [
+            GrainConfig {
+                gamma: 0.25,
+                ..base
+            },
+            GrainConfig {
+                algorithm: GreedyAlgorithm::Plain,
+                ..base
+            },
+            GrainConfig {
+                variant: GrainVariant::NoDiversity,
+                ..base
+            },
+            GrainConfig {
+                prune: Some(PruneStrategy::Degree { keep_fraction: 0.5 }),
+                ..base
+            },
+            GrainConfig::nn_d(),
+        ] {
+            assert_ne!(
+                base.selection_fingerprint(),
+                changed.selection_fingerprint(),
+                "{changed:?}"
+            );
+            assert_eq!(
+                base.artifact_fingerprint(),
+                changed.artifact_fingerprint(),
+                "{changed:?}"
+            );
+        }
+        // `parallelism` changes neither: artifacts and selections are
+        // bit-identical at any thread count.
+        let threaded = GrainConfig {
+            parallelism: 8,
+            ..base
+        };
+        assert_eq!(
+            base.selection_fingerprint(),
+            threaded.selection_fingerprint()
         );
     }
 

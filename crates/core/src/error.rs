@@ -12,6 +12,18 @@ use std::fmt;
 /// Result alias used throughout `grain-core`.
 pub type GrainResult<T> = Result<T, GrainError>;
 
+/// Where along the scheduling path a request's deadline was discovered to
+/// have passed (see [`GrainError::DeadlineExceeded`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeadlineStage {
+    /// The deadline had already passed when the request was submitted;
+    /// the scheduler rejected it without queueing.
+    AtSubmit,
+    /// The deadline passed while the request waited in the queue; the
+    /// scheduler shed it at dequeue instead of running dead work.
+    InQueue,
+}
+
 /// Everything that can go wrong answering a selection request.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum GrainError {
@@ -61,6 +73,26 @@ pub enum GrainError {
         /// The graph id whose engine build died.
         graph: String,
     },
+    /// The scheduler's submission queue is at capacity; the request was
+    /// rejected at admission instead of growing the queue without bound.
+    /// Back off and resubmit, or raise
+    /// [`crate::scheduler::SchedulerConfig::queue_capacity`].
+    QueueFull {
+        /// The configured queue capacity the submission ran into.
+        capacity: usize,
+    },
+    /// A request's deadline passed before its selection ran. The `stage`
+    /// says whether the scheduler refused it at submission or shed it at
+    /// dequeue; either way no selection work was performed for it.
+    DeadlineExceeded {
+        /// Where the expiry was detected.
+        stage: DeadlineStage,
+    },
+    /// The scheduler was shut down: either the submission arrived after
+    /// [`crate::scheduler::Scheduler::shutdown`], or the scheduler (and
+    /// with it the worker that would have answered) was dropped while the
+    /// ticket was still unresolved.
+    SchedulerShutdown,
 }
 
 impl fmt::Display for GrainError {
@@ -94,6 +126,21 @@ impl fmt::Display for GrainError {
                 f,
                 "engine build for graph {graph:?} was abandoned mid-flight; retry the request"
             ),
+            GrainError::QueueFull { capacity } => write!(
+                f,
+                "scheduler queue is full ({capacity} pending selections); back off and resubmit"
+            ),
+            GrainError::DeadlineExceeded { stage } => match stage {
+                DeadlineStage::AtSubmit => {
+                    write!(f, "deadline had already passed at submission")
+                }
+                DeadlineStage::InQueue => {
+                    write!(f, "deadline passed while the request waited in the queue")
+                }
+            },
+            GrainError::SchedulerShutdown => {
+                write!(f, "scheduler is shut down; the request was not served")
+            }
         }
     }
 }
@@ -148,5 +195,26 @@ mod tests {
         // It is a std error (boxable, `?`-compatible with Box<dyn Error>).
         let boxed: Box<dyn std::error::Error> = Box::new(a);
         assert!(boxed.source().is_none());
+    }
+
+    #[test]
+    fn scheduler_errors_distinguish_their_stage() {
+        assert_ne!(
+            GrainError::DeadlineExceeded {
+                stage: DeadlineStage::AtSubmit
+            },
+            GrainError::DeadlineExceeded {
+                stage: DeadlineStage::InQueue
+            }
+        );
+        assert!(GrainError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("8 pending"));
+        assert!(GrainError::DeadlineExceeded {
+            stage: DeadlineStage::InQueue
+        }
+        .to_string()
+        .contains("queue"));
+        assert!(GrainError::SchedulerShutdown.to_string().contains("shut"));
     }
 }

@@ -32,6 +32,16 @@
 //! `Send + Sync`, cold builds are deduplicated by per-key latches,
 //! batches fan out across shards via [`service::GrainService::submit_batch`],
 //! and every failure is a [`error::GrainError`].
+//!
+//! On top of the service sits the asynchronous front-end,
+//! [`scheduler::Scheduler`]: a bounded submission queue with admission
+//! control ([`error::GrainError::QueueFull`], deadline rejection and
+//! shedding), per-key **coalescing** of identical in-flight selections
+//! (one execution fans out to every waiter), and priority/EDF dispatch
+//! that groups ready work by engine key before handing it to the
+//! service's batched warm path. Submissions return
+//! [`scheduler::Ticket`]s; every scheduled path stays bit-identical to
+//! serial [`service::GrainService::select`] calls.
 //! [`selector::GrainSelector`] remains as a thin validated-config facade
 //! whose `engine` constructor opens the staged pipeline directly (its
 //! deprecated positional one-shots are gone).
@@ -43,13 +53,15 @@ pub mod error;
 pub mod greedy;
 pub mod objective;
 pub mod prune;
+pub mod scheduler;
 pub mod selector;
 pub mod service;
 
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
 pub use engine::{EngineStats, SelectionEngine};
-pub use error::{GrainError, GrainResult};
+pub use error::{DeadlineStage, GrainError, GrainResult};
 pub use objective::DimObjective;
+pub use scheduler::{ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, Ticket};
 pub use selector::{GrainSelector, SelectionOutcome};
 pub use service::{
     Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,

@@ -1,0 +1,764 @@
+//! Asynchronous queueing front-end over [`GrainService`]: admission
+//! control, per-key coalescing of identical in-flight requests, and
+//! deadline/priority-aware dispatch.
+//!
+//! [`GrainService`] (PR 4) is concurrent but *synchronous*: every caller
+//! blocks for the full selection, and nothing stands between a traffic
+//! burst and the engine pool. The [`Scheduler`] is the missing front-end:
+//! callers [`Scheduler::submit`] a [`ScheduledRequest`] (a
+//! [`SelectionRequest`] plus an optional deadline and a priority) and get
+//! back a [`Ticket`] immediately; a fixed pool of worker threads drains a
+//! bounded queue behind it. The scheduler **composes** the service — all
+//! selection work still flows through [`GrainService::submit_batch`]'s
+//! warm-engine path, so every invariant the service asserts (bit-identity
+//! to the serial oracle above all) holds for every scheduled path too.
+//!
+//! Three mechanisms, in the order a request meets them:
+//!
+//! 1. **Admission control.** The queue holds at most
+//!    [`SchedulerConfig::queue_capacity`] distinct pending selections;
+//!    beyond that, [`Scheduler::submit`] fails fast with
+//!    [`GrainError::QueueFull`] instead of letting latency grow without
+//!    bound. A request whose deadline has already passed is refused with
+//!    [`GrainError::DeadlineExceeded`] at
+//!    [`DeadlineStage::AtSubmit`]; one that expires while queued is shed
+//!    at dequeue ([`DeadlineStage::InQueue`]) before any selection work
+//!    is spent on it.
+//! 2. **Per-key coalescing.** Influence-serving traffic is dominated by
+//!    repeated near-identical queries, so identical in-flight selections
+//!    — same graph, same
+//!    [`GrainConfig::selection_fingerprint`](crate::GrainConfig::selection_fingerprint),
+//!    same budget, candidates, and seed — resolve **once**: later
+//!    submissions attach to the pending slot as extra waiters (even while
+//!    it is already running) and the one report fans out to every ticket.
+//!    This extends the engine pool's build latch from engine builds to
+//!    whole selections; joiners are marked
+//!    [`PoolEvent::CoalescedSelection`] and counted in
+//!    [`SchedulerStats::coalesced`].
+//! 3. **Deadline/priority-aware dispatch.** The queue orders work by
+//!    priority first, earliest deadline within a priority, submission
+//!    order as the tiebreak — and each dispatch takes up to
+//!    [`SchedulerConfig::max_group`] queued selections sharing one engine
+//!    key along with the winner, handing them to
+//!    [`GrainService::submit_batch`] so they run back to back on a warm
+//!    engine.
+//!
+//! # Coalescing guarantees
+//!
+//! Grain selection is deterministic: requests with equal coalesce keys
+//! would produce bit-identical [`SelectionReport`]s anyway, so fan-out
+//! never changes a result — it only removes duplicate work. The first
+//! waiter's report carries the true [`PoolEvent`] of the one execution;
+//! every later waiter receives the same outcomes with the event rewritten
+//! to [`PoolEvent::CoalescedSelection`]. Requests that differ in *any*
+//! result-affecting field (including the bookkeeping seed, which is
+//! echoed into the report) never coalesce.
+//!
+//! # Deadline semantics
+//!
+//! A deadline is a promise the *scheduler* keeps, not the engine: it is
+//! checked at submission and again at dequeue, but a selection already
+//! dispatched is never cancelled mid-greedy — and a waiter whose deadline
+//! passes while its selection is running still receives the report (the
+//! work is done; delivering beats discarding). Deadlines therefore bound
+//! *queueing* delay, which is the component serving systems can actually
+//! control.
+//!
+//! ```
+//! use grain_core::scheduler::{ScheduledRequest, Scheduler, SchedulerConfig};
+//! use grain_core::service::{Budget, GrainService, SelectionRequest};
+//! use grain_core::GrainConfig;
+//! use grain_graph::generators;
+//! use grain_linalg::DenseMatrix;
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! let service = Arc::new(GrainService::new());
+//! let graph = generators::erdos_renyi_gnm(150, 450, 7);
+//! service.register_graph("demo", graph, DenseMatrix::full(150, 8, 1.0))?;
+//!
+//! let scheduler = Scheduler::new(Arc::clone(&service), SchedulerConfig::default());
+//! let request = SelectionRequest::new("demo", GrainConfig::ball_d(), Budget::Fixed(8));
+//!
+//! // Submit returns immediately; the ticket resolves to the report.
+//! let ticket = scheduler.submit(
+//!     ScheduledRequest::new(request.clone()).with_deadline_in(Duration::from_secs(30)),
+//! )?;
+//! let report = ticket.wait()?;
+//! assert_eq!(report.outcome().selected.len(), 8);
+//!
+//! // Scheduled answers are bit-identical to direct service calls.
+//! assert_eq!(
+//!     service.select(&request)?.outcome().selected,
+//!     report.outcome().selected
+//! );
+//! # Ok::<(), grain_core::GrainError>(())
+//! ```
+
+mod queue;
+
+use crate::error::{DeadlineStage, GrainError, GrainResult};
+use crate::service::{GrainService, PoolEvent, SelectionReport, SelectionRequest};
+use crossbeam::channel::{bounded, Receiver, TryRecvError};
+use grain_linalg::par;
+use queue::{Admission, DispatchQueue, Waiter};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default bound on distinct queued selections
+/// ([`SchedulerConfig::queue_capacity`]).
+pub const DEFAULT_QUEUE_CAPACITY: usize = 64;
+
+/// Default cap on how many same-engine-key selections one dispatch hands
+/// to [`GrainService::submit_batch`] ([`SchedulerConfig::max_group`]).
+pub const DEFAULT_MAX_GROUP: usize = 8;
+
+/// Construction-time knobs of a [`Scheduler`].
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// Worker threads draining the queue; `0` means auto
+    /// (`GRAIN_THREADS` or the machine's available parallelism). Each
+    /// worker executes one dispatch group at a time.
+    pub workers: usize,
+    /// Admission bound: at most this many *distinct* selections may be
+    /// queued (running work and coalesced waiters are not counted — a
+    /// coalesced submission adds no work). `0` rejects every new
+    /// submission, a drain/maintenance mode.
+    pub queue_capacity: usize,
+    /// At most this many same-engine-key selections ride along per
+    /// dispatch (minimum 1). Larger groups keep a warm engine busier per
+    /// dispatch but deviate further from strict priority/EDF order.
+    pub max_group: usize,
+    /// Start with dispatch paused ([`Scheduler::resume`] starts it) —
+    /// lets a caller stage a burst and is how the tests make coalescing
+    /// deterministic.
+    pub start_paused: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            queue_capacity: DEFAULT_QUEUE_CAPACITY,
+            max_group: DEFAULT_MAX_GROUP,
+            start_paused: false,
+        }
+    }
+}
+
+/// A [`SelectionRequest`] plus its scheduling envelope.
+#[derive(Clone, Debug)]
+pub struct ScheduledRequest {
+    /// The selection to run.
+    pub request: SelectionRequest,
+    /// Dispatch priority; higher runs first. Defaults to `0`.
+    pub priority: u8,
+    /// Latest instant at which starting the selection is still useful;
+    /// `None` (the default) never expires. See the module docs for the
+    /// exact semantics.
+    pub deadline: Option<Instant>,
+}
+
+impl ScheduledRequest {
+    /// Wraps a request with default scheduling (priority 0, no deadline).
+    #[must_use]
+    pub fn new(request: SelectionRequest) -> Self {
+        Self {
+            request,
+            priority: 0,
+            deadline: None,
+        }
+    }
+
+    /// Sets the dispatch priority (higher runs first).
+    #[must_use]
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets an absolute deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets a deadline relative to now.
+    #[must_use]
+    pub fn with_deadline_in(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+}
+
+impl From<SelectionRequest> for ScheduledRequest {
+    fn from(request: SelectionRequest) -> Self {
+        Self::new(request)
+    }
+}
+
+/// Handle to a submitted selection; resolves to the
+/// [`SelectionReport`] (or the typed failure) once a worker has answered
+/// it.
+///
+/// Dropping a ticket abandons the waiter without cancelling the work: the
+/// selection still runs (other coalesced waiters may depend on it) and
+/// the undeliverable report is counted in [`SchedulerStats::abandoned`].
+/// Workers never block on an abandoned ticket.
+pub struct Ticket {
+    rx: Receiver<GrainResult<SelectionReport>>,
+}
+
+impl std::fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Ticket { .. }")
+    }
+}
+
+impl Ticket {
+    /// Blocks until the selection is answered.
+    ///
+    /// # Errors
+    /// Whatever typed error the selection produced — plus
+    /// [`GrainError::DeadlineExceeded`] (stage
+    /// [`DeadlineStage::InQueue`]) if the request was shed, and
+    /// [`GrainError::SchedulerShutdown`] if the scheduler was dropped
+    /// before answering.
+    pub fn wait(self) -> GrainResult<SelectionReport> {
+        match self.rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(GrainError::SchedulerShutdown),
+        }
+    }
+
+    /// Non-blocking poll: the resolution if one is ready, otherwise the
+    /// ticket back for a later retry.
+    ///
+    /// # Errors
+    /// As for [`Ticket::wait`], inside the `Ok` arm.
+    pub fn try_wait(self) -> Result<GrainResult<SelectionReport>, Self> {
+        match self.rx.try_recv() {
+            Ok(result) => Ok(result),
+            Err(TryRecvError::Disconnected) => Ok(Err(GrainError::SchedulerShutdown)),
+            Err(TryRecvError::Empty) => Err(self),
+        }
+    }
+}
+
+/// Scheduler counters (a lock-free snapshot; see [`Scheduler::stats`]).
+///
+/// All counters are monotonic with one deliberate wrinkle: `delivered`
+/// is bumped just *before* each send so a resolved waiter can always
+/// observe its own delivery; if the send then fails (the ticket was
+/// dropped) the bump is rolled back and `abandoned` bumped instead. A
+/// concurrent snapshot can catch that instant, so `delivered` may
+/// transiently overcount by the number of in-flight fan-outs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Submissions admitted as new queued work.
+    pub enqueued: usize,
+    /// Submissions that attached to an identical queued or running
+    /// selection instead of adding work — the coalescing win.
+    pub coalesced: usize,
+    /// Submissions refused at admission: queue at capacity.
+    pub rejected_queue_full: usize,
+    /// Submissions refused at admission: deadline already passed.
+    pub rejected_deadline: usize,
+    /// Waiters shed at dequeue because their deadline passed in-queue.
+    pub shed_deadline: usize,
+    /// Selections actually executed (each may serve many waiters).
+    pub selections: usize,
+    /// Dispatch groups handed to [`GrainService::submit_batch`].
+    pub dispatch_groups: usize,
+    /// Reports (or typed errors) delivered to live tickets.
+    pub delivered: usize,
+    /// Fan-outs whose ticket had been dropped before resolution.
+    pub abandoned: usize,
+}
+
+impl SchedulerStats {
+    /// Every submission the scheduler has seen.
+    #[must_use]
+    pub fn submissions(&self) -> usize {
+        self.enqueued + self.coalesced + self.rejected_queue_full + self.rejected_deadline
+    }
+
+    /// Selections avoided by coalescing plus work never started thanks to
+    /// admission control — the front-end's whole reason to exist.
+    #[must_use]
+    pub fn saved_selections(&self) -> usize {
+        self.coalesced + self.shed_deadline + self.rejected_deadline
+    }
+}
+
+#[derive(Default)]
+struct SchedCounters {
+    enqueued: AtomicUsize,
+    coalesced: AtomicUsize,
+    rejected_queue_full: AtomicUsize,
+    rejected_deadline: AtomicUsize,
+    shed_deadline: AtomicUsize,
+    selections: AtomicUsize,
+    dispatch_groups: AtomicUsize,
+    delivered: AtomicUsize,
+    abandoned: AtomicUsize,
+}
+
+impl SchedCounters {
+    fn bump(counter: &AtomicUsize) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> SchedulerStats {
+        SchedulerStats {
+            enqueued: self.enqueued.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: self.rejected_deadline.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            selections: self.selections.load(Ordering::Relaxed),
+            dispatch_groups: self.dispatch_groups.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Queue plus the dispatch flags, all under one mutex so pause/shutdown
+/// transitions and queue edits are atomic with respect to the workers.
+struct SchedState {
+    queue: DispatchQueue,
+    paused: bool,
+    shutdown: bool,
+}
+
+struct Inner {
+    service: Arc<GrainService>,
+    state: Mutex<SchedState>,
+    /// Signals workers: work queued, resumed, or shutdown.
+    ready: Condvar,
+    counters: SchedCounters,
+    queue_capacity: usize,
+    max_group: usize,
+}
+
+impl Inner {
+    fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        // Queue mutations are complete per critical section (the same
+        // argument as the pool's shards), so serving continues after a
+        // poisoning panic.
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// The queueing front-end; see the module docs.
+///
+/// Construction spawns the worker pool; dropping the scheduler shuts it
+/// down gracefully ([`Scheduler::shutdown`]) and joins every worker, so a
+/// scheduler never outlives its threads.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns the worker pool over `service`.
+    #[must_use]
+    pub fn new(service: Arc<GrainService>, config: SchedulerConfig) -> Self {
+        let worker_count = par::resolve_threads(config.workers).max(1);
+        let inner = Arc::new(Inner {
+            service,
+            state: Mutex::new(SchedState {
+                queue: DispatchQueue::default(),
+                paused: config.start_paused,
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            counters: SchedCounters::default(),
+            queue_capacity: config.queue_capacity,
+            max_group: config.max_group.max(1),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("grain-sched-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("scheduler worker spawns")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// Submits a selection for asynchronous execution.
+    ///
+    /// Returns immediately with a [`Ticket`]; accepts anything
+    /// convertible into a [`ScheduledRequest`], so a bare
+    /// [`SelectionRequest`] submits with default scheduling.
+    ///
+    /// # Errors
+    /// * [`GrainError::SchedulerShutdown`] after [`Scheduler::shutdown`].
+    /// * [`GrainError::DeadlineExceeded`] (stage
+    ///   [`DeadlineStage::AtSubmit`]) when the deadline has already
+    ///   passed.
+    /// * [`GrainError::QueueFull`] when admission control refuses new
+    ///   work (identical-to-pending submissions still coalesce in).
+    ///
+    /// Errors *of the selection itself* (unknown graph, invalid config,
+    /// …) are not detected here — they resolve through the ticket, just
+    /// like success.
+    pub fn submit(&self, scheduled: impl Into<ScheduledRequest>) -> GrainResult<Ticket> {
+        let ScheduledRequest {
+            request,
+            priority,
+            deadline,
+        } = scheduled.into();
+        // Coalesce-key construction is O(candidate pool) and engine-key
+        // formatting builds fingerprint strings; prepare both before
+        // taking the state mutex so heavy submissions don't serialize
+        // on it.
+        let prepared = queue::PreparedSubmission::new(request);
+        let (tx, rx) = bounded(1);
+        let admission = {
+            let mut state = self.inner.lock_state();
+            // Shutdown outranks every other rejection (the # Errors list
+            // order): a dead deadline on a dead scheduler still says
+            // "stop submitting", not "retry with a fresh deadline".
+            if state.shutdown {
+                return Err(GrainError::SchedulerShutdown);
+            }
+            if deadline.is_some_and(|d| d <= Instant::now()) {
+                SchedCounters::bump(&self.inner.counters.rejected_deadline);
+                return Err(GrainError::DeadlineExceeded {
+                    stage: DeadlineStage::AtSubmit,
+                });
+            }
+            state
+                .queue
+                .admit(prepared, priority, deadline, tx, self.inner.queue_capacity)
+        };
+        match admission {
+            Admission::Enqueued => {
+                SchedCounters::bump(&self.inner.counters.enqueued);
+                self.inner.ready.notify_one();
+                Ok(Ticket { rx })
+            }
+            Admission::Coalesced => {
+                SchedCounters::bump(&self.inner.counters.coalesced);
+                Ok(Ticket { rx })
+            }
+            Admission::RejectedFull => {
+                SchedCounters::bump(&self.inner.counters.rejected_queue_full);
+                Err(GrainError::QueueFull {
+                    capacity: self.inner.queue_capacity,
+                })
+            }
+        }
+    }
+
+    /// Stops dispatching new work (running groups finish; submissions
+    /// keep queueing and coalescing). Idempotent.
+    pub fn pause(&self) {
+        self.inner.lock_state().paused = true;
+    }
+
+    /// Resumes dispatch after [`Scheduler::pause`] (or a paused start).
+    pub fn resume(&self) {
+        self.inner.lock_state().paused = false;
+        self.inner.ready.notify_all();
+    }
+
+    /// True while dispatch is paused.
+    pub fn is_paused(&self) -> bool {
+        self.inner.lock_state().paused
+    }
+
+    /// Stops admission and wakes every worker to **drain**: queued work
+    /// still runs (and queued-but-expired work is still shed), then the
+    /// workers exit. Overrides a pause. Further submissions fail with
+    /// [`GrainError::SchedulerShutdown`]. Idempotent; called by `Drop`.
+    pub fn shutdown(&self) {
+        self.inner.lock_state().shutdown = true;
+        self.inner.ready.notify_all();
+    }
+
+    /// Distinct selections waiting in the queue (running work and
+    /// coalesced waiters don't count — the same measure admission control
+    /// uses).
+    pub fn queue_depth(&self) -> usize {
+        self.inner.lock_state().queue.depth()
+    }
+
+    /// True when nothing is queued or running.
+    pub fn is_idle(&self) -> bool {
+        self.inner.lock_state().queue.is_idle()
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Lock-free snapshot of the scheduler counters.
+    pub fn stats(&self) -> SchedulerStats {
+        self.inner.counters.snapshot()
+    }
+
+    /// The service this scheduler dispatches into.
+    pub fn service(&self) -> &Arc<GrainService> {
+        &self.inner.service
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Resolves one waiter. The `delivered` bump happens *before* the send:
+/// the instant the send lands the waiter may read the stats, so counting
+/// afterwards would let it observe its own delivery missing. A failed
+/// send means the ticket was dropped — roll the count back and record the
+/// abandonment instead; workers never block on it.
+fn deliver(
+    inner: &Inner,
+    tx: &crossbeam::channel::Sender<GrainResult<SelectionReport>>,
+    payload: GrainResult<SelectionReport>,
+) {
+    SchedCounters::bump(&inner.counters.delivered);
+    if tx.send(payload).is_err() {
+        inner.counters.delivered.fetch_sub(1, Ordering::Relaxed);
+        SchedCounters::bump(&inner.counters.abandoned);
+    }
+}
+
+/// Delivers `result` to every waiter of a completed slot. The first
+/// waiter (the submission that created the slot) receives the report
+/// as-is; coalesced joiners receive the same outcomes with the pool event
+/// rewritten to [`PoolEvent::CoalescedSelection`].
+fn fan_out(inner: &Inner, waiters: Vec<Waiter>, result: &GrainResult<SelectionReport>) {
+    for (i, waiter) in waiters.into_iter().enumerate() {
+        let payload = if i == 0 {
+            result.clone()
+        } else {
+            result.clone().map(|mut report| {
+                report.pool_event = PoolEvent::CoalescedSelection;
+                report
+            })
+        };
+        deliver(inner, &waiter.tx, payload);
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        // Claim work under the state lock; block on the condvar while
+        // paused or idle.
+        let dispatch = {
+            let mut state = inner.lock_state();
+            loop {
+                if !state.paused || state.shutdown {
+                    let dispatch = state.queue.pop_dispatch(Instant::now(), inner.max_group);
+                    if !dispatch.is_empty() {
+                        break Some(dispatch);
+                    }
+                    if state.shutdown {
+                        break None;
+                    }
+                }
+                state = inner
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        let Some(dispatch) = dispatch else {
+            return; // shutdown with a drained queue
+        };
+
+        // Load-shed: resolve expired waiters without running anything.
+        for waiter in dispatch.shed {
+            SchedCounters::bump(&inner.counters.shed_deadline);
+            deliver(
+                inner,
+                &waiter.tx,
+                Err(GrainError::DeadlineExceeded {
+                    stage: DeadlineStage::InQueue,
+                }),
+            );
+        }
+        if dispatch.group.is_empty() {
+            continue;
+        }
+
+        // Execute the group through the service's batched warm-engine
+        // path: every request shares one engine key, so submit_batch runs
+        // them back to back on the one warm engine, bit-identical to
+        // serial `select` calls.
+        let (keys, requests): (Vec<queue::CoalesceKey>, Vec<SelectionRequest>) =
+            dispatch.group.into_iter().unzip();
+        let results = catch_unwind(AssertUnwindSafe(|| inner.service.submit_batch(&requests)));
+        SchedCounters::bump(&inner.counters.dispatch_groups);
+        match results {
+            Ok(results) => {
+                for (key, result) in keys.iter().zip(results) {
+                    // `selections` counts work actually executed; a typed
+                    // per-request error (unknown graph, bad config) means
+                    // no selection ran.
+                    if result.is_ok() {
+                        SchedCounters::bump(&inner.counters.selections);
+                    }
+                    // Take the slot under the lock, deliver outside it: the
+                    // fan-out clones the report once per waiter and must
+                    // not stall submissions or other workers.
+                    let slot = inner.lock_state().queue.complete(key);
+                    if let Some(slot) = slot {
+                        fan_out(inner, slot.waiters, &result);
+                    }
+                }
+            }
+            Err(_) => {
+                // A panic inside the service is a bug, but waiters must
+                // not hang on it: fail the whole group typed (same
+                // contract as the pool's abandoned-build latch) and keep
+                // the worker alive for the rest of the queue.
+                for (key, request) in keys.iter().zip(&requests) {
+                    let slot = inner.lock_state().queue.complete(key);
+                    if let Some(slot) = slot {
+                        fan_out(
+                            inner,
+                            slot.waiters,
+                            &Err(GrainError::EngineBuildAbandoned {
+                                graph: request.graph.clone(),
+                            }),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GrainConfig;
+    use crate::service::Budget;
+    use grain_graph::generators;
+    use grain_linalg::DenseMatrix;
+
+    fn service() -> Arc<GrainService> {
+        let service = Arc::new(GrainService::new());
+        let graph = generators::erdos_renyi_gnm(120, 360, 3);
+        let mut features = DenseMatrix::zeros(120, 6);
+        for v in 0..120 {
+            for (j, value) in features.row_mut(v).iter_mut().enumerate() {
+                *value = ((v * 31 + j * 7) % 13) as f32 * 0.1;
+            }
+        }
+        service.register_graph("g", graph, features).unwrap();
+        service
+    }
+
+    fn request(budget: usize) -> SelectionRequest {
+        SelectionRequest::new("g", GrainConfig::ball_d(), Budget::Fixed(budget))
+    }
+
+    #[test]
+    fn scheduler_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Scheduler>();
+        assert_send_sync::<Ticket>();
+    }
+
+    #[test]
+    fn submit_resolves_to_the_service_answer() {
+        let service = service();
+        let scheduler = Scheduler::new(Arc::clone(&service), SchedulerConfig::default());
+        let ticket = scheduler.submit(request(6)).unwrap();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.outcome().selected.len(), 6);
+        assert_eq!(
+            report.outcome().selected,
+            service.select(&request(6)).unwrap().outcome().selected
+        );
+    }
+
+    #[test]
+    fn selection_errors_resolve_through_the_ticket() {
+        let scheduler = Scheduler::new(service(), SchedulerConfig::default());
+        let missing = SelectionRequest::new("nope", GrainConfig::ball_d(), Budget::Fixed(3));
+        let ticket = scheduler.submit(missing).unwrap();
+        assert_eq!(
+            ticket.wait().unwrap_err(),
+            GrainError::UnknownGraph {
+                graph: "nope".into()
+            }
+        );
+    }
+
+    #[test]
+    fn shutdown_rejects_new_submissions_and_drains_queued_work() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let ticket = scheduler.submit(request(5)).unwrap();
+        scheduler.shutdown();
+        assert_eq!(
+            scheduler.submit(request(5)).unwrap_err(),
+            GrainError::SchedulerShutdown
+        );
+        // Shutdown drains: the queued request still completes.
+        assert_eq!(ticket.wait().unwrap().outcome().selected.len(), 5);
+        // Shutdown outranks deadline rejection: an already-expired
+        // submission on a dead scheduler says "stop submitting".
+        let dead = ScheduledRequest::new(request(5))
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(
+            scheduler.submit(dead).unwrap_err(),
+            GrainError::SchedulerShutdown
+        );
+    }
+
+    #[test]
+    fn try_wait_returns_the_ticket_until_resolution() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let ticket = scheduler.submit(request(4)).unwrap();
+        let ticket = match ticket.try_wait() {
+            Err(ticket) => ticket, // still queued: paused scheduler
+            Ok(result) => panic!("resolved while paused: {result:?}"),
+        };
+        scheduler.resume();
+        let report = ticket.wait().unwrap();
+        assert_eq!(report.outcome().selected.len(), 4);
+    }
+
+    #[test]
+    fn dropping_the_scheduler_fails_unresolved_tickets_typed() {
+        let scheduler = Scheduler::new(service(), SchedulerConfig::default());
+        scheduler.shutdown();
+        // Workers have exited (or will); a ticket whose channel sender is
+        // dropped resolves SchedulerShutdown instead of hanging.
+        let (tx, rx) = bounded::<GrainResult<SelectionReport>>(1);
+        drop(tx);
+        let orphan = Ticket { rx };
+        assert_eq!(orphan.wait().unwrap_err(), GrainError::SchedulerShutdown);
+    }
+}

@@ -1,0 +1,728 @@
+//! The scheduler's dispatch queue: a pure, single-threaded data structure
+//! (the [`super::Scheduler`] wraps it in one mutex) combining
+//!
+//! * a **coalescing map** — one slot per distinct in-flight selection,
+//!   keyed by [`CoalesceKey`]; identical submissions attach as extra
+//!   waiters instead of new work,
+//! * an **urgency heap** — priority first, earliest-deadline-first within
+//!   a priority, FIFO as the tiebreak; entries are invalidated lazily via
+//!   per-slot stamps so urgency upgrades never rebuild the heap, and
+//! * **deadline triage** — expired waiters are shed at dequeue, before
+//!   any selection work is spent on them.
+//!
+//! Dispatch is *group-at-a-time*: once the most urgent slot is chosen, up
+//! to `max_group - 1` further queued slots with the same **engine key**
+//! `(graph, artifact fingerprint)` ride along (in submission order), so a
+//! worker hands [`crate::GrainService::submit_batch`] work that lands on
+//! one warm engine. This deliberately relaxes strict global EDF — a
+//! same-engine sibling may overtake a more urgent foreign-key slot — but
+//! only within one bounded group, and it is exactly the trade that keeps
+//! artifact caches hot under mixed traffic.
+
+use crate::error::GrainResult;
+use crate::service::{Budget, SelectionReport, SelectionRequest};
+use crossbeam::channel::Sender;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One party waiting on a queued or in-flight selection: the sending half
+/// of its [`super::Ticket`] plus its own deadline (waiters coalesced onto
+/// one slot keep individual deadlines; triage is per waiter).
+pub(super) struct Waiter {
+    pub(super) tx: Sender<GrainResult<SelectionReport>>,
+    pub(super) deadline: Option<Instant>,
+}
+
+/// The identity under which two submissions are "the same selection":
+/// graph, the full [`crate::GrainConfig::selection_fingerprint`] of the
+/// effective config, the budget, the candidate pool, and the bookkeeping
+/// seed (the seed is echoed into the report, so submissions differing
+/// only in seed must not share one report). The candidate pool is
+/// compared by content (shared behind an `Arc` so key clones stay
+/// cheap), never by hash alone — coalescing must never conflate two
+/// requests that could answer differently. Construction is O(pool)
+/// (fingerprint formatting + one pool copy + one pool hash), so
+/// [`super::Scheduler::submit`] builds the key *before* taking the
+/// scheduler's state mutex; the pool hash is cached in the key so map
+/// operations under the mutex never re-hash the slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(super) struct CoalesceKey {
+    graph: String,
+    selection: String,
+    budget: String,
+    candidates: Option<Arc<[u32]>>,
+    /// Content hash of `candidates`, computed once at construction.
+    /// Equal pools always produce the equal cached hash, so the manual
+    /// `Hash` impl below stays consistent with the derived `Eq`.
+    candidates_hash: u64,
+    seed: u64,
+}
+
+impl Hash for CoalesceKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.graph.hash(state);
+        self.selection.hash(state);
+        self.budget.hash(state);
+        self.candidates_hash.hash(state);
+        self.seed.hash(state);
+    }
+}
+
+impl CoalesceKey {
+    pub(super) fn of(request: &SelectionRequest) -> Self {
+        let budget = match &request.budget {
+            Budget::Fixed(n) => format!("fix:{n}"),
+            Budget::Fraction(f) => format!("frac:{:016x}", f.to_bits()),
+            Budget::Sweep(budgets) => format!("sweep:{budgets:?}"),
+        };
+        let mut hasher = DefaultHasher::new();
+        request.candidates.hash(&mut hasher);
+        Self {
+            graph: request.graph.clone(),
+            selection: request.effective_config().selection_fingerprint(),
+            budget,
+            candidates: request.candidates.as_deref().map(Arc::from),
+            candidates_hash: hasher.finish(),
+            seed: request.seed,
+        }
+    }
+}
+
+/// A submission prepared *outside* the scheduler's state mutex: the
+/// coalesce key, the owned request, and its engine key. Both derived
+/// values cost O(candidate pool) / fingerprint formatting, which is why
+/// they are computed before locking — [`DispatchQueue::admit`] then does
+/// only map/heap work under the mutex.
+pub(super) struct PreparedSubmission {
+    pub(super) key: CoalesceKey,
+    pub(super) request: SelectionRequest,
+    pub(super) engine_key: (String, String),
+}
+
+impl PreparedSubmission {
+    pub(super) fn new(request: SelectionRequest) -> Self {
+        Self {
+            key: CoalesceKey::of(&request),
+            engine_key: request.engine_key(),
+            request,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    /// Waiting in the queue; owns a live heap entry (`stamp`).
+    Queued,
+    /// Claimed by a worker; joins still attach until
+    /// [`DispatchQueue::complete`] removes the slot.
+    Running,
+}
+
+/// One distinct pending selection and everyone waiting on it.
+pub(super) struct Slot {
+    /// Owned while `Queued`; moved (not cloned) into the [`Dispatch`]
+    /// when a worker claims the slot.
+    request: Option<SelectionRequest>,
+    pub(super) engine_key: (String, String),
+    pub(super) waiters: Vec<Waiter>,
+    state: SlotState,
+    /// Scheduling urgency: max priority over waiters.
+    priority: u8,
+    /// Scheduling urgency: earliest concrete deadline over waiters
+    /// (`None` only while every waiter is deadline-free).
+    deadline: Option<Instant>,
+    /// Matches the one live heap entry; stale entries are skipped at pop.
+    stamp: u64,
+    /// Global submission order, the FIFO tiebreak.
+    seq: u64,
+}
+
+/// A heap entry referencing a slot at a particular urgency stamp.
+struct HeapEntry {
+    priority: u8,
+    deadline: Option<Instant>,
+    seq: u64,
+    stamp: u64,
+    key: CoalesceKey,
+}
+
+impl HeapEntry {
+    /// Max-heap order = dispatch urgency: higher priority, then earlier
+    /// deadline (a concrete deadline beats none), then earlier submission.
+    fn urgency(&self, other: &Self) -> Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| match (self.deadline, other.deadline) {
+                (Some(a), Some(b)) => b.cmp(&a),
+                (Some(_), None) => Ordering::Greater,
+                (None, Some(_)) => Ordering::Less,
+                (None, None) => Ordering::Equal,
+            })
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.urgency(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.urgency(other)
+    }
+}
+
+/// What [`DispatchQueue::admit`] did with a submission.
+pub(super) enum Admission {
+    /// A new work item was queued.
+    Enqueued,
+    /// The submission attached to an identical queued/running selection;
+    /// no new work exists.
+    Coalesced,
+    /// The queue is at capacity; the waiter was dropped unserved.
+    RejectedFull,
+}
+
+/// One unit of work handed to a scheduler worker.
+pub(super) struct Dispatch {
+    /// Slots to execute, all sharing one engine key, most urgent first
+    /// then submission order. Empty when the pass only shed dead work.
+    pub(super) group: Vec<(CoalesceKey, SelectionRequest)>,
+    /// Waiters whose deadline expired while queued — resolve with
+    /// [`crate::error::DeadlineStage::InQueue`], no selection run.
+    pub(super) shed: Vec<Waiter>,
+}
+
+impl Dispatch {
+    pub(super) fn is_empty(&self) -> bool {
+        self.group.is_empty() && self.shed.is_empty()
+    }
+}
+
+/// See the module docs. All methods are O(queue) worst case and run under
+/// the scheduler's state mutex.
+#[derive(Default)]
+pub(super) struct DispatchQueue {
+    slots: HashMap<CoalesceKey, Slot>,
+    heap: BinaryHeap<HeapEntry>,
+    /// Number of slots in `Queued` state — the admission-control measure
+    /// (running slots and coalesced waiters consume no queue capacity).
+    queued: usize,
+    next_seq: u64,
+    /// Queue-global stamp source: stamps are never reused across slots,
+    /// so a stale heap entry left behind by a completed slot can never
+    /// match a later slot that re-queues the same coalesce key.
+    next_stamp: u64,
+}
+
+impl DispatchQueue {
+    /// Queued (not yet claimed) work items.
+    pub(super) fn depth(&self) -> usize {
+        self.queued
+    }
+
+    /// True when no work is queued or running.
+    pub(super) fn is_idle(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Admits a submission: coalesce onto an identical pending selection
+    /// if one exists, otherwise enqueue a new work item unless `capacity`
+    /// queued items already exist. The [`PreparedSubmission`] carries
+    /// everything expensive precomputed outside the scheduler's state
+    /// mutex, so no O(pool) copy or fingerprint formatting runs under it.
+    pub(super) fn admit(
+        &mut self,
+        prepared: PreparedSubmission,
+        priority: u8,
+        deadline: Option<Instant>,
+        tx: Sender<GrainResult<SelectionReport>>,
+        capacity: usize,
+    ) -> Admission {
+        let PreparedSubmission {
+            key,
+            request,
+            engine_key,
+        } = prepared;
+        if let Some(slot) = self.slots.get_mut(&key) {
+            slot.waiters.push(Waiter { tx, deadline });
+            // A more urgent waiter drags the whole slot forward; the old
+            // heap entry goes stale (stamp) instead of being dug out.
+            if slot.state == SlotState::Queued {
+                let priority = slot.priority.max(priority);
+                let deadline = match (slot.deadline, deadline) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if (priority, deadline) != (slot.priority, slot.deadline) {
+                    slot.priority = priority;
+                    slot.deadline = deadline;
+                    slot.stamp = self.next_stamp;
+                    self.next_stamp += 1;
+                    self.heap.push(HeapEntry {
+                        priority,
+                        deadline,
+                        seq: slot.seq,
+                        stamp: slot.stamp,
+                        key,
+                    });
+                }
+            }
+            return Admission::Coalesced;
+        }
+        if self.queued >= capacity {
+            return Admission::RejectedFull;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let stamp = self.next_stamp;
+        self.next_stamp += 1;
+        self.heap.push(HeapEntry {
+            priority,
+            deadline,
+            seq,
+            stamp,
+            key: key.clone(),
+        });
+        self.slots.insert(
+            key,
+            Slot {
+                engine_key,
+                request: Some(request),
+                waiters: vec![Waiter { tx, deadline }],
+                state: SlotState::Queued,
+                priority,
+                deadline,
+                stamp,
+                seq,
+            },
+        );
+        self.queued += 1;
+        Admission::Enqueued
+    }
+
+    /// Removes and returns `slot`'s waiters whose deadline has passed; if
+    /// none remain the slot itself is dead. Order-preserving: fan-out
+    /// treats the first surviving waiter as the slot's creator (it alone
+    /// receives the unrewritten pool event), so shedding must not shuffle
+    /// the survivors.
+    fn triage(slot: &mut Slot, now: Instant, shed: &mut Vec<Waiter>) {
+        let (dead, live): (Vec<Waiter>, Vec<Waiter>) = std::mem::take(&mut slot.waiters)
+            .into_iter()
+            .partition(|w| w.deadline.is_some_and(|d| d <= now));
+        shed.extend(dead);
+        slot.waiters = live;
+    }
+
+    /// Claims the next unit of work: the most urgent live slot plus up to
+    /// `max_group - 1` queued slots sharing its engine key (in submission
+    /// order), all marked running. Expired waiters encountered along the
+    /// way are shed, not run. An empty [`Dispatch`] means the queue holds
+    /// no queued work.
+    pub(super) fn pop_dispatch(&mut self, now: Instant, max_group: usize) -> Dispatch {
+        let mut dispatch = Dispatch {
+            group: Vec::new(),
+            shed: Vec::new(),
+        };
+        let head_key = loop {
+            let Some(entry) = self.heap.pop() else {
+                return dispatch;
+            };
+            let Some(slot) = self.slots.get_mut(&entry.key) else {
+                continue; // completed under a stale entry
+            };
+            if slot.state != SlotState::Queued || slot.stamp != entry.stamp {
+                continue; // running, or superseded by an urgency upgrade
+            }
+            Self::triage(slot, now, &mut dispatch.shed);
+            if slot.waiters.is_empty() {
+                self.slots.remove(&entry.key);
+                self.queued -= 1;
+                continue; // fully expired: shed without running
+            }
+            break entry.key;
+        };
+        let engine_key = {
+            let slot = self.slots.get_mut(&head_key).expect("head slot exists");
+            slot.state = SlotState::Running;
+            self.queued -= 1;
+            let request = slot.request.take().expect("queued slot owns its request");
+            dispatch.group.push((head_key.clone(), request));
+            slot.engine_key.clone()
+        };
+        if max_group > 1 {
+            let mut siblings: Vec<(u64, CoalesceKey)> = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.state == SlotState::Queued && s.engine_key == engine_key)
+                .map(|(k, s)| (s.seq, k.clone()))
+                .collect();
+            siblings.sort_unstable_by_key(|(seq, _)| *seq);
+            for (_, key) in siblings.into_iter().take(max_group - 1) {
+                let slot = self.slots.get_mut(&key).expect("sibling slot exists");
+                Self::triage(slot, now, &mut dispatch.shed);
+                if slot.waiters.is_empty() {
+                    self.slots.remove(&key);
+                    self.queued -= 1;
+                    continue;
+                }
+                slot.state = SlotState::Running;
+                self.queued -= 1;
+                let request = slot.request.take().expect("queued slot owns its request");
+                dispatch.group.push((key.clone(), request));
+            }
+        }
+        dispatch
+    }
+
+    /// Removes a completed running slot, handing back its waiters —
+    /// including any that coalesced onto it *after* dispatch — for
+    /// fan-out.
+    pub(super) fn complete(&mut self, key: &CoalesceKey) -> Option<Slot> {
+        debug_assert!(self
+            .slots
+            .get(key)
+            .map_or(true, |s| s.state == SlotState::Running));
+        self.slots.remove(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GrainConfig;
+    use crate::service::Budget;
+    use crossbeam::channel::{bounded, Receiver};
+    use std::time::Duration;
+
+    fn request(graph: &str, budget: usize) -> SelectionRequest {
+        SelectionRequest::new(graph, GrainConfig::ball_d(), Budget::Fixed(budget))
+    }
+
+    fn waiter() -> (
+        Sender<GrainResult<SelectionReport>>,
+        Receiver<GrainResult<SelectionReport>>,
+    ) {
+        bounded(1)
+    }
+
+    fn admit(
+        q: &mut DispatchQueue,
+        r: &SelectionRequest,
+        priority: u8,
+        deadline: Option<Instant>,
+    ) -> Admission {
+        let (tx, rx) = waiter();
+        std::mem::forget(rx); // keep the channel connected for the test
+        q.admit(
+            PreparedSubmission::new(r.clone()),
+            priority,
+            deadline,
+            tx,
+            usize::MAX,
+        )
+    }
+
+    fn admit_capped(
+        q: &mut DispatchQueue,
+        r: &SelectionRequest,
+        tx: Sender<GrainResult<SelectionReport>>,
+        capacity: usize,
+    ) -> Admission {
+        q.admit(PreparedSubmission::new(r.clone()), 0, None, tx, capacity)
+    }
+
+    fn popped_budgets(d: &Dispatch) -> Vec<usize> {
+        d.group
+            .iter()
+            .map(|(_, r)| match r.budget {
+                Budget::Fixed(n) => n,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identical_requests_coalesce_into_one_slot() {
+        let mut q = DispatchQueue::default();
+        let r = request("g", 5);
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued));
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Coalesced));
+        assert_eq!(q.depth(), 1);
+        let d = q.pop_dispatch(Instant::now(), 1);
+        assert_eq!(d.group.len(), 1);
+        let slot = q.complete(&d.group[0].0).unwrap();
+        assert_eq!(slot.waiters.len(), 2);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn different_seed_or_budget_does_not_coalesce() {
+        let mut q = DispatchQueue::default();
+        let r = request("g", 5);
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued));
+        let other_budget = request("g", 6);
+        assert!(matches!(
+            admit(&mut q, &other_budget, 0, None),
+            Admission::Enqueued
+        ));
+        let other_seed = request("g", 5).with_seed(9);
+        assert!(matches!(
+            admit(&mut q, &other_seed, 0, None),
+            Admission::Enqueued
+        ));
+        assert_eq!(q.depth(), 3);
+        // Candidate pools are compared by content: a different pool is
+        // new work, an identical pool coalesces.
+        let pool_a = request("g", 5).with_candidates(vec![1, 2, 3]);
+        let pool_b = request("g", 5).with_candidates(vec![1, 2, 4]);
+        assert!(matches!(
+            admit(&mut q, &pool_a, 0, None),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &pool_b, 0, None),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &pool_a, 0, None),
+            Admission::Coalesced
+        ));
+        assert_eq!(q.depth(), 5);
+    }
+
+    #[test]
+    fn stale_entries_from_a_completed_slot_never_resurrect_urgency() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let k = request("k", 1);
+        // An urgency upgrade leaves the original heap entry stale.
+        admit(&mut q, &k, 7, None);
+        assert!(matches!(admit(&mut q, &k, 9, None), Admission::Coalesced));
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group[0].1.graph, "k");
+        q.complete(&d.group[0].0);
+        // Re-queue the same coalesce key at low priority next to a
+        // mid-priority rival: the dead prio-7 entry must not match the
+        // new slot and jump it ahead.
+        admit(&mut q, &k, 0, None);
+        admit(&mut q, &request("rival", 1), 5, None);
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(
+            d.group[0].1.graph, "rival",
+            "a stale heap entry must not boost a re-queued slot"
+        );
+        q.complete(&d.group[0].0);
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group[0].1.graph, "k");
+        q.complete(&d.group[0].0);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn capacity_bounds_new_work_but_not_coalescing() {
+        let mut q = DispatchQueue::default();
+        let a = request("g", 5);
+        let b = request("g", 6);
+        let (tx, _rx) = waiter();
+        assert!(matches!(
+            admit_capped(&mut q, &a, tx, 1),
+            Admission::Enqueued
+        ));
+        let (tx, _rx2) = waiter();
+        assert!(matches!(
+            admit_capped(&mut q, &b, tx, 1),
+            Admission::RejectedFull
+        ));
+        // Identical to the queued one: still admitted (no new work).
+        let (tx, _rx3) = waiter();
+        assert!(matches!(
+            admit_capped(&mut q, &a, tx, 1),
+            Admission::Coalesced
+        ));
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn pop_order_is_priority_then_deadline_then_fifo() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let soon = now + Duration::from_secs(1);
+        let later = now + Duration::from_secs(60);
+        // Distinct graphs so nothing groups; max_group = 1.
+        assert!(matches!(
+            admit(&mut q, &request("fifo-a", 1), 0, None),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &request("edf-later", 2), 0, Some(later)),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &request("edf-soon", 3), 0, Some(soon)),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &request("prio", 4), 7, None),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &request("fifo-b", 5), 0, None),
+            Admission::Enqueued
+        ));
+        let mut order = Vec::new();
+        loop {
+            let d = q.pop_dispatch(now, 1);
+            if d.group.is_empty() {
+                break;
+            }
+            order.push(d.group[0].1.graph.clone());
+            let key = d.group[0].0.clone();
+            q.complete(&key);
+        }
+        assert_eq!(
+            order,
+            vec!["prio", "edf-soon", "edf-later", "fifo-a", "fifo-b"]
+        );
+    }
+
+    #[test]
+    fn coalesced_urgency_upgrade_reorders_the_queue() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let r_slow = request("a", 1);
+        let r_fast = request("b", 1);
+        assert!(matches!(
+            admit(&mut q, &r_slow, 0, None),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &r_fast, 0, None),
+            Admission::Enqueued
+        ));
+        // FIFO would run `a` first; a high-priority duplicate of `b`
+        // drags its slot to the front.
+        assert!(matches!(
+            admit(&mut q, &r_fast, 9, None),
+            Admission::Coalesced
+        ));
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group[0].1.graph, "b");
+        let slot = q.complete(&d.group[0].0).unwrap();
+        assert_eq!(slot.waiters.len(), 2, "both waiters ride the one slot");
+    }
+
+    #[test]
+    fn dispatch_groups_by_engine_key_in_submission_order() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        // Same graph + artifact fingerprint, different budgets: one
+        // engine key, three distinct coalesce keys.
+        for budget in [4, 5, 6] {
+            assert!(matches!(
+                admit(&mut q, &request("g", budget), 0, None),
+                Admission::Enqueued
+            ));
+        }
+        // A foreign engine key queued in between.
+        assert!(matches!(
+            admit(&mut q, &request("other", 4), 0, None),
+            Admission::Enqueued
+        ));
+        let d = q.pop_dispatch(now, 8);
+        assert_eq!(popped_budgets(&d), vec![4, 5, 6]);
+        assert!(d.group.iter().all(|(_, r)| r.graph == "g"));
+        assert_eq!(q.depth(), 1, "the foreign key stays queued");
+        for (key, _) in &d.group {
+            q.complete(key);
+        }
+        let leftover = q.pop_dispatch(now, 8);
+        assert_eq!(leftover.group[0].1.graph, "other");
+        q.complete(&leftover.group[0].0);
+        // max_group caps the ride-along count.
+        for budget in [4, 5, 6] {
+            admit(&mut q, &request("g", budget), 0, None);
+        }
+        let d = q.pop_dispatch(now, 2);
+        assert_eq!(popped_budgets(&d), vec![4, 5]);
+    }
+
+    #[test]
+    fn expired_waiters_are_shed_at_dequeue_not_run() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let past = now - Duration::from_millis(1);
+        let r_dead = request("dead", 1);
+        let r_live = request("live", 1);
+        assert!(matches!(
+            admit(&mut q, &r_dead, 0, Some(past)),
+            Admission::Enqueued
+        ));
+        assert!(matches!(
+            admit(&mut q, &r_live, 0, None),
+            Admission::Enqueued
+        ));
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.shed.len(), 1, "the expired waiter is shed");
+        assert_eq!(d.group.len(), 1);
+        assert_eq!(d.group[0].1.graph, "live");
+        // A mixed slot sheds only its expired waiters and still runs.
+        let r_mixed = request("mixed", 1);
+        admit(&mut q, &r_mixed, 0, Some(past));
+        admit(&mut q, &r_mixed, 0, None);
+        q.complete(&d.group[0].0);
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.shed.len(), 1);
+        assert_eq!(d.group.len(), 1);
+        let slot = q.complete(&d.group[0].0).unwrap();
+        assert_eq!(slot.waiters.len(), 1, "the live waiter still runs");
+    }
+
+    #[test]
+    fn shedding_preserves_surviving_waiter_order() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let past = now - Duration::from_millis(1);
+        let soon = now + Duration::from_secs(1);
+        let later = now + Duration::from_secs(60);
+        // Creator expired; survivors must keep their join order (fan-out
+        // hands the first surviving waiter the unrewritten pool event).
+        let r = request("g", 1);
+        admit(&mut q, &r, 0, Some(past));
+        admit(&mut q, &r, 0, Some(soon));
+        admit(&mut q, &r, 0, Some(later));
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.shed.len(), 1);
+        let slot = q.complete(&d.group[0].0).unwrap();
+        let deadlines: Vec<_> = slot.waiters.iter().map(|w| w.deadline.unwrap()).collect();
+        assert_eq!(deadlines, vec![soon, later]);
+    }
+
+    #[test]
+    fn waiters_joining_a_running_slot_are_returned_at_complete() {
+        let mut q = DispatchQueue::default();
+        let r = request("g", 5);
+        admit(&mut q, &r, 0, None);
+        let d = q.pop_dispatch(Instant::now(), 1);
+        assert_eq!(q.depth(), 0, "running work holds no queue capacity");
+        // An identical submission while running coalesces, costs no
+        // capacity, and is visible at completion.
+        let (tx, _rx) = waiter();
+        assert!(matches!(
+            admit_capped(&mut q, &r, tx, 0),
+            Admission::Coalesced
+        ));
+        let slot = q.complete(&d.group[0].0).unwrap();
+        assert_eq!(slot.waiters.len(), 2);
+    }
+}

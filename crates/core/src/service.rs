@@ -169,12 +169,27 @@ impl SelectionRequest {
 
     /// The effective configuration after the per-request variant
     /// override.
-    fn effective_config(&self) -> GrainConfig {
+    pub(crate) fn effective_config(&self) -> GrainConfig {
         let mut config = self.config;
         if let Some(variant) = self.variant {
             config.variant = variant;
         }
         config
+    }
+
+    /// The engine-pool key this request routes to:
+    /// `(graph id, artifact fingerprint)` of the effective config.
+    ///
+    /// Requests with equal engine keys are answered by one pooled engine
+    /// (warm artifacts); [`GrainService::submit_batch`] groups by this key
+    /// and the [`crate::scheduler::Scheduler`] dispatches ready work
+    /// grouped by it so each worker lands on a warm engine.
+    #[must_use]
+    pub fn engine_key(&self) -> (String, String) {
+        (
+            self.graph.clone(),
+            self.effective_config().artifact_fingerprint(),
+        )
     }
 }
 
@@ -193,6 +208,12 @@ pub enum PoolEvent {
     /// request waited on the build latch and shares the one result
     /// instead of duplicating the build.
     JoinedBuild,
+    /// The request never reached the pool at all: the
+    /// [`crate::scheduler::Scheduler`] recognized it as identical to an
+    /// in-flight selection and fanned that selection's report out to it —
+    /// the build latch's dedup idea, extended from engine builds to whole
+    /// selections.
+    CoalescedSelection,
 }
 
 /// Aggregate [`EnginePool`] counters (summed across shards).
@@ -1085,10 +1106,7 @@ impl GrainService {
         let mut group_of: HashMap<(String, String), usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
         for (i, request) in requests.iter().enumerate() {
-            let key = (
-                request.graph.clone(),
-                request.effective_config().artifact_fingerprint(),
-            );
+            let key = request.engine_key();
             let group = *group_of.entry(key).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1

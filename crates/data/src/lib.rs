@@ -10,6 +10,25 @@
 //! exist only in the real corpora), and Reddit / papers100M are scaled to
 //! laptop size while preserving the density contrasts the paper's
 //! conclusions rely on.
+//!
+//! ```
+//! use grain_data::synthetic;
+//!
+//! // A Cora-scale stand-in at a custom node count, deterministic per
+//! // seed: same corpus every run, everywhere.
+//! let dataset = synthetic::papers_like(400, 42);
+//! assert_eq!(dataset.graph.num_nodes(), 400);
+//! assert_eq!(dataset.features.rows(), 400);
+//! assert_eq!(dataset.labels.len(), 400);
+//! assert!(dataset.num_classes > 1);
+//!
+//! // The train/val/test partition is disjoint.
+//! let split = &dataset.split;
+//! assert!(split.train.iter().all(|v| !split.val.contains(v) && !split.test.contains(v)));
+//!
+//! let again = synthetic::papers_like(400, 42);
+//! assert_eq!(dataset.labels, again.labels);
+//! ```
 
 pub mod dataset;
 pub mod loader;

@@ -18,6 +18,32 @@
 //! experiment harness. Training is full-batch, deterministic per seed, and
 //! supports validation-based early stopping plus per-epoch hooks (used by
 //! the forgetting-events core-set baseline).
+//!
+//! ```
+//! use grain_gnn::sgc::SgcModel;
+//! use grain_gnn::{metrics, Model, TrainConfig};
+//! use grain_graph::generators;
+//! use grain_linalg::DenseMatrix;
+//!
+//! // Two feature-separable classes on a small random graph.
+//! let g = generators::erdos_renyi_gnm(60, 180, 9);
+//! let labels: Vec<u32> = (0..60).map(|v| (v % 2) as u32).collect();
+//! let mut x = DenseMatrix::zeros(60, 4);
+//! for v in 0..60 {
+//!     x.row_mut(v)[v % 2] = 1.0;
+//! }
+//!
+//! // SGC = 2-step smoothing + a linear softmax head, trained full-batch.
+//! let mut model = SgcModel::new(&g, &x, 2, 2, 0);
+//! let train: Vec<u32> = (0..40).collect();
+//! let val: Vec<u32> = (40..50).collect();
+//! let report = model.train(&labels, &train, &val, &TrainConfig::fast());
+//! assert!(report.epochs_run > 0);
+//!
+//! let test: Vec<u32> = (50..60).collect();
+//! let acc = metrics::accuracy(&model.predict(), &labels, &test);
+//! assert!((0.0..=1.0).contains(&acc));
+//! ```
 
 pub mod activ;
 pub mod adam;

@@ -21,7 +21,11 @@
 //! [`submit_batch`](core::service::GrainService::submit_batch). Repeated
 //! and related requests (budget sweeps, ablations, γ scans) share cached
 //! pipeline artifacts and come back bit-identical to cold runs at any
-//! thread count.
+//! thread count. For open-loop traffic, wrap the service in a
+//! [`Scheduler`](core::scheduler::Scheduler): a bounded queue with
+//! admission control, coalescing of identical in-flight selections, and
+//! deadline/priority dispatch (see `docs/ARCHITECTURE.md` for the layer
+//! map).
 //!
 //! ```
 //! use grain::prelude::*;
@@ -111,9 +115,10 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        Budget, DiversityKind, EngineCheckout, EngineStats, GrainConfig, GrainError, GrainResult,
-        GrainSelector, GrainService, GrainVariant, GreedyAlgorithm, PoolEvent, PoolStats,
-        PruneStrategy, SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest,
+        Budget, DeadlineStage, DiversityKind, EngineCheckout, EngineStats, GrainConfig, GrainError,
+        GrainResult, GrainSelector, GrainService, GrainVariant, GreedyAlgorithm, PoolEvent,
+        PoolStats, PruneStrategy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats,
+        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

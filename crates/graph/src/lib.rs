@@ -14,6 +14,22 @@
 //!   synthesize the evaluation corpora,
 //! * [`algo`] — BFS, connected components, PageRank (AGE's centrality arm),
 //! * [`io`] — edge-list text round-trips.
+//!
+//! ```
+//! use grain_graph::{generators, transition_matrix, TransitionKind};
+//!
+//! // A seeded G(n, m) graph: the substrate every pipeline stage reads.
+//! let g = generators::erdos_renyi_gnm(100, 300, 7);
+//! assert_eq!((g.num_nodes(), g.num_edges()), (100, 300));
+//!
+//! // The Table 1 random-walk transition matrix over Ã = A + I: every
+//! // row is a probability distribution over the node's neighborhood.
+//! let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+//! let (neighbors, weights) = t.row(0);
+//! assert_eq!(neighbors.len(), g.degree(0) + 1); // + the self-loop
+//! let mass: f32 = weights.iter().sum();
+//! assert!((mass - 1.0).abs() < 1e-5);
+//! ```
 
 pub mod algo;
 pub mod builder;

@@ -17,6 +17,26 @@
 //!   selection,
 //! * [`theory`] offers empirical monotonicity/submodularity checkers used
 //!   by the property-test suite (Theorems 3.3, 3.5, 3.7).
+//!
+//! ```
+//! use grain_graph::{generators, transition_matrix, TransitionKind};
+//! use grain_influence::{ActivationIndex, InfluenceRows, ThetaRule};
+//!
+//! let g = generators::erdos_renyi_gnm(60, 180, 5);
+//! let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+//!
+//! // Normalized influence rows I_v(·, 2) (Eq. 8/9): each node's
+//! // influencers carry unit total mass after per-row L1 normalization.
+//! let rows = InfluenceRows::compute(&t, 2, 1e-4);
+//! let mass: f32 = rows.row(0).iter().map(|&(_, w)| w).sum();
+//! assert!((mass - 1.0).abs() < 1e-4);
+//!
+//! // Inverted into the activation index act[u] = {v : I_v(u, 2) > θ}
+//! // (Definition 3.2), |σ(S)| becomes an incremental coverage count.
+//! let index = ActivationIndex::build_with_rule(&rows, ThetaRule::RelativeToRowMax(0.25));
+//! let sigma = index.sigma(&[0, 1]);
+//! assert!(sigma.len() >= index.sigma(&[0]).len(), "coverage is monotone");
+//! ```
 
 pub mod coverage;
 pub mod index;

@@ -15,6 +15,21 @@
 //!
 //! All kernels are deterministic given a seeded RNG, which the reproduction
 //! harness relies on.
+//!
+//! ```
+//! use grain_linalg::{ops, DenseMatrix};
+//!
+//! let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let product = ops::matmul(&a, &DenseMatrix::eye(2));
+//! assert_eq!(product.as_slice(), a.as_slice());
+//!
+//! // Row-normalization, the step Definition 3.4/3.6 apply before any
+//! // distance is measured in the diversity feature space.
+//! let mut rows = DenseMatrix::from_rows(&[&[3.0, 4.0], &[0.0, 2.0]]);
+//! ops::l2_normalize_rows(&mut rows);
+//! assert_eq!(rows.row(0), &[0.6, 0.8]);
+//! assert_eq!(ops::row_norms(&rows), vec![1.0, 1.0]);
+//! ```
 
 pub mod dense;
 pub mod distance;

@@ -14,6 +14,21 @@
 //!   ablations behind the same trait,
 //! * [`models`] — the downstream-model factory used both inside
 //!   learning-based selectors and by the evaluation harness.
+//!
+//! ```
+//! use grain_select::random::RandomSelector;
+//! use grain_select::{NodeSelector, SelectionContext};
+//!
+//! let dataset = grain_data::synthetic::papers_like(300, 11);
+//! let ctx = SelectionContext::new(&dataset, 7);
+//!
+//! // Every baseline answers through the one trait, so the harness can
+//! // line Grain up against it without special cases.
+//! let mut selector = RandomSelector::new(7);
+//! let picked = selector.select(&ctx, 10);
+//! assert_eq!(picked.len(), 10);
+//! assert!(picked.iter().all(|v| dataset.split.train.contains(v)));
+//! ```
 
 pub mod age;
 pub mod anrmab;

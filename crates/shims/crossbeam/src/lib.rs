@@ -1,13 +1,21 @@
-//! Offline shim for the `crossbeam` scoped-thread API.
+//! Offline shim for the `crossbeam` scoped-thread and channel APIs.
 //!
-//! The workspace only uses `crossbeam::thread::scope` + `Scope::spawn` +
-//! `ScopedJoinHandle::join`; std has shipped structured scoped threads
-//! since 1.63, so the shim delegates to `std::thread::scope`.
+//! The workspace uses `crossbeam::thread::scope` + `Scope::spawn` +
+//! `ScopedJoinHandle::join` (std has shipped structured scoped threads
+//! since 1.63, so that part delegates to `std::thread::scope`) and the
+//! [`channel`] subset `bounded` / `Sender::{send, try_send}` /
+//! `Receiver::{recv, try_recv}` with the matching error types — the
+//! rendezvous primitive behind `grain_core::scheduler::Ticket`. The
+//! channel is a straightforward `Mutex<VecDeque>` + two condvars; it
+//! keeps crossbeam's disconnect semantics (buffered messages drain before
+//! `recv` reports `RecvError`; `send` fails once every receiver is gone).
 //!
-//! Behavioral difference kept intentionally: when a spawned thread panics
-//! and the handle was not joined, std re-raises the panic after the scope
-//! instead of returning `Err` — callers treat both as fatal, so the
-//! `.expect(...)` they attach simply never fires on the std path.
+//! Behavioral differences kept intentionally: when a spawned thread
+//! panics and the handle was not joined, std re-raises the panic after
+//! the scope instead of returning `Err` — callers treat both as fatal,
+//! so the `.expect(...)` they attach simply never fires on the std path.
+//! Zero-capacity (rendezvous) channels are not implemented; no use site
+//! needs them (shim policy: grow the surface only when one does).
 
 pub mod thread {
     use std::any::Any;
@@ -60,8 +68,235 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! MPMC channel shim mirroring `crossbeam_channel`'s bounded API.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Inner<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Inner<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+            self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Sender::try_send`]; carries the message back.
+    pub enum TrySendError<T> {
+        /// The channel buffer is at capacity.
+        Full(T),
+        /// Every receiver is gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "Full(..)",
+                TrySendError::Disconnected(_) => "Disconnected(..)",
+            })
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`]: the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing buffered right now; senders may still deliver.
+        Empty,
+        /// Nothing buffered and every sender is gone.
+        Disconnected,
+    }
+
+    /// Sending half of a bounded channel; clonable (MPMC).
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Receiving half of a bounded channel; clonable (MPMC).
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded MPMC channel holding up to `capacity` messages.
+    ///
+    /// # Panics
+    /// Panics on `capacity == 0`: the shim does not implement crossbeam's
+    /// zero-capacity rendezvous mode (no workspace use site needs it).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(
+            capacity > 0,
+            "the crossbeam shim does not implement zero-capacity rendezvous channels"
+        );
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(capacity.min(64)),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is buffered; fails (returning the
+        /// message) once every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.inner.lock();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                if state.queue.len() < state.capacity {
+                    state.queue.push_back(msg);
+                    drop(state);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .inner
+                    .not_full
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Buffers the message if there is room right now.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.inner.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if state.queue.len() == state.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; buffered messages drain before
+        /// a disconnect is reported.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .inner
+                    .not_empty
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Pops a buffered message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.inner.lock();
+            if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(msg);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().senders += 1;
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.lock().receivers += 1;
+            Self {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake every blocked receiver so it can observe the
+                // disconnect instead of waiting forever.
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.inner.lock();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::channel;
+
     #[test]
     fn scoped_threads_borrow_stack_data() {
         let data = [1u64, 2, 3, 4];
@@ -75,5 +310,48 @@ mod tests {
         })
         .unwrap();
         assert_eq!(sums, [3, 7]);
+    }
+
+    #[test]
+    fn bounded_channel_round_trips_across_threads() {
+        let (tx, rx) = channel::bounded::<u32>(2);
+        super::thread::scope(|scope| {
+            let tx2 = tx.clone();
+            scope.spawn(move |_| {
+                for v in 0..10 {
+                    tx2.send(v).unwrap();
+                }
+            });
+            let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+            assert_eq!(got, (0..10).collect::<Vec<_>>());
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.try_send(1).unwrap();
+        assert!(matches!(
+            tx.try_send(2),
+            Err(channel::TrySendError::Full(2))
+        ));
+        assert_eq!(rx.try_recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(rx);
+        assert!(matches!(
+            tx.try_send(3),
+            Err(channel::TrySendError::Disconnected(3))
+        ));
+    }
+
+    #[test]
+    fn buffered_messages_drain_before_disconnect() {
+        let (tx, rx) = channel::bounded::<u8>(4);
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
     }
 }

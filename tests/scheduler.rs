@@ -1,0 +1,297 @@
+//! The scheduler contract: every scheduled path answers bit-identically
+//! to serial `GrainService::select` (the serial oracle), a duplicate
+//! storm of identical in-flight requests runs **exactly one** selection,
+//! admission control and deadlines fail typed at the documented stages,
+//! and abandoned tickets never wedge a worker.
+//!
+//! Determinism note: the tests that need a guaranteed coalescing window
+//! start the scheduler paused (`SchedulerConfig::start_paused`), stage
+//! the burst, then resume — no sleeps or timing luck on the happy paths.
+
+use grain::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const STORM: usize = 16;
+
+fn service() -> Arc<GrainService> {
+    let dataset = grain::data::synthetic::papers_like(400, 71);
+    let service = Arc::new(GrainService::new());
+    service
+        .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+        .unwrap();
+    service
+}
+
+fn request(budget: usize) -> SelectionRequest {
+    SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(budget))
+}
+
+fn paused(service: &Arc<GrainService>) -> Scheduler {
+    Scheduler::new(
+        Arc::clone(service),
+        SchedulerConfig {
+            start_paused: true,
+            ..SchedulerConfig::default()
+        },
+    )
+}
+
+fn assert_same_answers(got: &SelectionReport, want: &SelectionReport, label: &str) {
+    assert_eq!(got.budgets, want.budgets, "{label}");
+    assert_eq!(got.outcomes.len(), want.outcomes.len(), "{label}");
+    for (g, w) in got.outcomes.iter().zip(&want.outcomes) {
+        assert_eq!(g.selected, w.selected, "{label}");
+        assert_eq!(g.sigma, w.sigma, "{label}");
+        assert_eq!(g.objective_trace, w.objective_trace, "{label}");
+        assert_eq!(g.evaluations, w.evaluations, "{label}");
+    }
+}
+
+#[test]
+fn duplicate_storm_runs_exactly_one_selection_and_fans_out_bit_identically() {
+    let service = service();
+    let oracle = service.select(&request(8)).unwrap();
+
+    let scheduler = paused(&service);
+    let tickets: Vec<Ticket> = (0..STORM)
+        .map(|_| scheduler.submit(request(8)).unwrap())
+        .collect();
+    // The whole storm coalesced onto one queued work item.
+    assert_eq!(scheduler.queue_depth(), 1);
+    scheduler.resume();
+
+    let reports: Vec<SelectionReport> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+    let mut joiners = 0;
+    for (i, report) in reports.iter().enumerate() {
+        assert_same_answers(report, &oracle, &format!("storm waiter {i}"));
+        if report.pool_event == PoolEvent::CoalescedSelection {
+            joiners += 1;
+        }
+    }
+    assert_eq!(
+        joiners,
+        STORM - 1,
+        "every waiter but the primary is a marked coalesce joiner"
+    );
+
+    let stats = scheduler.stats();
+    assert_eq!(stats.enqueued, 1, "{stats:?}");
+    assert_eq!(stats.coalesced, STORM - 1, "{stats:?}");
+    assert_eq!(
+        stats.selections, 1,
+        "the storm ran exactly one selection: {stats:?}"
+    );
+    assert_eq!(stats.delivered, STORM, "{stats:?}");
+    assert_eq!(stats.saved_selections(), STORM - 1, "{stats:?}");
+}
+
+#[test]
+fn zero_capacity_queue_rejects_every_submission() {
+    let scheduler = Scheduler::new(
+        service(),
+        SchedulerConfig {
+            queue_capacity: 0,
+            ..SchedulerConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        assert_eq!(
+            scheduler.submit(request(5)).unwrap_err(),
+            GrainError::QueueFull { capacity: 0 }
+        );
+    }
+    assert_eq!(scheduler.stats().rejected_queue_full, 3);
+    assert_eq!(scheduler.queue_depth(), 0);
+    assert!(scheduler.is_idle());
+}
+
+#[test]
+fn queue_full_still_coalesces_and_recovers_after_drain() {
+    let service = service();
+    let scheduler = Scheduler::new(
+        Arc::clone(&service),
+        SchedulerConfig {
+            queue_capacity: 1,
+            start_paused: true,
+            ..SchedulerConfig::default()
+        },
+    );
+    let first = scheduler.submit(request(5)).unwrap();
+    // New work is refused at capacity...
+    assert_eq!(
+        scheduler.submit(request(6)).unwrap_err(),
+        GrainError::QueueFull { capacity: 1 }
+    );
+    // ...but an identical submission adds no work and is still admitted.
+    let twin = scheduler.submit(request(5)).unwrap();
+    assert_eq!(scheduler.queue_depth(), 1);
+
+    scheduler.resume();
+    let a = first.wait().unwrap();
+    let b = twin.wait().unwrap();
+    assert_same_answers(&a, &b, "coalesced twin");
+    // The queue drained; the previously rejected request now fits.
+    let retry = scheduler.submit(request(6)).unwrap();
+    assert_eq!(retry.wait().unwrap().outcome().selected.len(), 6);
+}
+
+#[test]
+fn expired_deadline_is_rejected_at_submit() {
+    let scheduler = Scheduler::new(service(), SchedulerConfig::default());
+    let dead =
+        ScheduledRequest::new(request(5)).with_deadline(Instant::now() - Duration::from_millis(1));
+    assert_eq!(
+        scheduler.submit(dead).unwrap_err(),
+        GrainError::DeadlineExceeded {
+            stage: DeadlineStage::AtSubmit
+        }
+    );
+    let stats = scheduler.stats();
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.enqueued, 0, "nothing was queued: {stats:?}");
+}
+
+#[test]
+fn deadline_expiring_in_queue_is_shed_at_dequeue() {
+    let service = service();
+    let scheduler = paused(&service);
+    // 150ms is far past admission jitter (a shorter deadline could lapse
+    // between its computation and submit's check on a preempted CI host,
+    // turning the intended in-queue shed into an at-submit rejection).
+    let doomed = scheduler
+        .submit(ScheduledRequest::new(request(5)).with_deadline_in(Duration::from_millis(150)))
+        .unwrap();
+    let alive = scheduler.submit(request(7)).unwrap();
+    // Paused scheduler: the first deadline expires while queued.
+    std::thread::sleep(Duration::from_millis(200));
+    scheduler.resume();
+
+    assert_eq!(
+        doomed.wait().unwrap_err(),
+        GrainError::DeadlineExceeded {
+            stage: DeadlineStage::InQueue
+        }
+    );
+    assert_eq!(alive.wait().unwrap().outcome().selected.len(), 7);
+    let stats = scheduler.stats();
+    assert_eq!(stats.shed_deadline, 1, "{stats:?}");
+    assert_eq!(
+        stats.selections, 1,
+        "no selection ran for the shed request: {stats:?}"
+    );
+}
+
+#[test]
+fn dropped_tickets_never_wedge_the_workers() {
+    let service = service();
+    let scheduler = paused(&service);
+    let mut tickets: Vec<Ticket> = (0..6)
+        .map(|_| scheduler.submit(request(9)).unwrap())
+        .collect();
+    // Abandon half the waiters — including the primary (first) one.
+    drop(tickets.remove(0));
+    drop(tickets.remove(0));
+    drop(tickets.remove(0));
+    scheduler.resume();
+
+    let oracle = service.select(&request(9)).unwrap();
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let report = ticket.wait().unwrap();
+        assert_same_answers(&report, &oracle, &format!("surviving waiter {i}"));
+    }
+    // The worker is alive and serving after the abandoned fan-outs.
+    let after = scheduler.submit(request(4)).unwrap().wait().unwrap();
+    assert_eq!(after.outcome().selected.len(), 4);
+    let stats = scheduler.stats();
+    assert_eq!(stats.abandoned, 3, "{stats:?}");
+    assert_eq!(stats.delivered, 4, "{stats:?}");
+    assert_eq!(stats.selections, 2, "{stats:?}");
+}
+
+#[test]
+fn mixed_scheduled_workload_is_bit_identical_to_the_serial_oracle() {
+    let cora = grain::data::synthetic::papers_like(360, 81);
+    let pubmed = grain::data::synthetic::papers_like(300, 83);
+    let base = GrainConfig::ball_d();
+    let tight = GrainConfig {
+        theta: ThetaRule::RelativeToRowMax(0.5),
+        ..base
+    };
+    let mut gamma = base;
+    gamma.gamma = 0.25;
+
+    let make_service = || {
+        let service = Arc::new(GrainService::new());
+        service
+            .register_graph("cora", cora.graph.clone(), cora.features.clone())
+            .unwrap();
+        service
+            .register_graph("pubmed", pubmed.graph.clone(), pubmed.features.clone())
+            .unwrap();
+        service
+    };
+    let mut requests = Vec::new();
+    for (id, ds) in [("cora", &cora), ("pubmed", &pubmed)] {
+        for cfg in [base, tight, gamma] {
+            requests.push(
+                SelectionRequest::new(id, cfg, Budget::Fixed(6))
+                    .with_candidates(ds.split.train.clone()),
+            );
+            requests.push(
+                SelectionRequest::new(id, cfg, Budget::Sweep(vec![3, 9]))
+                    .with_candidates(ds.split.train.clone()),
+            );
+        }
+    }
+
+    let oracle_service = make_service();
+    let oracle: Vec<SelectionReport> = requests
+        .iter()
+        .map(|r| oracle_service.select(r).unwrap())
+        .collect();
+
+    // Schedule each request twice with varied priorities and generous
+    // deadlines: duplicates may coalesce (in-flight) or rerun (already
+    // completed) depending on timing — either way every answer must match
+    // the oracle bit for bit.
+    let scheduler = Scheduler::new(make_service(), SchedulerConfig::default());
+    let tickets: Vec<(usize, Ticket)> = requests
+        .iter()
+        .enumerate()
+        .flat_map(|(i, r)| {
+            let a = ScheduledRequest::new(r.clone()).with_priority((i % 3) as u8);
+            let b = ScheduledRequest::new(r.clone()).with_deadline_in(Duration::from_secs(600));
+            [
+                (i, scheduler.submit(a).unwrap()),
+                (i, scheduler.submit(b).unwrap()),
+            ]
+        })
+        .collect();
+    for (i, ticket) in tickets {
+        let report = ticket.wait().unwrap();
+        assert_same_answers(&report, &oracle[i], &format!("scheduled request {i}"));
+    }
+    let stats = scheduler.stats();
+    assert_eq!(stats.delivered, 2 * requests.len(), "{stats:?}");
+    assert_eq!(
+        stats.rejected_queue_full + stats.rejected_deadline,
+        0,
+        "{stats:?}"
+    );
+}
+
+#[test]
+fn pause_holds_dispatch_without_refusing_admission() {
+    let scheduler = Scheduler::new(service(), SchedulerConfig::default());
+    scheduler.pause();
+    assert!(scheduler.is_paused());
+    let ticket = scheduler.submit(request(5)).unwrap();
+    let ticket = match ticket.try_wait() {
+        Err(t) => t,
+        Ok(resolved) => panic!("dispatched while paused: {resolved:?}"),
+    };
+    assert_eq!(scheduler.queue_depth(), 1);
+    scheduler.resume();
+    assert_eq!(ticket.wait().unwrap().outcome().selected.len(), 5);
+}
