@@ -1,0 +1,257 @@
+//! Cooperative cancellation: deadline- and caller-driven [`CancelToken`]s.
+//!
+//! A token is the one object threaded from the serving front-end
+//! ([`Ticket`](crate::scheduler::Ticket) /
+//! [`ScheduledRequest`](crate::scheduler::ScheduledRequest)) through
+//! [`GrainService`](crate::service::GrainService) into
+//! [`SelectionEngine`](crate::engine::SelectionEngine). Cancellation is
+//! *cooperative*: nothing is killed. The pipeline polls the token at
+//! cheap, semantically safe points — greedy round boundaries, every
+//! [`GrainConfig::cancel_check_every`](crate::config::GrainConfig)
+//! marginal-gain evaluations, and artifact-build stage boundaries
+//! (per-power SpMM, influence-row blocks, the index build) — and unwinds
+//! with a typed error or an anytime partial result.
+//!
+//! Two causes exist and are kept distinct because they map to different
+//! errors and policies:
+//!
+//! * [`CancelCause::Caller`] — someone called [`CancelToken::cancel`]
+//!   (for a coalesced group: the *last* waiter cancelled). The run's
+//!   result is unwanted; it always fails typed
+//!   [`GrainError::Cancelled`].
+//! * [`CancelCause::Deadline`] — the armed deadline passed. What happens
+//!   is the request's [`OnDeadline`] policy: `Fail` yields
+//!   `DeadlineExceeded { stage: MidSelection }`, `Partial` degrades to
+//!   the greedy prefix computed so far (see
+//!   [`Completion`](crate::selector::Completion)).
+//!
+//! Artifact builds are never partial under either cause — a cancelled
+//! build fails typed and caches nothing, preserving the bit-identity
+//! contract for every later request.
+
+use crate::error::{DeadlineStage, GrainError, GrainResult};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Why a run was asked to stop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelCause {
+    /// [`CancelToken::cancel`] was called (caller abandoned the result).
+    Caller,
+    /// The token's armed deadline passed while the run was in flight.
+    Deadline,
+}
+
+/// What a request wants when its deadline trips *mid-selection*.
+///
+/// (Deadlines that trip before dispatch are always typed rejections —
+/// there is nothing partial to return yet.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OnDeadline {
+    /// Fail typed with `DeadlineExceeded { stage: MidSelection }`.
+    #[default]
+    Fail,
+    /// Degrade to the greedy prefix selected so far, marked
+    /// [`Completion::Partial`](crate::selector::Completion). Submodularity
+    /// makes the prefix a valid anytime answer: it is byte-for-byte a
+    /// prefix of the uncancelled run and inherits greedy's quality bound
+    /// at its own (smaller) budget.
+    Partial,
+}
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    // Fast-path guard so `cause()` skips the mutex entirely until a
+    // deadline has ever been armed (the common case for plain tokens).
+    deadline_armed: AtomicBool,
+    deadline: Mutex<Option<Instant>>,
+}
+
+/// A shareable, cloneable cancellation signal (all clones observe the
+/// same state).
+///
+/// A fresh token never trips on its own; arm a deadline or call
+/// [`cancel`](CancelToken::cancel). Checks are wait-free in the common
+/// case (one relaxed atomic load when no deadline is armed).
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cause", &self.cause())
+            .finish()
+    }
+}
+
+impl CancelToken {
+    /// A token that never trips until cancelled or given a deadline.
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                deadline_armed: AtomicBool::new(false),
+                deadline: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// A token that trips (cause [`CancelCause::Deadline`]) once
+    /// `deadline` passes.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        let token = Self::new();
+        token.set_deadline(Some(deadline));
+        token
+    }
+
+    /// [`CancelToken::with_deadline`] relative to now.
+    pub fn with_deadline_in(timeout: Duration) -> Self {
+        Self::with_deadline(Instant::now() + timeout)
+    }
+
+    fn lock_deadline(&self) -> std::sync::MutexGuard<'_, Option<Instant>> {
+        self.inner
+            .deadline
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replaces the armed deadline (`None` disarms it). The scheduler
+    /// uses this to keep a coalesced run's deadline at the *loosest*
+    /// requirement over its live waiters.
+    pub fn set_deadline(&self, deadline: Option<Instant>) {
+        *self.lock_deadline() = deadline;
+        // Armed stays sticky on disarm: `cause()` then takes the mutex
+        // once more and sees `None`, which is correct, just not fast.
+        if deadline.is_some() {
+            self.inner.deadline_armed.store(true, Ordering::Release);
+        }
+    }
+
+    /// The currently armed deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        if !self.inner.deadline_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        *self.lock_deadline()
+    }
+
+    /// Trips the token with cause [`CancelCause::Caller`]. Idempotent.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Why the token has tripped, or `None` if it has not. An explicit
+    /// [`cancel`](CancelToken::cancel) wins over a passed deadline.
+    pub fn cause(&self) -> Option<CancelCause> {
+        if self.inner.cancelled.load(Ordering::Acquire) {
+            return Some(CancelCause::Caller);
+        }
+        if self.inner.deadline_armed.load(Ordering::Acquire) {
+            if let Some(deadline) = *self.lock_deadline() {
+                if Instant::now() >= deadline {
+                    return Some(CancelCause::Deadline);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the token has tripped (either cause).
+    pub fn is_cancelled(&self) -> bool {
+        self.cause().is_some()
+    }
+
+    /// The typed error a run unwinding on this token should return:
+    /// [`GrainError::Cancelled`] for a caller cancel,
+    /// `DeadlineExceeded { stage: MidSelection }` for a deadline trip.
+    pub fn cancel_error(&self) -> GrainError {
+        match self.cause() {
+            Some(CancelCause::Deadline) => GrainError::DeadlineExceeded {
+                stage: DeadlineStage::MidSelection,
+            },
+            // `Caller`, or a raced disarm: the caller walked away either way.
+            _ => GrainError::Cancelled,
+        }
+    }
+
+    /// `Err(cancel_error())` if tripped, `Ok(())` otherwise — the one-line
+    /// check the pipeline drops at stage boundaries.
+    pub fn checkpoint(&self) -> GrainResult<()> {
+        match self.cause() {
+            None => Ok(()),
+            Some(CancelCause::Caller) => Err(GrainError::Cancelled),
+            Some(CancelCause::Deadline) => Err(GrainError::DeadlineExceeded {
+                stage: DeadlineStage::MidSelection,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_never_trips() {
+        let token = CancelToken::new();
+        assert_eq!(token.cause(), None);
+        assert!(!token.is_cancelled());
+        assert!(token.checkpoint().is_ok());
+    }
+
+    #[test]
+    fn cancel_trips_with_caller_cause_and_is_idempotent() {
+        let token = CancelToken::new();
+        token.cancel();
+        token.cancel();
+        assert_eq!(token.cause(), Some(CancelCause::Caller));
+        assert_eq!(token.checkpoint(), Err(GrainError::Cancelled));
+        assert_eq!(token.cancel_error(), GrainError::Cancelled);
+    }
+
+    #[test]
+    fn past_deadline_trips_with_deadline_cause() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(token.cause(), Some(CancelCause::Deadline));
+        assert_eq!(
+            token.checkpoint(),
+            Err(GrainError::DeadlineExceeded {
+                stage: DeadlineStage::MidSelection
+            })
+        );
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip_and_can_be_disarmed() {
+        let token = CancelToken::with_deadline_in(Duration::from_secs(3600));
+        assert_eq!(token.cause(), None);
+        token.set_deadline(None);
+        assert_eq!(token.deadline(), None);
+        assert_eq!(token.cause(), None);
+    }
+
+    #[test]
+    fn caller_cancel_wins_over_deadline() {
+        let token = CancelToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        token.cancel();
+        assert_eq!(token.cause(), Some(CancelCause::Caller));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        clone.cancel();
+        assert!(token.is_cancelled());
+    }
+}

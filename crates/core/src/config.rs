@@ -96,6 +96,17 @@ pub struct GrainConfig {
     /// are bit-identical at any thread count — two configs differing only
     /// here share one warm engine and rebuild nothing.
     pub parallelism: usize,
+    /// How many marginal-gain evaluations may pass between cooperative
+    /// cancellation checks inside a greedy round (round boundaries are
+    /// always checked). Smaller values observe a tripped
+    /// [`CancelToken`](crate::cancel::CancelToken) sooner at slightly
+    /// more polling overhead; must be ≥ 1.
+    ///
+    /// Like `parallelism`, this field is **excluded** from both
+    /// fingerprints: checkpoints never change which candidate is picked,
+    /// so two configs differing only here select identically and share
+    /// one warm engine.
+    pub cancel_check_every: usize,
 }
 
 impl Default for GrainConfig {
@@ -111,6 +122,7 @@ impl Default for GrainConfig {
             prune: None,
             variant: GrainVariant::Full,
             parallelism: 0,
+            cancel_check_every: 1024,
         }
     }
 }
@@ -177,6 +189,12 @@ impl GrainConfig {
                     format!("must lie in (0,1], got {keep_fraction}"),
                 ));
             }
+        }
+        if self.cancel_check_every == 0 {
+            return Err(GrainError::config(
+                "cancel_check_every",
+                "must be >= 1 (checks cannot be infinitely frequent)",
+            ));
         }
         Ok(())
     }
@@ -361,8 +379,9 @@ mod tests {
                 "{changed:?}"
             );
         }
-        // `parallelism` changes neither: artifacts and selections are
-        // bit-identical at any thread count.
+        // `parallelism` and `cancel_check_every` change neither:
+        // artifacts and selections are bit-identical at any thread count
+        // and any checkpoint cadence.
         let threaded = GrainConfig {
             parallelism: 8,
             ..base
@@ -371,6 +390,25 @@ mod tests {
             base.selection_fingerprint(),
             threaded.selection_fingerprint()
         );
+        let chatty = GrainConfig {
+            cancel_check_every: 1,
+            ..base
+        };
+        assert_eq!(base.selection_fingerprint(), chatty.selection_fingerprint());
+    }
+
+    #[test]
+    fn zero_cancel_check_every_is_rejected() {
+        let bad = GrainConfig {
+            cancel_check_every: 0,
+            ..GrainConfig::default()
+        };
+        match bad.validate() {
+            Err(GrainError::InvalidConfig { field, .. }) => {
+                assert_eq!(field, "cancel_check_every")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 
     #[test]

@@ -27,13 +27,15 @@
 //! **bit-identical at any thread count** — which is why `parallelism` is
 //! not part of any cache key or of the artifact fingerprint.
 
+use crate::cancel::{CancelCause, CancelToken, OnDeadline};
 use crate::config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm};
 use crate::diversity::{BallDiversity, DiversityFunction, NnDiversity, NullDiversity};
-use crate::error::{GrainError, GrainResult};
-use crate::greedy::{lazy_greedy, plain_greedy};
+use crate::error::{DeadlineStage, GrainError, GrainResult};
+use crate::fault;
+use crate::greedy::{lazy_greedy_ctl, plain_greedy_ctl};
 use crate::objective::{DimObjective, DiversityScope};
 use crate::prune::prune_candidates;
-use crate::selector::{SelectionOutcome, SelectionTimings};
+use crate::selector::{Completion, SelectionOutcome, SelectionTimings};
 use grain_graph::{transition_matrix, CsrMatrix, Graph, TransitionKind};
 use grain_influence::{ActivationIndex, InfluenceRows, ThetaRule};
 use grain_linalg::{distance, DenseMatrix};
@@ -262,6 +264,56 @@ impl SelectionEngine {
         candidates: &[u32],
         budget: usize,
     ) -> SelectionOutcome {
+        self.select_with_cancel(
+            variant,
+            candidates,
+            budget,
+            &CancelToken::new(),
+            OnDeadline::Fail,
+        )
+        .expect("a selection with an untripped token cannot be cancelled")
+    }
+
+    /// [`SelectionEngine::select_variant`] under cooperative cancellation.
+    ///
+    /// `cancel` is polled at every stage boundary (before the propagation,
+    /// influence-row, and activation-index builds), **between SpMM power
+    /// steps** inside propagation, **every 64 rows** inside the
+    /// influence-row build, and inside greedy at every round boundary plus
+    /// every [`GrainConfig::cancel_check_every`] marginal-gain evaluations
+    /// — so a trip is observed within one greedy round or one check block,
+    /// whichever comes first.
+    ///
+    /// What a trip produces depends on *why* the token tripped and on the
+    /// caller's degradation policy:
+    ///
+    /// | cause | stage | result |
+    /// |---|---|---|
+    /// | caller ([`CancelToken::cancel`]) | any | [`GrainError::Cancelled`] |
+    /// | deadline, [`OnDeadline::Fail`] | any | [`GrainError::DeadlineExceeded`] (`MidSelection`) |
+    /// | deadline, [`OnDeadline::Partial`] | artifact build | [`GrainError::DeadlineExceeded`] (`MidSelection`) |
+    /// | deadline, [`OnDeadline::Partial`] | greedy | `Ok` with [`Completion::Partial`] |
+    ///
+    /// Artifact builds are **never** partial: a build that observes the
+    /// trip caches nothing, so the next request starts a fresh, complete
+    /// build. A partial greedy result is byte-for-byte a prefix of the
+    /// uncancelled run at the same config — submodularity makes the prefix
+    /// a valid anytime answer with the `(1 - 1/e)` bound at its smaller
+    /// effective budget (see [`SelectionOutcome::effective_budget`]).
+    ///
+    /// An untripped token changes no bit of the result relative to
+    /// [`SelectionEngine::select_variant`].
+    ///
+    /// # Panics
+    /// Panics if a candidate id is out of range.
+    pub fn select_with_cancel(
+        &mut self,
+        variant: GrainVariant,
+        candidates: &[u32],
+        budget: usize,
+        cancel: &CancelToken,
+        on_deadline: OnDeadline,
+    ) -> GrainResult<SelectionOutcome> {
         for &c in candidates {
             assert!(
                 (c as usize) < self.graph.num_nodes(),
@@ -269,22 +321,23 @@ impl SelectionEngine {
             );
         }
         let t0 = Instant::now();
+        cancel.checkpoint()?;
 
         // 1. Decoupled propagation (Eq. 6) on the kernel's transition matrix.
         self.ensure_transition();
-        self.ensure_propagation();
+        self.ensure_propagation_ctl(cancel)?;
         let propagation = t0.elapsed();
 
         // 2. Influence rows under the kernel Jacobian (Def. 3.1 / Eq. 9).
         let t1 = Instant::now();
-        self.ensure_rows();
+        self.ensure_rows_ctl(cancel)?;
         let influence = t1.elapsed();
 
         // 3. Activation index (Def. 3.2) + diversity precomputation (§3.3).
         let t2 = Instant::now();
-        self.ensure_index();
+        self.ensure_index_ctl(cancel)?;
         self.ensure_embedding();
-        let diversity = self.build_diversity(variant);
+        let diversity = self.build_diversity(variant, cancel)?;
         // §3.4 candidate pruning is per-pool, not a cached artifact.
         let rows = &self.rows.as_ref().expect("rows ensured").1;
         let pool: Vec<u32> = match self.config.prune {
@@ -294,26 +347,49 @@ impl SelectionEngine {
         let indexing = t2.elapsed();
 
         // 4. Greedy DIM maximization (Algorithm 1 / CELF) — the only stage
-        // that depends on budget and variant.
+        // that depends on budget and variant, and the only stage that may
+        // degrade to a partial (anytime) result instead of failing.
         let t3 = Instant::now();
+        cancel.checkpoint()?;
         let (scope, magnitude_weight, gamma) = variant_parameters(variant, self.config.gamma);
         let index = &self.index.as_ref().expect("index ensured").1;
         let mut objective =
             DimObjective::with_variant(index, diversity, gamma, magnitude_weight, scope);
+        let check_every = self.config.cancel_check_every;
         let trace = match self.config.algorithm {
-            GreedyAlgorithm::Plain => plain_greedy(&mut objective, &pool, budget),
-            GreedyAlgorithm::Lazy => lazy_greedy(&mut objective, &pool, budget),
+            GreedyAlgorithm::Plain => {
+                plain_greedy_ctl(&mut objective, &pool, budget, cancel, check_every)
+            }
+            GreedyAlgorithm::Lazy => {
+                lazy_greedy_ctl(&mut objective, &pool, budget, cancel, check_every)
+            }
         };
         let greedy = t3.elapsed();
 
+        let completion = match trace.cancelled {
+            None => Completion::Complete,
+            Some(CancelCause::Deadline) if on_deadline == OnDeadline::Partial => {
+                Completion::Partial {
+                    cause: CancelCause::Deadline,
+                }
+            }
+            Some(CancelCause::Deadline) => {
+                return Err(GrainError::DeadlineExceeded {
+                    stage: DeadlineStage::MidSelection,
+                })
+            }
+            Some(CancelCause::Caller) => return Err(GrainError::Cancelled),
+        };
+
         self.stats.selections += 1;
-        SelectionOutcome {
+        Ok(SelectionOutcome {
             sigma: objective.sigma(),
             diversity_value: objective.diversity_value(),
             selected: trace.selected,
             objective_trace: trace.objective_trace,
             evaluations: trace.evaluations,
             candidates_after_prune: pool.len(),
+            completion,
             timings: SelectionTimings {
                 propagation,
                 influence,
@@ -321,7 +397,7 @@ impl SelectionEngine {
                 greedy,
                 total: t0.elapsed(),
             },
-        }
+        })
     }
 
     /// Runs one warm budget sweep: `select` at each budget in turn, all
@@ -375,14 +451,32 @@ impl SelectionEngine {
     }
 
     fn ensure_propagation(&mut self) {
+        self.ensure_propagation_ctl(&CancelToken::new())
+            .expect("propagation with an untripped token cannot be cancelled");
+    }
+
+    /// Builds `X^(k)` unless cached, polling `cancel` between SpMM power
+    /// steps. A cancelled build caches nothing (no torn artifacts) and
+    /// bumps no build counter; the next request starts fresh.
+    fn ensure_propagation_ctl(&mut self, cancel: &CancelToken) -> GrainResult<()> {
         let kernel = self.config.kernel;
-        if !self.propagation.contains(kernel) {
-            self.stats.propagation_builds += 1;
+        if self.propagation.contains(kernel) {
+            return Ok(());
         }
+        fault::point("engine.build.propagation", Some(cancel));
+        cancel.checkpoint()?;
         let transition = &self.transition.as_ref().expect("transition ensured").1;
-        let _ = self
+        match self
             .propagation
-            .get_with_par(kernel, transition, self.config.parallelism);
+            .get_with_ctl(kernel, transition, self.config.parallelism, &|| {
+                cancel.is_cancelled()
+            }) {
+            Some(_) => {
+                self.stats.propagation_builds += 1;
+                Ok(())
+            }
+            None => Err(cancel.cancel_error()),
+        }
     }
 
     fn ensure_embedding(&mut self) {
@@ -403,44 +497,72 @@ impl SelectionEngine {
     }
 
     fn ensure_rows(&mut self) {
+        self.ensure_rows_ctl(&CancelToken::new())
+            .expect("an influence build with an untripped token cannot be cancelled");
+    }
+
+    /// Builds the influence rows unless cached, polling `cancel` every 64
+    /// rows inside the parallel build. A cancelled build discards its
+    /// partial rows wholesale and caches nothing.
+    fn ensure_rows_ctl(&mut self, cancel: &CancelToken) -> GrainResult<()> {
         let key = (
             self.config.kernel.cache_key(),
             self.config.influence_eps.to_bits(),
         );
-        if self.rows.as_ref().map(|(k, _)| k) != Some(&key) {
-            let transition = &self.transition.as_ref().expect("transition ensured").1;
-            let rows = InfluenceRows::for_kernel_par(
-                transition,
-                self.config.kernel,
-                self.config.influence_eps,
-                self.config.parallelism,
-            );
-            self.rows = Some((key, rows));
-            self.stats.influence_builds += 1;
+        if self.rows.as_ref().map(|(k, _)| k) == Some(&key) {
+            return Ok(());
+        }
+        fault::point("engine.build.rows", Some(cancel));
+        cancel.checkpoint()?;
+        let transition = &self.transition.as_ref().expect("transition ensured").1;
+        match InfluenceRows::for_kernel_ctl(
+            transition,
+            self.config.kernel,
+            self.config.influence_eps,
+            self.config.parallelism,
+            &|| cancel.is_cancelled(),
+        ) {
+            Some(rows) => {
+                self.rows = Some((key, rows));
+                self.stats.influence_builds += 1;
+                Ok(())
+            }
+            None => Err(cancel.cancel_error()),
         }
     }
 
     fn ensure_index(&mut self) {
+        self.ensure_index_ctl(&CancelToken::new())
+            .expect("an index build with an untripped token cannot be cancelled");
+    }
+
+    /// Builds the activation index unless cached. The inversion itself is
+    /// not interruptible (it is the cheapest artifact); `cancel` is checked
+    /// once at the stage boundary before committing to the build.
+    fn ensure_index_ctl(&mut self, cancel: &CancelToken) -> GrainResult<()> {
         let key = (
             self.config.kernel.cache_key(),
             self.config.influence_eps.to_bits(),
             self.config.theta,
         );
-        if self.index.as_ref().map(|(k, _)| k) != Some(&key) {
-            let rows = &self.rows.as_ref().expect("rows ensured").1;
-            let index = ActivationIndex::build_with_rule_par(
-                rows,
-                self.config.theta,
-                self.config.parallelism,
-            );
-            self.index = Some((key, index));
-            self.stats.index_builds += 1;
+        if self.index.as_ref().map(|(k, _)| k) == Some(&key) {
+            return Ok(());
         }
+        fault::point("engine.build.index", Some(cancel));
+        cancel.checkpoint()?;
+        let rows = &self.rows.as_ref().expect("rows ensured").1;
+        let index =
+            ActivationIndex::build_with_rule_par(rows, self.config.theta, self.config.parallelism);
+        self.index = Some((key, index));
+        self.stats.index_builds += 1;
+        Ok(())
     }
 
-    fn ensure_balls(&mut self) {
+    fn ensure_balls(&mut self, cancel: &CancelToken) -> GrainResult<()> {
         let key = (self.config.kernel.cache_key(), self.config.radius.to_bits());
         if self.balls.as_ref().map(|(k, _)| k) != Some(&key) {
+            fault::point("engine.build.balls", Some(cancel));
+            cancel.checkpoint()?;
             let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
             let balls = distance::radius_neighbors_par(
                 embedding,
@@ -451,11 +573,13 @@ impl SelectionEngine {
             self.balls = Some((key, (Arc::new(balls), bound)));
             self.stats.diversity_builds += 1;
         }
+        Ok(())
     }
 
-    fn ensure_nn_dmax(&mut self) {
+    fn ensure_nn_dmax(&mut self, cancel: &CancelToken) -> GrainResult<()> {
         let key = self.config.kernel.cache_key();
         if self.nn_dmax.as_ref().map(|(k, _)| k) != Some(&key) {
+            cancel.checkpoint()?;
             let embedding = &self.embedding.as_ref().expect("embedding ensured").1;
             let dmax = distance::max_pairwise_distance_par(
                 embedding,
@@ -465,21 +589,26 @@ impl SelectionEngine {
             self.nn_dmax = Some((key, dmax));
             self.stats.diversity_builds += 1;
         }
+        Ok(())
     }
 
     /// A fresh per-selection diversity state over the cached precompute
     /// (greedy consumes diversity state, so each call copies only the
     /// incremental state; the precompute itself is `Arc`-shared).
-    fn build_diversity(&mut self, variant: GrainVariant) -> Box<dyn DiversityFunction + Send> {
+    fn build_diversity(
+        &mut self,
+        variant: GrainVariant,
+        cancel: &CancelToken,
+    ) -> GrainResult<Box<dyn DiversityFunction + Send>> {
         let kind = match variant {
-            GrainVariant::NoDiversity => return Box::new(NullDiversity),
+            GrainVariant::NoDiversity => return Ok(Box::new(NullDiversity)),
             // Both seed-scoped ablations are defined on ball coverage.
             GrainVariant::NoMagnitude | GrainVariant::ClassicCoverage => DiversityKind::Ball,
             GrainVariant::Full => self.config.diversity,
         };
-        match kind {
+        Ok(match kind {
             DiversityKind::Ball => {
-                self.ensure_balls();
+                self.ensure_balls(cancel)?;
                 let (balls, bound) = self.balls.as_ref().expect("balls ensured").1.clone();
                 Box::new(BallDiversity::from_shared_with_bound(
                     balls,
@@ -488,12 +617,12 @@ impl SelectionEngine {
                 ))
             }
             DiversityKind::Nn => {
-                self.ensure_nn_dmax();
+                self.ensure_nn_dmax(cancel)?;
                 let dmax = self.nn_dmax.as_ref().expect("dmax ensured").1;
                 let embedding = Arc::clone(&self.embedding.as_ref().expect("embedding ensured").1);
                 Box::new(NnDiversity::from_parts(embedding, dmax))
             }
-        }
+        })
     }
 }
 
@@ -698,6 +827,75 @@ mod tests {
         assert_eq!(stats.influence_builds, 1);
         assert_eq!(stats.index_builds, 1);
         assert_eq!(stats.diversity_builds, 1);
+    }
+
+    #[test]
+    fn untripped_token_selects_bit_identically_cold_and_warm() {
+        let (g, x) = dataset(11);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let cfg = GrainConfig::ball_d();
+        let reference = SelectionEngine::new(cfg, &g, &x)
+            .unwrap()
+            .select(&candidates, 9);
+        let mut engine = SelectionEngine::new(cfg, &g, &x).unwrap();
+        for _ in 0..2 {
+            // Cold pass builds every artifact under the ctl path; warm
+            // pass serves them from cache. Both must change no bit.
+            let out = engine
+                .select_with_cancel(
+                    cfg.variant,
+                    &candidates,
+                    9,
+                    &CancelToken::new(),
+                    OnDeadline::Partial,
+                )
+                .unwrap();
+            assert_eq!(out.selected, reference.selected);
+            assert_eq!(out.sigma, reference.sigma);
+            assert_eq!(out.objective_trace, reference.objective_trace);
+            assert_eq!(out.completion, Completion::Complete);
+            assert!(!out.is_partial());
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_fails_typed_and_leaves_engine_usable() {
+        let (g, x) = dataset(12);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let cfg = GrainConfig::ball_d();
+        let mut engine = SelectionEngine::new(cfg, &g, &x).unwrap();
+
+        // Caller cancel is always a typed failure, whatever the policy.
+        let cancelled = CancelToken::new();
+        cancelled.cancel();
+        for policy in [OnDeadline::Fail, OnDeadline::Partial] {
+            let err = engine
+                .select_with_cancel(cfg.variant, &candidates, 5, &cancelled, policy)
+                .unwrap_err();
+            assert!(matches!(err, GrainError::Cancelled), "{policy:?}: {err}");
+        }
+        // A deadline trip observed at an artifact-stage boundary fails
+        // typed even under the Partial policy: artifacts are never partial.
+        let expired =
+            CancelToken::with_deadline(Instant::now() - std::time::Duration::from_secs(1));
+        let err = engine
+            .select_with_cancel(cfg.variant, &candidates, 5, &expired, OnDeadline::Partial)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            GrainError::DeadlineExceeded {
+                stage: DeadlineStage::MidSelection
+            }
+        ));
+        // No selection was answered and nothing is torn: a fresh run
+        // matches a fresh engine exactly.
+        assert_eq!(engine.stats().selections, 0);
+        let out = engine.select(&candidates, 5);
+        let fresh = SelectionEngine::new(cfg, &g, &x)
+            .unwrap()
+            .select(&candidates, 5);
+        assert_eq!(out.selected, fresh.selected);
+        assert_eq!(out.sigma, fresh.sigma);
     }
 
     #[test]

@@ -22,6 +22,13 @@ pub enum DeadlineStage {
     /// The deadline passed while the request waited in the queue; the
     /// scheduler shed it at dequeue instead of running dead work.
     InQueue,
+    /// The deadline passed while the selection was already running; the
+    /// engine observed it at a cooperative checkpoint (a greedy round
+    /// boundary, an evaluation block, or an artifact-build stage
+    /// boundary) and unwound. Requests with
+    /// [`OnDeadline::Partial`](crate::cancel::OnDeadline) receive the
+    /// greedy prefix instead of this error.
+    MidSelection,
 }
 
 /// Everything that can go wrong answering a selection request.
@@ -81,12 +88,25 @@ pub enum GrainError {
         /// The configured queue capacity the submission ran into.
         capacity: usize,
     },
-    /// A request's deadline passed before its selection ran. The `stage`
-    /// says whether the scheduler refused it at submission or shed it at
-    /// dequeue; either way no selection work was performed for it.
+    /// A request's deadline passed before its selection completed. The
+    /// `stage` says whether the scheduler refused it at submission, shed
+    /// it at dequeue, or the engine unwound it mid-selection at a
+    /// cooperative checkpoint.
     DeadlineExceeded {
         /// Where the expiry was detected.
         stage: DeadlineStage,
+    },
+    /// The request's [`CancelToken`](crate::cancel::CancelToken) was
+    /// cancelled by its caller (for a coalesced group: by the *last*
+    /// live waiter) and the run unwound at a cooperative checkpoint.
+    /// Nothing was delivered; retrying starts fresh.
+    Cancelled,
+    /// The selection for this request panicked. Panic isolation confines
+    /// the damage to exactly this request: sibling requests in the same
+    /// batch, the worker thread, and the engine pool all keep working.
+    SelectionPanicked {
+        /// The graph id whose selection panicked.
+        graph: String,
     },
     /// The scheduler was shut down: either the submission arrived after
     /// [`crate::scheduler::Scheduler::shutdown`], or the scheduler (and
@@ -137,7 +157,20 @@ impl fmt::Display for GrainError {
                 DeadlineStage::InQueue => {
                     write!(f, "deadline passed while the request waited in the queue")
                 }
+                DeadlineStage::MidSelection => {
+                    write!(
+                        f,
+                        "deadline passed mid-selection; the run was cancelled at a checkpoint"
+                    )
+                }
             },
+            GrainError::Cancelled => {
+                write!(f, "request was cancelled by its caller before completing")
+            }
+            GrainError::SelectionPanicked { graph } => write!(
+                f,
+                "selection for graph {graph:?} panicked; the failure was isolated to this request"
+            ),
             GrainError::SchedulerShutdown => {
                 write!(f, "scheduler is shut down; the request was not served")
             }
@@ -155,6 +188,19 @@ impl GrainError {
             field,
             message: message.into(),
         }
+    }
+
+    /// Whether a retry can plausibly succeed without any caller-side
+    /// change. Exactly two classes qualify: an abandoned engine build
+    /// (the racing builder died; a fresh attempt rebuilds cleanly) and a
+    /// full queue (admission-control shedding; the queue drains). This
+    /// is the whitelist [`RetryPolicy::run`](crate::retry::RetryPolicy)
+    /// consults.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            GrainError::EngineBuildAbandoned { .. } | GrainError::QueueFull { .. }
+        )
     }
 }
 
@@ -216,5 +262,42 @@ mod tests {
         .to_string()
         .contains("queue"));
         assert!(GrainError::SchedulerShutdown.to_string().contains("shut"));
+    }
+
+    #[test]
+    fn retryable_whitelist_is_exactly_build_abandoned_and_queue_full() {
+        assert!(GrainError::EngineBuildAbandoned {
+            graph: "papers".into()
+        }
+        .is_retryable());
+        assert!(GrainError::QueueFull { capacity: 2 }.is_retryable());
+        for err in [
+            GrainError::Cancelled,
+            GrainError::SchedulerShutdown,
+            GrainError::DeadlineExceeded {
+                stage: DeadlineStage::MidSelection,
+            },
+            GrainError::SelectionPanicked {
+                graph: "papers".into(),
+            },
+            GrainError::config("theta", "bad"),
+        ] {
+            assert!(!err.is_retryable(), "{err}");
+        }
+    }
+
+    #[test]
+    fn resilience_errors_render_their_context() {
+        assert!(GrainError::Cancelled.to_string().contains("cancelled"));
+        let e = GrainError::SelectionPanicked {
+            graph: "cora".into(),
+        };
+        assert!(e.to_string().contains("\"cora\""));
+        assert!(e.to_string().contains("isolated"));
+        assert!(GrainError::DeadlineExceeded {
+            stage: DeadlineStage::MidSelection
+        }
+        .to_string()
+        .contains("mid-selection"));
     }
 }

@@ -6,6 +6,8 @@
 //! gain, so the top of a max-heap can be accepted as soon as its cached
 //! gain is fresh — identical output, far fewer evaluations.
 
+use crate::cancel::{CancelCause, CancelToken};
+use crate::fault;
 use crate::objective::MarginalObjective;
 
 /// Outcome of a greedy run.
@@ -17,6 +19,12 @@ pub struct GreedyTrace {
     pub objective_trace: Vec<f64>,
     /// Number of marginal-gain evaluations performed.
     pub evaluations: usize,
+    /// `Some(cause)` if the run stopped early at a cooperative
+    /// cancellation checkpoint. The picks made so far are byte-for-byte
+    /// a prefix of the uncancelled run: checkpoints sit at round
+    /// boundaries and between evaluations, never between choosing a
+    /// candidate and committing it.
+    pub cancelled: Option<CancelCause>,
 }
 
 /// Algorithm 1: evaluates every remaining candidate each round.
@@ -27,18 +35,57 @@ pub fn plain_greedy(
     candidates: &[u32],
     budget: usize,
 ) -> GreedyTrace {
+    plain_greedy_ctl(
+        objective,
+        candidates,
+        budget,
+        &CancelToken::new(),
+        usize::MAX,
+    )
+}
+
+/// [`plain_greedy`] polling `cancel` at every round boundary and after
+/// every `check_every` marginal-gain evaluations. On a trip the trace is
+/// returned as-is (an exact prefix of the uncancelled run) with
+/// [`GreedyTrace::cancelled`] set; no pick is ever half-committed.
+///
+/// An untripped token changes nothing: the selection, trace, and
+/// evaluation count are bit-identical to [`plain_greedy`].
+pub fn plain_greedy_ctl(
+    objective: &mut impl MarginalObjective,
+    candidates: &[u32],
+    budget: usize,
+    cancel: &CancelToken,
+    check_every: usize,
+) -> GreedyTrace {
     let budget = budget.min(candidates.len());
+    let check_every = check_every.max(1);
     let mut remaining: Vec<u32> = candidates.to_vec();
     remaining.sort_unstable();
     remaining.dedup();
     let mut selected = Vec::with_capacity(budget);
     let mut trace = Vec::with_capacity(budget);
     let mut evaluations = 0;
-    for _ in 0..budget {
+    let mut cancelled = None;
+    'rounds: for _ in 0..budget {
+        fault::point("greedy.round", Some(cancel));
+        if let Some(cause) = cancel.cause() {
+            cancelled = Some(cause);
+            break;
+        }
         let mut best: Option<(usize, f64)> = None;
         for (pos, &c) in remaining.iter().enumerate() {
             let gain = objective.marginal_gain(c);
             evaluations += 1;
+            if evaluations % check_every == 0 {
+                fault::point("greedy.eval.block", Some(cancel));
+                if let Some(cause) = cancel.cause() {
+                    // Abandon the half-scanned round without picking:
+                    // the committed prefix stays exact.
+                    cancelled = Some(cause);
+                    break 'rounds;
+                }
+            }
             // Tie-break toward the smaller node id (swap_remove below
             // shuffles `remaining`, so position order is not id order).
             let better = match best {
@@ -59,6 +106,7 @@ pub fn plain_greedy(
         selected,
         objective_trace: trace,
         evaluations,
+        cancelled,
     }
 }
 
@@ -71,6 +119,27 @@ pub fn lazy_greedy(
     objective: &mut impl MarginalObjective,
     candidates: &[u32],
     budget: usize,
+) -> GreedyTrace {
+    lazy_greedy_ctl(
+        objective,
+        candidates,
+        budget,
+        &CancelToken::new(),
+        usize::MAX,
+    )
+}
+
+/// [`lazy_greedy`] polling `cancel` at every acceptance (round) boundary
+/// and after every `check_every` evaluations (initial heap seeding and
+/// stale re-evaluations both count). Same prefix guarantee as
+/// [`plain_greedy_ctl`]; an untripped token is bit-identical to
+/// [`lazy_greedy`].
+pub fn lazy_greedy_ctl(
+    objective: &mut impl MarginalObjective,
+    candidates: &[u32],
+    budget: usize,
+    cancel: &CancelToken,
+    check_every: usize,
 ) -> GreedyTrace {
     use std::collections::BinaryHeap;
 
@@ -96,27 +165,41 @@ pub fn lazy_greedy(
     }
 
     let budget = budget.min(candidates.len());
+    let check_every = check_every.max(1);
     let mut uniq: Vec<u32> = candidates.to_vec();
     uniq.sort_unstable();
     uniq.dedup();
     let mut evaluations = 0;
-    let mut heap: BinaryHeap<Entry> = uniq
-        .iter()
-        .map(|&c| {
-            evaluations += 1;
-            Entry {
-                gain: objective.marginal_gain(c),
-                neg_id: -(c as i64),
-                round: 0,
+    let mut cancelled = None;
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::with_capacity(uniq.len());
+    for &c in &uniq {
+        evaluations += 1;
+        heap.push(Entry {
+            gain: objective.marginal_gain(c),
+            neg_id: -(c as i64),
+            round: 0,
+        });
+        if evaluations % check_every == 0 {
+            fault::point("greedy.eval.block", Some(cancel));
+            if let Some(cause) = cancel.cause() {
+                cancelled = Some(cause);
+                break;
             }
-        })
-        .collect();
+        }
+    }
     let mut selected = Vec::with_capacity(budget);
     let mut trace = Vec::with_capacity(budget);
     let mut round = 0usize;
-    while selected.len() < budget {
+    while cancelled.is_none() && selected.len() < budget {
         let Some(top) = heap.pop() else { break };
         if top.round == round {
+            // Round boundary: the next pick is decided but not yet
+            // committed — the last safe place to stop.
+            fault::point("greedy.round", Some(cancel));
+            if let Some(cause) = cancel.cause() {
+                cancelled = Some(cause);
+                break;
+            }
             let c = (-top.neg_id) as u32;
             objective.add(c);
             selected.push(c);
@@ -130,12 +213,20 @@ pub fn lazy_greedy(
                 neg_id: top.neg_id,
                 round,
             });
+            if evaluations % check_every == 0 {
+                fault::point("greedy.eval.block", Some(cancel));
+                if let Some(cause) = cancel.cause() {
+                    cancelled = Some(cause);
+                    break;
+                }
+            }
         }
     }
     GreedyTrace {
         selected,
         objective_trace: trace,
         evaluations,
+        cancelled,
     }
 }
 
@@ -255,5 +346,102 @@ mod tests {
         let trace = lazy_greedy(&mut obj, &[], 3);
         assert!(trace.selected.is_empty());
         assert_eq!(trace.evaluations, 0);
+    }
+
+    #[test]
+    fn untripped_token_changes_no_bit() {
+        let token = CancelToken::new();
+        for check_every in [1usize, 2, 1024] {
+            let mut a = toy();
+            let plain = plain_greedy(&mut a, &[0, 1, 2, 3, 4], 4);
+            let mut b = toy();
+            let ctl = plain_greedy_ctl(&mut b, &[0, 1, 2, 3, 4], 4, &token, check_every);
+            assert_eq!(plain, ctl, "plain, check_every={check_every}");
+            let mut c = toy();
+            let lazy = lazy_greedy(&mut c, &[0, 1, 2, 3, 4], 4);
+            let mut d = toy();
+            let lctl = lazy_greedy_ctl(&mut d, &[0, 1, 2, 3, 4], 4, &token, check_every);
+            assert_eq!(lazy, lctl, "lazy, check_every={check_every}");
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_selects_nothing() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut a = toy();
+        let plain = plain_greedy_ctl(&mut a, &[0, 1, 2, 3, 4], 3, &token, 1);
+        assert!(plain.selected.is_empty());
+        assert_eq!(plain.cancelled, Some(CancelCause::Caller));
+        let mut b = toy();
+        let lazy = lazy_greedy_ctl(&mut b, &[0, 1, 2, 3, 4], 3, &token, 1);
+        assert!(lazy.selected.is_empty());
+        assert_eq!(lazy.cancelled, Some(CancelCause::Caller));
+    }
+
+    /// A probe objective that trips the token after a fixed number of
+    /// marginal-gain evaluations — a deterministic mid-run cancel.
+    struct TripAfter<'a> {
+        inner: Cover,
+        token: &'a CancelToken,
+        trip_at: usize,
+        evals: usize,
+    }
+    impl MarginalObjective for TripAfter<'_> {
+        fn marginal_gain(&mut self, c: u32) -> f64 {
+            self.evals += 1;
+            if self.evals == self.trip_at {
+                self.token.cancel();
+            }
+            self.inner.marginal_gain(c)
+        }
+        fn add(&mut self, c: u32) {
+            self.inner.add(c)
+        }
+        fn value(&self) -> f64 {
+            self.inner.value()
+        }
+    }
+
+    #[test]
+    fn cancelled_runs_are_exact_prefixes_of_the_uncancelled_run() {
+        let cands = [0u32, 1, 2, 3, 4];
+        for (algo, name) in [(false, "plain"), (true, "lazy")] {
+            let mut oracle_obj = toy();
+            let oracle = if algo {
+                lazy_greedy(&mut oracle_obj, &cands, 4)
+            } else {
+                plain_greedy(&mut oracle_obj, &cands, 4)
+            };
+            for trip_at in 1..=oracle.evaluations {
+                let token = CancelToken::new();
+                let mut obj = TripAfter {
+                    inner: toy(),
+                    token: &token,
+                    trip_at,
+                    evals: 0,
+                };
+                let got = if algo {
+                    lazy_greedy_ctl(&mut obj, &cands, 4, &token, 1)
+                } else {
+                    plain_greedy_ctl(&mut obj, &cands, 4, &token, 1)
+                };
+                assert!(
+                    got.selected.len() <= oracle.selected.len(),
+                    "{name} trip_at={trip_at}"
+                );
+                assert_eq!(
+                    got.selected,
+                    oracle.selected[..got.selected.len()],
+                    "{name} trip_at={trip_at}: partial must be an exact prefix"
+                );
+                assert_eq!(
+                    got.objective_trace,
+                    oracle.objective_trace[..got.objective_trace.len()],
+                    "{name} trip_at={trip_at}"
+                );
+                assert_eq!(got.cancelled, Some(CancelCause::Caller));
+            }
+        }
     }
 }

@@ -46,23 +46,28 @@
 //! whose `engine` constructor opens the staged pipeline directly (its
 //! deprecated positional one-shots are gone).
 
+pub mod cancel;
 pub mod config;
 pub mod diversity;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod greedy;
 pub mod objective;
 pub mod prune;
+pub mod retry;
 pub mod scheduler;
 pub mod selector;
 pub mod service;
 
+pub use cancel::{CancelCause, CancelToken, OnDeadline};
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
 pub use engine::{EngineStats, SelectionEngine};
 pub use error::{DeadlineStage, GrainError, GrainResult};
 pub use objective::DimObjective;
+pub use retry::RetryPolicy;
 pub use scheduler::{ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, Ticket};
-pub use selector::{GrainSelector, SelectionOutcome};
+pub use selector::{Completion, GrainSelector, SelectionOutcome};
 pub use service::{
     Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,
     SelectionRequest,

@@ -1,0 +1,166 @@
+//! Deterministic retry with capped exponential backoff.
+//!
+//! Only errors that are *transient by construction* are retried —
+//! [`GrainError::is_retryable`](crate::error::GrainError::is_retryable)
+//! whitelists `EngineBuildAbandoned` (a
+//! racing build was torn down; a fresh attempt rebuilds cleanly) and
+//! `QueueFull` (admission control sheds load; the queue drains). Every
+//! other error is either a caller bug (`InvalidConfig`,
+//! `CandidateOutOfRange`, ...) or a decision that must not be second-
+//! guessed (`Cancelled`, `DeadlineExceeded`, `SelectionPanicked`), so
+//! retrying would waste CPU or mask a real failure.
+//!
+//! Backoff is deterministic (no jitter): `base_delay * 2^attempt`,
+//! capped at `max_delay`. The workspace trades the thundering-herd
+//! smoothing of jitter for replayable tests — the same failure sequence
+//! produces the same sleep schedule on every run.
+
+use crate::error::GrainResult;
+use std::time::Duration;
+
+/// Retry budget and backoff shape for [`RetryPolicy::run`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (`0` is treated as `1`).
+    pub max_attempts: u32,
+    /// Sleep before the first retry; doubles on each further retry.
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Three attempts, 5ms base, capped at 200ms — enough to ride out a
+    /// torn-down cold build or a briefly full queue without turning a
+    /// persistent failure into seconds of blocking.
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, no sleeping).
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based):
+    /// `min(base_delay << retry, max_delay)`.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        let shifted = self
+            .base_delay
+            .checked_mul(1u32.checked_shl(retry).unwrap_or(u32::MAX))
+            .unwrap_or(self.max_delay);
+        shifted.min(self.max_delay)
+    }
+
+    /// Runs `op` until it succeeds, fails non-retryably, or the attempt
+    /// budget is spent; sleeps [`backoff`](RetryPolicy::backoff) between
+    /// attempts. Returns the last error when attempts run out.
+    pub fn run<T>(&self, mut op: impl FnMut() -> GrainResult<T>) -> GrainResult<T> {
+        let attempts = self.max_attempts.max(1);
+        let mut retry = 0;
+        loop {
+            match op() {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_retryable() && retry + 1 < attempts => {
+                    std::thread::sleep(self.backoff(retry));
+                    retry += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::GrainError;
+
+    #[test]
+    fn success_on_first_attempt_runs_once() {
+        let mut calls = 0;
+        let out = RetryPolicy::default().run(|| {
+            calls += 1;
+            Ok(7)
+        });
+        assert_eq!(out, Ok(7));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retryable_errors_are_retried_until_success() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            base_delay: Duration::ZERO,
+            ..RetryPolicy::default()
+        };
+        let out = policy.run(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(GrainError::QueueFull { capacity: 4 })
+            } else {
+                Ok("served")
+            }
+        });
+        assert_eq!(out, Ok("served"));
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn non_retryable_errors_fail_immediately() {
+        let mut calls = 0;
+        let out: GrainResult<()> = RetryPolicy::default().run(|| {
+            calls += 1;
+            Err(GrainError::Cancelled)
+        });
+        assert_eq!(out, Err(GrainError::Cancelled));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn attempt_budget_is_respected_and_last_error_returned() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        };
+        let out: GrainResult<()> = policy.run(|| {
+            calls += 1;
+            Err(GrainError::EngineBuildAbandoned {
+                graph: "papers".into(),
+            })
+        });
+        assert_eq!(
+            out,
+            Err(GrainError::EngineBuildAbandoned {
+                graph: "papers".into()
+            })
+        );
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(35));
+        assert_eq!(policy.backoff(31), Duration::from_millis(35));
+        assert_eq!(policy.backoff(200), Duration::from_millis(35));
+    }
+}

@@ -54,15 +54,47 @@
 //! result-affecting field (including the bookkeeping seed, which is
 //! echoed into the report) never coalesce.
 //!
-//! # Deadline semantics
+//! # Deadline and cancellation semantics
 //!
-//! A deadline is a promise the *scheduler* keeps, not the engine: it is
-//! checked at submission and again at dequeue, but a selection already
-//! dispatched is never cancelled mid-greedy — and a waiter whose deadline
-//! passes while its selection is running still receives the report (the
-//! work is done; delivering beats discarding). Deadlines therefore bound
-//! *queueing* delay, which is the component serving systems can actually
-//! control.
+//! A deadline is enforced at three stages. At submission, an expired
+//! deadline is refused ([`DeadlineStage::AtSubmit`]); while queued, an
+//! expiring waiter is shed at dequeue ([`DeadlineStage::InQueue`]); and
+//! once dispatched, the deadline arms the run's shared
+//! [`CancelToken`], which the engine polls at
+//! greedy-round boundaries, every
+//! [`cancel_check_every`](crate::GrainConfig::cancel_check_every)
+//! marginal-gain evaluations, and at each artifact-build stage — a
+//! selection **is** cancelled mid-greedy. What a waiter then receives is
+//! governed by its own [`OnDeadline`] policy
+//! ([`ScheduledRequest::with_on_deadline`]):
+//!
+//! | policy | trip during an artifact build | trip mid-greedy |
+//! |---|---|---|
+//! | [`Fail`](crate::OnDeadline::Fail) (default) | [`GrainError::DeadlineExceeded`] at [`DeadlineStage::MidSelection`] | the same typed error |
+//! | [`Partial`](crate::OnDeadline::Partial) | the same typed error (artifacts are never partial) | `Ok` with the greedy prefix, marked [`Completion::Partial`](crate::Completion) |
+//!
+//! Because the objective is submodular, the prefix is itself the
+//! `1 - 1/e` greedy answer for its smaller budget — an *anytime* result,
+//! byte-for-byte a prefix of what the uncancelled run would have chosen.
+//!
+//! The shared token is deadline-armed at dispatch only when **every**
+//! live waiter carries a deadline (the latest wins — the run stays
+//! useful until the last waiter gives up); one deadline-free waiter
+//! keeps the run uncancellable, and such a waiter still receives the
+//! full report even if its siblings' deadlines pass. Caller-driven
+//! cancellation is refcounted the same way: [`Ticket::cancel`] detaches
+//! one waiter (resolving that ticket as [`GrainError::Cancelled`]), and
+//! only the *last* detachment trips the token and stops the run.
+//! Dropping a ticket is **not** a cancel — an abandoned waiter never
+//! stops work a coalesced sibling may still be waiting on.
+//!
+//! # Panic isolation
+//!
+//! Selections run panic-isolated in the workers
+//! ([`GrainService::submit_batch`]'s contract): a panicking request
+//! resolves its own waiters with [`GrainError::SelectionPanicked`]
+//! (counted in [`SchedulerStats::panicked`]) and never kills a worker
+//! thread, wedges a latch, or corrupts a sibling group member's result.
 //!
 //! ```
 //! use grain_core::scheduler::{ScheduledRequest, Scheduler, SchedulerConfig};
@@ -97,13 +129,15 @@
 
 mod queue;
 
+use crate::cancel::{CancelToken, OnDeadline};
 use crate::error::{DeadlineStage, GrainError, GrainResult};
+use crate::fault;
 use crate::service::{GrainService, PoolEvent, SelectionReport, SelectionRequest};
-use crossbeam::channel::{bounded, Receiver, TryRecvError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, TryRecvError};
 use grain_linalg::par;
-use queue::{Admission, DispatchQueue, Waiter};
+use queue::{Admission, DispatchQueue, Waiter, WaiterHandle};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -160,16 +194,22 @@ pub struct ScheduledRequest {
     /// `None` (the default) never expires. See the module docs for the
     /// exact semantics.
     pub deadline: Option<Instant>,
+    /// Degradation policy when the deadline trips *after* dispatch, at a
+    /// cancellation checkpoint inside the run (see the module docs'
+    /// policy table). Defaults to [`OnDeadline::Fail`].
+    pub on_deadline: OnDeadline,
 }
 
 impl ScheduledRequest {
-    /// Wraps a request with default scheduling (priority 0, no deadline).
+    /// Wraps a request with default scheduling (priority 0, no deadline,
+    /// [`OnDeadline::Fail`]).
     #[must_use]
     pub fn new(request: SelectionRequest) -> Self {
         Self {
             request,
             priority: 0,
             deadline: None,
+            on_deadline: OnDeadline::default(),
         }
     }
 
@@ -192,6 +232,16 @@ impl ScheduledRequest {
     pub fn with_deadline_in(self, timeout: Duration) -> Self {
         self.with_deadline(Instant::now() + timeout)
     }
+
+    /// Sets the mid-run deadline degradation policy:
+    /// [`OnDeadline::Partial`] accepts the anytime greedy prefix instead
+    /// of a [`GrainError::DeadlineExceeded`] when the deadline trips
+    /// after dispatch.
+    #[must_use]
+    pub fn with_on_deadline(mut self, on_deadline: OnDeadline) -> Self {
+        self.on_deadline = on_deadline;
+        self
+    }
 }
 
 impl From<SelectionRequest> for ScheduledRequest {
@@ -204,12 +254,25 @@ impl From<SelectionRequest> for ScheduledRequest {
 /// [`SelectionReport`] (or the typed failure) once a worker has answered
 /// it.
 ///
-/// Dropping a ticket abandons the waiter without cancelling the work: the
-/// selection still runs (other coalesced waiters may depend on it) and
-/// the undeliverable report is counted in [`SchedulerStats::abandoned`].
-/// Workers never block on an abandoned ticket.
+/// Dropping a ticket abandons the waiter **without cancelling** the
+/// work: the selection still runs (other coalesced waiters may depend on
+/// it) and the undeliverable report is counted in
+/// [`SchedulerStats::abandoned`]. Workers never block on an abandoned
+/// ticket. To actually stop the work, call [`Ticket::cancel`] — it
+/// detaches this waiter, and the run is cancelled once its *last* waiter
+/// has done so.
 pub struct Ticket {
     rx: Receiver<GrainResult<SelectionReport>>,
+    /// `None` only for channel-only tickets built in tests.
+    cancel: Option<TicketCancel>,
+}
+
+/// The cancellation half of a [`Ticket`]: the slot's refcounted cancel
+/// state, this waiter's own flag, and the counters to record the cancel.
+struct TicketCancel {
+    state: Arc<queue::CancelState>,
+    cancelled: Arc<AtomicBool>,
+    counters: Arc<SchedCounters>,
 }
 
 impl std::fmt::Debug for Ticket {
@@ -219,18 +282,117 @@ impl std::fmt::Debug for Ticket {
 }
 
 impl Ticket {
+    /// Cancels this waiter. Idempotent; counted once in
+    /// [`SchedulerStats::cancelled`].
+    ///
+    /// Cancellation is **refcounted** across a coalesced group: this
+    /// call detaches only this ticket's waiter (later [`Ticket::wait`]
+    /// calls return [`GrainError::Cancelled`], and the scheduler will
+    /// not deliver to it), while the selection itself keeps running
+    /// until the last waiter of its slot cancels — then the shared
+    /// [`CancelToken`] trips and the run stops at
+    /// its next cancellation checkpoint (or never starts, if still
+    /// queued).
+    ///
+    /// ```
+    /// use grain_core::scheduler::{Scheduler, SchedulerConfig};
+    /// use grain_core::service::{Budget, GrainService, SelectionRequest};
+    /// use grain_core::{GrainConfig, GrainError};
+    /// use grain_linalg::DenseMatrix;
+    /// use std::sync::Arc;
+    ///
+    /// let service = Arc::new(GrainService::new());
+    /// let graph = grain_graph::generators::erdos_renyi_gnm(80, 240, 7);
+    /// service.register_graph("demo", graph, DenseMatrix::full(80, 4, 1.0))?;
+    /// let scheduler = Scheduler::new(
+    ///     service,
+    ///     SchedulerConfig { start_paused: true, ..SchedulerConfig::default() },
+    /// );
+    ///
+    /// let request = SelectionRequest::new("demo", GrainConfig::ball_d(), Budget::Fixed(5));
+    /// let ticket = scheduler.submit(request)?;
+    /// ticket.cancel();
+    /// assert_eq!(ticket.wait().unwrap_err(), GrainError::Cancelled);
+    /// assert_eq!(scheduler.stats().cancelled, 1);
+    /// # Ok::<(), grain_core::GrainError>(())
+    /// ```
+    pub fn cancel(&self) {
+        let Some(cancel) = &self.cancel else {
+            return;
+        };
+        if !cancel.cancelled.swap(true, Ordering::AcqRel) {
+            SchedCounters::bump(&cancel.counters.cancelled);
+            cancel.state.cancel_one();
+        }
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.cancelled.load(Ordering::Acquire))
+    }
+
     /// Blocks until the selection is answered.
     ///
     /// # Errors
     /// Whatever typed error the selection produced — plus
     /// [`GrainError::DeadlineExceeded`] (stage
-    /// [`DeadlineStage::InQueue`]) if the request was shed, and
+    /// [`DeadlineStage::InQueue`]) if the request was shed,
+    /// [`GrainError::Cancelled`] after [`Ticket::cancel`], and
     /// [`GrainError::SchedulerShutdown`] if the scheduler was dropped
     /// before answering.
     pub fn wait(self) -> GrainResult<SelectionReport> {
+        if self.is_cancelled() {
+            return Err(GrainError::Cancelled);
+        }
         match self.rx.recv() {
             Ok(result) => result,
             Err(_) => Err(GrainError::SchedulerShutdown),
+        }
+    }
+
+    /// Blocks until the selection is answered or `timeout` elapses,
+    /// handing the ticket back on timeout so the caller can keep
+    /// polling, escalate, or [`Ticket::cancel`].
+    ///
+    /// # Errors
+    /// On resolution, as for [`Ticket::wait`] (inside the `Ok` arm); on
+    /// timeout, `Err(self)`.
+    ///
+    /// ```
+    /// use grain_core::scheduler::{Scheduler, SchedulerConfig};
+    /// use grain_core::service::{Budget, GrainService, SelectionRequest};
+    /// use grain_core::GrainConfig;
+    /// use grain_linalg::DenseMatrix;
+    /// use std::sync::Arc;
+    /// use std::time::Duration;
+    ///
+    /// let service = Arc::new(GrainService::new());
+    /// let graph = grain_graph::generators::erdos_renyi_gnm(80, 240, 7);
+    /// service.register_graph("demo", graph, DenseMatrix::full(80, 4, 1.0))?;
+    /// let scheduler = Scheduler::new(
+    ///     service,
+    ///     SchedulerConfig { start_paused: true, ..SchedulerConfig::default() },
+    /// );
+    ///
+    /// let request = SelectionRequest::new("demo", GrainConfig::ball_d(), Budget::Fixed(5));
+    /// let ticket = scheduler.submit(request)?;
+    /// // Paused scheduler: nothing resolves within the timeout.
+    /// let ticket = ticket
+    ///     .wait_timeout(Duration::from_millis(10))
+    ///     .expect_err("paused, so the ticket comes back");
+    /// scheduler.resume();
+    /// assert_eq!(ticket.wait()?.outcome().selected.len(), 5);
+    /// # Ok::<(), grain_core::GrainError>(())
+    /// ```
+    pub fn wait_timeout(self, timeout: Duration) -> Result<GrainResult<SelectionReport>, Self> {
+        if self.is_cancelled() {
+            return Ok(Err(GrainError::Cancelled));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Ok(result),
+            Err(RecvTimeoutError::Disconnected) => Ok(Err(GrainError::SchedulerShutdown)),
+            Err(RecvTimeoutError::Timeout) => Err(self),
         }
     }
 
@@ -240,6 +402,9 @@ impl Ticket {
     /// # Errors
     /// As for [`Ticket::wait`], inside the `Ok` arm.
     pub fn try_wait(self) -> Result<GrainResult<SelectionReport>, Self> {
+        if self.is_cancelled() {
+            return Ok(Err(GrainError::Cancelled));
+        }
         match self.rx.try_recv() {
             Ok(result) => Ok(result),
             Err(TryRecvError::Disconnected) => Ok(Err(GrainError::SchedulerShutdown)),
@@ -277,6 +442,15 @@ pub struct SchedulerStats {
     pub delivered: usize,
     /// Fan-outs whose ticket had been dropped before resolution.
     pub abandoned: usize,
+    /// Tickets explicitly cancelled ([`Ticket::cancel`]; dropped tickets
+    /// count as `abandoned`, not here).
+    pub cancelled: usize,
+    /// Anytime-prefix reports delivered to [`OnDeadline::Partial`]
+    /// waiters after a mid-run deadline trip.
+    pub partial: usize,
+    /// Requests that resolved [`GrainError::SelectionPanicked`] — the
+    /// panic was isolated to that request; the worker survived.
+    pub panicked: usize,
 }
 
 impl SchedulerStats {
@@ -305,6 +479,9 @@ struct SchedCounters {
     dispatch_groups: AtomicUsize,
     delivered: AtomicUsize,
     abandoned: AtomicUsize,
+    cancelled: AtomicUsize,
+    partial: AtomicUsize,
+    panicked: AtomicUsize,
 }
 
 impl SchedCounters {
@@ -323,6 +500,9 @@ impl SchedCounters {
             dispatch_groups: self.dispatch_groups.load(Ordering::Relaxed),
             delivered: self.delivered.load(Ordering::Relaxed),
             abandoned: self.abandoned.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            partial: self.partial.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
         }
     }
 }
@@ -340,7 +520,9 @@ struct Inner {
     state: Mutex<SchedState>,
     /// Signals workers: work queued, resumed, or shutdown.
     ready: Condvar,
-    counters: SchedCounters,
+    /// Shared with tickets (an `Arc` so [`Ticket::cancel`] can count
+    /// itself after the scheduler is gone).
+    counters: Arc<SchedCounters>,
     queue_capacity: usize,
     max_group: usize,
 }
@@ -377,7 +559,7 @@ impl Scheduler {
                 shutdown: false,
             }),
             ready: Condvar::new(),
-            counters: SchedCounters::default(),
+            counters: Arc::new(SchedCounters::default()),
             queue_capacity: config.queue_capacity,
             max_group: config.max_group.max(1),
         });
@@ -415,6 +597,7 @@ impl Scheduler {
             request,
             priority,
             deadline,
+            on_deadline,
         } = scheduled.into();
         // Coalesce-key construction is O(candidate pool) and engine-key
         // formatting builds fingerprint strings; prepare both before
@@ -436,19 +619,24 @@ impl Scheduler {
                     stage: DeadlineStage::AtSubmit,
                 });
             }
-            state
-                .queue
-                .admit(prepared, priority, deadline, tx, self.inner.queue_capacity)
+            state.queue.admit(
+                prepared,
+                priority,
+                deadline,
+                on_deadline,
+                tx,
+                self.inner.queue_capacity,
+            )
         };
         match admission {
-            Admission::Enqueued => {
+            Admission::Enqueued(handle) => {
                 SchedCounters::bump(&self.inner.counters.enqueued);
                 self.inner.ready.notify_one();
-                Ok(Ticket { rx })
+                Ok(self.ticket(rx, handle))
             }
-            Admission::Coalesced => {
+            Admission::Coalesced(handle) => {
                 SchedCounters::bump(&self.inner.counters.coalesced);
-                Ok(Ticket { rx })
+                Ok(self.ticket(rx, handle))
             }
             Admission::RejectedFull => {
                 SchedCounters::bump(&self.inner.counters.rejected_queue_full);
@@ -456,6 +644,17 @@ impl Scheduler {
                     capacity: self.inner.queue_capacity,
                 })
             }
+        }
+    }
+
+    fn ticket(&self, rx: Receiver<GrainResult<SelectionReport>>, handle: WaiterHandle) -> Ticket {
+        Ticket {
+            rx,
+            cancel: Some(TicketCancel {
+                state: handle.cancel,
+                cancelled: handle.cancelled,
+                counters: Arc::clone(&self.inner.counters),
+            }),
         }
     }
 
@@ -540,19 +739,43 @@ fn deliver(
 }
 
 /// Delivers `result` to every waiter of a completed slot. The first
-/// waiter (the submission that created the slot) receives the report
-/// as-is; coalesced joiners receive the same outcomes with the pool event
-/// rewritten to [`PoolEvent::CoalescedSelection`].
+/// surviving waiter (the submission that created the slot, unless it
+/// cancelled) receives the report as-is; coalesced joiners receive the
+/// same outcomes with the pool event rewritten to
+/// [`PoolEvent::CoalescedSelection`]. Cancelled waiters are skipped —
+/// their tickets already resolved [`GrainError::Cancelled`] caller-side.
+/// A partial (anytime-prefix) report is delivered only to
+/// [`OnDeadline::Partial`] waiters; `Fail` waiters of the same slot
+/// receive the typed deadline error instead.
 fn fan_out(inner: &Inner, waiters: Vec<Waiter>, result: &GrainResult<SelectionReport>) {
-    for (i, waiter) in waiters.into_iter().enumerate() {
-        let payload = if i == 0 {
-            result.clone()
-        } else {
-            result.clone().map(|mut report| {
-                report.pool_event = PoolEvent::CoalescedSelection;
-                report
-            })
+    if matches!(result, Err(GrainError::SelectionPanicked { .. })) {
+        SchedCounters::bump(&inner.counters.panicked);
+    }
+    let mut creator_seen = false;
+    for waiter in waiters {
+        if waiter.cancelled.load(Ordering::Acquire) {
+            continue;
+        }
+        let payload = match result {
+            Ok(report) => {
+                let mut report = report.clone();
+                if creator_seen {
+                    report.pool_event = PoolEvent::CoalescedSelection;
+                }
+                if report.is_partial() && waiter.on_deadline != OnDeadline::Partial {
+                    Err(GrainError::DeadlineExceeded {
+                        stage: DeadlineStage::MidSelection,
+                    })
+                } else {
+                    if report.is_partial() {
+                        SchedCounters::bump(&inner.counters.partial);
+                    }
+                    Ok(report)
+                }
+            }
+            Err(e) => Err(e.clone()),
         };
+        creator_seen = true;
         deliver(inner, &waiter.tx, payload);
     }
 }
@@ -599,16 +822,29 @@ fn worker_loop(inner: &Inner) {
         }
 
         // Execute the group through the service's batched warm-engine
-        // path: every request shares one engine key, so submit_batch runs
-        // them back to back on the one warm engine, bit-identical to
-        // serial `select` calls.
-        let (keys, requests): (Vec<queue::CoalesceKey>, Vec<SelectionRequest>) =
-            dispatch.group.into_iter().unzip();
-        let results = catch_unwind(AssertUnwindSafe(|| inner.service.submit_batch(&requests)));
+        // path: every request shares one engine key, so submit_batch_with
+        // runs them back to back on the one warm engine, bit-identical to
+        // serial `select` calls, each under its slot's shared cancel
+        // token and effective degradation policy, each panic-isolated.
+        let mut claims = Vec::with_capacity(dispatch.group.len());
+        let mut items: Vec<(SelectionRequest, CancelToken, OnDeadline)> =
+            Vec::with_capacity(dispatch.group.len());
+        for entry in dispatch.group {
+            items.push((
+                entry.request,
+                entry.cancel.token().clone(),
+                entry.on_deadline,
+            ));
+            claims.push((entry.key, entry.cancel));
+        }
+        fault::point("scheduler.dispatch", None);
+        let results = catch_unwind(AssertUnwindSafe(|| {
+            inner.service.submit_batch_with(&items, 0)
+        }));
         SchedCounters::bump(&inner.counters.dispatch_groups);
         match results {
             Ok(results) => {
-                for (key, result) in keys.iter().zip(results) {
+                for ((key, cancel), result) in claims.iter().zip(results) {
                     // `selections` counts work actually executed; a typed
                     // per-request error (unknown graph, bad config) means
                     // no selection ran.
@@ -618,19 +854,21 @@ fn worker_loop(inner: &Inner) {
                     // Take the slot under the lock, deliver outside it: the
                     // fan-out clones the report once per waiter and must
                     // not stall submissions or other workers.
-                    let slot = inner.lock_state().queue.complete(key);
+                    let slot = inner.lock_state().queue.complete(key, cancel);
                     if let Some(slot) = slot {
                         fan_out(inner, slot.waiters, &result);
                     }
                 }
             }
             Err(_) => {
-                // A panic inside the service is a bug, but waiters must
-                // not hang on it: fail the whole group typed (same
-                // contract as the pool's abandoned-build latch) and keep
-                // the worker alive for the rest of the queue.
-                for (key, request) in keys.iter().zip(&requests) {
-                    let slot = inner.lock_state().queue.complete(key);
+                // Per-request panics are already isolated inside
+                // `submit_batch_with`; reaching here means the batch
+                // machinery itself panicked. Waiters must not hang on it:
+                // fail the whole group typed (same contract as the pool's
+                // abandoned-build latch) and keep the worker alive for
+                // the rest of the queue.
+                for ((key, cancel), (request, _, _)) in claims.iter().zip(&items) {
+                    let slot = inner.lock_state().queue.complete(key, cancel);
                     if let Some(slot) = slot {
                         fan_out(
                             inner,
@@ -758,7 +996,75 @@ mod tests {
         // dropped resolves SchedulerShutdown instead of hanging.
         let (tx, rx) = bounded::<GrainResult<SelectionReport>>(1);
         drop(tx);
-        let orphan = Ticket { rx };
+        let orphan = Ticket { rx, cancel: None };
         assert_eq!(orphan.wait().unwrap_err(), GrainError::SchedulerShutdown);
+    }
+
+    #[test]
+    fn cancelling_a_queued_ticket_resolves_it_and_skips_the_run() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let ticket = scheduler.submit(request(6)).unwrap();
+        ticket.cancel();
+        ticket.cancel(); // idempotent: counted once
+        assert_eq!(ticket.wait().unwrap_err(), GrainError::Cancelled);
+        scheduler.resume();
+        // The fully-cancelled slot is discarded at dispatch, never run.
+        while !scheduler.is_idle() {
+            std::thread::yield_now();
+        }
+        let stats = scheduler.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.selections, 0, "a fully-cancelled slot never runs");
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
+    fn cancelling_one_coalesced_waiter_detaches_only_that_waiter() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let keeper = scheduler.submit(request(6)).unwrap();
+        let quitter = scheduler.submit(request(6)).unwrap();
+        quitter.cancel();
+        scheduler.resume();
+        let report = keeper.wait().unwrap();
+        assert_eq!(report.outcome().selected.len(), 6);
+        assert_eq!(quitter.wait().unwrap_err(), GrainError::Cancelled);
+        let stats = scheduler.stats();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.selections, 1, "the kept waiter's run completed");
+        assert_eq!(stats.delivered, 1, "only the live waiter was delivered to");
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_ticket_back_until_resolution() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let ticket = scheduler.submit(request(4)).unwrap();
+        let ticket = ticket
+            .wait_timeout(Duration::from_millis(5))
+            .expect_err("paused: the timeout elapses and the ticket returns");
+        scheduler.resume();
+        // Generous timeout: resolves well within it.
+        let report = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .expect("resolves before the timeout")
+            .unwrap();
+        assert_eq!(report.outcome().selected.len(), 4);
     }
 }

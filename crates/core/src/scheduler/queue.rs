@@ -19,21 +19,69 @@
 //! only within one bounded group, and it is exactly the trade that keeps
 //! artifact caches hot under mixed traffic.
 
+use crate::cancel::{CancelCause, CancelToken, OnDeadline};
 use crate::error::GrainResult;
 use crate::service::{Budget, SelectionReport, SelectionRequest};
 use crossbeam::channel::Sender;
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// One party waiting on a queued or in-flight selection: the sending half
-/// of its [`super::Ticket`] plus its own deadline (waiters coalesced onto
-/// one slot keep individual deadlines; triage is per waiter).
+/// of its [`super::Ticket`] plus its own deadline and degradation policy
+/// (waiters coalesced onto one slot keep individual deadlines and
+/// policies; triage and fan-out are per waiter).
 pub(super) struct Waiter {
     pub(super) tx: Sender<GrainResult<SelectionReport>>,
     pub(super) deadline: Option<Instant>,
+    /// Set by [`super::Ticket::cancel`]; triage and fan-out skip
+    /// cancelled waiters (the ticket already resolved itself).
+    pub(super) cancelled: Arc<AtomicBool>,
+    /// What this waiter receives when the run is cancelled by deadline.
+    pub(super) on_deadline: OnDeadline,
+}
+
+/// Refcounted cancellation state shared by a slot's waiters and their
+/// tickets. Dropping a ticket abandons its waiter **without** cancelling
+/// (coalesced siblings may depend on the run); only an explicit
+/// [`super::Ticket::cancel`] detaches a waiter, and the shared
+/// [`CancelToken`] trips only when the *last* live waiter detaches — so
+/// one impatient caller can never kill a result someone else is still
+/// waiting for.
+pub(super) struct CancelState {
+    /// Waiters that have not cancelled. Joins increment, explicit
+    /// cancels decrement; abandoned (dropped) tickets never decrement.
+    live: AtomicUsize,
+    token: CancelToken,
+}
+
+impl CancelState {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            live: AtomicUsize::new(1),
+            token: CancelToken::new(),
+        })
+    }
+
+    /// The token the dispatch threads into the service and engine.
+    pub(super) fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    fn join(&self) {
+        self.live.fetch_add(1, AtomicOrdering::Relaxed);
+    }
+
+    /// Detaches one waiter; the last detachment trips the token (caller
+    /// cause), stopping the run at its next cancellation checkpoint.
+    pub(super) fn cancel_one(&self) {
+        if self.live.fetch_sub(1, AtomicOrdering::AcqRel) == 1 {
+            self.token.cancel();
+        }
+    }
 }
 
 /// The identity under which two submissions are "the same selection":
@@ -128,6 +176,8 @@ pub(super) struct Slot {
     request: Option<SelectionRequest>,
     pub(super) engine_key: (String, String),
     pub(super) waiters: Vec<Waiter>,
+    /// Shared with every waiter's ticket; see [`CancelState`].
+    cancel: Arc<CancelState>,
     state: SlotState,
     /// Scheduling urgency: max priority over waiters.
     priority: u8,
@@ -182,22 +232,44 @@ impl Ord for HeapEntry {
     }
 }
 
+/// The cancellation handles an admitted waiter's [`super::Ticket`]
+/// needs: the slot's shared refcounted state plus this waiter's own
+/// cancelled flag (read by triage and fan-out).
+pub(super) struct WaiterHandle {
+    pub(super) cancel: Arc<CancelState>,
+    pub(super) cancelled: Arc<AtomicBool>,
+}
+
 /// What [`DispatchQueue::admit`] did with a submission.
 pub(super) enum Admission {
     /// A new work item was queued.
-    Enqueued,
+    Enqueued(WaiterHandle),
     /// The submission attached to an identical queued/running selection;
     /// no new work exists.
-    Coalesced,
+    Coalesced(WaiterHandle),
     /// The queue is at capacity; the waiter was dropped unserved.
     RejectedFull,
+}
+
+/// One claimed slot inside a [`Dispatch`] group.
+pub(super) struct DispatchEntry {
+    pub(super) key: CoalesceKey,
+    pub(super) request: SelectionRequest,
+    /// The slot's shared cancel state; its token is deadline-armed at
+    /// claim time (see [`DispatchQueue::pop_dispatch`]).
+    pub(super) cancel: Arc<CancelState>,
+    /// Effective degradation policy for the run: `Partial` if any live
+    /// waiter asked for it (a prefix beats an error for them; `Fail`
+    /// waiters of the same slot still receive the typed error at
+    /// fan-out).
+    pub(super) on_deadline: OnDeadline,
 }
 
 /// One unit of work handed to a scheduler worker.
 pub(super) struct Dispatch {
     /// Slots to execute, all sharing one engine key, most urgent first
     /// then submission order. Empty when the pass only shed dead work.
-    pub(super) group: Vec<(CoalesceKey, SelectionRequest)>,
+    pub(super) group: Vec<DispatchEntry>,
     /// Waiters whose deadline expired while queued — resolve with
     /// [`crate::error::DeadlineStage::InQueue`], no selection run.
     pub(super) shed: Vec<Waiter>,
@@ -246,6 +318,7 @@ impl DispatchQueue {
         prepared: PreparedSubmission,
         priority: u8,
         deadline: Option<Instant>,
+        on_deadline: OnDeadline,
         tx: Sender<GrainResult<SelectionReport>>,
         capacity: usize,
     ) -> Admission {
@@ -254,8 +327,32 @@ impl DispatchQueue {
             request,
             engine_key,
         } = prepared;
-        if let Some(slot) = self.slots.get_mut(&key) {
-            slot.waiters.push(Waiter { tx, deadline });
+        let cancelled = Arc::new(AtomicBool::new(false));
+        // A slot whose every waiter detached (`super::Ticket::cancel`) is
+        // a husk: its run — queued or already dispatched — stops at the
+        // next checkpoint with nobody listening. Coalescing onto it would
+        // hand this fresh submission a `Cancelled` it never asked for, so
+        // evict the husk and enqueue new work under the key instead
+        // ([`Self::complete`] matches slots by cancel-state identity, so
+        // the doomed run finishing later cannot remove the newcomer).
+        let doomed = self
+            .slots
+            .get(&key)
+            .is_some_and(|slot| slot.cancel.token().cause() == Some(CancelCause::Caller));
+        if doomed {
+            if let Some(husk) = self.slots.remove(&key) {
+                if husk.state == SlotState::Queued {
+                    self.queued -= 1;
+                }
+            }
+        } else if let Some(slot) = self.slots.get_mut(&key) {
+            slot.cancel.join();
+            slot.waiters.push(Waiter {
+                tx,
+                deadline,
+                cancelled: Arc::clone(&cancelled),
+                on_deadline,
+            });
             // A more urgent waiter drags the whole slot forward; the old
             // heap entry goes stale (stamp) instead of being dug out.
             if slot.state == SlotState::Queued {
@@ -278,7 +375,10 @@ impl DispatchQueue {
                     });
                 }
             }
-            return Admission::Coalesced;
+            return Admission::Coalesced(WaiterHandle {
+                cancel: Arc::clone(&slot.cancel),
+                cancelled,
+            });
         }
         if self.queued >= capacity {
             return Admission::RejectedFull;
@@ -294,12 +394,19 @@ impl DispatchQueue {
             stamp,
             key: key.clone(),
         });
+        let cancel = CancelState::new();
         self.slots.insert(
             key,
             Slot {
                 engine_key,
                 request: Some(request),
-                waiters: vec![Waiter { tx, deadline }],
+                waiters: vec![Waiter {
+                    tx,
+                    deadline,
+                    cancelled: Arc::clone(&cancelled),
+                    on_deadline,
+                }],
+                cancel: Arc::clone(&cancel),
                 state: SlotState::Queued,
                 priority,
                 deadline,
@@ -308,7 +415,7 @@ impl DispatchQueue {
             },
         );
         self.queued += 1;
-        Admission::Enqueued
+        Admission::Enqueued(WaiterHandle { cancel, cancelled })
     }
 
     /// Removes and returns `slot`'s waiters whose deadline has passed; if
@@ -317,11 +424,49 @@ impl DispatchQueue {
     /// receives the unrewritten pool event), so shedding must not shuffle
     /// the survivors.
     fn triage(slot: &mut Slot, now: Instant, shed: &mut Vec<Waiter>) {
+        // A cancelled waiter already resolved itself ticket-side
+        // (`super::Ticket::cancel`): drop it silently, no shed delivery.
+        slot.waiters
+            .retain(|w| !w.cancelled.load(AtomicOrdering::Acquire));
         let (dead, live): (Vec<Waiter>, Vec<Waiter>) = std::mem::take(&mut slot.waiters)
             .into_iter()
             .partition(|w| w.deadline.is_some_and(|d| d <= now));
         shed.extend(dead);
         slot.waiters = live;
+    }
+
+    /// Builds the dispatch entry for a claimed slot, fixing the run's
+    /// cancellation contract at claim time:
+    ///
+    /// * the shared token's **deadline** is armed only when *every* live
+    ///   waiter carries one — a deadline-free waiter wants the result
+    ///   regardless, so its run must never be deadline-cancelled — and
+    ///   the **latest** deadline wins, because the run stays useful until
+    ///   the last waiter gives up;
+    /// * the effective [`OnDeadline`] is `Partial` if *any* live waiter
+    ///   opted in (fan-out still hands `Fail` waiters the typed error).
+    fn entry(key: CoalesceKey, request: SelectionRequest, slot: &Slot) -> DispatchEntry {
+        let deadline = if slot.waiters.iter().all(|w| w.deadline.is_some()) {
+            slot.waiters.iter().filter_map(|w| w.deadline).max()
+        } else {
+            None
+        };
+        slot.cancel.token().set_deadline(deadline);
+        let on_deadline = if slot
+            .waiters
+            .iter()
+            .any(|w| w.on_deadline == OnDeadline::Partial)
+        {
+            OnDeadline::Partial
+        } else {
+            OnDeadline::Fail
+        };
+        DispatchEntry {
+            key,
+            request,
+            cancel: Arc::clone(&slot.cancel),
+            on_deadline,
+        }
     }
 
     /// Claims the next unit of work: the most urgent live slot plus up to
@@ -357,7 +502,9 @@ impl DispatchQueue {
             slot.state = SlotState::Running;
             self.queued -= 1;
             let request = slot.request.take().expect("queued slot owns its request");
-            dispatch.group.push((head_key.clone(), request));
+            dispatch
+                .group
+                .push(Self::entry(head_key.clone(), request, slot));
             slot.engine_key.clone()
         };
         if max_group > 1 {
@@ -379,7 +526,7 @@ impl DispatchQueue {
                 slot.state = SlotState::Running;
                 self.queued -= 1;
                 let request = slot.request.take().expect("queued slot owns its request");
-                dispatch.group.push((key.clone(), request));
+                dispatch.group.push(Self::entry(key.clone(), request, slot));
             }
         }
         dispatch
@@ -387,13 +534,22 @@ impl DispatchQueue {
 
     /// Removes a completed running slot, handing back its waiters —
     /// including any that coalesced onto it *after* dispatch — for
-    /// fan-out.
-    pub(super) fn complete(&mut self, key: &CoalesceKey) -> Option<Slot> {
-        debug_assert!(self
-            .slots
-            .get(key)
-            .map_or(true, |s| s.state == SlotState::Running));
-        self.slots.remove(key)
+    /// fan-out. The slot is matched by its [`CancelState`] identity, not
+    /// the key alone: if a fully-cancelled run's slot was evicted by
+    /// [`Self::admit`] and the key re-occupied by fresh work, the doomed
+    /// run completing late must not remove (or resolve) the newcomer.
+    pub(super) fn complete(
+        &mut self,
+        key: &CoalesceKey,
+        cancel: &Arc<CancelState>,
+    ) -> Option<Slot> {
+        match self.slots.get(key) {
+            Some(slot) if Arc::ptr_eq(&slot.cancel, cancel) => {
+                debug_assert!(slot.state == SlotState::Running);
+                self.slots.remove(key)
+            }
+            _ => None,
+        }
     }
 }
 
@@ -428,6 +584,7 @@ mod tests {
             PreparedSubmission::new(r.clone()),
             priority,
             deadline,
+            OnDeadline::Fail,
             tx,
             usize::MAX,
         )
@@ -439,13 +596,27 @@ mod tests {
         tx: Sender<GrainResult<SelectionReport>>,
         capacity: usize,
     ) -> Admission {
-        q.admit(PreparedSubmission::new(r.clone()), 0, None, tx, capacity)
+        q.admit(
+            PreparedSubmission::new(r.clone()),
+            0,
+            None,
+            OnDeadline::Fail,
+            tx,
+            capacity,
+        )
+    }
+
+    /// Marks a handle's waiter cancelled exactly as `Ticket::cancel`
+    /// does: flag first, then detach from the refcount.
+    fn cancel_handle(h: &WaiterHandle) {
+        h.cancelled.store(true, AtomicOrdering::Release);
+        h.cancel.cancel_one();
     }
 
     fn popped_budgets(d: &Dispatch) -> Vec<usize> {
         d.group
             .iter()
-            .map(|(_, r)| match r.budget {
+            .map(|e| match e.request.budget {
                 Budget::Fixed(n) => n,
                 _ => unreachable!(),
             })
@@ -456,12 +627,15 @@ mod tests {
     fn identical_requests_coalesce_into_one_slot() {
         let mut q = DispatchQueue::default();
         let r = request("g", 5);
-        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued));
-        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Coalesced));
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued(_)));
+        assert!(matches!(
+            admit(&mut q, &r, 0, None),
+            Admission::Coalesced(_)
+        ));
         assert_eq!(q.depth(), 1);
         let d = q.pop_dispatch(Instant::now(), 1);
         assert_eq!(d.group.len(), 1);
-        let slot = q.complete(&d.group[0].0).unwrap();
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
         assert_eq!(slot.waiters.len(), 2);
         assert!(q.is_idle());
     }
@@ -470,16 +644,16 @@ mod tests {
     fn different_seed_or_budget_does_not_coalesce() {
         let mut q = DispatchQueue::default();
         let r = request("g", 5);
-        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued));
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued(_)));
         let other_budget = request("g", 6);
         assert!(matches!(
             admit(&mut q, &other_budget, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         let other_seed = request("g", 5).with_seed(9);
         assert!(matches!(
             admit(&mut q, &other_seed, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert_eq!(q.depth(), 3);
         // Candidate pools are compared by content: a different pool is
@@ -488,15 +662,15 @@ mod tests {
         let pool_b = request("g", 5).with_candidates(vec![1, 2, 4]);
         assert!(matches!(
             admit(&mut q, &pool_a, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &pool_b, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &pool_a, 0, None),
-            Admission::Coalesced
+            Admission::Coalesced(_)
         ));
         assert_eq!(q.depth(), 5);
     }
@@ -508,10 +682,13 @@ mod tests {
         let k = request("k", 1);
         // An urgency upgrade leaves the original heap entry stale.
         admit(&mut q, &k, 7, None);
-        assert!(matches!(admit(&mut q, &k, 9, None), Admission::Coalesced));
+        assert!(matches!(
+            admit(&mut q, &k, 9, None),
+            Admission::Coalesced(_)
+        ));
         let d = q.pop_dispatch(now, 1);
-        assert_eq!(d.group[0].1.graph, "k");
-        q.complete(&d.group[0].0);
+        assert_eq!(d.group[0].request.graph, "k");
+        q.complete(&d.group[0].key, &d.group[0].cancel);
         // Re-queue the same coalesce key at low priority next to a
         // mid-priority rival: the dead prio-7 entry must not match the
         // new slot and jump it ahead.
@@ -519,13 +696,13 @@ mod tests {
         admit(&mut q, &request("rival", 1), 5, None);
         let d = q.pop_dispatch(now, 1);
         assert_eq!(
-            d.group[0].1.graph, "rival",
+            d.group[0].request.graph, "rival",
             "a stale heap entry must not boost a re-queued slot"
         );
-        q.complete(&d.group[0].0);
+        q.complete(&d.group[0].key, &d.group[0].cancel);
         let d = q.pop_dispatch(now, 1);
-        assert_eq!(d.group[0].1.graph, "k");
-        q.complete(&d.group[0].0);
+        assert_eq!(d.group[0].request.graph, "k");
+        q.complete(&d.group[0].key, &d.group[0].cancel);
         assert!(q.is_idle());
     }
 
@@ -537,7 +714,7 @@ mod tests {
         let (tx, _rx) = waiter();
         assert!(matches!(
             admit_capped(&mut q, &a, tx, 1),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         let (tx, _rx2) = waiter();
         assert!(matches!(
@@ -548,7 +725,7 @@ mod tests {
         let (tx, _rx3) = waiter();
         assert!(matches!(
             admit_capped(&mut q, &a, tx, 1),
-            Admission::Coalesced
+            Admission::Coalesced(_)
         ));
         assert_eq!(q.depth(), 1);
     }
@@ -562,23 +739,23 @@ mod tests {
         // Distinct graphs so nothing groups; max_group = 1.
         assert!(matches!(
             admit(&mut q, &request("fifo-a", 1), 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &request("edf-later", 2), 0, Some(later)),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &request("edf-soon", 3), 0, Some(soon)),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &request("prio", 4), 7, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &request("fifo-b", 5), 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         let mut order = Vec::new();
         loop {
@@ -586,9 +763,8 @@ mod tests {
             if d.group.is_empty() {
                 break;
             }
-            order.push(d.group[0].1.graph.clone());
-            let key = d.group[0].0.clone();
-            q.complete(&key);
+            order.push(d.group[0].request.graph.clone());
+            q.complete(&d.group[0].key.clone(), &d.group[0].cancel);
         }
         assert_eq!(
             order,
@@ -604,21 +780,21 @@ mod tests {
         let r_fast = request("b", 1);
         assert!(matches!(
             admit(&mut q, &r_slow, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &r_fast, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         // FIFO would run `a` first; a high-priority duplicate of `b`
         // drags its slot to the front.
         assert!(matches!(
             admit(&mut q, &r_fast, 9, None),
-            Admission::Coalesced
+            Admission::Coalesced(_)
         ));
         let d = q.pop_dispatch(now, 1);
-        assert_eq!(d.group[0].1.graph, "b");
-        let slot = q.complete(&d.group[0].0).unwrap();
+        assert_eq!(d.group[0].request.graph, "b");
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
         assert_eq!(slot.waiters.len(), 2, "both waiters ride the one slot");
     }
 
@@ -631,24 +807,24 @@ mod tests {
         for budget in [4, 5, 6] {
             assert!(matches!(
                 admit(&mut q, &request("g", budget), 0, None),
-                Admission::Enqueued
+                Admission::Enqueued(_)
             ));
         }
         // A foreign engine key queued in between.
         assert!(matches!(
             admit(&mut q, &request("other", 4), 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         let d = q.pop_dispatch(now, 8);
         assert_eq!(popped_budgets(&d), vec![4, 5, 6]);
-        assert!(d.group.iter().all(|(_, r)| r.graph == "g"));
+        assert!(d.group.iter().all(|e| e.request.graph == "g"));
         assert_eq!(q.depth(), 1, "the foreign key stays queued");
-        for (key, _) in &d.group {
-            q.complete(key);
+        for e in &d.group {
+            q.complete(&e.key, &e.cancel);
         }
         let leftover = q.pop_dispatch(now, 8);
-        assert_eq!(leftover.group[0].1.graph, "other");
-        q.complete(&leftover.group[0].0);
+        assert_eq!(leftover.group[0].request.graph, "other");
+        q.complete(&leftover.group[0].key, &leftover.group[0].cancel);
         // max_group caps the ride-along count.
         for budget in [4, 5, 6] {
             admit(&mut q, &request("g", budget), 0, None);
@@ -666,25 +842,25 @@ mod tests {
         let r_live = request("live", 1);
         assert!(matches!(
             admit(&mut q, &r_dead, 0, Some(past)),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         assert!(matches!(
             admit(&mut q, &r_live, 0, None),
-            Admission::Enqueued
+            Admission::Enqueued(_)
         ));
         let d = q.pop_dispatch(now, 1);
         assert_eq!(d.shed.len(), 1, "the expired waiter is shed");
         assert_eq!(d.group.len(), 1);
-        assert_eq!(d.group[0].1.graph, "live");
+        assert_eq!(d.group[0].request.graph, "live");
         // A mixed slot sheds only its expired waiters and still runs.
         let r_mixed = request("mixed", 1);
         admit(&mut q, &r_mixed, 0, Some(past));
         admit(&mut q, &r_mixed, 0, None);
-        q.complete(&d.group[0].0);
+        q.complete(&d.group[0].key, &d.group[0].cancel);
         let d = q.pop_dispatch(now, 1);
         assert_eq!(d.shed.len(), 1);
         assert_eq!(d.group.len(), 1);
-        let slot = q.complete(&d.group[0].0).unwrap();
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
         assert_eq!(slot.waiters.len(), 1, "the live waiter still runs");
     }
 
@@ -703,9 +879,110 @@ mod tests {
         admit(&mut q, &r, 0, Some(later));
         let d = q.pop_dispatch(now, 1);
         assert_eq!(d.shed.len(), 1);
-        let slot = q.complete(&d.group[0].0).unwrap();
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
         let deadlines: Vec<_> = slot.waiters.iter().map(|w| w.deadline.unwrap()).collect();
         assert_eq!(deadlines, vec![soon, later]);
+    }
+
+    #[test]
+    fn cancel_is_refcounted_and_fully_cancelled_slots_never_run() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let r = request("g", 5);
+        let Admission::Enqueued(h1) = admit(&mut q, &r, 0, None) else {
+            panic!("first submission enqueues")
+        };
+        let Admission::Coalesced(h2) = admit(&mut q, &r, 0, None) else {
+            panic!("duplicate coalesces")
+        };
+        // One of two waiters cancels: the shared token must stay
+        // untripped — the sibling still wants the result.
+        cancel_handle(&h1);
+        assert!(!h1.cancel.token().is_cancelled());
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group.len(), 1);
+        assert!(
+            d.shed.is_empty(),
+            "cancelled waiters are not shed deliveries"
+        );
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
+        assert_eq!(slot.waiters.len(), 1, "the cancelled waiter is dropped");
+        // The last waiter cancelling trips the token (caller cause).
+        cancel_handle(&h2);
+        assert!(h2.cancel.token().is_cancelled());
+        // A queued slot whose every waiter cancelled is removed at
+        // dispatch without running anything.
+        let Admission::Enqueued(h) = admit(&mut q, &request("g2", 3), 0, None) else {
+            panic!("fresh submission enqueues")
+        };
+        cancel_handle(&h);
+        let d = q.pop_dispatch(now, 1);
+        assert!(d.is_empty());
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn a_resubmission_after_full_cancellation_is_fresh_work_not_a_coalesce() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let r = request("g", 5);
+        let Admission::Enqueued(h) = admit(&mut q, &r, 0, None) else {
+            panic!("first submission enqueues")
+        };
+        // The run is claimed, then its only waiter cancels mid-flight.
+        let d = q.pop_dispatch(now, 1);
+        let doomed = Arc::clone(&d.group[0].cancel);
+        cancel_handle(&h);
+        assert!(doomed.token().is_cancelled());
+        // An identical submission now must NOT inherit the doomed run.
+        assert!(matches!(admit(&mut q, &r, 0, None), Admission::Enqueued(_)));
+        assert_eq!(q.depth(), 1);
+        // The doomed run completing late matches by cancel-state identity
+        // and finds nothing — the newcomer's slot is untouched.
+        assert!(q.complete(&d.group[0].key, &doomed).is_none());
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group.len(), 1, "the fresh slot dispatches normally");
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
+        assert_eq!(slot.waiters.len(), 1);
+        assert!(q.is_idle());
+    }
+
+    #[test]
+    fn dispatch_arms_the_token_deadline_only_when_every_waiter_has_one() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        let soon = now + Duration::from_secs(1);
+        let later = now + Duration::from_secs(60);
+        // A deadline-free waiter keeps the run uncancellable.
+        let a = request("a", 1);
+        admit(&mut q, &a, 0, Some(soon));
+        admit(&mut q, &a, 0, None);
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(d.group[0].cancel.token().deadline(), None);
+        assert_eq!(d.group[0].on_deadline, OnDeadline::Fail);
+        q.complete(&d.group[0].key, &d.group[0].cancel);
+        // All waiters deadlined: the latest deadline arms the token, and
+        // any Partial waiter upgrades the run's effective policy.
+        let b = request("b", 1);
+        admit(&mut q, &b, 0, Some(soon));
+        let (tx, rx) = waiter();
+        std::mem::forget(rx);
+        q.admit(
+            PreparedSubmission::new(b.clone()),
+            0,
+            Some(later),
+            OnDeadline::Partial,
+            tx,
+            usize::MAX,
+        );
+        let d = q.pop_dispatch(now, 1);
+        assert_eq!(
+            d.group[0].cancel.token().deadline(),
+            Some(later),
+            "the run stays useful until the last waiter gives up"
+        );
+        assert_eq!(d.group[0].on_deadline, OnDeadline::Partial);
+        q.complete(&d.group[0].key, &d.group[0].cancel);
     }
 
     #[test]
@@ -720,9 +997,9 @@ mod tests {
         let (tx, _rx) = waiter();
         assert!(matches!(
             admit_capped(&mut q, &r, tx, 0),
-            Admission::Coalesced
+            Admission::Coalesced(_)
         ));
-        let slot = q.complete(&d.group[0].0).unwrap();
+        let slot = q.complete(&d.group[0].key, &d.group[0].cancel).unwrap();
         assert_eq!(slot.waiters.len(), 2);
     }
 }

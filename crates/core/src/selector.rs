@@ -25,6 +25,7 @@
 //! staged pipeline. Use [`SelectionEngine::activation_index`] on a warm
 //! engine where the removed index shim was used.
 
+use crate::cancel::CancelCause;
 use crate::config::GrainConfig;
 use crate::engine::SelectionEngine;
 use crate::error::GrainResult;
@@ -47,6 +48,25 @@ pub struct SelectionTimings {
     pub total: Duration,
 }
 
+/// Whether a selection ran to its full budget or stopped early at a
+/// cooperative cancellation checkpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Completion {
+    /// The greedy loop ran to its full budget (or exhausted candidates).
+    #[default]
+    Complete,
+    /// The run was cancelled mid-greedy and degraded to the prefix
+    /// selected so far (requests opt in via
+    /// [`OnDeadline::Partial`](crate::cancel::OnDeadline)). Submodularity
+    /// makes the prefix a valid anytime answer: it is byte-for-byte a
+    /// prefix of what the uncancelled run would have selected and carries
+    /// greedy's `(1 - 1/e)` guarantee at its own (smaller) budget.
+    Partial {
+        /// Why the run stopped early.
+        cause: CancelCause,
+    },
+}
+
 /// Result of a Grain selection run.
 #[derive(Clone, Debug)]
 pub struct SelectionOutcome {
@@ -64,9 +84,17 @@ pub struct SelectionOutcome {
     pub candidates_after_prune: usize,
     /// Wall-clock breakdown.
     pub timings: SelectionTimings,
+    /// Whether the run completed or degraded to an anytime prefix.
+    pub completion: Completion,
 }
 
 impl SelectionOutcome {
+    /// True if this outcome is an anytime prefix from a cancelled run
+    /// rather than the full-budget selection.
+    pub fn is_partial(&self) -> bool {
+        matches!(self.completion, Completion::Partial { .. })
+    }
+
     /// Budget-free stopping rule: the length of the selection prefix whose
     /// picks each improved `F(S)` by at least `min_gain`.
     ///

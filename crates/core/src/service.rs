@@ -46,15 +46,18 @@
 //! to the pool, and `tests/concurrent_service.rs` extends it across
 //! threads.
 
+use crate::cancel::{CancelCause, CancelToken, OnDeadline};
 use crate::config::{GrainConfig, GrainVariant};
 use crate::engine::{EngineStats, SelectionEngine};
-use crate::error::{GrainError, GrainResult};
-use crate::selector::SelectionOutcome;
+use crate::error::{DeadlineStage, GrainError, GrainResult};
+use crate::fault;
+use crate::selector::{Completion, SelectionOutcome};
 use grain_graph::Graph;
 use grain_linalg::{par, DenseMatrix};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet};
 use std::hash::{DefaultHasher, Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, TryLockError};
 
@@ -792,6 +795,12 @@ pub struct SelectionReport {
     pub artifact_builds: EngineStats,
     /// Pool counters after the request.
     pub pool_stats: PoolStats,
+    /// Whether the request ran to completion or degraded to an anytime
+    /// prefix under [`OnDeadline::Partial`] — either the last outcome is
+    /// itself a cancelled-mid-greedy prefix, or a sweep was truncated
+    /// between budgets. [`GrainService::select`] always reports
+    /// [`Completion::Complete`].
+    pub completion: Completion,
 }
 
 impl SelectionReport {
@@ -816,6 +825,13 @@ impl SelectionReport {
     #[must_use]
     pub fn fully_warm(&self) -> bool {
         self.pool_event == PoolEvent::Hit && self.artifact_builds.total_builds() == 0
+    }
+
+    /// True when this report is a deadline-degraded anytime prefix rather
+    /// than the full answer (see [`SelectionReport::completion`]).
+    #[must_use]
+    pub fn is_partial(&self) -> bool {
+        matches!(self.completion, Completion::Partial { .. })
     }
 }
 
@@ -1033,6 +1049,34 @@ impl GrainService {
     /// [`GrainError::CandidateOutOfRange`] instead of the engine's panic,
     /// and [`GrainError::InvalidBudget`] from [`Budget::resolve`].
     pub fn select(&self, request: &SelectionRequest) -> GrainResult<SelectionReport> {
+        self.select_with(request, &CancelToken::new(), OnDeadline::Fail)
+    }
+
+    /// [`GrainService::select`] under cooperative cancellation.
+    ///
+    /// `cancel` is threaded into the engine
+    /// ([`SelectionEngine::select_with_cancel`]) and polled at artifact
+    /// stage boundaries, inside the parallel artifact builds, and at
+    /// greedy checkpoints. `on_deadline` picks the degradation policy for
+    /// deadline trips; an explicit [`CancelToken::cancel`] always fails
+    /// with [`GrainError::Cancelled`].
+    ///
+    /// For a [`Budget::Sweep`] under [`OnDeadline::Partial`], a deadline
+    /// trip mid-sweep keeps every outcome produced so far: the report's
+    /// `budgets`/`outcomes` are truncated to the completed prefix (whose
+    /// last outcome may itself be a partial selection). If the trip lands
+    /// before any outcome exists — including inside an artifact build,
+    /// which is never partial — the request fails typed.
+    ///
+    /// An untripped token answers bit-identically to
+    /// [`GrainService::select`].
+    pub fn select_with(
+        &self,
+        request: &SelectionRequest,
+        cancel: &CancelToken,
+        on_deadline: OnDeadline,
+    ) -> GrainResult<SelectionReport> {
+        fault::point("service.request", Some(cancel));
         let config = request.effective_config();
         config.validate()?;
         let (graph, features) = self.corpus(&request.graph)?;
@@ -1053,7 +1097,7 @@ impl GrainService {
             }
             None => Cow::Owned((0..num_nodes as u32).collect()),
         };
-        let budgets = request.budget.resolve(candidates.len())?;
+        let mut budgets = request.budget.resolve(candidates.len())?;
         let (checkout, pool_event) =
             self.checkout_engine(&request.graph, &config, graph, features)?;
         // One lock session for config alignment plus every budget: a
@@ -1061,10 +1105,41 @@ impl GrainService {
         let mut engine = checkout.lock();
         engine.set_config(config)?;
         let before = engine.stats();
-        let outcomes: Vec<SelectionOutcome> = budgets
-            .iter()
-            .map(|&b| engine.select(&candidates, b))
-            .collect();
+        let mut outcomes: Vec<SelectionOutcome> = Vec::with_capacity(budgets.len());
+        for &budget in &budgets {
+            match engine.select_with_cancel(
+                config.variant,
+                &candidates,
+                budget,
+                cancel,
+                on_deadline,
+            ) {
+                Ok(outcome) => {
+                    let partial = outcome.is_partial();
+                    outcomes.push(outcome);
+                    if partial {
+                        break; // the token stays tripped; later budgets cannot run
+                    }
+                }
+                // A deadline trip between sweep entries (or inside a later
+                // entry's artifact stage) under the Partial policy keeps
+                // the completed prefix of the sweep.
+                Err(GrainError::DeadlineExceeded {
+                    stage: DeadlineStage::MidSelection,
+                }) if on_deadline == OnDeadline::Partial && !outcomes.is_empty() => break,
+                Err(e) => return Err(e),
+            }
+        }
+        // Decide completion before truncating: a sweep cut short between
+        // budgets is partial even though its last outcome is complete.
+        let completion = match outcomes.last() {
+            Some(last) if last.is_partial() => last.completion,
+            _ if outcomes.len() < budgets.len() => Completion::Partial {
+                cause: CancelCause::Deadline,
+            },
+            _ => Completion::Complete,
+        };
+        budgets.truncate(outcomes.len());
         let artifact_builds = engine.stats().delta_since(&before);
         drop(engine);
         drop(checkout);
@@ -1076,6 +1151,7 @@ impl GrainService {
             pool_event,
             artifact_builds,
             pool_stats: self.pool.stats(),
+            completion,
         })
     }
 
@@ -1089,6 +1165,11 @@ impl GrainService {
     /// Reports come back in request order, each independently `Ok` or a
     /// typed error, and are bit-identical to submitting the same requests
     /// one by one ([`GrainService::select`]) in any order.
+    ///
+    /// Every request runs **panic-isolated**: a panic inside one request
+    /// (a corrupted objective, an injected fault) becomes that request's
+    /// [`GrainError::SelectionPanicked`] — it never kills a worker
+    /// thread, the batch, or another request's result.
     pub fn submit_batch(&self, requests: &[SelectionRequest]) -> Vec<GrainResult<SelectionReport>> {
         self.submit_batch_with_workers(requests, 0)
     }
@@ -1101,12 +1182,71 @@ impl GrainService {
         requests: &[SelectionRequest],
         workers: usize,
     ) -> Vec<GrainResult<SelectionReport>> {
-        // Group request indices by engine key, preserving submission
-        // order within each group (first-seen group order overall).
+        self.run_grouped(
+            requests.len(),
+            |i| requests[i].engine_key(),
+            &|i| self.isolated(&requests[i].graph, || self.select(&requests[i])),
+            workers,
+        )
+    }
+
+    /// [`GrainService::submit_batch_with_workers`] with a per-request
+    /// [`CancelToken`] and degradation policy — the entry point the
+    /// [`crate::scheduler::Scheduler`] dispatches through, so a waiter
+    /// cancelling its ticket stops exactly its own run. Grouping,
+    /// ordering, panic isolation, and the bit-identity contract are
+    /// unchanged; each request answers as
+    /// [`GrainService::select_with`] would.
+    pub fn submit_batch_with(
+        &self,
+        items: &[(SelectionRequest, CancelToken, OnDeadline)],
+        workers: usize,
+    ) -> Vec<GrainResult<SelectionReport>> {
+        self.run_grouped(
+            items.len(),
+            |i| items[i].0.engine_key(),
+            &|i| {
+                let (request, cancel, on_deadline) = &items[i];
+                self.isolated(&request.graph, || {
+                    self.select_with(request, cancel, *on_deadline)
+                })
+            },
+            workers,
+        )
+    }
+
+    /// Runs `op`, converting a panic into that request's typed
+    /// [`GrainError::SelectionPanicked`]. Pool and engine state stay
+    /// servable across the unwind: engine artifacts assign only after
+    /// complete builds (never torn), poisoned locks are recovered
+    /// everywhere, and the cold-build latch guard fails waiters typed.
+    fn isolated(
+        &self,
+        graph: &str,
+        op: impl FnOnce() -> GrainResult<SelectionReport>,
+    ) -> GrainResult<SelectionReport> {
+        catch_unwind(AssertUnwindSafe(op)).unwrap_or_else(|_| {
+            Err(GrainError::SelectionPanicked {
+                graph: graph.to_string(),
+            })
+        })
+    }
+
+    /// Shared batch body: groups indices `0..n` by engine key (preserving
+    /// submission order within each group, first-seen group order
+    /// overall), fans the groups out over worker threads, and answers
+    /// index `i` via `answer(i)`.
+    fn run_grouped(
+        &self,
+        n: usize,
+        key_of: impl Fn(usize) -> (String, String),
+        answer: &(dyn Fn(usize) -> GrainResult<SelectionReport> + Sync),
+        workers: usize,
+    ) -> Vec<GrainResult<SelectionReport>> {
         let mut group_of: HashMap<(String, String), usize> = HashMap::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        for (i, request) in requests.iter().enumerate() {
-            let key = request.engine_key();
+        for i in 0..n {
+            let key = key_of(i);
             let group = *group_of.entry(key).or_insert_with(|| {
                 groups.push(Vec::new());
                 groups.len() - 1
@@ -1115,10 +1255,9 @@ impl GrainService {
         }
         let workers = par::resolve_threads(workers).min(groups.len()).max(1);
         if workers <= 1 {
-            return requests.iter().map(|r| self.select(r)).collect();
+            return (0..n).map(answer).collect();
         }
-        let mut slots: Vec<Option<GrainResult<SelectionReport>>> =
-            (0..requests.len()).map(|_| None).collect();
+        let mut slots: Vec<Option<GrainResult<SelectionReport>>> = (0..n).map(|_| None).collect();
         let groups = &groups;
         crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -1128,7 +1267,7 @@ impl GrainService {
                         let mut g = w;
                         while g < groups.len() {
                             for &i in &groups[g] {
-                                answered.push((i, self.select(&requests[i])));
+                                answered.push((i, answer(i)));
                             }
                             g += workers;
                         }

@@ -25,7 +25,13 @@
 //! [`Scheduler`](core::scheduler::Scheduler): a bounded queue with
 //! admission control, coalescing of identical in-flight selections, and
 //! deadline/priority dispatch (see `docs/ARCHITECTURE.md` for the layer
-//! map).
+//! map). Execution is resilient end to end: every request is
+//! cooperatively cancellable ([`Ticket::cancel`](core::scheduler::Ticket::cancel),
+//! deadline-armed [`CancelToken`](core::cancel::CancelToken)s), can opt
+//! into anytime partial results
+//! ([`OnDeadline::Partial`](core::cancel::OnDeadline)), and runs
+//! panic-isolated so one poisoned request never takes down a batch or a
+//! worker.
 //!
 //! ```
 //! use grain::prelude::*;
@@ -115,10 +121,11 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        Budget, DeadlineStage, DiversityKind, EngineCheckout, EngineStats, GrainConfig, GrainError,
-        GrainResult, GrainSelector, GrainService, GrainVariant, GreedyAlgorithm, PoolEvent,
-        PoolStats, PruneStrategy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats,
-        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
+        Budget, CancelCause, CancelToken, Completion, DeadlineStage, DiversityKind, EngineCheckout,
+        EngineStats, GrainConfig, GrainError, GrainResult, GrainSelector, GrainService,
+        GrainVariant, GreedyAlgorithm, OnDeadline, PoolEvent, PoolStats, PruneStrategy,
+        RetryPolicy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, SelectionEngine,
+        SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

@@ -76,6 +76,18 @@ impl InfluenceRows {
         Self::compute_weighted_par(t, &kernel_power_weights(kernel), eps, threads)
     }
 
+    /// [`InfluenceRows::for_kernel_par`] with a cooperative stop probe
+    /// (see [`InfluenceRows::compute_weighted_ctl`]).
+    pub fn for_kernel_ctl(
+        t: &CsrMatrix,
+        kernel: Kernel,
+        eps: f32,
+        threads: usize,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Self> {
+        Self::compute_weighted_ctl(t, &kernel_power_weights(kernel), eps, threads, should_stop)
+    }
+
     /// Computes normalized rows of `Σ_l weights[l] · T^l`, pruning frontier
     /// entries `< eps` between steps.
     ///
@@ -93,6 +105,34 @@ impl InfluenceRows {
     /// # Panics
     /// Panics if `t` is not square or `weights` is empty.
     pub fn compute_weighted_par(t: &CsrMatrix, weights: &[f32], eps: f32, threads: usize) -> Self {
+        Self::compute_weighted_ctl(t, weights, eps, threads, &|| false)
+            .expect("influence rows with a never-stopping probe cannot be cancelled")
+    }
+
+    /// [`InfluenceRows::compute_weighted_par`] with a cooperative stop
+    /// probe, polled by every worker once per **block of rows** (each row
+    /// is a full scatter-gather walk — the natural unit of work). Returns
+    /// `None` as soon as any worker observes the probe; the partially
+    /// filled rows are discarded, never returned, so a cancelled build
+    /// cannot tear the artifact. A probe that always returns `false` is
+    /// bit-identical to [`InfluenceRows::compute_weighted_par`].
+    ///
+    /// # Panics
+    /// Panics if `t` is not square or `weights` is empty.
+    pub fn compute_weighted_ctl(
+        t: &CsrMatrix,
+        weights: &[f32],
+        eps: f32,
+        threads: usize,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Self> {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        /// Rows each worker processes between probe polls: large enough
+        /// that polling cost vanishes, small enough that cancellation is
+        /// observed within milliseconds on real graphs.
+        const ROW_BLOCK: usize = 64;
+
         assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
         assert!(!weights.is_empty(), "need at least the T^0 weight");
         let k = weights.len() - 1;
@@ -101,6 +141,7 @@ impl InfluenceRows {
         let out = SendPtr(rows.as_mut_ptr());
         let threads = par::resolve_threads(threads).max(1);
         let chunk = n.div_ceil(threads).max(1);
+        let stopped = AtomicBool::new(false);
         crossbeam::thread::scope(|scope| {
             for tix in 0..threads {
                 let start = tix * chunk;
@@ -110,6 +151,7 @@ impl InfluenceRows {
                 }
                 #[allow(clippy::redundant_locals)]
                 let out = out;
+                let stopped = &stopped;
                 scope.spawn(move |_| {
                     // Rebind the wrapper so the closure captures `SendPtr`
                     // itself rather than its raw-pointer field (edition-2021
@@ -126,6 +168,12 @@ impl InfluenceRows {
                     let mut acc_touched: Vec<u32> = Vec::new();
                     let mut frontier: Vec<(u32, f32)> = Vec::new();
                     for v in start..end {
+                        if (v - start) % ROW_BLOCK == 0
+                            && (stopped.load(Ordering::Relaxed) || should_stop())
+                        {
+                            stopped.store(true, Ordering::Relaxed);
+                            return;
+                        }
                         frontier.clear();
                         frontier.push((v as u32, 1.0));
                         acc_touched.clear();
@@ -186,7 +234,10 @@ impl InfluenceRows {
             }
         })
         .expect("influence worker panicked");
-        Self { rows, k }
+        if stopped.load(Ordering::Relaxed) {
+            return None;
+        }
+        Some(Self { rows, k })
     }
 
     /// Number of nodes (rows).
@@ -367,6 +418,22 @@ mod tests {
         for v in 0..60 {
             assert_eq!(a.row(v), b.row(v));
         }
+    }
+
+    #[test]
+    fn ctl_probe_false_is_bit_identical_and_true_cancels() {
+        let g = generators::barabasi_albert(200, 3, 11);
+        let t = rw(&g);
+        let kernel = Kernel::Ppr { k: 2, alpha: 0.15 };
+        let plain = InfluenceRows::for_kernel_par(&t, kernel, 1e-4, 2);
+        let ctl = InfluenceRows::for_kernel_ctl(&t, kernel, 1e-4, 2, &|| false).unwrap();
+        for v in 0..200 {
+            assert_eq!(plain.row(v), ctl.row(v), "row {v}");
+        }
+        assert!(
+            InfluenceRows::for_kernel_ctl(&t, kernel, 1e-4, 2, &|| true).is_none(),
+            "a tripped probe yields no (partial) artifact"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! without borrowing and hand out shared `X^(k)` views without copying.
 
 use crate::kernel::Kernel;
-use crate::propagate::{propagate, propagate_with_par};
+use crate::propagate::{propagate, propagate_with_ctl, propagate_with_par};
 use grain_graph::{CsrMatrix, Graph};
 use grain_linalg::DenseMatrix;
 use std::collections::HashMap;
@@ -91,6 +91,31 @@ impl PropagationCache {
             self.cache.insert(key.clone(), Arc::new(value));
         }
         Arc::clone(&self.cache[&key])
+    }
+
+    /// [`PropagationCache::get_with_par`] with a cooperative stop probe
+    /// (see [`propagate_with_ctl`]): a cache miss whose build observes
+    /// the probe returns `None` and caches **nothing** — the next request
+    /// for this kernel starts a fresh, complete build, so cancellation
+    /// can never tear an artifact. Cache hits ignore the probe entirely
+    /// (the work is already done; handing it out is free).
+    ///
+    /// # Panics
+    /// Panics if `transition` does not match the cached graph's node count.
+    pub fn get_with_ctl(
+        &mut self,
+        kernel: Kernel,
+        transition: &CsrMatrix,
+        threads: usize,
+        should_stop: &dyn Fn() -> bool,
+    ) -> Option<Arc<DenseMatrix>> {
+        let key = kernel.cache_key();
+        if !self.cache.contains_key(&key) {
+            let value =
+                propagate_with_ctl(transition, kernel, &self.features, threads, should_stop)?;
+            self.cache.insert(key.clone(), Arc::new(value));
+        }
+        Some(Arc::clone(&self.cache[&key]))
     }
 
     /// Inserts a precomputed `X^(k)` for `kernel`, sharing the allocation.
@@ -206,5 +231,22 @@ mod tests {
         let g = generators::erdos_renyi_gnm(10, 20, 5);
         let x = DenseMatrix::zeros(5, 2);
         let _ = PropagationCache::new(g, x);
+    }
+
+    #[test]
+    fn cancelled_build_caches_nothing_and_next_build_succeeds() {
+        use grain_graph::{transition_matrix, TransitionKind};
+        let g = generators::erdos_renyi_gnm(20, 40, 3);
+        let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        let x = DenseMatrix::full(20, 4, 1.0);
+        let kernel = Kernel::RandomWalk { k: 2 };
+        let mut cache = PropagationCache::new(g, x);
+        assert!(cache.get_with_ctl(kernel, &t, 0, &|| true).is_none());
+        assert!(!cache.contains(kernel), "cancelled build left no artifact");
+        // A fresh uncancelled build produces the full, correct artifact.
+        let full = cache.get_with_ctl(kernel, &t, 0, &|| false).unwrap();
+        assert_eq!(&*full, &*cache.get(kernel));
+        // Hits ignore the probe: the work already happened.
+        assert!(cache.get_with_ctl(kernel, &t, 0, &|| true).is_some());
     }
 }

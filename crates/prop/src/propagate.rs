@@ -35,6 +35,27 @@ pub fn propagate_with_par(
     x: &DenseMatrix,
     threads: usize,
 ) -> DenseMatrix {
+    propagate_with_ctl(t, kernel, x, threads, &|| false)
+        .expect("propagation with a never-stopping probe cannot be cancelled")
+}
+
+/// [`propagate_with_par`] with a cooperative stop probe, polled **between
+/// SpMM power steps** (the expensive unit of work). Returns `None` as
+/// soon as the probe reports `true` — no partially combined `X^(k)` is
+/// ever returned, so a cancelled propagation leaves nothing to cache.
+///
+/// A probe that always returns `false` is bit-identical to
+/// [`propagate_with_par`].
+///
+/// # Panics
+/// Panics if `t` is not square of size `x.rows()`.
+pub fn propagate_with_ctl(
+    t: &CsrMatrix,
+    kernel: Kernel,
+    x: &DenseMatrix,
+    threads: usize,
+    should_stop: &dyn Fn() -> bool,
+) -> Option<DenseMatrix> {
     assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
     assert_eq!(
         t.cols(),
@@ -48,20 +69,26 @@ pub fn propagate_with_par(
         Kernel::SymNorm { k } | Kernel::RandomWalk { k } | Kernel::TriangleIa { k } => {
             let mut cur = x.clone();
             for _ in 0..k {
+                if should_stop() {
+                    return None;
+                }
                 cur = t.spmm_par(&cur, threads);
             }
-            cur
+            Some(cur)
         }
         Kernel::Ppr { k, alpha } => {
             // X^(k) = (1-a) T X^(k-1) + a X^(0)
             let mut cur = x.clone();
             for _ in 0..k {
+                if should_stop() {
+                    return None;
+                }
                 let mut next = t.spmm_par(&cur, threads);
                 ops::scale(&mut next, 1.0 - alpha);
                 ops::axpy(&mut next, alpha, x);
                 cur = next;
             }
-            cur
+            Some(cur)
         }
         Kernel::S2gc { k, alpha } => {
             // X^(k) = (1/k) Σ_{l=1..k} ((1-a) T^l X + a X)
@@ -69,12 +96,15 @@ pub fn propagate_with_par(
             let mut power = x.clone(); // T^l X
             let mut acc = DenseMatrix::zeros(x.rows(), x.cols());
             for _ in 0..k {
+                if should_stop() {
+                    return None;
+                }
                 power = t.spmm_par(&power, threads);
                 ops::axpy(&mut acc, 1.0 - alpha, &power);
                 ops::axpy(&mut acc, alpha, x);
             }
             ops::scale(&mut acc, 1.0 / k as f32);
-            acc
+            Some(acc)
         }
         Kernel::Gbp { k, beta } => {
             // X^(k) = Σ_{l=0..k} β^l T^l X
@@ -82,11 +112,14 @@ pub fn propagate_with_par(
             let mut acc = x.clone(); // l = 0 term
             let mut weight = 1.0f32;
             for _ in 0..k {
+                if should_stop() {
+                    return None;
+                }
                 power = t.spmm_par(&power, threads);
                 weight *= beta;
                 ops::axpy(&mut acc, weight, &power);
             }
-            acc
+            Some(acc)
         }
     }
 }
@@ -235,5 +268,37 @@ mod tests {
         let g = test_graph();
         let x = features(10, 2);
         let _ = propagate(&g, Kernel::RandomWalk { k: 1 }, &x);
+    }
+
+    #[test]
+    fn never_stopping_probe_is_bit_identical() {
+        let g = test_graph();
+        let x = features(30, 3);
+        for kernel in Kernel::all_table1(2) {
+            let t = transition_matrix(&g, kernel.transition_kind(), true);
+            let plain = propagate_with_par(&t, kernel, &x, 1);
+            let ctl = propagate_with_ctl(&t, kernel, &x, 1, &|| false).unwrap();
+            assert_eq!(plain, ctl, "{}", kernel.name());
+        }
+    }
+
+    #[test]
+    fn stop_probe_cancels_between_power_steps() {
+        use std::cell::Cell;
+        let g = test_graph();
+        let x = features(30, 3);
+        let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        // Stop before the very first step...
+        assert!(propagate_with_ctl(&t, Kernel::RandomWalk { k: 3 }, &x, 1, &|| true).is_none());
+        // ...and between steps: the probe is polled once per power.
+        let polls = Cell::new(0usize);
+        let stop_after_two = || {
+            polls.set(polls.get() + 1);
+            polls.get() > 2
+        };
+        assert!(
+            propagate_with_ctl(&t, Kernel::RandomWalk { k: 5 }, &x, 1, &stop_after_two).is_none()
+        );
+        assert_eq!(polls.get(), 3, "polled at each of the first three powers");
     }
 }

@@ -4,7 +4,8 @@
 //! `ScopedJoinHandle::join` (std has shipped structured scoped threads
 //! since 1.63, so that part delegates to `std::thread::scope`) and the
 //! [`channel`] subset `bounded` / `Sender::{send, try_send}` /
-//! `Receiver::{recv, try_recv}` with the matching error types — the
+//! `Receiver::{recv, try_recv, recv_timeout}` with the matching error
+//! types — the
 //! rendezvous primitive behind `grain_core::scheduler::Ticket`. The
 //! channel is a straightforward `Mutex<VecDeque>` + two condvars; it
 //! keeps crossbeam's disconnect semantics (buffered messages drain before
@@ -135,6 +136,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// Nothing buffered and every sender is gone.
+        Disconnected,
+    }
+
     /// Sending half of a bounded channel; clonable (MPMC).
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -231,6 +241,38 @@ pub mod channel {
                     .not_empty
                     .wait(state)
                     .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Blocks until a message arrives or `timeout` elapses. Buffered
+        /// messages drain before a disconnect is reported; a disconnect
+        /// with an empty buffer is reported immediately, not after the
+        /// timeout.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.inner.lock();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    drop(state);
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, wait) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+                if wait.timed_out() && state.queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -343,6 +385,33 @@ mod tests {
             tx.try_send(3),
             Err(channel::TrySendError::Disconnected(3))
         ));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_delivers_and_reports_disconnect() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<u8>(2);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(5).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(5));
+        // A message sent from another thread mid-wait is delivered.
+        super::thread::scope(|scope| {
+            let tx2 = tx.clone();
+            scope.spawn(move |_| {
+                std::thread::sleep(Duration::from_millis(10));
+                tx2.send(9).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        })
+        .unwrap();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

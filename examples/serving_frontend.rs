@@ -1,7 +1,9 @@
 //! The serving front-end end to end: a `Scheduler` over a `GrainService`
 //! driven by a mixed open-loop workload — duplicate storms that coalesce,
-//! tight deadlines that get shed, priorities that jump the queue, and a
-//! tiny-queue scheduler demonstrating admission control.
+//! tight deadlines that get shed, priorities that jump the queue, a
+//! cancellation wave (explicit `Ticket::cancel` plus mid-run deadlines
+//! degrading to anytime prefixes), and a tiny-queue scheduler
+//! demonstrating admission control.
 //!
 //! ```text
 //! cargo run -p grain --release --example serving_frontend
@@ -135,7 +137,64 @@ fn main() -> GrainResult<()> {
     );
 
     // ------------------------------------------------------------------
-    // 3. Admission control: a queue of capacity 2 sheds a burst fast
+    // 3. A cancellation wave: callers hang up, deadlines trip mid-run.
+    //    Explicit cancels resolve their tickets immediately (and a
+    //    coalesced sibling keeps the run alive — cancel is refcounted);
+    //    a mid-run deadline under OnDeadline::Partial degrades to an
+    //    anytime prefix instead of an error.
+    // ------------------------------------------------------------------
+    scheduler.pause();
+    // Two callers ask for the same fresh selection; one hangs up.
+    let fresh = popular.clone().with_seed(7);
+    let keeper = scheduler.submit(fresh.clone())?;
+    let quitter = scheduler.submit(fresh)?;
+    quitter.cancel();
+    // One caller cancels a selection nobody else wants: it never runs.
+    let lonely = scheduler.submit(popular.clone().with_seed(8))?;
+    lonely.cancel();
+    // And one caller would rather have *something* by its deadline than
+    // an error: a budget-500 selection under a deadline sized for less.
+    let impatient = scheduler.submit(
+        ScheduledRequest::new(
+            SelectionRequest::new("papers", base, Budget::Fixed(500))
+                .with_candidates(dataset.split.train.clone()),
+        )
+        .with_deadline_in(Duration::from_millis(2))
+        .with_on_deadline(OnDeadline::Partial),
+    )?;
+    let t2 = Instant::now();
+    scheduler.resume();
+    let kept = keeper.wait()?;
+    println!(
+        "\n[cancl] refcounted: quitter cancelled, keeper still got its {} nodes",
+        kept.outcome().selected.len()
+    );
+    match lonely.wait() {
+        Err(GrainError::Cancelled) => {
+            println!("[cancl] lonely ticket resolved Cancelled; its run was skipped entirely")
+        }
+        other => println!("[cancl] lonely ticket unexpectedly answered: {other:?}"),
+    }
+    match impatient.wait() {
+        Ok(report) if report.is_partial() => println!(
+            "[cancl] impatient caller got an anytime prefix: {} of 500 nodes in {:.2?}",
+            report.outcome().selected.len(),
+            t2.elapsed(),
+        ),
+        Ok(report) => println!(
+            "[cancl] impatient caller beat its deadline: all {} nodes",
+            report.outcome().selected.len()
+        ),
+        Err(e) => println!("[cancl] impatient caller's trip landed pre-greedy: {e}"),
+    }
+    let stats = scheduler.stats();
+    println!(
+        "[cancl] stats: {} cancelled, {} partial, {} panicked",
+        stats.cancelled, stats.partial, stats.panicked
+    );
+
+    // ------------------------------------------------------------------
+    // 4. Admission control: a queue of capacity 2 sheds a burst fast
     //    instead of letting latency grow without bound.
     // ------------------------------------------------------------------
     let tiny = Scheduler::new(
