@@ -77,6 +77,14 @@ pub struct GrainConfig {
     pub gamma: f64,
     /// Influence-row pruning epsilon (entries below never reach `θ`).
     pub influence_eps: f32,
+    /// Deterministic row truncation: keep only the `top_k` heaviest
+    /// entries of each influence row (ties → smaller column id), applied
+    /// **before** Eq. 8 normalization; `0` disables truncation. Bounds the
+    /// influence artifact at `top_k` entries per node on hub-heavy graphs
+    /// where ε-pruning alone is not enough — the lever that makes the
+    /// n=1e6 hot path fit in memory. Changes results, so it participates
+    /// in [`GrainConfig::artifact_fingerprint`].
+    pub influence_row_top_k: usize,
     /// Diversity function choice.
     pub diversity: DiversityKind,
     /// Greedy maximization strategy.
@@ -117,6 +125,7 @@ impl Default for GrainConfig {
             radius: 0.05,
             gamma: 1.0,
             influence_eps: 1e-4,
+            influence_row_top_k: 0,
             diversity: DiversityKind::Ball,
             algorithm: GreedyAlgorithm::Lazy,
             prune: None,
@@ -221,10 +230,11 @@ impl GrainConfig {
             ThetaRule::GlobalQuantile(q) => format!("q:{:016x}", q.to_bits()),
         };
         format!(
-            "{}|eps:{:08x}|theta:{theta}|r:{:08x}",
+            "{}|eps:{:08x}|theta:{theta}|r:{:08x}|topk:{}",
             self.kernel.cache_key(),
             self.influence_eps.to_bits(),
             self.radius.to_bits(),
+            self.influence_row_top_k,
         )
     }
 
@@ -431,6 +441,10 @@ mod tests {
                 influence_eps: 1e-3,
                 ..base
             },
+            GrainConfig {
+                influence_row_top_k: 32,
+                ..base
+            },
         ] {
             assert_ne!(
                 base.artifact_fingerprint(),
@@ -438,5 +452,33 @@ mod tests {
                 "{changed:?}"
             );
         }
+    }
+
+    #[test]
+    fn top_k_splits_fingerprints_exactly_where_selection_can_differ() {
+        // Truncation changes influence rows, hence potentially the
+        // selection: every distinct top_k must map to a distinct artifact
+        // fingerprint (and so a distinct selection fingerprint), while
+        // equal top_k values keep sharing a warm engine.
+        let base = GrainConfig::ball_d();
+        let at = |top_k: usize| GrainConfig {
+            influence_row_top_k: top_k,
+            ..base
+        };
+        for (a, b) in [(0usize, 1usize), (0, 32), (16, 32), (31, 32)] {
+            assert_ne!(
+                at(a).artifact_fingerprint(),
+                at(b).artifact_fingerprint(),
+                "top_k {a} vs {b}"
+            );
+            assert_ne!(
+                at(a).selection_fingerprint(),
+                at(b).selection_fingerprint(),
+                "top_k {a} vs {b}"
+            );
+        }
+        assert_eq!(at(32).artifact_fingerprint(), at(32).artifact_fingerprint());
+        assert!(at(32).validate().is_ok());
+        assert!(at(32).artifact_fingerprint().contains("topk:32"));
     }
 }

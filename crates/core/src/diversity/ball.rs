@@ -8,21 +8,28 @@
 //! special case, as the paper notes).
 
 use super::DiversityFunction;
-use grain_linalg::{distance, DenseMatrix};
+use grain_linalg::{distance, Bitset, DenseMatrix};
 use std::sync::Arc;
 
 /// Incremental ball-coverage diversity.
 ///
 /// Ball membership lists are shared (`Arc`), so per-selection instances —
 /// the warm `SelectionEngine` builds one per `select` call — copy only the
-/// covered bitmap, not the precompute.
+/// covered bitmap, not the precompute. Both the covered flags and the
+/// batch-gain scratch are packed u64 bitsets, and the scratch is undone
+/// through a touched-index list, so a marginal-gain evaluation allocates
+/// nothing and touches memory proportional to the batch's ball mass.
 #[derive(Clone, Debug)]
 pub struct BallDiversity {
     /// `balls[u]` = nodes within radius `r` of `u` (sorted, includes `u`).
     balls: Arc<Vec<Vec<u32>>>,
-    covered: Vec<bool>,
-    count: usize,
+    covered: Bitset,
     upper_bound: usize,
+    /// Scratch for multi-ball batch gains: nodes already counted in the
+    /// current evaluation. Always all-clear between calls.
+    visited: Bitset,
+    /// Which `visited` bits the current evaluation set (to undo them).
+    touched: Vec<u32>,
 }
 
 impl BallDiversity {
@@ -65,9 +72,10 @@ impl BallDiversity {
     pub fn from_shared_with_bound(balls: Arc<Vec<Vec<u32>>>, n: usize, upper_bound: usize) -> Self {
         Self {
             balls,
-            covered: vec![false; n],
-            count: 0,
+            covered: Bitset::new(n),
             upper_bound,
+            visited: Bitset::new(n),
+            touched: Vec::new(),
         }
     }
 
@@ -86,25 +94,32 @@ impl BallDiversity {
 }
 
 impl DiversityFunction for BallDiversity {
-    fn marginal_gain(&self, newly_activated: &[u32]) -> f64 {
+    fn marginal_gain(&mut self, newly_activated: &[u32]) -> f64 {
         // Union gain of the balls of all newly activated nodes. Within one
-        // batch the same node may appear in several balls; a scratch-free
-        // two-pass count would need allocation anyway, so collect+dedup.
+        // batch the same node may appear in several balls; the `visited`
+        // scratch bitset dedupes without allocating, and its touched bits
+        // are undone afterwards so the evaluation is observably read-only.
         match newly_activated {
             [] => 0.0,
             [single] => self.balls[*single as usize]
                 .iter()
-                .filter(|&&w| !self.covered[w as usize])
+                .filter(|&&w| !self.covered.contains(w as usize))
                 .count() as f64,
             many => {
-                let mut fresh: Vec<u32> = many
-                    .iter()
-                    .flat_map(|&u| self.balls[u as usize].iter().copied())
-                    .filter(|&w| !self.covered[w as usize])
-                    .collect();
-                fresh.sort_unstable();
-                fresh.dedup();
-                fresh.len() as f64
+                let mut fresh = 0usize;
+                for &u in many {
+                    for &w in &self.balls[u as usize] {
+                        if !self.covered.contains(w as usize) && self.visited.insert(w as usize) {
+                            self.touched.push(w);
+                            fresh += 1;
+                        }
+                    }
+                }
+                for &w in &self.touched {
+                    self.visited.remove(w as usize);
+                }
+                self.touched.clear();
+                fresh as f64
             }
         }
     }
@@ -112,16 +127,13 @@ impl DiversityFunction for BallDiversity {
     fn commit(&mut self, newly_activated: &[u32]) {
         for &u in newly_activated {
             for &w in &self.balls[u as usize] {
-                if !self.covered[w as usize] {
-                    self.covered[w as usize] = true;
-                    self.count += 1;
-                }
+                self.covered.insert(w as usize);
             }
         }
     }
 
     fn value(&self) -> f64 {
-        self.count as f64
+        self.covered.count_ones() as f64
     }
 
     fn upper_bound(&self) -> f64 {
@@ -163,7 +175,7 @@ mod tests {
 
     #[test]
     fn batch_gain_dedupes_overlapping_balls() {
-        let d = BallDiversity::new(&embedding(), 0.05);
+        let mut d = BallDiversity::new(&embedding(), 0.05);
         // Nodes 0 and 1 share most of their balls; the batch gain must not
         // double-count.
         let joint = d.marginal_gain(&[0, 1]);
@@ -202,7 +214,21 @@ mod tests {
 
     #[test]
     fn empty_batch_gains_nothing() {
-        let d = BallDiversity::new(&embedding(), 0.1);
+        let mut d = BallDiversity::new(&embedding(), 0.1);
         assert_eq!(d.marginal_gain(&[]), 0.0);
+    }
+
+    #[test]
+    fn batch_gain_is_repeatable_and_leaves_no_scratch_residue() {
+        // The scratch bitset must be fully undone between evaluations, so
+        // re-evaluating any batch (including after commits) is stable.
+        let mut d = BallDiversity::new(&embedding(), 0.05);
+        let first = d.marginal_gain(&[0, 1, 2]);
+        let second = d.marginal_gain(&[0, 1, 2]);
+        assert_eq!(first, second);
+        d.commit(&[3]);
+        let after = d.marginal_gain(&[0, 1, 2]);
+        assert_eq!(after, d.marginal_gain(&[0, 1, 2]));
+        assert!(after <= first);
     }
 }

@@ -16,7 +16,12 @@ pub use nn::NnDiversity;
 /// incrementally over batches of newly activated nodes.
 pub trait DiversityFunction {
     /// Diversity gain if `newly_activated` joined the activated set.
-    fn marginal_gain(&self, newly_activated: &[u32]) -> f64;
+    ///
+    /// Takes `&mut self` so implementations may use internal scratch
+    /// buffers (the evaluation itself is logically read-only: observable
+    /// state is unchanged afterwards, and repeated calls return the same
+    /// value).
+    fn marginal_gain(&mut self, newly_activated: &[u32]) -> f64;
 
     /// Commits `newly_activated` into the activated set.
     fn commit(&mut self, newly_activated: &[u32]);
@@ -29,7 +34,7 @@ pub trait DiversityFunction {
 }
 
 impl DiversityFunction for Box<dyn DiversityFunction + Send + '_> {
-    fn marginal_gain(&self, newly_activated: &[u32]) -> f64 {
+    fn marginal_gain(&mut self, newly_activated: &[u32]) -> f64 {
         (**self).marginal_gain(newly_activated)
     }
 
@@ -52,7 +57,7 @@ impl DiversityFunction for Box<dyn DiversityFunction + Send + '_> {
 pub struct NullDiversity;
 
 impl DiversityFunction for NullDiversity {
-    fn marginal_gain(&self, _newly_activated: &[u32]) -> f64 {
+    fn marginal_gain(&mut self, _newly_activated: &[u32]) -> f64 {
         0.0
     }
 

@@ -85,7 +85,7 @@ impl NnDiversity {
 }
 
 impl DiversityFunction for NnDiversity {
-    fn marginal_gain(&self, newly_activated: &[u32]) -> f64 {
+    fn marginal_gain(&mut self, newly_activated: &[u32]) -> f64 {
         if newly_activated.is_empty() {
             return 0.0;
         }

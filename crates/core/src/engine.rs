@@ -102,6 +102,44 @@ impl EngineStats {
 /// parameters are compared by bit pattern via [`grain_prop::Kernel::cache_key`].
 type KernelKey = String;
 
+/// Exact resident heap bytes of each cached artifact class — the memory
+/// ledger behind [`SelectionEngine::artifact_bytes`]. All counts are
+/// *current* residency: an artifact not (yet) built counts zero. The flat
+/// CSR influence layout makes its count exact, and
+/// [`ArtifactBytes::influence_rows_nested`] reports what the same rows
+/// would cost in the retired `Vec<Vec<(u32, f32)>>` layout for comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactBytes {
+    /// Transition matrix `T` (CSR offsets + columns + values).
+    pub transition: usize,
+    /// Propagated features `X^(k)` for the active kernel (dense f32).
+    pub propagation: usize,
+    /// L2-normalized embedding (dense f32).
+    pub embedding: usize,
+    /// Influence rows in the flat CSR layout (exact).
+    pub influence_rows: usize,
+    /// The same influence rows under the retired nested layout (cost model).
+    pub influence_rows_nested: usize,
+    /// Activation index (flat CSR offsets + items).
+    pub activation_index: usize,
+    /// Ball membership lists (per-ball `Vec` headers + entries).
+    pub balls: usize,
+}
+
+impl ArtifactBytes {
+    /// Total resident bytes across all artifact classes (the CSR influence
+    /// count, not the nested cost model).
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.transition
+            + self.propagation
+            + self.embedding
+            + self.influence_rows
+            + self.activation_index
+            + self.balls
+    }
+}
+
 /// Ball membership lists keyed by (kernel, radius bits), shared with the
 /// per-selection `BallDiversity` instances without copying; the union
 /// coverage bound rides along so warm selects touch no list.
@@ -126,8 +164,8 @@ pub struct SelectionEngine {
     propagation: PropagationCache,
     transition: Option<(TransitionKind, CsrMatrix)>,
     embedding: Option<(KernelKey, Arc<DenseMatrix>)>,
-    rows: Option<((KernelKey, u32), InfluenceRows)>,
-    index: Option<((KernelKey, u32, ThetaRule), ActivationIndex)>,
+    rows: Option<((KernelKey, u32, usize), InfluenceRows)>,
+    index: Option<((KernelKey, u32, usize, ThetaRule), ActivationIndex)>,
     balls: BallCache,
     nn_dmax: Option<(KernelKey, f32)>,
     stats: EngineStats,
@@ -244,6 +282,43 @@ impl SelectionEngine {
     /// Cache audit counters.
     pub fn stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Exact resident heap bytes of every currently cached artifact —
+    /// the measurement seam for size-aware pool accounting. Not-yet-built
+    /// artifacts count zero, so a cold engine reports all zeros and the
+    /// count grows monotonically as `select` materializes stages.
+    pub fn artifact_bytes(&self) -> ArtifactBytes {
+        let dense_bytes = |m: &DenseMatrix| m.rows() * m.cols() * std::mem::size_of::<f32>();
+        let transition = self.transition.as_ref().map_or(0, |(_, t)| {
+            (t.rows() + 1) * std::mem::size_of::<usize>()
+                + t.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
+        });
+        let propagation = self
+            .propagation
+            .get_cached(self.config.kernel)
+            .map_or(0, |x| dense_bytes(&x));
+        let embedding = self.embedding.as_ref().map_or(0, |(_, e)| dense_bytes(e));
+        let (influence_rows, influence_rows_nested) =
+            self.rows.as_ref().map_or((0, 0), |(_, r)| {
+                (r.resident_bytes(), r.nested_layout_bytes())
+            });
+        let activation_index = self.index.as_ref().map_or(0, |(_, i)| i.resident_bytes());
+        let balls = self.balls.as_ref().map_or(0, |(_, (lists, _))| {
+            lists
+                .iter()
+                .map(|b| std::mem::size_of::<Vec<u32>>() + b.len() * std::mem::size_of::<u32>())
+                .sum()
+        });
+        ArtifactBytes {
+            transition,
+            propagation,
+            embedding,
+            influence_rows,
+            influence_rows_nested,
+            activation_index,
+            balls,
+        }
     }
 
     /// Selects up to `budget` nodes from `candidates` under the active
@@ -508,6 +583,7 @@ impl SelectionEngine {
         let key = (
             self.config.kernel.cache_key(),
             self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
         );
         if self.rows.as_ref().map(|(k, _)| k) == Some(&key) {
             return Ok(());
@@ -515,10 +591,11 @@ impl SelectionEngine {
         fault::point("engine.build.rows", Some(cancel));
         cancel.checkpoint()?;
         let transition = &self.transition.as_ref().expect("transition ensured").1;
-        match InfluenceRows::for_kernel_ctl(
+        match InfluenceRows::for_kernel_topk_ctl(
             transition,
             self.config.kernel,
             self.config.influence_eps,
+            self.config.influence_row_top_k,
             self.config.parallelism,
             &|| cancel.is_cancelled(),
         ) {
@@ -543,6 +620,7 @@ impl SelectionEngine {
         let key = (
             self.config.kernel.cache_key(),
             self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
             self.config.theta,
         );
         if self.index.as_ref().map(|(k, _)| k) == Some(&key) {
@@ -896,6 +974,97 @@ mod tests {
             .select(&candidates, 5);
         assert_eq!(out.selected, fresh.selected);
         assert_eq!(out.sigma, fresh.sigma);
+    }
+
+    #[test]
+    fn top_k_change_rebuilds_only_rows_and_index() {
+        let (g, x) = dataset(13);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        engine.select(&candidates, 8);
+        let before = engine.stats();
+        let mut cfg = *engine.config();
+        cfg.influence_row_top_k = 8;
+        engine.set_config(cfg).unwrap();
+        engine.select(&candidates, 8);
+        let after = engine.stats();
+        // Truncation re-derives the rows and everything downstream of
+        // them, but T, X^(k), the embedding, and ball lists are untouched.
+        assert_eq!(after.influence_builds, before.influence_builds + 1);
+        assert_eq!(after.index_builds, before.index_builds + 1);
+        assert_eq!(after.transition_builds, before.transition_builds);
+        assert_eq!(after.propagation_builds, before.propagation_builds);
+        assert_eq!(after.embedding_builds, before.embedding_builds);
+        assert_eq!(after.diversity_builds, before.diversity_builds);
+    }
+
+    #[test]
+    fn artifact_bytes_track_residency_and_csr_beats_nested() {
+        let (g, x) = dataset(14);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let mut engine = SelectionEngine::new(GrainConfig::ball_d(), &g, &x).unwrap();
+        assert_eq!(engine.artifact_bytes(), ArtifactBytes::default());
+        engine.select(&candidates, 6);
+        let bytes = engine.artifact_bytes();
+        for (name, count) in [
+            ("transition", bytes.transition),
+            ("propagation", bytes.propagation),
+            ("embedding", bytes.embedding),
+            ("influence_rows", bytes.influence_rows),
+            ("activation_index", bytes.activation_index),
+            ("balls", bytes.balls),
+        ] {
+            assert!(count > 0, "{name} built but reported zero bytes");
+        }
+        assert!(
+            bytes.influence_rows < bytes.influence_rows_nested,
+            "CSR layout ({}) must undercut the nested layout ({})",
+            bytes.influence_rows,
+            bytes.influence_rows_nested
+        );
+        assert_eq!(bytes.total(), {
+            bytes.transition
+                + bytes.propagation
+                + bytes.embedding
+                + bytes.influence_rows
+                + bytes.activation_index
+                + bytes.balls
+        });
+        // Truncation shrinks the influence artifact.
+        let mut cfg = *engine.config();
+        cfg.influence_row_top_k = 4;
+        engine.set_config(cfg).unwrap();
+        engine.select(&candidates, 6);
+        assert!(engine.artifact_bytes().influence_rows <= bytes.influence_rows);
+    }
+
+    #[test]
+    fn untruncated_top_k_selects_identically_at_any_thread_count() {
+        // The acceptance bar for the CSR rewrite: top_k = 0 must be
+        // bit-identical to the pre-rewrite nested path at every thread
+        // count — same seeds, same sigma, same objective trace.
+        let (g, x) = dataset(15);
+        let candidates: Vec<u32> = (0..g.num_nodes() as u32).collect();
+        let reference = {
+            let mut cfg = GrainConfig::ball_d();
+            cfg.parallelism = 1;
+            SelectionEngine::new(cfg, &g, &x)
+                .unwrap()
+                .select(&candidates, 10)
+        };
+        for parallelism in [2usize, 4, 8] {
+            let mut cfg = GrainConfig::ball_d();
+            cfg.parallelism = parallelism;
+            let out = SelectionEngine::new(cfg, &g, &x)
+                .unwrap()
+                .select(&candidates, 10);
+            assert_eq!(out.selected, reference.selected, "{parallelism} threads");
+            assert_eq!(out.sigma, reference.sigma, "{parallelism} threads");
+            assert_eq!(
+                out.objective_trace, reference.objective_trace,
+                "{parallelism} threads"
+            );
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ pub mod service;
 
 pub use cancel::{CancelCause, CancelToken, OnDeadline};
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
-pub use engine::{EngineStats, SelectionEngine};
+pub use engine::{ArtifactBytes, EngineStats, SelectionEngine};
 pub use error::{DeadlineStage, GrainError, GrainResult};
 pub use objective::DimObjective;
 pub use retry::RetryPolicy;

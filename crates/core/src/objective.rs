@@ -41,6 +41,11 @@ pub struct DimObjective<'a, D: DiversityFunction> {
     scope: DiversityScope,
     sigma_hat: f64,
     d_hat: f64,
+    /// Reused batch buffer for the diversity argument (newly activated
+    /// nodes or the seed itself). Owning it here keeps every greedy
+    /// marginal-gain evaluation allocation-free — at n=1e6 the hot loop
+    /// runs millions of evaluations per selection.
+    scratch: Vec<u32>,
 }
 
 impl<'a, D: DiversityFunction> DimObjective<'a, D> {
@@ -67,6 +72,7 @@ impl<'a, D: DiversityFunction> DimObjective<'a, D> {
             scope,
             sigma_hat,
             d_hat,
+            scratch: Vec::new(),
         }
     }
 
@@ -100,36 +106,54 @@ impl<'a, D: DiversityFunction> DimObjective<'a, D> {
         self.d_hat
     }
 
-    fn diversity_batch(&self, candidate: u32) -> Vec<u32> {
+    /// Fills [`Self::scratch`] with the diversity argument for `candidate`
+    /// under the configured scope, returning the newly-activated count when
+    /// the scope computes it (so magnitude can reuse it without a second
+    /// pass over `act[candidate]`).
+    fn fill_diversity_batch(&mut self, candidate: u32) -> Option<usize> {
         match self.scope {
-            DiversityScope::Activated => self.coverage.newly_activated(candidate),
-            DiversityScope::Seeds => vec![candidate],
+            DiversityScope::Activated => Some(
+                self.coverage
+                    .newly_activated_into(candidate, &mut self.scratch),
+            ),
+            DiversityScope::Seeds => {
+                self.scratch.clear();
+                self.scratch.push(candidate);
+                None
+            }
         }
     }
 }
 
 impl<'a, D: DiversityFunction> MarginalObjective for DimObjective<'a, D> {
     fn marginal_gain(&mut self, candidate: u32) -> f64 {
-        let mag = if self.magnitude_weight > 0.0 {
-            self.magnitude_weight * self.coverage.marginal_gain(candidate) as f64 / self.sigma_hat
-        } else {
-            0.0
-        };
+        let mut coverage_gain = None;
         let div = if self.gamma > 0.0 {
-            let batch = self.diversity_batch(candidate);
-            self.gamma * self.diversity.marginal_gain(&batch) / self.d_hat
+            coverage_gain = self.fill_diversity_batch(candidate);
+            self.gamma * self.diversity.marginal_gain(&self.scratch) / self.d_hat
         } else {
             0.0
         };
-        mag + div
+        if self.magnitude_weight > 0.0 {
+            let count = coverage_gain.unwrap_or_else(|| self.coverage.marginal_gain(candidate));
+            self.magnitude_weight * count as f64 / self.sigma_hat + div
+        } else {
+            div
+        }
     }
 
     fn add(&mut self, candidate: u32) {
-        let batch = self.diversity_batch(candidate);
-        self.coverage.add_seed(candidate);
+        self.fill_diversity_batch(candidate);
         if self.gamma > 0.0 {
-            self.diversity.commit(&batch);
+            self.diversity.commit(&self.scratch);
         }
+        if self.scope == DiversityScope::Seeds {
+            // The scratch holds the seed, not the activation delta; coverage
+            // still needs the latter.
+            self.coverage
+                .newly_activated_into(candidate, &mut self.scratch);
+        }
+        self.coverage.add_seed_from(candidate, &self.scratch);
     }
 
     fn value(&self) -> f64 {

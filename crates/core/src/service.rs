@@ -48,7 +48,7 @@
 
 use crate::cancel::{CancelCause, CancelToken, OnDeadline};
 use crate::config::{GrainConfig, GrainVariant};
-use crate::engine::{EngineStats, SelectionEngine};
+use crate::engine::{ArtifactBytes, EngineStats, SelectionEngine};
 use crate::error::{DeadlineStage, GrainError, GrainResult};
 use crate::fault;
 use crate::selector::{Completion, SelectionOutcome};
@@ -233,6 +233,12 @@ pub struct PoolStats {
     pub build_joins: usize,
     /// Engines pushed out by capacity.
     pub evictions: usize,
+    /// Total bytes of artifact state resident across pooled engines, as
+    /// of each engine's most recent completed request (a checkout
+    /// re-measures its engine when it returns to the pool). Evicted
+    /// engines leave the count immediately; an engine mid-build counts
+    /// nothing until its first request completes.
+    pub resident_bytes: usize,
 }
 
 impl PoolStats {
@@ -260,11 +266,22 @@ struct PoolCounters {
     evicted_rebuilds: AtomicUsize,
     build_joins: AtomicUsize,
     evictions: AtomicUsize,
+    resident_bytes: AtomicUsize,
 }
 
 impl PoolCounters {
     fn bump(counter: &AtomicUsize) {
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a slot permanently off the residency books (eviction, drop,
+    /// clear). Zeroing the slot's own record makes the release idempotent
+    /// and keeps a still-checked-out handle from later applying a delta
+    /// against a count the pool no longer carries. Callers hold the
+    /// slot's shard lock, so the swap cannot race a re-measure.
+    fn release_slot(&self, slot: &EngineSlot) {
+        let recorded = slot.recorded_bytes.swap(0, Ordering::Relaxed);
+        self.resident_bytes.fetch_sub(recorded, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> PoolStats {
@@ -274,6 +291,7 @@ impl PoolCounters {
             evicted_rebuilds: self.evicted_rebuilds.load(Ordering::Relaxed),
             build_joins: self.build_joins.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -295,9 +313,30 @@ struct PoolKey {
 /// a benign misclassification.
 const EVICTED_KEY_MEMORY_PER_SHARD: usize = 1024;
 
+/// A pooled engine slot: the per-engine lock that serializes same-key
+/// requests, plus the residency record the pool's byte accounting keys
+/// off. `recorded_bytes` is the slot's last measured
+/// [`SelectionEngine::artifact_bytes`] total **as currently reflected in
+/// [`PoolCounters::resident_bytes`]** — re-measures apply the delta, and
+/// eviction subtracts exactly what was recorded, so the aggregate never
+/// drifts however requests and evictions interleave.
+struct EngineSlot {
+    engine: Mutex<SelectionEngine>,
+    recorded_bytes: AtomicUsize,
+}
+
+impl EngineSlot {
+    fn new(engine: SelectionEngine) -> Self {
+        Self {
+            engine: Mutex::new(engine),
+            recorded_bytes: AtomicUsize::new(0),
+        }
+    }
+}
+
 /// A pooled engine: shared ownership plus the per-engine lock that
 /// serializes same-key requests.
-type SharedEngine = Arc<Mutex<SelectionEngine>>;
+type SharedEngine = Arc<EngineSlot>;
 
 /// One-shot rendezvous for an in-flight engine build: the builder
 /// publishes the shared engine (or the build error), every waiter blocks
@@ -397,7 +436,9 @@ impl Shard {
         debug_assert!(!self.entries.contains_key(&key));
         if self.entries.len() == capacity {
             if let Some(lru) = self.order.pop() {
-                self.entries.remove(&lru);
+                if let Some(slot) = self.entries.remove(&lru) {
+                    counters.release_slot(&slot);
+                }
                 self.remember_evicted(lru);
                 PoolCounters::bump(&counters.evictions);
             }
@@ -529,8 +570,9 @@ impl EnginePool {
         for shard in &self.shards {
             let mut shard = lock_shard(shard);
             shard.order.clear();
-            let keys: Vec<PoolKey> = shard.entries.drain().map(|(key, _)| key).collect();
-            for key in keys {
+            let dropped: Vec<(PoolKey, SharedEngine)> = shard.entries.drain().collect();
+            for (key, slot) in dropped {
+                self.counters.release_slot(&slot);
                 shard.remember_evicted(key);
             }
         }
@@ -564,8 +606,8 @@ impl EnginePool {
                     .map(|(_, engine)| Arc::clone(engine))
                     .collect()
             };
-            for engine in candidates {
-                let found = match engine.try_lock() {
+            for slot in candidates {
+                let found = match slot.engine.try_lock() {
                     Ok(engine) => engine.propagated_if_cached(kernel),
                     Err(TryLockError::Poisoned(poisoned)) => {
                         poisoned.into_inner().propagated_if_cached(kernel)
@@ -620,6 +662,7 @@ impl EnginePool {
         if target.entries.contains_key(&new_key) {
             // The new key already has a (more recently built) engine;
             // the re-keyed one is surplus.
+            self.counters.release_slot(engine);
             PoolCounters::bump(&self.counters.evictions);
         } else {
             target.insert_mru(
@@ -628,6 +671,26 @@ impl EnginePool {
                 self.shard_capacity,
                 &self.counters,
             );
+        }
+    }
+
+    /// Re-measures a slot's resident artifact bytes into the aggregate.
+    /// Applied only while the slot is still pooled under `key`: a slot
+    /// evicted while checked out was already taken off the books by
+    /// [`PoolCounters::release_slot`] and must stay off. Taking the shard
+    /// lock orders the re-measure against eviction and re-homing, so the
+    /// aggregate cannot drift however the two interleave.
+    fn record_bytes(&self, key: &PoolKey, slot: &SharedEngine, total: usize) {
+        let shard = lock_shard(&self.shards[self.shard_of(key)]);
+        let resident = shard
+            .entries
+            .get(key)
+            .is_some_and(|pooled| Arc::ptr_eq(pooled, slot));
+        if resident {
+            let old = slot.recorded_bytes.swap(total, Ordering::Relaxed);
+            self.counters
+                .resident_bytes
+                .fetch_add(total.wrapping_sub(old), Ordering::Relaxed);
         }
     }
 
@@ -678,7 +741,7 @@ impl EnginePool {
                 };
                 // The expensive part runs with no lock held: other keys
                 // on this shard stay fully servable meanwhile.
-                let built = build().map(|engine| Arc::new(Mutex::new(engine)));
+                let built = build().map(|engine| Arc::new(EngineSlot::new(engine)));
                 let result = {
                     let mut shard = lock_shard(shard_mutex);
                     shard.building.remove(&key);
@@ -748,26 +811,37 @@ impl EngineCheckout<'_> {
     /// Locks the pooled engine for exclusive use. Same-key requests block
     /// until the guard drops; unrelated keys are unaffected.
     pub fn lock(&self) -> MutexGuard<'_, SelectionEngine> {
-        lock_engine(&self.engine)
+        lock_engine(&self.engine.engine)
     }
 }
 
 impl Drop for EngineCheckout<'_> {
     fn drop(&mut self) {
-        let fingerprint = match self.engine.try_lock() {
-            Ok(engine) => engine.config().artifact_fingerprint(),
+        let measured = match self.engine.engine.try_lock() {
+            Ok(engine) => Some((
+                engine.config().artifact_fingerprint(),
+                engine.artifact_bytes().total(),
+            )),
             Err(TryLockError::Poisoned(poisoned)) => {
-                poisoned.into_inner().config().artifact_fingerprint()
+                let engine = poisoned.into_inner();
+                Some((
+                    engine.config().artifact_fingerprint(),
+                    engine.artifact_bytes().total(),
+                ))
             }
             // The engine is busy (another checkout, or a transient
             // sibling-X^(k) probe). Skipping is safe: a concurrent
-            // checkout's drop re-homes, and even if a re-keyed engine
-            // briefly stays under its old key, artifacts are internally
-            // keyed by their own config fields and the next hit's
-            // `set_config` re-aligns the engine — never a wrong answer,
-            // at worst one duplicate build.
-            Err(TryLockError::WouldBlock) => return,
+            // checkout's drop re-homes and re-measures, and even if a
+            // re-keyed engine briefly stays under its old key, artifacts
+            // are internally keyed by their own config fields and the
+            // next hit's `set_config` re-aligns the engine — never a
+            // wrong answer, at worst one duplicate build.
+            Err(TryLockError::WouldBlock) => None,
         };
+        let Some((fingerprint, bytes)) = measured else {
+            return;
+        };
+        self.pool.record_bytes(&self.key, &self.engine, bytes);
         if fingerprint != self.key.fingerprint {
             self.pool.rehome(&self.key, &self.engine, fingerprint);
         }
@@ -793,6 +867,12 @@ pub struct SelectionReport {
     /// breakdown per pipeline stage; all-zero build counters mean the
     /// request was answered entirely from warm artifacts.
     pub artifact_builds: EngineStats,
+    /// Resident bytes of every artifact class the answering engine holds
+    /// after this request — warm or newly built. The influence-rows
+    /// entry also reports what the retired nested `Vec<Vec<…>>` layout
+    /// would have occupied, so the flat-CSR saving is observable per
+    /// request ([`ArtifactBytes`]).
+    pub artifact_bytes: ArtifactBytes,
     /// Pool counters after the request.
     pub pool_stats: PoolStats,
     /// Whether the request ran to completion or degraded to an anytime
@@ -1141,7 +1221,14 @@ impl GrainService {
         };
         budgets.truncate(outcomes.len());
         let artifact_builds = engine.stats().delta_since(&before);
+        let artifact_bytes = engine.artifact_bytes();
         drop(engine);
+        // Record explicitly while this request still owns the checkout:
+        // the drop-time re-measure is best-effort (it skips when another
+        // same-key request already grabbed the engine), but every report
+        // must land its bytes in the pool aggregate.
+        self.pool
+            .record_bytes(&checkout.key, &checkout.engine, artifact_bytes.total());
         drop(checkout);
         Ok(SelectionReport {
             graph: request.graph.clone(),
@@ -1150,6 +1237,7 @@ impl GrainService {
             outcomes,
             pool_event,
             artifact_builds,
+            artifact_bytes,
             pool_stats: self.pool.stats(),
             completion,
         })
@@ -1614,6 +1702,64 @@ mod tests {
                 other => panic!("request {i}: batch/serial disagree: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn reports_carry_artifact_bytes_and_pool_tracks_residency() {
+        let service = service_with(&[("a", 20), ("b", 21)]);
+        let cfg = GrainConfig::ball_d();
+        let ra = service
+            .select(&SelectionRequest::new("a", cfg, Budget::Fixed(5)))
+            .unwrap();
+        assert!(ra.artifact_bytes.influence_rows > 0);
+        assert!(
+            ra.artifact_bytes.influence_rows < ra.artifact_bytes.influence_rows_nested,
+            "CSR rows must undercut the nested layout"
+        );
+        assert!(ra.artifact_bytes.total() > 0);
+        assert_eq!(
+            service.pool_stats().resident_bytes,
+            ra.artifact_bytes.total(),
+            "one resident engine: the pool aggregate is its measure"
+        );
+        // A second graph adds its own engine's bytes on top.
+        let rb = service
+            .select(&SelectionRequest::new("b", cfg, Budget::Fixed(5)))
+            .unwrap();
+        assert_eq!(
+            service.pool_stats().resident_bytes,
+            ra.artifact_bytes.total() + rb.artifact_bytes.total()
+        );
+        // The report snapshots the aggregate *after* recording itself.
+        assert_eq!(
+            rb.pool_stats.resident_bytes,
+            service.pool_stats().resident_bytes
+        );
+        // Dropping every engine zeroes the aggregate.
+        service.pool().clear();
+        assert_eq!(service.pool_stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn eviction_subtracts_exactly_the_evicted_bytes() {
+        let service = GrainService::with_capacity(1);
+        for (id, seed) in [("a", 22), ("b", 23)] {
+            let (g, x) = corpus(80, seed);
+            service.register_graph(id, g, x).unwrap();
+        }
+        let cfg = GrainConfig::ball_d();
+        let _ = service
+            .select(&SelectionRequest::new("a", cfg, Budget::Fixed(4)))
+            .unwrap();
+        // Capacity 1: selecting on "b" evicts "a"; only "b" stays counted.
+        let rb = service
+            .select(&SelectionRequest::new("b", cfg, Budget::Fixed(4)))
+            .unwrap();
+        assert_eq!(service.pool_stats().evictions, 1);
+        assert_eq!(
+            service.pool_stats().resident_bytes,
+            rb.artifact_bytes.total()
+        );
     }
 
     #[test]

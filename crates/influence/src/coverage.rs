@@ -5,15 +5,20 @@
 //! costs `O(|act[u]|)` per evaluated candidate instead of recomputing the
 //! union from scratch (the difference between `O(B·n·L)` and `O(B·n·L·B)`
 //! overall).
+//!
+//! The covered flags live in a packed u64 [`Bitset`] (8× smaller than the
+//! `Vec<bool>` it replaced — it must stay cache-resident at n=1e6), and the
+//! `*_into` variants write newly activated nodes into a caller-owned
+//! scratch buffer so the innermost greedy loop performs zero allocations.
 
 use crate::index::ActivationIndex;
+use grain_linalg::Bitset;
 
 /// Mutable coverage state over an [`ActivationIndex`].
 #[derive(Clone, Debug)]
 pub struct CoverageState<'a> {
     index: &'a ActivationIndex,
-    covered: Vec<bool>,
-    count: usize,
+    covered: Bitset,
     seeds: Vec<u32>,
 }
 
@@ -22,8 +27,7 @@ impl<'a> CoverageState<'a> {
     pub fn new(index: &'a ActivationIndex) -> Self {
         Self {
             index,
-            covered: vec![false; index.num_nodes()],
-            count: 0,
+            covered: Bitset::new(index.num_nodes()),
             seeds: Vec::new(),
         }
     }
@@ -35,7 +39,7 @@ impl<'a> CoverageState<'a> {
 
     /// `|σ(S)|` of the current seed set.
     pub fn covered_count(&self) -> usize {
-        self.count
+        self.covered.count_ones()
     }
 
     /// Current seed set (in insertion order).
@@ -45,7 +49,7 @@ impl<'a> CoverageState<'a> {
 
     /// True if `v` is activated by the current seed set.
     pub fn is_covered(&self, v: u32) -> bool {
-        self.covered[v as usize]
+        self.covered.contains(v as usize)
     }
 
     /// Marginal coverage gain `|σ(S ∪ {u})| - |σ(S)|` (read-only).
@@ -53,38 +57,53 @@ impl<'a> CoverageState<'a> {
         self.index
             .activated_by(u as usize)
             .iter()
-            .filter(|&&v| !self.covered[v as usize])
+            .filter(|&&v| !self.covered.contains(v as usize))
             .count()
+    }
+
+    /// Appends the nodes `σ(S ∪ {u}) \ σ(S)` to `out` (cleared first) —
+    /// the allocation-free form of [`CoverageState::newly_activated`] the
+    /// greedy hot loop uses with a reused scratch buffer. Returns the
+    /// count appended.
+    pub fn newly_activated_into(&self, u: u32, out: &mut Vec<u32>) -> usize {
+        out.clear();
+        out.extend(
+            self.index
+                .activated_by(u as usize)
+                .iter()
+                .copied()
+                .filter(|&v| !self.covered.contains(v as usize)),
+        );
+        out.len()
     }
 
     /// The nodes `σ(S ∪ {u}) \ σ(S)` that adding `u` would newly activate.
     pub fn newly_activated(&self, u: u32) -> Vec<u32> {
-        self.index
-            .activated_by(u as usize)
-            .iter()
-            .copied()
-            .filter(|&v| !self.covered[v as usize])
-            .collect()
+        let mut out = Vec::new();
+        self.newly_activated_into(u, &mut out);
+        out
+    }
+
+    /// Adds seed `u` whose newly activated nodes were already computed via
+    /// [`CoverageState::newly_activated_into`] — `fresh` must be exactly
+    /// that set for the current state, or counts will drift.
+    pub fn add_seed_from(&mut self, u: u32, fresh: &[u32]) {
+        for &v in fresh {
+            self.covered.insert(v as usize);
+        }
+        self.seeds.push(u);
     }
 
     /// Adds seed `u`, returning the newly activated nodes.
     pub fn add_seed(&mut self, u: u32) -> Vec<u32> {
         let fresh = self.newly_activated(u);
-        for &v in &fresh {
-            self.covered[v as usize] = true;
-        }
-        self.count += fresh.len();
-        self.seeds.push(u);
+        self.add_seed_from(u, &fresh);
         fresh
     }
 
     /// Snapshot of `σ(S)` as a sorted vector.
     pub fn sigma(&self) -> Vec<u32> {
-        self.covered
-            .iter()
-            .enumerate()
-            .filter_map(|(v, &c)| if c { Some(v as u32) } else { None })
-            .collect()
+        self.covered.iter_ones().map(|v| v as u32).collect()
     }
 }
 
@@ -157,5 +176,47 @@ mod tests {
         assert_eq!(st.covered_count(), 0);
         assert!(st.sigma().is_empty());
         assert!(st.seeds().is_empty());
+    }
+
+    #[test]
+    fn scratch_buffer_variant_matches_allocating_path() {
+        let idx = index(60, 150, 6, 0.05);
+        let mut alloc = CoverageState::new(&idx);
+        let mut scratch_state = CoverageState::new(&idx);
+        let mut scratch = Vec::new();
+        for s in [4u32, 31, 8, 55, 4] {
+            let fresh = alloc.newly_activated(s);
+            let n = scratch_state.newly_activated_into(s, &mut scratch);
+            assert_eq!(n, fresh.len());
+            assert_eq!(scratch, fresh, "seed {s}");
+            alloc.add_seed(s);
+            scratch_state.add_seed_from(s, &scratch);
+            assert_eq!(alloc.covered_count(), scratch_state.covered_count());
+            assert_eq!(alloc.sigma(), scratch_state.sigma());
+        }
+    }
+
+    #[test]
+    fn bitset_coverage_matches_vec_bool_oracle() {
+        // The packed-bitset covered flags replaced a Vec<bool>; replay a
+        // seed sequence against that representation bit for bit.
+        let idx = index(80, 220, 7, 0.03);
+        let mut st = CoverageState::new(&idx);
+        let mut oracle = vec![false; idx.num_nodes()];
+        for s in [12u32, 3, 77, 40, 12, 63] {
+            for &v in idx.activated_by(s as usize) {
+                oracle[v as usize] = true;
+            }
+            st.add_seed(s);
+            for (v, &want) in oracle.iter().enumerate() {
+                assert_eq!(st.is_covered(v as u32), want, "node {v} after seed {s}");
+            }
+            let want_count = oracle.iter().filter(|&&b| b).count();
+            assert_eq!(st.covered_count(), want_count);
+            let want_sigma: Vec<u32> = (0..idx.num_nodes() as u32)
+                .filter(|&v| oracle[v as usize])
+                .collect();
+            assert_eq!(st.sigma(), want_sigma);
+        }
     }
 }

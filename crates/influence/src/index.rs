@@ -103,7 +103,7 @@ impl ActivationIndex {
         };
         let cutoff_of = |v: usize| -> f32 {
             if relative {
-                let row_max = rows.row(v).iter().map(|&(_, w)| w).fold(0.0f32, f32::max);
+                let row_max = rows.row_values(v).iter().copied().fold(0.0f32, f32::max);
                 theta * row_max
             } else {
                 theta
@@ -124,7 +124,7 @@ impl ActivationIndex {
             let mut local = Vec::new();
             for v in start..end {
                 let cutoff = cutoff_of(v);
-                for &(u, w) in rows.row(v) {
+                for (u, w) in rows.row_entries(v) {
                     if w > cutoff {
                         local.push((u, v as u32));
                     }
@@ -165,7 +165,7 @@ impl ActivationIndex {
     /// The `q`-quantile of all nonzero normalized influence values.
     fn quantile_threshold(rows: &InfluenceRows, q: f64) -> f32 {
         let mut values: Vec<f32> = (0..rows.num_nodes())
-            .flat_map(|v| rows.row(v).iter().map(|&(_, w)| w))
+            .flat_map(|v| rows.row_values(v).iter().copied())
             .collect();
         if values.is_empty() {
             return 0.0;
@@ -224,6 +224,13 @@ impl ActivationIndex {
     /// Total size of all activation lists (memory/effort proxy).
     pub fn total_entries(&self) -> usize {
         self.items.len()
+    }
+
+    /// Exact heap bytes of the index: `8·(n+1)` offsets plus `4` per
+    /// activation entry.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.items.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -316,7 +323,7 @@ mod tests {
         let idx = ActivationIndex::build_with_rule(&r, ThetaRule::GlobalQuantile(0.5));
         // Roughly half of all influence entries should clear the median.
         let kept = idx.total_entries();
-        let total: usize = (0..30).map(|v| r.row(v).len()).sum();
+        let total: usize = (0..30).map(|v| r.row_nnz(v)).sum();
         assert!(kept * 3 > total && kept < total, "kept {kept} of {total}");
     }
 

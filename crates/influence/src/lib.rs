@@ -25,10 +25,11 @@
 //! let g = generators::erdos_renyi_gnm(60, 180, 5);
 //! let t = transition_matrix(&g, TransitionKind::RandomWalk, true);
 //!
-//! // Normalized influence rows I_v(·, 2) (Eq. 8/9): each node's
-//! // influencers carry unit total mass after per-row L1 normalization.
+//! // Normalized influence rows I_v(·, 2) (Eq. 8/9) in flat CSR form:
+//! // each node's influencers carry unit total mass after per-row L1
+//! // normalization.
 //! let rows = InfluenceRows::compute(&t, 2, 1e-4);
-//! let mass: f32 = rows.row(0).iter().map(|&(_, w)| w).sum();
+//! let mass: f32 = rows.row_values(0).iter().sum();
 //! assert!((mass - 1.0).abs() < 1e-4);
 //!
 //! // Inverted into the activation index act[u] = {v : I_v(u, 2) > θ}

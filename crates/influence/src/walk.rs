@@ -1,4 +1,4 @@
-//! Sparse per-node influence rows.
+//! Sparse per-node influence rows in a flat CSR layout.
 //!
 //! Row `v` of the influence matrix is `e_v^T T^k`, computed by `k`
 //! scatter-gather steps over the CSR transition matrix with a dense
@@ -8,6 +8,29 @@
 //! activation threshold `θ` anyway — which keeps rows small on hub-heavy
 //! graphs. Rows are L1-normalized at the end (Eq. 8); for row-stochastic
 //! transitions this only compensates pruning loss.
+//!
+//! # Memory layout
+//!
+//! The rows live in one structure-of-arrays CSR triple
+//! (`offsets`/`cols`/`vals`) — the same flat layout the activation index
+//! uses — instead of a `Vec<Vec<(u32, f32)>>`: no per-row heap allocation,
+//! no 24-byte `Vec` header per node, and columns/values stream through the
+//! greedy hot loops as two contiguous arrays. At `n` nodes and `nnz`
+//! stored entries the artifact occupies `8·(n+1) + 8·nnz` bytes
+//! ([`InfluenceRows::resident_bytes`], exact) versus `24·n + 8·nnz` for
+//! the retired nested layout ([`InfluenceRows::nested_layout_bytes`]) —
+//! strictly smaller for every non-empty graph. Parallel builds write
+//! per-worker flat chunks for contiguous row ranges and stitch them in
+//! rank order, so the layout is bit-identical at any thread count.
+//!
+//! # Row truncation
+//!
+//! Builders accept an optional `top_k` (0 = off): each row keeps only its
+//! `top_k` heaviest entries (ties broken toward the smaller column id)
+//! **before** Eq. 8 normalization, bounding `nnz` by `top_k · n` on
+//! hub-heavy graphs where ε-pruning alone is not enough. Truncation
+//! changes results, so it participates in the artifact fingerprint
+//! upstream (`GrainConfig::influence_row_top_k`).
 
 use grain_graph::CsrMatrix;
 use grain_linalg::par::{self, SendPtr};
@@ -46,10 +69,24 @@ pub fn kernel_power_weights(kernel: Kernel) -> Vec<f32> {
     }
 }
 
-/// All normalized influence rows of a graph.
+/// One worker's flat output: the rows of a contiguous `v`-range, stored as
+/// per-row lengths plus concatenated columns/values. Chunks are stitched
+/// into the final CSR in worker-rank order, which equals row order.
+#[derive(Default)]
+struct RowChunk {
+    lens: Vec<u32>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+/// All normalized influence rows of a graph, in flat CSR form.
 #[derive(Clone, Debug, Default)]
 pub struct InfluenceRows {
-    rows: Vec<Vec<(u32, f32)>>,
+    /// `cols[offsets[v]..offsets[v+1]]` (and the matching `vals` range) is
+    /// the sparse row of `v`, sorted by column.
+    offsets: Vec<usize>,
+    cols: Vec<u32>,
+    vals: Vec<f32>,
     k: usize,
 }
 
@@ -77,7 +114,7 @@ impl InfluenceRows {
     }
 
     /// [`InfluenceRows::for_kernel_par`] with a cooperative stop probe
-    /// (see [`InfluenceRows::compute_weighted_ctl`]).
+    /// (see [`InfluenceRows::compute_weighted_topk_ctl`]).
     pub fn for_kernel_ctl(
         t: &CsrMatrix,
         kernel: Kernel,
@@ -85,7 +122,34 @@ impl InfluenceRows {
         threads: usize,
         should_stop: &(dyn Fn() -> bool + Sync),
     ) -> Option<Self> {
-        Self::compute_weighted_ctl(t, &kernel_power_weights(kernel), eps, threads, should_stop)
+        Self::compute_weighted_topk_ctl(
+            t,
+            &kernel_power_weights(kernel),
+            eps,
+            0,
+            threads,
+            should_stop,
+        )
+    }
+
+    /// [`InfluenceRows::for_kernel_ctl`] with per-row truncation to the
+    /// `top_k` heaviest entries (`0` = off; see the module docs).
+    pub fn for_kernel_topk_ctl(
+        t: &CsrMatrix,
+        kernel: Kernel,
+        eps: f32,
+        top_k: usize,
+        threads: usize,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Self> {
+        Self::compute_weighted_topk_ctl(
+            t,
+            &kernel_power_weights(kernel),
+            eps,
+            top_k,
+            threads,
+            should_stop,
+        )
     }
 
     /// Computes normalized rows of `Σ_l weights[l] · T^l`, pruning frontier
@@ -99,30 +163,55 @@ impl InfluenceRows {
 
     /// [`InfluenceRows::compute_weighted`] over `threads` workers
     /// (`0` = auto). Every row `v` is scatter-gathered start to finish by
-    /// exactly one worker with thread-local scratch, so the rows are
-    /// bit-identical at any thread count.
+    /// exactly one worker with thread-local scratch, and each worker's flat
+    /// chunk is stitched into the CSR in rank (= row) order, so the rows
+    /// are bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `t` is not square or `weights` is empty.
     pub fn compute_weighted_par(t: &CsrMatrix, weights: &[f32], eps: f32, threads: usize) -> Self {
-        Self::compute_weighted_ctl(t, weights, eps, threads, &|| false)
+        Self::compute_weighted_topk_ctl(t, weights, eps, 0, threads, &|| false)
+            .expect("influence rows with a never-stopping probe cannot be cancelled")
+    }
+
+    /// [`InfluenceRows::compute_weighted_par`] with per-row truncation to
+    /// the `top_k` heaviest entries (`0` = off).
+    pub fn compute_weighted_topk(t: &CsrMatrix, weights: &[f32], eps: f32, top_k: usize) -> Self {
+        Self::compute_weighted_topk_ctl(t, weights, eps, top_k, 0, &|| false)
             .expect("influence rows with a never-stopping probe cannot be cancelled")
     }
 
     /// [`InfluenceRows::compute_weighted_par`] with a cooperative stop
-    /// probe, polled by every worker once per **block of rows** (each row
-    /// is a full scatter-gather walk — the natural unit of work). Returns
-    /// `None` as soon as any worker observes the probe; the partially
-    /// filled rows are discarded, never returned, so a cancelled build
-    /// cannot tear the artifact. A probe that always returns `false` is
-    /// bit-identical to [`InfluenceRows::compute_weighted_par`].
-    ///
-    /// # Panics
-    /// Panics if `t` is not square or `weights` is empty.
+    /// probe (see [`InfluenceRows::compute_weighted_topk_ctl`]).
     pub fn compute_weighted_ctl(
         t: &CsrMatrix,
         weights: &[f32],
         eps: f32,
+        threads: usize,
+        should_stop: &(dyn Fn() -> bool + Sync),
+    ) -> Option<Self> {
+        Self::compute_weighted_topk_ctl(t, weights, eps, 0, threads, should_stop)
+    }
+
+    /// The fully general builder: weighted walk powers, ε-pruning, optional
+    /// `top_k` row truncation, explicit worker count, and a cooperative
+    /// stop probe polled by every worker once per **block of rows** (each
+    /// row is a full scatter-gather walk — the natural unit of work).
+    /// Returns `None` as soon as any worker observes the probe; the
+    /// partially filled chunks are discarded, never stitched, so a
+    /// cancelled build cannot tear the artifact. A probe that always
+    /// returns `false` is bit-identical to the uncancellable builders.
+    ///
+    /// When `top_k > 0`, each row keeps only its `top_k` heaviest entries
+    /// (ties toward the smaller column id) **before** Eq. 8 normalization.
+    ///
+    /// # Panics
+    /// Panics if `t` is not square or `weights` is empty.
+    pub fn compute_weighted_topk_ctl(
+        t: &CsrMatrix,
+        weights: &[f32],
+        eps: f32,
+        top_k: usize,
         threads: usize,
         should_stop: &(dyn Fn() -> bool + Sync),
     ) -> Option<Self> {
@@ -137,10 +226,10 @@ impl InfluenceRows {
         assert!(!weights.is_empty(), "need at least the T^0 weight");
         let k = weights.len() - 1;
         let n = t.rows();
-        let mut rows: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n];
-        let out = SendPtr(rows.as_mut_ptr());
         let threads = par::resolve_threads(threads).max(1);
         let chunk = n.div_ceil(threads).max(1);
+        let mut chunks: Vec<RowChunk> = (0..threads).map(|_| RowChunk::default()).collect();
+        let out = SendPtr(chunks.as_mut_ptr());
         let stopped = AtomicBool::new(false);
         crossbeam::thread::scope(|scope| {
             for tix in 0..threads {
@@ -158,15 +247,21 @@ impl InfluenceRows {
                     // disjoint capture would otherwise strip the Send impl).
                     #[allow(clippy::redundant_locals)]
                     let out = out;
+                    // SAFETY: each worker writes exclusively its own chunk
+                    // index, and `chunks` outlives the scope.
+                    let local = unsafe { &mut *out.0.add(tix) };
+                    local.lens.reserve(end - start);
                     // Per-thread scratch: one dense buffer for the walk
                     // step, one for the weighted accumulator; both reset
                     // lazily via touched lists so per-node cost tracks row
-                    // support, not n.
+                    // support, not n. `row_cols`/`row_vals` assemble one
+                    // row before it is appended to the flat chunk.
                     let mut step = vec![0.0f32; n];
                     let mut step_touched: Vec<u32> = Vec::new();
                     let mut acc = vec![0.0f32; n];
                     let mut acc_touched: Vec<u32> = Vec::new();
                     let mut frontier: Vec<(u32, f32)> = Vec::new();
+                    let mut row: Vec<(u32, f32)> = Vec::new();
                     for v in start..end {
                         if (v - start) % ROW_BLOCK == 0
                             && (stopped.load(Ordering::Relaxed) || should_stop())
@@ -211,7 +306,7 @@ impl InfluenceRows {
                                 }
                             }
                         }
-                        let mut row: Vec<(u32, f32)> = Vec::with_capacity(acc_touched.len());
+                        row.clear();
                         for &c in &acc_touched {
                             let val = acc[c as usize];
                             acc[c as usize] = 0.0;
@@ -219,16 +314,28 @@ impl InfluenceRows {
                                 row.push((c, val));
                             }
                         }
+                        // Optional truncation to the top_k heaviest entries
+                        // (ties toward the smaller column), applied before
+                        // normalization so the kept mass is renormalized.
+                        if top_k > 0 && row.len() > top_k {
+                            row.sort_unstable_by(|&(ca, wa), &(cb, wb)| {
+                                wb.total_cmp(&wa).then(ca.cmp(&cb))
+                            });
+                            row.truncate(top_k);
+                        }
                         row.sort_unstable_by_key(|&(c, _)| c);
-                        // Eq. 8 normalization.
+                        // Eq. 8 normalization over the kept entries.
                         let total: f32 = row.iter().map(|&(_, w)| w).sum();
                         if total > 0.0 {
                             for e in &mut row {
                                 e.1 /= total;
                             }
                         }
-                        // SAFETY: each thread writes disjoint row indices.
-                        unsafe { *out.0.add(v) = row };
+                        local.lens.push(row.len() as u32);
+                        for &(c, w) in &row {
+                            local.cols.push(c);
+                            local.vals.push(w);
+                        }
                     }
                 });
             }
@@ -237,12 +344,34 @@ impl InfluenceRows {
         if stopped.load(Ordering::Relaxed) {
             return None;
         }
-        Some(Self { rows, k })
+        // Stitch the per-worker chunks in rank order (= row order) into
+        // one flat CSR triple. Pure memcpy; no float is touched, so the
+        // stitched layout is bit-identical at any thread count.
+        let nnz: usize = chunks.iter().map(|c| c.cols.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut cols: Vec<u32> = Vec::with_capacity(nnz);
+        let mut vals: Vec<f32> = Vec::with_capacity(nnz);
+        for chunk in &chunks {
+            for &len in &chunk.lens {
+                let last = *offsets.last().expect("offsets starts non-empty");
+                offsets.push(last + len as usize);
+            }
+            cols.extend_from_slice(&chunk.cols);
+            vals.extend_from_slice(&chunk.vals);
+        }
+        debug_assert_eq!(offsets.len(), n + 1);
+        Some(Self {
+            offsets,
+            cols,
+            vals,
+            k,
+        })
     }
 
     /// Number of nodes (rows).
     pub fn num_nodes(&self) -> usize {
-        self.rows.len()
+        self.offsets.len().saturating_sub(1)
     }
 
     /// Propagation depth these rows were computed at.
@@ -250,15 +379,40 @@ impl InfluenceRows {
         self.k
     }
 
-    /// The sparse normalized influence row of `v`, sorted by column.
-    pub fn row(&self, v: usize) -> &[(u32, f32)] {
-        &self.rows[v]
+    /// The sparse normalized influence row of `v` as `(columns, values)`
+    /// slices, sorted by column — the same shape as
+    /// [`grain_graph::CsrMatrix::row`].
+    pub fn row(&self, v: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+        (&self.cols[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Column ids of row `v`, sorted ascending.
+    pub fn row_indices(&self, v: usize) -> &[u32] {
+        &self.cols[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Values of row `v`, matching [`InfluenceRows::row_indices`].
+    pub fn row_values(&self, v: usize) -> &[f32] {
+        &self.vals[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Entries of row `v` as `(column, value)` pairs, sorted by column.
+    pub fn row_entries(&self, v: usize) -> impl Iterator<Item = (u32, f32)> + '_ {
+        let (cols, vals) = self.row(v);
+        cols.iter().copied().zip(vals.iter().copied())
+    }
+
+    /// Stored entries in row `v`.
+    pub fn row_nnz(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
     }
 
     /// `I_v(u, k)`: normalized influence of `u` on `v`.
     pub fn influence(&self, v: usize, u: u32) -> f32 {
-        match self.rows[v].binary_search_by_key(&u, |&(c, _)| c) {
-            Ok(pos) => self.rows[v][pos].1,
+        let (cols, vals) = self.row(v);
+        match cols.binary_search(&u) {
+            Ok(pos) => vals[pos],
             Err(_) => 0.0,
         }
     }
@@ -272,17 +426,32 @@ impl InfluenceRows {
 
     /// Total stored entries across all rows.
     pub fn nnz(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.cols.len()
+    }
+
+    /// Exact heap bytes of the CSR artifact: `8·(n+1)` offsets plus
+    /// `8·nnz` for the column/value arrays.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.cols.len() * std::mem::size_of::<u32>()
+            + self.vals.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Heap bytes the same rows would occupy in the retired
+    /// `Vec<Vec<(u32, f32)>>` layout: one 24-byte `Vec` header per node
+    /// plus 8 bytes per entry — the cost model the CSR layout is measured
+    /// against (strictly larger for every non-empty graph).
+    pub fn nested_layout_bytes(&self) -> usize {
+        self.num_nodes() * std::mem::size_of::<Vec<(u32, f32)>>()
+            + self.nnz() * std::mem::size_of::<(u32, f32)>()
     }
 
     /// Column-sum of influence mass received *from* each node `u`
     /// (Σ_v I_v(u, k)) — the "walk mass" used by Sec-3.4 candidate pruning.
     pub fn walk_mass(&self) -> Vec<f32> {
         let mut mass = vec![0.0f32; self.num_nodes()];
-        for row in &self.rows {
-            for &(u, w) in row {
-                mass[u as usize] += w;
-            }
+        for (&u, &w) in self.cols.iter().zip(&self.vals) {
+            mass[u as usize] += w;
         }
         mass
     }
@@ -297,14 +466,100 @@ mod tests {
         transition_matrix(g, TransitionKind::RandomWalk, true)
     }
 
+    /// The retired nested builder, kept as the serial reference the flat
+    /// CSR is property-tested against: same per-row walk, same float
+    /// order, rows materialized as `Vec<Vec<(u32, f32)>>`.
+    fn reference_nested(
+        t: &CsrMatrix,
+        weights: &[f32],
+        eps: f32,
+        top_k: usize,
+    ) -> Vec<Vec<(u32, f32)>> {
+        let k = weights.len() - 1;
+        let n = t.rows();
+        let mut rows = Vec::with_capacity(n);
+        let mut step = vec![0.0f32; n];
+        let mut acc = vec![0.0f32; n];
+        for v in 0..n {
+            let mut frontier = vec![(v as u32, 1.0f32)];
+            let mut acc_touched: Vec<u32> = Vec::new();
+            if weights[0] != 0.0 {
+                acc[v] = weights[0];
+                acc_touched.push(v as u32);
+            }
+            for &wl in weights.iter().skip(1).take(k) {
+                let mut step_touched: Vec<u32> = Vec::new();
+                for &(node, mass) in &frontier {
+                    let (idx, vals) = t.row(node as usize);
+                    for (&c, &w) in idx.iter().zip(vals) {
+                        let add = mass * w;
+                        if add == 0.0 {
+                            continue;
+                        }
+                        if step[c as usize] == 0.0 {
+                            step_touched.push(c);
+                        }
+                        step[c as usize] += add;
+                    }
+                }
+                frontier.clear();
+                for &c in &step_touched {
+                    let val = step[c as usize];
+                    step[c as usize] = 0.0;
+                    if val >= eps {
+                        frontier.push((c, val));
+                        if wl != 0.0 {
+                            if acc[c as usize] == 0.0 {
+                                acc_touched.push(c);
+                            }
+                            acc[c as usize] += wl * val;
+                        }
+                    }
+                }
+            }
+            let mut row: Vec<(u32, f32)> = Vec::new();
+            for &c in &acc_touched {
+                let val = acc[c as usize];
+                acc[c as usize] = 0.0;
+                if val > 0.0 {
+                    row.push((c, val));
+                }
+            }
+            if top_k > 0 && row.len() > top_k {
+                row.sort_unstable_by(|&(ca, wa), &(cb, wb)| wb.total_cmp(&wa).then(ca.cmp(&cb)));
+                row.truncate(top_k);
+            }
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let total: f32 = row.iter().map(|&(_, w)| w).sum();
+            if total > 0.0 {
+                for e in &mut row {
+                    e.1 /= total;
+                }
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    fn assert_matches_nested(csr: &InfluenceRows, nested: &[Vec<(u32, f32)>]) {
+        assert_eq!(csr.num_nodes(), nested.len());
+        for (v, want) in nested.iter().enumerate() {
+            let got: Vec<(u32, f32)> = csr.row_entries(v).collect();
+            assert_eq!(&got, want, "row {v}");
+            for &(c, w) in want {
+                assert_eq!(csr.influence(v, c).to_bits(), w.to_bits(), "({v},{c})");
+            }
+        }
+    }
+
     #[test]
     fn rows_are_normalized_probability_distributions() {
         let g = generators::erdos_renyi_gnm(40, 100, 2);
         let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
         for v in 0..40 {
-            let sum: f32 = rows.row(v).iter().map(|&(_, w)| w).sum();
+            let sum: f32 = rows.row_values(v).iter().sum();
             assert!((sum - 1.0).abs() < 1e-5, "row {v} sums to {sum}");
-            assert!(rows.row(v).iter().all(|&(_, w)| w >= 0.0));
+            assert!(rows.row_values(v).iter().all(|&w| w >= 0.0));
         }
     }
 
@@ -334,7 +589,7 @@ mod tests {
         let pruned = InfluenceRows::compute(&rw(&g), 2, 0.01);
         assert!(pruned.nnz() < exact.nnz());
         for v in 0..300 {
-            let sum: f32 = pruned.row(v).iter().map(|&(_, w)| w).sum();
+            let sum: f32 = pruned.row_values(v).iter().sum();
             assert!(sum == 0.0 || (sum - 1.0).abs() < 1e-5);
         }
     }
@@ -360,7 +615,7 @@ mod tests {
     fn isolated_node_influences_only_itself() {
         let g = Graph::from_edges(3, &[(0, 1)]);
         let rows = InfluenceRows::compute(&rw(&g), 2, 0.0);
-        assert_eq!(rows.row(2), &[(2, 1.0)]);
+        assert_eq!(rows.row(2), (&[2u32][..], &[1.0f32][..]));
     }
 
     #[test]
@@ -394,7 +649,7 @@ mod tests {
         let plain = InfluenceRows::for_kernel(&t, grain_prop::Kernel::RandomWalk { k: 2 }, 0.0);
         assert!(ppr.influence(0, 0) > plain.influence(0, 0));
         // Both stay normalized distributions.
-        let sum: f32 = ppr.row(0).iter().map(|&(_, w)| w).sum();
+        let sum: f32 = ppr.row_values(0).iter().sum();
         assert!((sum - 1.0).abs() < 1e-5);
     }
 
@@ -448,5 +703,103 @@ mod tests {
                 assert_eq!(par.row(v), serial.row(v), "row {v} at {threads} threads");
             }
         }
+    }
+
+    #[test]
+    fn csr_matches_reference_nested_build() {
+        let g = generators::barabasi_albert(220, 3, 5);
+        let t = rw(&g);
+        for eps in [0.0f32, 1e-4, 1e-2] {
+            let weights = kernel_power_weights(Kernel::Ppr { k: 2, alpha: 0.15 });
+            let nested = reference_nested(&t, &weights, eps, 0);
+            for threads in [1usize, 2, 8] {
+                let csr = InfluenceRows::compute_weighted_topk_ctl(
+                    &t,
+                    &weights,
+                    eps,
+                    0,
+                    threads,
+                    &|| false,
+                )
+                .unwrap();
+                assert_matches_nested(&csr, &nested);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_keeps_top_k_by_weight_with_smaller_column_ties() {
+        // Star around node 0 with a self-loop transition: row of 0 at k=1
+        // spreads equal mass over the leaves — a pure tie, so truncation
+        // must keep the smallest column ids.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let rows = InfluenceRows::compute_weighted_topk(&rw(&g), &[0.0, 1.0], 0.0, 3);
+        assert_eq!(rows.row_indices(0), &[0, 1, 2]);
+        let sum: f32 = rows.row_values(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "truncated row renormalizes");
+    }
+
+    #[test]
+    fn truncation_matches_reference_and_is_thread_invariant() {
+        let g = generators::barabasi_albert(200, 4, 9);
+        let t = rw(&g);
+        let weights = kernel_power_weights(Kernel::RandomWalk { k: 2 });
+        for top_k in [1usize, 4, 16] {
+            let nested = reference_nested(&t, &weights, 0.0, top_k);
+            for threads in [1usize, 3, 8] {
+                let csr = InfluenceRows::compute_weighted_topk_ctl(
+                    &t,
+                    &weights,
+                    0.0,
+                    top_k,
+                    threads,
+                    &|| false,
+                )
+                .unwrap();
+                assert_matches_nested(&csr, &nested);
+                for v in 0..200 {
+                    assert!(csr.row_nnz(v) <= top_k, "row {v} exceeds top_k={top_k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_zero_and_oversized_top_k_change_nothing() {
+        let g = generators::barabasi_albert(150, 3, 13);
+        let t = rw(&g);
+        let plain = InfluenceRows::compute(&t, 2, 1e-4);
+        let zero = InfluenceRows::compute_weighted_topk(&t, &[0.0, 0.0, 1.0], 1e-4, 0);
+        let huge = InfluenceRows::compute_weighted_topk(&t, &[0.0, 0.0, 1.0], 1e-4, 10_000);
+        for v in 0..150 {
+            assert_eq!(plain.row(v), zero.row(v), "row {v} (top_k = 0)");
+            assert_eq!(plain.row(v), huge.row(v), "row {v} (oversized top_k)");
+        }
+    }
+
+    #[test]
+    fn truncation_bounds_nnz_and_resident_bytes() {
+        let g = generators::barabasi_albert(400, 5, 3);
+        let t = rw(&g);
+        let full = InfluenceRows::compute(&t, 2, 0.0);
+        let cut = InfluenceRows::compute_weighted_topk(&t, &[0.0, 0.0, 1.0], 0.0, 8);
+        assert!(cut.nnz() <= 8 * 400);
+        assert!(cut.nnz() < full.nnz());
+        assert!(cut.resident_bytes() < full.resident_bytes());
+    }
+
+    #[test]
+    fn csr_resident_bytes_strictly_below_nested_layout() {
+        let g = generators::erdos_renyi_gnm(100, 300, 21);
+        let rows = InfluenceRows::compute(&rw(&g), 2, 1e-4);
+        assert_eq!(
+            rows.resident_bytes(),
+            8 * (rows.num_nodes() + 1) + 8 * rows.nnz()
+        );
+        assert_eq!(
+            rows.nested_layout_bytes(),
+            24 * rows.num_nodes() + 8 * rows.nnz()
+        );
+        assert!(rows.resident_bytes() < rows.nested_layout_bytes());
     }
 }

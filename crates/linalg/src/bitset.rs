@@ -1,0 +1,176 @@
+//! A packed u64 bitset for the greedy hot loops.
+//!
+//! `CoverageState` and `BallDiversity` track "is node `v` covered?" flags
+//! for every node. A `Vec<bool>` spends one byte per flag and thrashes the
+//! cache at n=1e6; packing 64 flags per word cuts the footprint 8× and the
+//! membership test to one shift-and-mask. The API is deliberately tiny —
+//! exactly the operations the selection loops need.
+
+/// Fixed-capacity set of `usize` keys in `0..len`, one bit per key.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+    ones: usize,
+}
+
+impl Bitset {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+            ones: 0,
+        }
+    }
+
+    /// Universe size this set was created with.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Number of set bits (maintained incrementally, O(1)).
+    pub fn count_ones(&self) -> usize {
+        self.ones
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `i >= len` (same contract as indexing a `Vec<bool>`).
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`, returning `true` iff it was previously clear — the
+    /// shape the "newly activated?" checks want, replacing the separate
+    /// test-then-set on `Vec<bool>`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        let fresh = self.words[word] & mask == 0;
+        self.words[word] |= mask;
+        self.ones += fresh as usize;
+        fresh
+    }
+
+    /// Clears bit `i`, returning `true` iff it was previously set. Used to
+    /// undo a scratch marking through a touched-index list — O(touched)
+    /// instead of the O(len/64) full [`Bitset::clear`].
+    pub fn remove(&mut self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        let (word, mask) = (i / 64, 1u64 << (i % 64));
+        let was = self.words[word] & mask != 0;
+        self.words[word] &= !mask;
+        self.ones -= was as usize;
+        was
+    }
+
+    /// Clears every bit, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
+    }
+
+    /// Indices of set bits, ascending.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_freshness_and_counts() {
+        let mut s = Bitset::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64), "re-insert is not fresh");
+        assert_eq!(s.count_ones(), 3);
+        assert!(s.contains(129));
+        assert!(!s.contains(1));
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let mut s = Bitset::new(200);
+        for i in [5usize, 63, 64, 65, 199, 0] {
+            s.insert(i);
+        }
+        let got: Vec<usize> = s.iter_ones().collect();
+        assert_eq!(got, vec![0, 5, 63, 64, 65, 199]);
+    }
+
+    #[test]
+    fn remove_undoes_insert_and_tracks_count() {
+        let mut s = Bitset::new(128);
+        s.insert(7);
+        s.insert(127);
+        assert!(s.remove(7));
+        assert!(!s.remove(7), "double remove reports absent");
+        assert!(!s.contains(7));
+        assert!(s.contains(127));
+        assert_eq!(s.count_ones(), 1);
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets() {
+        let mut s = Bitset::new(100);
+        s.insert(99);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(99));
+        assert!(s.insert(99));
+    }
+
+    #[test]
+    fn matches_vec_bool_oracle() {
+        // Deterministic pseudo-random insert sequence checked bit-for-bit
+        // against the Vec<bool> representation it replaces.
+        let n = 1000usize;
+        let mut bits = Bitset::new(n);
+        let mut oracle = vec![false; n];
+        let mut x = 0x9e3779b97f4a7c15u64;
+        for _ in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let i = (x % n as u64) as usize;
+            let fresh = bits.insert(i);
+            assert_eq!(fresh, !oracle[i], "freshness at {i}");
+            oracle[i] = true;
+        }
+        for (i, &want) in oracle.iter().enumerate() {
+            assert_eq!(bits.contains(i), want, "membership at {i}");
+        }
+        assert_eq!(bits.count_ones(), oracle.iter().filter(|&&b| b).count());
+        let ones: Vec<usize> = bits.iter_ones().collect();
+        let want: Vec<usize> = (0..n).filter(|&i| oracle[i]).collect();
+        assert_eq!(ones, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        Bitset::new(64).insert(64);
+    }
+}

@@ -14,7 +14,16 @@
 
 use crate::dense::DenseMatrix;
 use crate::ops;
-use crate::par;
+use crate::par::{self, SendPtr};
+
+/// Rows per cache tile in the O(n²·d) all-pairs kernels. The blocked loop
+/// order revisits one v-tile for every u in a worker's block, so the tile
+/// (64 rows × d floats) stays in L1/L2 across the whole block instead of
+/// streaming the full n×d matrix once per source row. Tiling only reorders
+/// *independent* (u, v) distance evaluations — per-u neighbor appends stay
+/// v-ascending and `f32::max` is an order-independent reduction — so
+/// results are bit-identical to the untiled scan.
+const TILE_ROWS: usize = 64;
 
 /// Squared Euclidean distance between two raw rows.
 #[inline]
@@ -68,22 +77,35 @@ pub fn radius_neighbors(normed: &DenseMatrix, r: f32) -> Vec<Vec<u32>> {
 }
 
 /// [`radius_neighbors`] over `threads` workers (`0` = auto). Each row's
-/// neighbor list is computed independently by one worker, so the result
-/// is bit-identical at any thread count.
+/// neighbor list is owned by exactly one worker and the cache-blocked scan
+/// (see `TILE_ROWS`) visits v-tiles in ascending order, so the result is
+/// bit-identical to a naive row-major scan at any thread count.
 pub fn radius_neighbors_par(normed: &DenseMatrix, r: f32, threads: usize) -> Vec<Vec<u32>> {
     let n = normed.rows();
     // grain_distance <= r  <=>  sq_euclidean <= (2r)^2
     let thresh = (2.0 * r) * (2.0 * r);
-    par::par_map_with(threads, n, 8, |u| {
-        let row_u = normed.row(u);
-        let mut out = Vec::new();
-        for v in 0..n {
-            if sq_euclidean(row_u, normed.row(v)) <= thresh {
-                out.push(v as u32);
+    let mut out: Vec<Vec<u32>> = vec![Vec::new(); n];
+    {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        par::for_each_chunk_with(threads, n, 8, |start, end| {
+            // SAFETY: each worker writes only the `out` entries of its own
+            // disjoint u-range, and `out` outlives the scoped threads.
+            let ptr = out_ptr;
+            for tile_start in (0..n).step_by(TILE_ROWS) {
+                let tile_end = (tile_start + TILE_ROWS).min(n);
+                for u in start..end {
+                    let row_u = normed.row(u);
+                    let out_u = unsafe { &mut *ptr.0.add(u) };
+                    for v in tile_start..tile_end {
+                        if sq_euclidean(row_u, normed.row(v)) <= thresh {
+                            out_u.push(v as u32);
+                        }
+                    }
+                }
             }
-        }
-        out
-    })
+        });
+    }
+    out
 }
 
 /// For every row of `points`, the minimum [`grain_distance`] to any row of
@@ -119,47 +141,86 @@ pub fn max_pairwise_distance(normed: &DenseMatrix, exact_limit: usize) -> f32 {
 
 /// [`max_pairwise_distance`] over `threads` workers (`0` = auto).
 ///
-/// Each worker reduces a disjoint range of source rows to a local
-/// maximum; `f32::max` over exact squared distances is an
-/// order-independent reduction (no rounding is introduced by
-/// reassociation), so the result is bit-identical at any thread count.
+/// Each source row's maximum is owned by one worker and scanned with the
+/// cache-blocked tile loop (see `TILE_ROWS`); `f32::max` over exact
+/// squared distances is an order-independent reduction (no rounding is
+/// introduced by reassociation), so the result is bit-identical at any
+/// thread count and to the untiled scan.
 pub fn max_pairwise_distance_par(normed: &DenseMatrix, exact_limit: usize, threads: usize) -> f32 {
     let n = normed.rows();
     if n <= 1 {
         return 0.0;
     }
     let best_sq = if n <= exact_limit {
-        let partial = par::par_map_with(threads, n, 16, |u| {
-            let row = normed.row(u);
-            let mut best = 0.0f32;
-            for v in (u + 1)..n {
-                let d = sq_euclidean(row, normed.row(v));
-                if d > best {
-                    best = d;
-                }
-            }
-            best
-        });
+        // Exact upper-triangle scan: source row u against every v > u.
+        let partial = max_sq_tiled(normed, threads, 16, n, |i| i, true);
         partial.into_iter().fold(0.0f32, f32::max)
     } else {
         // Deterministic stride sample of anchors; each anchor scans all rows.
         let anchors = exact_limit.max(16).min(n);
         let stride = (n / anchors).max(1);
         let anchor_rows: Vec<usize> = (0..n).step_by(stride).collect();
-        let partial = par::par_map_with(threads, anchor_rows.len(), 1, |i| {
-            let row = normed.row(anchor_rows[i]);
-            let mut best = 0.0f32;
-            for v in 0..n {
-                let d = sq_euclidean(row, normed.row(v));
-                if d > best {
-                    best = d;
-                }
-            }
-            best
-        });
+        let partial = max_sq_tiled(
+            normed,
+            threads,
+            1,
+            anchor_rows.len(),
+            |i| anchor_rows[i],
+            false,
+        );
         partial.into_iter().fold(0.0f32, f32::max)
     };
     best_sq.sqrt() * 0.5
+}
+
+/// Cache-blocked per-source max of squared distances. Source `i` of
+/// `0..sources` is row `source_of(i)`; with `upper_triangle` set, only
+/// targets `v > source_of(i)` are scanned (every unordered pair once).
+/// Each source's running max is owned by one worker, so the tiled loop
+/// order changes nothing observable — max is order-independent.
+fn max_sq_tiled(
+    normed: &DenseMatrix,
+    threads: usize,
+    min_chunk: usize,
+    sources: usize,
+    source_of: impl Fn(usize) -> usize + Sync,
+    upper_triangle: bool,
+) -> Vec<f32> {
+    let n = normed.rows();
+    let mut best = vec![0.0f32; sources];
+    {
+        let best_ptr = SendPtr(best.as_mut_ptr());
+        par::for_each_chunk_with(threads, sources, min_chunk, |start, end| {
+            // SAFETY: each worker writes only its disjoint source range of
+            // `best`, which outlives the scoped threads.
+            let ptr = best_ptr;
+            for tile_start in (0..n).step_by(TILE_ROWS) {
+                let tile_end = (tile_start + TILE_ROWS).min(n);
+                for i in start..end {
+                    let u = source_of(i);
+                    let lo = if upper_triangle {
+                        tile_start.max(u + 1)
+                    } else {
+                        tile_start
+                    };
+                    if lo >= tile_end {
+                        continue;
+                    }
+                    let row = normed.row(u);
+                    let slot = unsafe { &mut *ptr.0.add(i) };
+                    let mut local = *slot;
+                    for v in lo..tile_end {
+                        let d = sq_euclidean(row, normed.row(v));
+                        if d > local {
+                            local = d;
+                        }
+                    }
+                    *slot = local;
+                }
+            }
+        });
+    }
+    best
 }
 
 /// Index of the nearest row of `centers` for every row of `points`
@@ -269,6 +330,40 @@ mod tests {
                 "{threads}"
             );
         }
+    }
+
+    #[test]
+    fn tiled_kernels_match_naive_reference_scan() {
+        // The cache-blocked tile loop must be observably identical to the
+        // plain row-major scan it replaced, bit for bit.
+        let n = 257; // deliberately not a multiple of the tile size
+        let data: Vec<f32> = (0..n * 5).map(|i| ((i * 37 % 23) as f32) - 11.0).collect();
+        let m = DenseMatrix::from_vec(n, 5, data);
+        let normed = normalized_embedding(&m);
+
+        let r = 0.15f32;
+        let thresh = (2.0 * r) * (2.0 * r);
+        let naive_balls: Vec<Vec<u32>> = (0..n)
+            .map(|u| {
+                (0..n)
+                    .filter(|&v| sq_euclidean(normed.row(u), normed.row(v)) <= thresh)
+                    .map(|v| v as u32)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(radius_neighbors(&normed, r), naive_balls);
+
+        let mut naive_best = 0.0f32;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                naive_best = naive_best.max(sq_euclidean(normed.row(u), normed.row(v)));
+            }
+        }
+        let naive_dmax = naive_best.sqrt() * 0.5;
+        assert_eq!(
+            max_pairwise_distance(&normed, usize::MAX).to_bits(),
+            naive_dmax.to_bits()
+        );
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! This crate provides that shared substrate:
 //!
 //! * [`DenseMatrix`] — a row-major matrix with cheap row views,
+//! * [`bitset`] — a packed u64 bitset backing the allocation-free greedy
+//!   coverage loops,
 //! * [`ops`] — (parallel) GEMM variants and elementwise kernels,
 //! * [`distance`] — chunked pairwise distances and radius queries used by the
 //!   diversity functions of Section 3.3,
@@ -31,6 +33,7 @@
 //! assert_eq!(ops::row_norms(&rows), vec![1.0, 1.0]);
 //! ```
 
+pub mod bitset;
 pub mod dense;
 pub mod distance;
 pub mod kmeans;
@@ -39,4 +42,5 @@ pub mod par;
 pub mod pca;
 pub mod stats;
 
+pub use bitset::Bitset;
 pub use dense::DenseMatrix;

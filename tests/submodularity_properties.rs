@@ -127,7 +127,7 @@ proptest! {
         let t = grain_graph::transition_matrix(&g, TransitionKind::RandomWalk, true);
         let rows = InfluenceRows::compute(&t, 2, 0.0);
         for v in 0..nodes {
-            let sum: f32 = rows.row(v).iter().map(|&(_, w)| w).sum();
+            let sum: f32 = rows.row_values(v).iter().sum();
             prop_assert!((sum - 1.0).abs() < 1e-4, "row {} sums to {}", v, sum);
         }
     }
