@@ -36,16 +36,34 @@ use crate::greedy::{lazy_greedy_ctl, plain_greedy_ctl};
 use crate::objective::{DimObjective, DiversityScope};
 use crate::prune::prune_candidates;
 use crate::selector::{Completion, SelectionOutcome, SelectionTimings};
-use grain_graph::{transition_matrix, CsrMatrix, Graph, TransitionKind};
+use grain_graph::{transition_matrix, transition_rows, CsrMatrix, Graph, TransitionKind};
 use grain_influence::{ActivationIndex, InfluenceRows, ThetaRule};
 use grain_linalg::{distance, DenseMatrix};
 use grain_prop::cache::PropagationCache;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Exact-`d_max` cutoff for NN diversity; beyond this row count the constant
 /// is estimated by anchor sampling (see `grain-linalg::distance`).
 pub(crate) const NN_DMAX_EXACT_LIMIT: usize = 2048;
+
+/// Wall-clock breakdown of one `SelectionEngine::patched` migration —
+/// what each artifact's incremental repair cost, surfaced per engine in
+/// [`crate::streaming::EpochReport`] so operators can see which stage a
+/// slow epoch flip spent its time in.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PatchTimings {
+    /// Transition matrix rebuild (wholesale, cold code path).
+    pub transition: Duration,
+    /// Dirty-row re-propagation of `X^(k)`.
+    pub propagation: Duration,
+    /// Embedding clone + dirty-row re-normalization.
+    pub embedding: Duration,
+    /// Influence-row re-walk + CSR splice.
+    pub influence: Duration,
+    /// Activation-index masked merge.
+    pub index: Duration,
+}
 
 /// How often each artifact class has been (re)built — the cache audit
 /// trail. A warm budget sweep must increment nothing after its first call;
@@ -294,10 +312,7 @@ impl SelectionEngine {
             (t.rows() + 1) * std::mem::size_of::<usize>()
                 + t.nnz() * (std::mem::size_of::<u32>() + std::mem::size_of::<f32>())
         });
-        let propagation = self
-            .propagation
-            .get_cached(self.config.kernel)
-            .map_or(0, |x| dense_bytes(&x));
+        let propagation = self.propagation.resident_bytes(self.config.kernel);
         let embedding = self.embedding.as_ref().map_or(0, |(_, e)| dense_bytes(e));
         let (influence_rows, influence_rows_nested) =
             self.rows.as_ref().map_or((0, 0), |(_, r)| {
@@ -514,6 +529,154 @@ impl SelectionEngine {
         self.ensure_transition();
         self.ensure_rows();
         &self.rows.as_ref().expect("rows ensured").1
+    }
+
+    /// Derives an engine over the mutated corpus `(graph, features)` by
+    /// patching this engine's cached artifacts instead of rebuilding them
+    /// — the streaming fast path behind
+    /// [`crate::service::GrainService::apply_update`].
+    ///
+    /// `dirty_transition` / `dirty_propagation` / `dirty_influence` are
+    /// sorted supersets of the transition rows, `X^(k)` rows, and
+    /// influence rows whose values can differ between the old and mutated
+    /// corpus (see [`crate::streaming`] for the dirty-set math). Per
+    /// artifact:
+    ///
+    /// * **transition** — dirty rows recomputed row-locally via
+    ///   [`grain_graph::transition_rows`] (bit-identical float path) and
+    ///   spliced into the stale matrix with
+    ///   [`CsrMatrix::with_replaced_rows`]; rebuilt cold only when no
+    ///   transition of the right kind is cached;
+    /// * **propagation** — dirty rows re-propagated level-locally via
+    ///   [`PropagationCache::repropagate_rows`] against the donor's power
+    ///   ladder (`O(k · |dirty|)` SpMM rows), clean rows `memcpy`d;
+    /// * **embedding** — clean rows `memcpy`d from the old embedding
+    ///   (their `X^(k)` rows are bit-identical, so their normalizations
+    ///   are too), dirty rows re-normalized with the same per-row op as
+    ///   the full pass ([`grain_linalg::ops::l2_normalize_row`]);
+    /// * **influence rows** — dirty rows re-walked via
+    ///   [`InfluenceRows::with_rebuilt_rows`], clean row slices spliced;
+    /// * **activation index** — inverted entries of dirty rows swapped via
+    ///   [`ActivationIndex::repaired`];
+    /// * **ball lists / NN `d_max`** — dropped (rebuilt lazily on the next
+    ///   select that needs them).
+    ///
+    /// Only artifacts cached under the *active* config are migrated; stale
+    /// cache slots from earlier configs are dropped. Callers must not
+    /// invoke this for triangle-induced kernels (a single edge edit can
+    /// dirty every triangle count, so those engines rebuild cold).
+    pub(crate) fn patched(
+        &self,
+        graph: Arc<Graph>,
+        features: Arc<DenseMatrix>,
+        dirty_transition: &[u32],
+        dirty_propagation: &[u32],
+        dirty_influence: &[u32],
+    ) -> (SelectionEngine, PatchTimings) {
+        let config = self.config;
+        let kind = config.kernel.transition_kind();
+        debug_assert_ne!(
+            kind,
+            TransitionKind::TriangleInduced,
+            "triangle-induced engines are rebuilt cold, not patched"
+        );
+        let kernel = config.kernel;
+        let kernel_key = kernel.cache_key();
+        let mut timings = PatchTimings::default();
+        let stage = Instant::now();
+        let t_new = match self.transition.as_ref().filter(|(k, _)| *k == kind) {
+            Some((_, t_old)) => {
+                t_old.with_replaced_rows(&transition_rows(&graph, kind, true, dirty_transition))
+            }
+            None => transition_matrix(&graph, kind, true),
+        };
+        timings.transition = stage.elapsed();
+        let mut stats = self.stats;
+        stats.transition_builds += 1;
+
+        let mut propagation = PropagationCache::new(Arc::clone(&graph), Arc::clone(&features));
+        let mut embedding = None;
+        if let Some(old_x) = self.propagation.get_cached(kernel) {
+            let stage = Instant::now();
+            let old_ladder = self.propagation.cached_ladder(kernel);
+            let patched_x = propagation.repropagate_rows(
+                kernel,
+                &t_new,
+                &old_x,
+                &old_ladder,
+                dirty_propagation,
+            );
+            timings.propagation = stage.elapsed();
+            stats.propagation_builds += 1;
+            if let Some((_, old_e)) = self.embedding.as_ref().filter(|(k, _)| *k == kernel_key) {
+                let stage = Instant::now();
+                let mut e = (**old_e).clone();
+                for &v in dirty_propagation {
+                    let r = v as usize;
+                    let row = e.row_mut(r);
+                    row.copy_from_slice(patched_x.row(r));
+                    grain_linalg::ops::l2_normalize_row(row);
+                }
+                timings.embedding = stage.elapsed();
+                embedding = Some((kernel_key.clone(), Arc::new(e)));
+                stats.embedding_builds += 1;
+            }
+        }
+
+        let rows_key = (
+            kernel_key.clone(),
+            config.influence_eps.to_bits(),
+            config.influence_row_top_k,
+        );
+        let mut rows = None;
+        if let Some((key, old_rows)) = self.rows.as_ref() {
+            if *key == rows_key {
+                let stage = Instant::now();
+                let rebuilt = old_rows.with_rebuilt_rows(
+                    &t_new,
+                    kernel,
+                    config.influence_eps,
+                    config.influence_row_top_k,
+                    dirty_influence,
+                );
+                timings.influence = stage.elapsed();
+                rows = Some((rows_key.clone(), rebuilt));
+                stats.influence_builds += 1;
+            }
+        }
+
+        let index_key = (
+            kernel_key,
+            config.influence_eps.to_bits(),
+            config.influence_row_top_k,
+            config.theta,
+        );
+        let mut index = None;
+        if let (Some((key, old_index)), Some((_, new_rows))) = (self.index.as_ref(), rows.as_ref())
+        {
+            if *key == index_key {
+                let stage = Instant::now();
+                let repaired = old_index.repaired(new_rows, config.theta, dirty_influence);
+                timings.index = stage.elapsed();
+                index = Some((index_key, repaired));
+                stats.index_builds += 1;
+            }
+        }
+
+        let engine = SelectionEngine {
+            config,
+            graph,
+            features,
+            propagation,
+            transition: Some((kind, t_new)),
+            embedding,
+            rows,
+            index,
+            balls: None,
+            nn_dmax: None,
+            stats,
+        };
+        (engine, timings)
     }
 
     fn ensure_transition(&mut self) {

@@ -108,6 +108,15 @@ pub enum GrainError {
         /// The graph id whose selection panicked.
         graph: String,
     },
+    /// A [`GraphDelta`](crate::streaming::GraphDelta) failed validation
+    /// against the current corpus snapshot: an endpoint out of range, a
+    /// self-loop, an insert over a live edge, a delete of a missing edge,
+    /// a non-finite weight or feature value, a duplicate edit, or a
+    /// feature batch of the wrong width. The corpus is untouched.
+    InvalidDelta {
+        /// Human-readable description of the violation.
+        message: String,
+    },
     /// The scheduler was shut down: either the submission arrived after
     /// [`crate::scheduler::Scheduler::shutdown`], or the scheduler (and
     /// with it the worker that would have answered) was dropped while the
@@ -171,6 +180,9 @@ impl fmt::Display for GrainError {
                 f,
                 "selection for graph {graph:?} panicked; the failure was isolated to this request"
             ),
+            GrainError::InvalidDelta { message } => {
+                write!(f, "invalid graph delta: {message}")
+            }
             GrainError::SchedulerShutdown => {
                 write!(f, "scheduler is shut down; the request was not served")
             }
@@ -186,6 +198,13 @@ impl GrainError {
     pub fn config(field: &'static str, message: impl Into<String>) -> Self {
         GrainError::InvalidConfig {
             field,
+            message: message.into(),
+        }
+    }
+
+    /// Wraps a delta-validation message as [`GrainError::InvalidDelta`].
+    pub fn delta(message: impl Into<String>) -> Self {
+        GrainError::InvalidDelta {
             message: message.into(),
         }
     }
@@ -281,9 +300,19 @@ mod tests {
                 graph: "papers".into(),
             },
             GrainError::config("theta", "bad"),
+            GrainError::delta("edge (3, 3) is a self-loop"),
         ] {
             assert!(!err.is_retryable(), "{err}");
         }
+    }
+
+    #[test]
+    fn invalid_delta_renders_its_message() {
+        let e = GrainError::delta("edge (1, 2) already present");
+        assert_eq!(
+            e.to_string(),
+            "invalid graph delta: edge (1, 2) already present"
+        );
     }
 
     #[test]

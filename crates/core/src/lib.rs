@@ -45,6 +45,16 @@
 //! [`selector::GrainSelector`] remains as a thin validated-config facade
 //! whose `engine` constructor opens the staged pipeline directly (its
 //! deprecated positional one-shots are gone).
+//!
+//! Corpora are live, not frozen: [`streaming`] adds
+//! [`streaming::GraphDelta`] batches (edge inserts/deletes, feature
+//! overwrites) and [`service::GrainService::apply_update`], which
+//! advances a corpus one **epoch** by patching resident engines' cached
+//! artifacts — dirty-set expansion to the k-hop frontier, rank-local
+//! re-propagation, influence-row splicing, activation-index repair —
+//! instead of rebuilding them, while pool keys versioned by epoch let
+//! in-flight requests finish on their old snapshot. Patched artifacts
+//! are byte-identical to a cold build of the mutated graph.
 
 pub mod cancel;
 pub mod config;
@@ -59,10 +69,11 @@ pub mod retry;
 pub mod scheduler;
 pub mod selector;
 pub mod service;
+pub mod streaming;
 
 pub use cancel::{CancelCause, CancelToken, OnDeadline};
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
-pub use engine::{ArtifactBytes, EngineStats, SelectionEngine};
+pub use engine::{ArtifactBytes, EngineStats, PatchTimings, SelectionEngine};
 pub use error::{DeadlineStage, GrainError, GrainResult};
 pub use objective::DimObjective;
 pub use retry::RetryPolicy;
@@ -72,3 +83,4 @@ pub use service::{
     Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,
     SelectionRequest,
 };
+pub use streaming::{DirtySets, EpochReport, GraphDelta, PatchSummary};

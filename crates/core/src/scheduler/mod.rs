@@ -602,8 +602,12 @@ impl Scheduler {
         // Coalesce-key construction is O(candidate pool) and engine-key
         // formatting builds fingerprint strings; prepare both before
         // taking the state mutex so heavy submissions don't serialize
-        // on it.
-        let prepared = queue::PreparedSubmission::new(request);
+        // on it. The submit-time corpus epoch is stamped into the key so
+        // selections racing an `apply_update` coalesce only within one
+        // corpus version (unknown graphs keep epoch 0 and fail later
+        // with the service's own typed error).
+        let epoch = self.inner.service.epoch(&request.graph).unwrap_or(0);
+        let prepared = queue::PreparedSubmission::new(request, epoch);
         let (tx, rx) = bounded(1);
         let admission = {
             let mut state = self.inner.lock_state();

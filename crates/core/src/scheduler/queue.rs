@@ -107,6 +107,12 @@ pub(super) struct CoalesceKey {
     /// `Hash` impl below stays consistent with the derived `Eq`.
     candidates_hash: u64,
     seed: u64,
+    /// The corpus epoch observed at submission. Selections racing an
+    /// [`apply_update`](crate::service::GrainService::apply_update) only
+    /// coalesce within one corpus version: a waiter never receives a
+    /// result computed on a snapshot newer (or older) than the one it
+    /// submitted against.
+    epoch: u64,
 }
 
 impl Hash for CoalesceKey {
@@ -116,11 +122,12 @@ impl Hash for CoalesceKey {
         self.budget.hash(state);
         self.candidates_hash.hash(state);
         self.seed.hash(state);
+        self.epoch.hash(state);
     }
 }
 
 impl CoalesceKey {
-    pub(super) fn of(request: &SelectionRequest) -> Self {
+    pub(super) fn of(request: &SelectionRequest, epoch: u64) -> Self {
         let budget = match &request.budget {
             Budget::Fixed(n) => format!("fix:{n}"),
             Budget::Fraction(f) => format!("frac:{:016x}", f.to_bits()),
@@ -135,6 +142,7 @@ impl CoalesceKey {
             candidates: request.candidates.as_deref().map(Arc::from),
             candidates_hash: hasher.finish(),
             seed: request.seed,
+            epoch,
         }
     }
 }
@@ -151,9 +159,9 @@ pub(super) struct PreparedSubmission {
 }
 
 impl PreparedSubmission {
-    pub(super) fn new(request: SelectionRequest) -> Self {
+    pub(super) fn new(request: SelectionRequest, epoch: u64) -> Self {
         Self {
-            key: CoalesceKey::of(&request),
+            key: CoalesceKey::of(&request, epoch),
             engine_key: request.engine_key(),
             request,
         }
@@ -581,7 +589,7 @@ mod tests {
         let (tx, rx) = waiter();
         std::mem::forget(rx); // keep the channel connected for the test
         q.admit(
-            PreparedSubmission::new(r.clone()),
+            PreparedSubmission::new(r.clone(), 0),
             priority,
             deadline,
             OnDeadline::Fail,
@@ -597,7 +605,7 @@ mod tests {
         capacity: usize,
     ) -> Admission {
         q.admit(
-            PreparedSubmission::new(r.clone()),
+            PreparedSubmission::new(r.clone(), 0),
             0,
             None,
             OnDeadline::Fail,
@@ -968,7 +976,7 @@ mod tests {
         let (tx, rx) = waiter();
         std::mem::forget(rx);
         q.admit(
-            PreparedSubmission::new(b.clone()),
+            PreparedSubmission::new(b.clone(), 0),
             0,
             Some(later),
             OnDeadline::Partial,

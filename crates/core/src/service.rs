@@ -296,11 +296,20 @@ impl PoolCounters {
     }
 }
 
-/// Pool key: one engine per (graph, artifact fingerprint).
+/// Pool key: one engine per (graph, corpus epoch, artifact fingerprint).
+///
+/// The epoch versions the *corpus snapshot* an engine was built over:
+/// [`crate::streaming::GraphDelta`] application bumps the registered
+/// corpus to epoch `e+1`, so engines for epoch `e` become unreachable by
+/// new requests (which always key on the current epoch) while requests
+/// already holding an old-epoch checkout finish on their consistent
+/// snapshot. Old epochs retire through ordinary LRU eviction — stale
+/// engines stop being touched and age out.
 #[derive(Clone, Debug, Hash, PartialEq, Eq)]
-struct PoolKey {
-    graph: String,
-    fingerprint: String,
+pub(crate) struct PoolKey {
+    pub(crate) graph: String,
+    pub(crate) epoch: u64,
+    pub(crate) fingerprint: String,
 }
 
 /// How many distinct evicted keys **each shard** remembers for
@@ -320,8 +329,8 @@ const EVICTED_KEY_MEMORY_PER_SHARD: usize = 1024;
 /// [`PoolCounters::resident_bytes`]** — re-measures apply the delta, and
 /// eviction subtracts exactly what was recorded, so the aggregate never
 /// drifts however requests and evictions interleave.
-struct EngineSlot {
-    engine: Mutex<SelectionEngine>,
+pub(crate) struct EngineSlot {
+    pub(crate) engine: Mutex<SelectionEngine>,
     recorded_bytes: AtomicUsize,
 }
 
@@ -336,7 +345,7 @@ impl EngineSlot {
 
 /// A pooled engine: shared ownership plus the per-engine lock that
 /// serializes same-key requests.
-type SharedEngine = Arc<EngineSlot>;
+pub(crate) type SharedEngine = Arc<EngineSlot>;
 
 /// One-shot rendezvous for an in-flight engine build: the builder
 /// publishes the shared engine (or the build error), every waiter blocks
@@ -548,9 +557,9 @@ impl EnginePool {
         self.counters.snapshot()
     }
 
-    /// Resident `(graph, fingerprint)` keys, shard-major, most recently
-    /// used first within each shard.
-    pub fn keys(&self) -> Vec<(String, String)> {
+    /// Resident `(graph, epoch, fingerprint)` keys, shard-major, most
+    /// recently used first within each shard.
+    pub fn keys(&self) -> Vec<(String, u64, String)> {
         let mut out = Vec::new();
         for shard in &self.shards {
             let shard = lock_shard(shard);
@@ -558,10 +567,58 @@ impl EnginePool {
                 shard
                     .order
                     .iter()
-                    .map(|k| (k.graph.clone(), k.fingerprint.clone())),
+                    .map(|k| (k.graph.clone(), k.epoch, k.fingerprint.clone())),
             );
         }
         out
+    }
+
+    /// Snapshot of the resident keys serving `(graph, epoch)` — the set
+    /// of engines a [`crate::streaming::GraphDelta`] application migrates
+    /// to the next epoch. A snapshot, not a lock: engines built or
+    /// evicted after it are handled by the cold path (they rebuild over
+    /// the new corpus).
+    pub(crate) fn resident_keys_for(&self, graph: &str, epoch: u64) -> Vec<PoolKey> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = lock_shard(shard);
+            out.extend(
+                shard
+                    .entries
+                    .keys()
+                    .filter(|k| k.graph == graph && k.epoch == epoch)
+                    .cloned(),
+            );
+        }
+        out
+    }
+
+    /// The resident slot under `key`, if any (no recency touch).
+    pub(crate) fn get_slot(&self, key: &PoolKey) -> Option<SharedEngine> {
+        let shard = lock_shard(&self.shards[self.shard_of(key)]);
+        shard.entries.get(key).cloned()
+    }
+
+    /// Inserts a ready-made engine under `key` at the MRU position,
+    /// unless a resident engine already claimed the key (the resident —
+    /// necessarily fresher — wins and the offered engine is dropped).
+    /// Used by epoch migration to park patched engines under their
+    /// next-epoch key.
+    pub(crate) fn insert_ready(&self, key: PoolKey, engine: SelectionEngine) {
+        let bytes = engine.artifact_bytes().total();
+        let slot = Arc::new(EngineSlot::new(engine));
+        let mut shard = lock_shard(&self.shards[self.shard_of(&key)]);
+        if shard.entries.contains_key(&key) {
+            return;
+        }
+        shard.insert_mru(
+            key.clone(),
+            Arc::clone(&slot),
+            self.shard_capacity,
+            &self.counters,
+        );
+        drop(shard);
+        self.record_bytes(&key, &slot, bytes);
     }
 
     /// Drops every resident engine (counters are kept, evicted keys are
@@ -585,15 +642,18 @@ impl EnginePool {
     }
 
     /// The cached `X^(k)` under `kernel` from any resident engine serving
-    /// `graph`, if one holds it *and* is not busy. Engines are keyed by
-    /// the full artifact fingerprint (kernel, θ, ε, r), but `X^(k)`
-    /// depends on the kernel alone — a new engine for another fingerprint
-    /// of the same graph seeds from a sibling instead of re-propagating.
+    /// `graph` at corpus `epoch`, if one holds it *and* is not busy.
+    /// Engines are keyed by the full artifact fingerprint (kernel, θ, ε,
+    /// r), but `X^(k)` depends on the kernel alone — a new engine for
+    /// another fingerprint of the same graph **and epoch** seeds from a
+    /// sibling instead of re-propagating. The epoch filter is what keeps
+    /// a post-update build from adopting a pre-update `X^(k)`.
     /// Busy siblings are skipped (`try_lock`), trading an occasional
     /// re-propagation for never blocking a build on a foreign request.
     fn cached_propagation(
         &self,
         graph: &str,
+        epoch: u64,
         kernel: grain_prop::Kernel,
     ) -> Option<Arc<DenseMatrix>> {
         for shard in &self.shards {
@@ -602,7 +662,7 @@ impl EnginePool {
                 shard
                     .entries
                     .iter()
-                    .filter(|(key, _)| key.graph == graph)
+                    .filter(|(key, _)| key.graph == graph && key.epoch == epoch)
                     .map(|(_, engine)| Arc::clone(engine))
                     .collect()
             };
@@ -632,6 +692,7 @@ impl EnginePool {
     fn rehome(&self, old_key: &PoolKey, engine: &SharedEngine, new_fingerprint: String) {
         let new_key = PoolKey {
             graph: old_key.graph.clone(),
+            epoch: old_key.epoch,
             fingerprint: new_fingerprint,
         };
         let old_idx = self.shard_of(old_key);
@@ -915,10 +976,14 @@ impl SelectionReport {
     }
 }
 
-/// One corpus registered with the service.
-struct Corpus {
-    graph: Arc<Graph>,
-    features: Arc<DenseMatrix>,
+/// One corpus registered with the service: the current snapshot plus its
+/// epoch counter. Both handles are swapped atomically (under the corpora
+/// write lock) when a [`crate::streaming::GraphDelta`] lands, and the
+/// epoch increments with every swap — requests key their engines by it.
+pub(crate) struct Corpus {
+    pub(crate) graph: Arc<Graph>,
+    pub(crate) features: Arc<DenseMatrix>,
+    pub(crate) epoch: u64,
 }
 
 /// Multi-tenant, **concurrent** selection service: many graphs, many
@@ -957,8 +1022,13 @@ struct Corpus {
 /// # Ok::<(), grain_core::GrainError>(())
 /// ```
 pub struct GrainService {
-    corpora: RwLock<HashMap<String, Corpus>>,
-    pool: EnginePool,
+    pub(crate) corpora: RwLock<HashMap<String, Corpus>>,
+    pub(crate) pool: EnginePool,
+    /// Serializes corpus mutations ([`GrainService::apply_update`],
+    /// [`GrainService::replace_graph`]) against each other. Reads
+    /// (selections) never take it — they snapshot under the corpora
+    /// read lock and run on whatever epoch they observed.
+    pub(crate) update: Mutex<()>,
 }
 
 impl Default for GrainService {
@@ -994,13 +1064,18 @@ impl GrainService {
         Self {
             corpora: RwLock::new(HashMap::new()),
             pool: EnginePool::sharded(shards, shard_capacity),
+            update: Mutex::new(()),
         }
     }
 
-    /// Registers a corpus under `id`. Accepts owned values or `Arc`s;
-    /// every engine serving this graph shares the handles without
-    /// copying. Registering the same id twice is an error — corpora are
-    /// immutable once registered, since pooled engines may hold them.
+    /// Registers a corpus under `id` at epoch 0. Accepts owned values or
+    /// `Arc`s; every engine serving this graph shares the handles without
+    /// copying. Registering the same id twice is an error — each snapshot
+    /// is immutable once registered, since pooled engines may hold it; to
+    /// mutate a live corpus use
+    /// [`GrainService::apply_update`](crate::streaming) (incremental) or
+    /// [`GrainService::replace_graph`] (wholesale swap), both of which
+    /// advance the epoch instead of touching the registered snapshot.
     pub fn register_graph(
         &self,
         id: impl Into<String>,
@@ -1020,7 +1095,14 @@ impl GrainService {
         if corpora.contains_key(&id) {
             return Err(GrainError::GraphAlreadyRegistered { graph: id });
         }
-        corpora.insert(id, Corpus { graph, features });
+        corpora.insert(
+            id,
+            Corpus {
+                graph,
+                features,
+                epoch: 0,
+            },
+        );
         Ok(())
     }
 
@@ -1032,14 +1114,58 @@ impl GrainService {
         ids
     }
 
-    /// Shared handle to a registered graph.
+    /// Shared handle to a registered graph (its current epoch's snapshot).
     pub fn graph(&self, id: &str) -> GrainResult<Arc<Graph>> {
-        self.corpus(id).map(|(graph, _)| graph)
+        self.corpus(id).map(|(graph, _, _)| graph)
     }
 
-    /// Shared handle to a registered feature matrix.
+    /// The current corpus epoch of a registered graph: 0 at registration,
+    /// incremented by every [`GrainService::apply_update`] /
+    /// [`GrainService::replace_graph`]. The scheduler stamps this into
+    /// its coalescing key at submission, so requests coalesce only within
+    /// one corpus version.
+    pub fn epoch(&self, id: &str) -> GrainResult<u64> {
+        self.corpus(id).map(|(_, _, epoch)| epoch)
+    }
+
+    /// Shared handle to a registered feature matrix (current epoch).
     pub fn features(&self, id: &str) -> GrainResult<Arc<DenseMatrix>> {
-        self.corpus(id).map(|(_, features)| features)
+        self.corpus(id).map(|(_, features, _)| features)
+    }
+
+    /// Replaces a registered corpus wholesale with a new snapshot,
+    /// advancing its epoch — the coarse-grained sibling of
+    /// [`GrainService::apply_update`] for when the new corpus is not a
+    /// small delta of the old one. In-flight requests finish on the old
+    /// snapshot (their engines are keyed by the old epoch); new requests
+    /// build fresh engines over the replacement. Fails with
+    /// [`GrainError::UnknownGraph`] if `id` was never registered (use
+    /// [`GrainService::register_graph`] for first registration).
+    pub fn replace_graph(
+        &self,
+        id: &str,
+        graph: impl Into<Arc<Graph>>,
+        features: impl Into<Arc<DenseMatrix>>,
+    ) -> GrainResult<u64> {
+        let graph = graph.into();
+        let features = features.into();
+        if features.rows() != graph.num_nodes() {
+            return Err(GrainError::FeatureShape {
+                feature_rows: features.rows(),
+                num_nodes: graph.num_nodes(),
+            });
+        }
+        let _update = self.update.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
+        let corpus = corpora
+            .get_mut(id)
+            .ok_or_else(|| GrainError::UnknownGraph {
+                graph: id.to_string(),
+            })?;
+        corpus.graph = graph;
+        corpus.features = features;
+        corpus.epoch += 1;
+        Ok(corpus.epoch)
     }
 
     /// The pool (inspection: topology, resident keys, stats).
@@ -1069,8 +1195,8 @@ impl GrainService {
         config: &GrainConfig,
     ) -> GrainResult<(EngineCheckout<'_>, PoolEvent)> {
         config.validate()?;
-        let (graph, features) = self.corpus(graph_id)?;
-        let (checkout, event) = self.checkout_engine(graph_id, config, graph, features)?;
+        let (graph, features, epoch) = self.corpus(graph_id)?;
+        let (checkout, event) = self.checkout_engine(graph_id, epoch, config, graph, features)?;
         // Same fingerprint can still differ in greedy-stage fields; the
         // precise invalidation in set_config keeps all artifacts.
         checkout.lock().set_config(*config)?;
@@ -1086,23 +1212,26 @@ impl GrainService {
     fn checkout_engine(
         &self,
         graph_id: &str,
+        epoch: u64,
         config: &GrainConfig,
         graph: Arc<Graph>,
         features: Arc<DenseMatrix>,
     ) -> GrainResult<(EngineCheckout<'_>, PoolEvent)> {
         let key = PoolKey {
             graph: graph_id.to_string(),
+            epoch,
             fingerprint: config.artifact_fingerprint(),
         };
         let (engine, event) = self.pool.get_or_build(key.clone(), || {
             let mut engine = SelectionEngine::over(*config, graph, features)?;
             // X^(k) depends on the kernel alone, not the full
             // fingerprint: a fresh engine adopts a resident sibling's
-            // propagation so e.g. a θ sweep through the service
-            // re-propagates nothing. Probed only on an actual build —
-            // warm hits never scan the shards — and safe here because
-            // build closures run with no shard lock held.
-            if let Some(propagated) = self.pool.cached_propagation(graph_id, config.kernel) {
+            // propagation (same graph, same epoch) so e.g. a θ sweep
+            // through the service re-propagates nothing. Probed only on
+            // an actual build — warm hits never scan the shards — and
+            // safe here because build closures run with no shard lock
+            // held.
+            if let Some(propagated) = self.pool.cached_propagation(graph_id, epoch, config.kernel) {
                 engine.seed_propagated(propagated);
             }
             Ok(engine)
@@ -1159,7 +1288,7 @@ impl GrainService {
         fault::point("service.request", Some(cancel));
         let config = request.effective_config();
         config.validate()?;
-        let (graph, features) = self.corpus(&request.graph)?;
+        let (graph, features, epoch) = self.corpus(&request.graph)?;
         let num_nodes = graph.num_nodes();
         // Borrow the request's pool on the hot path — a warm request must
         // cost only greedy, not a per-request candidate copy.
@@ -1179,7 +1308,7 @@ impl GrainService {
         };
         let mut budgets = request.budget.resolve(candidates.len())?;
         let (checkout, pool_event) =
-            self.checkout_engine(&request.graph, &config, graph, features)?;
+            self.checkout_engine(&request.graph, epoch, &config, graph, features)?;
         // One lock session for config alignment plus every budget: a
         // concurrent same-key request cannot interleave its own config.
         let mut engine = checkout.lock();
@@ -1376,11 +1505,15 @@ impl GrainService {
             .collect()
     }
 
-    fn corpus(&self, id: &str) -> GrainResult<(Arc<Graph>, Arc<DenseMatrix>)> {
+    /// One consistent corpus snapshot: `(graph, features, epoch)` as of a
+    /// single corpora read-lock acquisition. A request built from this
+    /// triple runs entirely on that epoch even if an update lands
+    /// concurrently.
+    pub(crate) fn corpus(&self, id: &str) -> GrainResult<(Arc<Graph>, Arc<DenseMatrix>, u64)> {
         let corpora = self.corpora.read().unwrap_or_else(PoisonError::into_inner);
         corpora
             .get(id)
-            .map(|c| (Arc::clone(&c.graph), Arc::clone(&c.features)))
+            .map(|c| (Arc::clone(&c.graph), Arc::clone(&c.features), c.epoch))
             .ok_or_else(|| GrainError::UnknownGraph {
                 graph: id.to_string(),
             })

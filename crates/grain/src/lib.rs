@@ -122,10 +122,10 @@ pub use grain_select as select;
 pub mod prelude {
     pub use grain_core::{
         Budget, CancelCause, CancelToken, Completion, DeadlineStage, DiversityKind, EngineCheckout,
-        EngineStats, GrainConfig, GrainError, GrainResult, GrainSelector, GrainService,
-        GrainVariant, GreedyAlgorithm, OnDeadline, PoolEvent, PoolStats, PruneStrategy,
-        RetryPolicy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, SelectionEngine,
-        SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
+        EngineStats, EpochReport, GrainConfig, GrainError, GrainResult, GrainSelector,
+        GrainService, GrainVariant, GraphDelta, GreedyAlgorithm, OnDeadline, PoolEvent, PoolStats,
+        PruneStrategy, RetryPolicy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats,
+        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

@@ -329,6 +329,95 @@ impl CsrMatrix {
         })
     }
 
+    /// Out-of-place row splice: a copy of `self` with the listed rows
+    /// replaced wholesale and every other row memcpy'd over unchanged —
+    /// the structural primitive behind incremental artifact repair, where
+    /// a graph delta dirties a handful of rows and the clean majority
+    /// must carry over bit-identically.
+    ///
+    /// `replacements` must be sorted by strictly ascending row index;
+    /// each replacement row's columns must be strictly ascending and in
+    /// bounds (the invariants [`CsrMatrix::from_raw`] checks, asserted
+    /// here per replacement row only, so the splice stays O(nnz) with no
+    /// full revalidation).
+    ///
+    /// # Panics
+    /// Panics on unsorted/duplicate replacement rows, out-of-range row
+    /// indices, unsorted replacement columns, or column indices `>=
+    /// self.cols()`.
+    pub fn with_replaced_rows(&self, replacements: &[(usize, Vec<u32>, Vec<f32>)]) -> CsrMatrix {
+        for w in replacements.windows(2) {
+            assert!(
+                w[0].0 < w[1].0,
+                "with_replaced_rows: replacement rows must be strictly ascending"
+            );
+        }
+        let replaced_nnz: usize = replacements.iter().map(|(_, c, _)| c.len()).sum();
+        let old_replaced_nnz: usize = replacements.iter().map(|&(r, _, _)| self.row_nnz(r)).sum();
+        let new_nnz = self.nnz() - old_replaced_nnz + replaced_nnz;
+        let mut row_ptr = Vec::with_capacity(self.rows + 1);
+        let mut col_idx = Vec::with_capacity(new_nnz);
+        let mut values = Vec::with_capacity(new_nnz);
+        row_ptr.push(0);
+        let mut next = 0usize; // cursor into `replacements`
+        let mut clean_from = 0usize; // first row of the pending clean run
+        let flush_clean =
+            |from: usize, upto: usize, col_idx: &mut Vec<u32>, values: &mut Vec<f32>| {
+                // Copy rows [from, upto) in one contiguous memcpy.
+                let s = self.row_ptr[from];
+                let e = self.row_ptr[upto];
+                col_idx.extend_from_slice(&self.col_idx[s..e]);
+                values.extend_from_slice(&self.values[s..e]);
+            };
+        for r in 0..self.rows {
+            if next < replacements.len() && replacements[next].0 == r {
+                flush_clean(clean_from, r, &mut col_idx, &mut values);
+                let (_, cols, vals) = &replacements[next];
+                assert_eq!(
+                    cols.len(),
+                    vals.len(),
+                    "with_replaced_rows: col/value length mismatch in row {r}"
+                );
+                for w in cols.windows(2) {
+                    assert!(
+                        w[0] < w[1],
+                        "with_replaced_rows: row {r} has unsorted or duplicate columns"
+                    );
+                }
+                if let Some(&last) = cols.last() {
+                    assert!(
+                        (last as usize) < self.cols,
+                        "with_replaced_rows: column out of bounds in row {r}"
+                    );
+                }
+                col_idx.extend_from_slice(cols);
+                values.extend_from_slice(vals);
+                clean_from = r + 1;
+                next += 1;
+            }
+            // Clean rows are flushed lazily in runs; just record the
+            // boundary once the row's entries (old or new) are in.
+            if next > 0 && replacements[next - 1].0 == r {
+                row_ptr.push(col_idx.len());
+            } else {
+                row_ptr.push(col_idx.len() + (self.row_ptr[r + 1] - self.row_ptr[clean_from]));
+            }
+        }
+        assert_eq!(
+            next,
+            replacements.len(),
+            "with_replaced_rows: replacement row index out of range"
+        );
+        flush_clean(clean_from, self.rows, &mut col_idx, &mut values);
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
     /// True if the matrix equals its transpose (within `tol` per entry).
     pub fn is_symmetric(&self, tol: f32) -> bool {
         if self.rows != self.cols {
@@ -474,5 +563,51 @@ mod tests {
     #[should_panic(expected = "unsorted")]
     fn from_raw_rejects_unsorted_rows() {
         let _ = CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn row_splice_matches_rebuild() {
+        let m = small();
+        // Replace row 0 (shrink) and row 2 (grow), keep row 1.
+        let spliced = m.with_replaced_rows(&[
+            (0, vec![1], vec![9.0]),
+            (2, vec![0, 1, 2], vec![1.0, 2.0, 3.0]),
+        ]);
+        let rebuilt = CsrMatrix::from_triplets(
+            3,
+            3,
+            &[(0, 1, 9.), (1, 0, 3.), (2, 0, 1.), (2, 1, 2.), (2, 2, 3.)],
+            false,
+        );
+        assert_eq!(spliced, rebuilt);
+        // The original is untouched.
+        assert_eq!(m, small());
+    }
+
+    #[test]
+    fn row_splice_handles_empty_and_full_replacement_sets() {
+        let m = small();
+        assert_eq!(m.with_replaced_rows(&[]), m);
+        let cleared = m.with_replaced_rows(&[
+            (0, vec![], vec![]),
+            (1, vec![], vec![]),
+            (2, vec![], vec![]),
+        ]);
+        assert_eq!(cleared.nnz(), 0);
+        assert_eq!(cleared.rows(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn row_splice_rejects_unsorted_replacements() {
+        let m = small();
+        let _ = m.with_replaced_rows(&[(2, vec![], vec![]), (0, vec![], vec![])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsorted or duplicate columns")]
+    fn row_splice_rejects_unsorted_replacement_columns() {
+        let m = small();
+        let _ = m.with_replaced_rows(&[(1, vec![2, 0], vec![1.0, 2.0])]);
     }
 }

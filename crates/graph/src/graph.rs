@@ -52,6 +52,18 @@ impl Graph {
         Self { adj }
     }
 
+    /// Wraps an adjacency matrix the caller guarantees to be square and
+    /// symmetric — the hot-path variant of [`Graph::from_adjacency`] for
+    /// structural edits that preserve symmetry by construction (both
+    /// endpoint rows are always spliced together), where the O(nnz log)
+    /// symmetry re-check would dominate an otherwise output-proportional
+    /// update. Symmetry is still checked in debug builds.
+    pub(crate) fn from_adjacency_trusted(adj: CsrMatrix) -> Self {
+        debug_assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+        debug_assert!(adj.is_symmetric(1e-6), "adjacency must be symmetric");
+        Self { adj }
+    }
+
     /// Node count.
     #[inline]
     pub fn num_nodes(&self) -> usize {

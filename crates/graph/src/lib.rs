@@ -13,6 +13,8 @@
 //!   Barabási–Albert, degree-corrected stochastic block model) used to
 //!   synthesize the evaluation corpora,
 //! * [`algo`] — BFS, connected components, PageRank (AGE's centrality arm),
+//! * [`edit`] — validated structural edits (row-spliced edge
+//!   insert/delete) and k-hop dirty-set expansion for live corpora,
 //! * [`io`] — edge-list text round-trips.
 //!
 //! ```
@@ -34,6 +36,7 @@
 pub mod algo;
 pub mod builder;
 pub mod csr;
+pub mod edit;
 pub mod generators;
 pub mod graph;
 pub mod io;
@@ -41,5 +44,6 @@ pub mod transition;
 pub mod triangle;
 
 pub use csr::CsrMatrix;
+pub use edit::{apply_edge_edits, k_hop_ball, EditError};
 pub use graph::Graph;
-pub use transition::{transition_matrix, TransitionKind};
+pub use transition::{transition_matrix, transition_rows, TransitionKind};

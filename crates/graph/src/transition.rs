@@ -85,6 +85,105 @@ pub fn row_normalize(mut m: CsrMatrix) -> CsrMatrix {
     m
 }
 
+/// The rows of [`transition_matrix`] restricted to `rows` (strictly
+/// ascending node ids), computed with the **exact float operations** of
+/// the full build — same merged self-loop position, same left-fold row
+/// sums, same reciprocal-then-multiply scaling. The streaming path
+/// splices these into a stale transition via
+/// [`CsrMatrix::with_replaced_rows`], turning an `O(nnz)` rebuild into a
+/// memcpy plus `O(dirty)` row work while staying bit-identical to a cold
+/// [`transition_matrix`] over the mutated graph.
+///
+/// # Panics
+/// Panics for [`TransitionKind::TriangleInduced`] (triangle counts have
+/// no row-local form — one edge edit can dirty every row) and on
+/// out-of-range node ids.
+pub fn transition_rows(
+    g: &Graph,
+    kind: TransitionKind,
+    add_self_loops: bool,
+    rows: &[u32],
+) -> Vec<(usize, Vec<u32>, Vec<f32>)> {
+    assert!(
+        kind != TransitionKind::TriangleInduced,
+        "triangle-induced transitions have no row-local form"
+    );
+    rows.iter()
+        .map(|&r| {
+            let r = r as usize;
+            let (cols, mut vals) = looped_row(g, r, add_self_loops);
+            match kind {
+                TransitionKind::RandomWalk => {
+                    // Mirrors `row_normalize`: left-fold sum, reciprocal,
+                    // then in-place multiply.
+                    let s: f32 = vals.iter().sum();
+                    let inv = if s > 0.0 { 1.0 / s } else { 0.0 };
+                    for v in &mut vals {
+                        *v *= inv;
+                    }
+                }
+                TransitionKind::Symmetric => {
+                    // Mirrors scale_rows followed by scale_cols: two
+                    // sequential multiplies, never a fused product.
+                    let f_r = inv_sqrt_degree(g, r, add_self_loops);
+                    for (v, &c) in vals.iter_mut().zip(cols.iter()) {
+                        *v *= f_r;
+                        *v *= inv_sqrt_degree(g, c as usize, add_self_loops);
+                    }
+                }
+                TransitionKind::TriangleInduced => unreachable!(),
+            }
+            (r, cols, vals)
+        })
+        .collect()
+}
+
+/// Node `v`'s adjacency row with the unit self-loop merged at its sorted
+/// position — row `v` of [`Graph::adjacency_with_self_loops`] without
+/// materializing the matrix.
+fn looped_row(g: &Graph, v: usize, add_self_loops: bool) -> (Vec<u32>, Vec<f32>) {
+    let (cols, vals) = g.adjacency().row(v);
+    if !add_self_loops {
+        return (cols.to_vec(), vals.to_vec());
+    }
+    let pos = cols.partition_point(|&c| (c as usize) < v);
+    let mut c2 = Vec::with_capacity(cols.len() + 1);
+    let mut v2 = Vec::with_capacity(vals.len() + 1);
+    c2.extend_from_slice(&cols[..pos]);
+    v2.extend_from_slice(&vals[..pos]);
+    c2.push(v as u32);
+    v2.push(1.0);
+    c2.extend_from_slice(&cols[pos..]);
+    v2.extend_from_slice(&vals[pos..]);
+    (c2, v2)
+}
+
+/// `D̃^{-1/2}` entry for node `v`: the same left-fold sum over the merged
+/// row that `CsrMatrix::row_sums` performs on the looped matrix, then the
+/// same `1.0 / s.sqrt()`.
+fn inv_sqrt_degree(g: &Graph, v: usize, add_self_loops: bool) -> f32 {
+    let (cols, vals) = g.adjacency().row(v);
+    let s = if add_self_loops {
+        let pos = cols.partition_point(|&c| (c as usize) < v);
+        let mut s = 0.0f32;
+        for &w in &vals[..pos] {
+            s += w;
+        }
+        s += 1.0;
+        for &w in &vals[pos..] {
+            s += w;
+        }
+        s
+    } else {
+        vals.iter().sum()
+    };
+    if s > 0.0 {
+        1.0 / s.sqrt()
+    } else {
+        0.0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,5 +241,76 @@ mod tests {
         assert_eq!(TransitionKind::RandomWalk.name(), "random-walk");
         assert_eq!(TransitionKind::Symmetric.name(), "symmetric");
         assert_eq!(TransitionKind::TriangleInduced.name(), "triangle-ia");
+    }
+
+    /// Deterministic scruffy graph: ring + LCG chords, some isolated tail
+    /// nodes so zero-degree rows are exercised.
+    fn scruffy(n: usize, seed: u64) -> Graph {
+        let mut edges = Vec::new();
+        for v in 0..n.saturating_sub(4) {
+            edges.push((v as u32, ((v + 1) % (n - 4)) as u32));
+        }
+        let mut state = seed | 1;
+        for _ in 0..n {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let a = (state >> 33) as usize % n;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let b = (state >> 33) as usize % n;
+            if a != b {
+                edges.push((a as u32, b as u32));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn transition_rows_bit_match_full_build() {
+        let g = scruffy(64, 7);
+        let rows: Vec<u32> = vec![0, 3, 17, 40, 60, 61, 62, 63];
+        for kind in [TransitionKind::RandomWalk, TransitionKind::Symmetric] {
+            for loops in [true, false] {
+                let full = transition_matrix(&g, kind, loops);
+                for (r, cols, vals) in transition_rows(&g, kind, loops, &rows) {
+                    let (fc, fv) = full.row(r);
+                    assert_eq!(cols.as_slice(), fc, "{kind:?} loops={loops} row {r} cols");
+                    assert_eq!(
+                        vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        fv.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        "{kind:?} loops={loops} row {r} values"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spliced_rows_reproduce_cold_build_after_edit() {
+        use crate::edit::{apply_edge_edits, k_hop_ball};
+
+        let old = scruffy(48, 11);
+        let (new_g, endpoints) = apply_edge_edits(&old, &[(2, 47, 1.0)], &[(0, 1)]).unwrap();
+        for kind in [TransitionKind::RandomWalk, TransitionKind::Symmetric] {
+            // Symmetric normalization couples a row to its neighbors'
+            // degrees, so the dirty set is the 1-hop ball; random walk only
+            // touches the edited rows themselves.
+            let dirty = match kind {
+                TransitionKind::Symmetric => k_hop_ball(&new_g, &endpoints, 1),
+                _ => endpoints.clone(),
+            };
+            let stale = transition_matrix(&old, kind, true);
+            let spliced = stale.with_replaced_rows(&transition_rows(&new_g, kind, true, &dirty));
+            let cold = transition_matrix(&new_g, kind, true);
+            assert_eq!(spliced, cold, "{kind:?} splice != cold rebuild");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no row-local form")]
+    fn transition_rows_reject_triangle() {
+        transition_rows(&path3(), TransitionKind::TriangleInduced, true, &[0]);
     }
 }

@@ -162,6 +162,113 @@ impl ActivationIndex {
         }
     }
 
+    /// Incrementally repairs the index after the given `dirty` influence
+    /// rows were rebuilt, producing the index a cold
+    /// [`ActivationIndex::build_with_rule_par`] over `new_rows` would —
+    /// bit-identically — without re-scanning clean rows.
+    ///
+    /// Every inverted entry `(u, v)` with a dirty `v` is dropped from the
+    /// old lists, and the qualifying entries of the rebuilt rows are
+    /// spliced back in by one sorted merge per seed. Correctness requires
+    /// that `new_rows` differs from the rows this index was built over
+    /// only on the `dirty` rows (sorted, unique, in range) and that `rule`
+    /// is the rule this index was built with. Both row-local rules repair
+    /// in `O(Σ|act[u]| + Σ_{v∈dirty}|row(v)|)`; [`ThetaRule::GlobalQuantile`]
+    /// couples the threshold to every row, so it falls back to a full
+    /// serial rebuild.
+    pub fn repaired(&self, new_rows: &InfluenceRows, rule: ThetaRule, dirty: &[u32]) -> Self {
+        if let ThetaRule::GlobalQuantile(_) = rule {
+            return Self::build_with_rule_par(new_rows, rule, 1);
+        }
+        let n = self.num_nodes();
+        assert_eq!(new_rows.num_nodes(), n, "row universe must match");
+        assert_eq!(new_rows.k(), self.k, "propagation depth must match");
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty rows must be sorted and unique"
+        );
+        if let Some(&last) = dirty.last() {
+            assert!((last as usize) < n, "dirty row {last} out of range");
+        }
+        if dirty.is_empty() {
+            return self.clone();
+        }
+        let (theta, relative) = match rule {
+            ThetaRule::FixedAbsolute(t) => (t, false),
+            ThetaRule::RelativeToRowMax(t) => (t, true),
+            ThetaRule::GlobalQuantile(_) => unreachable!("handled above"),
+        };
+        debug_assert_eq!(
+            theta.to_bits(),
+            self.theta.to_bits(),
+            "rule must match the rule this index was built with"
+        );
+
+        let mut dirty_mask = vec![false; n];
+        let mut inserted: Vec<(u32, u32)> = Vec::new();
+        for &v in dirty {
+            dirty_mask[v as usize] = true;
+            let cutoff = if relative {
+                theta
+                    * new_rows
+                        .row_values(v as usize)
+                        .iter()
+                        .copied()
+                        .fold(0.0f32, f32::max)
+            } else {
+                theta
+            };
+            for (u, w) in new_rows.row_entries(v as usize) {
+                if w > cutoff {
+                    inserted.push((u, v));
+                }
+            }
+        }
+        // Stable sort groups the pairs by seed while preserving the
+        // v-ascending emission order within each seed.
+        inserted.sort_by_key(|&(u, _)| u);
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut items = Vec::with_capacity(self.items.len());
+        let mut ins_pos = 0usize;
+        for u in 0..n {
+            let old = self.activated_by(u);
+            let ins_start = ins_pos;
+            while ins_pos < inserted.len() && inserted[ins_pos].0 as usize == u {
+                ins_pos += 1;
+            }
+            let ins = &inserted[ins_start..ins_pos];
+            // Sorted merge of (old list minus dirty rows) with the fresh
+            // entries. The kept old side and the fresh side are disjoint
+            // because every dirty row is filtered from the old side.
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < old.len() || j < ins.len() {
+                let take_old = match (old.get(i), ins.get(j)) {
+                    (Some(&ov), Some(&(_, nv))) => ov < nv,
+                    (Some(_), None) => true,
+                    _ => false,
+                };
+                if take_old {
+                    if !dirty_mask[old[i] as usize] {
+                        items.push(old[i]);
+                    }
+                    i += 1;
+                } else {
+                    items.push(ins[j].1);
+                    j += 1;
+                }
+            }
+            offsets.push(items.len());
+        }
+        Self {
+            offsets,
+            items,
+            theta: self.theta,
+            k: self.k,
+        }
+    }
+
     /// The `q`-quantile of all nonzero normalized influence values.
     fn quantile_threshold(rows: &InfluenceRows, q: f64) -> f32 {
         let mut values: Vec<f32> = (0..rows.num_nodes())
@@ -358,6 +465,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Repairing the index over dirty-rebuilt rows must reproduce the cold
+    /// build over the new rows byte-for-byte, for every theta rule.
+    #[test]
+    fn repaired_matches_cold_rebuild_after_edits() {
+        let g = generators::erdos_renyi_gnm(120, 360, 17);
+        let (g2, endpoints) =
+            grain_graph::apply_edge_edits(&g, &[(2, 117, 1.0), (30, 90, 0.5)], &[]).unwrap();
+        let t_old = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        let t_new = transition_matrix(&g2, TransitionKind::RandomWalk, true);
+        let old_rows = InfluenceRows::compute(&t_old, 2, 1e-4);
+        let dirty = grain_graph::k_hop_ball(&g2, &endpoints, 3);
+        let new_rows = old_rows.with_rebuilt_rows(
+            &t_new,
+            grain_prop::Kernel::RandomWalk { k: 2 },
+            1e-4,
+            0,
+            &dirty,
+        );
+        for rule in [
+            ThetaRule::FixedAbsolute(0.05),
+            ThetaRule::RelativeToRowMax(0.25),
+            ThetaRule::GlobalQuantile(0.5),
+        ] {
+            let old_idx = ActivationIndex::build_with_rule(&old_rows, rule);
+            let cold = ActivationIndex::build_with_rule(&new_rows, rule);
+            let repaired = old_idx.repaired(&new_rows, rule, &dirty);
+            assert_eq!(repaired.offsets, cold.offsets, "{rule:?}");
+            assert_eq!(repaired.items, cold.items, "{rule:?}");
+            assert_eq!(
+                repaired.theta().to_bits(),
+                cold.theta().to_bits(),
+                "{rule:?}"
+            );
+            assert_eq!(repaired.k(), cold.k(), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn repaired_with_empty_dirty_set_is_identity() {
+        let g = generators::barabasi_albert(80, 3, 4);
+        let r = rows(&g, 2);
+        let idx = ActivationIndex::build_with_rule(&r, ThetaRule::RelativeToRowMax(0.25));
+        let same = idx.repaired(&r, ThetaRule::RelativeToRowMax(0.25), &[]);
+        assert_eq!(same.offsets, idx.offsets);
+        assert_eq!(same.items, idx.items);
     }
 
     #[test]

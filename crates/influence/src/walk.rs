@@ -79,6 +79,117 @@ struct RowChunk {
     vals: Vec<f32>,
 }
 
+/// Dense per-thread scratch for one row's scatter-gather walk: one buffer
+/// for the walk step, one for the weighted accumulator, both reset lazily
+/// through touched-index lists so per-row cost tracks row support, not
+/// `n`. Shared between the parallel full build and the incremental
+/// per-row rebuild so both run the **identical** float path.
+struct WalkScratch {
+    step: Vec<f32>,
+    step_touched: Vec<u32>,
+    acc: Vec<f32>,
+    acc_touched: Vec<u32>,
+    frontier: Vec<(u32, f32)>,
+}
+
+impl WalkScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            step: vec![0.0f32; n],
+            step_touched: Vec::new(),
+            acc: vec![0.0f32; n],
+            acc_touched: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+}
+
+/// Computes the normalized influence row of `v` into `row`: `k`
+/// scatter-gather steps with ε-pruning between steps, optional `top_k`
+/// truncation (ties toward the smaller column) before Eq. 8
+/// normalization. This is the single per-row walk both the full builder
+/// and [`InfluenceRows::with_rebuilt_rows`] execute — one float path, so
+/// a row rebuilt in isolation is bit-identical to the same row from a
+/// cold build.
+fn walk_row(
+    t: &CsrMatrix,
+    weights: &[f32],
+    eps: f32,
+    top_k: usize,
+    v: usize,
+    scratch: &mut WalkScratch,
+    row: &mut Vec<(u32, f32)>,
+) {
+    let k = weights.len() - 1;
+    let WalkScratch {
+        step,
+        step_touched,
+        acc,
+        acc_touched,
+        frontier,
+    } = scratch;
+    frontier.clear();
+    frontier.push((v as u32, 1.0));
+    acc_touched.clear();
+    if weights[0] != 0.0 {
+        acc[v] = weights[0];
+        acc_touched.push(v as u32);
+    }
+    for &wl in weights.iter().skip(1).take(k) {
+        step_touched.clear();
+        for &(node, mass) in frontier.iter() {
+            let (idx, vals) = t.row(node as usize);
+            for (&c, &w) in idx.iter().zip(vals) {
+                let add = mass * w;
+                if add == 0.0 {
+                    continue;
+                }
+                if step[c as usize] == 0.0 {
+                    step_touched.push(c);
+                }
+                step[c as usize] += add;
+            }
+        }
+        frontier.clear();
+        for &c in step_touched.iter() {
+            let val = step[c as usize];
+            step[c as usize] = 0.0;
+            if val >= eps {
+                frontier.push((c, val));
+                if wl != 0.0 {
+                    if acc[c as usize] == 0.0 {
+                        acc_touched.push(c);
+                    }
+                    acc[c as usize] += wl * val;
+                }
+            }
+        }
+    }
+    row.clear();
+    for &c in acc_touched.iter() {
+        let val = acc[c as usize];
+        acc[c as usize] = 0.0;
+        if val > 0.0 {
+            row.push((c, val));
+        }
+    }
+    // Optional truncation to the top_k heaviest entries (ties toward the
+    // smaller column), applied before normalization so the kept mass is
+    // renormalized.
+    if top_k > 0 && row.len() > top_k {
+        row.sort_unstable_by(|&(ca, wa), &(cb, wb)| wb.total_cmp(&wa).then(ca.cmp(&cb)));
+        row.truncate(top_k);
+    }
+    row.sort_unstable_by_key(|&(c, _)| c);
+    // Eq. 8 normalization over the kept entries.
+    let total: f32 = row.iter().map(|&(_, w)| w).sum();
+    if total > 0.0 {
+        for e in row.iter_mut() {
+            e.1 /= total;
+        }
+    }
+}
+
 /// All normalized influence rows of a graph, in flat CSR form.
 #[derive(Clone, Debug, Default)]
 pub struct InfluenceRows {
@@ -251,16 +362,9 @@ impl InfluenceRows {
                     // index, and `chunks` outlives the scope.
                     let local = unsafe { &mut *out.0.add(tix) };
                     local.lens.reserve(end - start);
-                    // Per-thread scratch: one dense buffer for the walk
-                    // step, one for the weighted accumulator; both reset
-                    // lazily via touched lists so per-node cost tracks row
-                    // support, not n. `row_cols`/`row_vals` assemble one
-                    // row before it is appended to the flat chunk.
-                    let mut step = vec![0.0f32; n];
-                    let mut step_touched: Vec<u32> = Vec::new();
-                    let mut acc = vec![0.0f32; n];
-                    let mut acc_touched: Vec<u32> = Vec::new();
-                    let mut frontier: Vec<(u32, f32)> = Vec::new();
+                    // Per-thread walk scratch; `row` assembles one row
+                    // before it is appended to the flat chunk.
+                    let mut scratch = WalkScratch::new(n);
                     let mut row: Vec<(u32, f32)> = Vec::new();
                     for v in start..end {
                         if (v - start) % ROW_BLOCK == 0
@@ -269,68 +373,7 @@ impl InfluenceRows {
                             stopped.store(true, Ordering::Relaxed);
                             return;
                         }
-                        frontier.clear();
-                        frontier.push((v as u32, 1.0));
-                        acc_touched.clear();
-                        if weights[0] != 0.0 {
-                            acc[v] = weights[0];
-                            acc_touched.push(v as u32);
-                        }
-                        for &wl in weights.iter().skip(1).take(k) {
-                            step_touched.clear();
-                            for &(node, mass) in &frontier {
-                                let (idx, vals) = t.row(node as usize);
-                                for (&c, &w) in idx.iter().zip(vals) {
-                                    let add = mass * w;
-                                    if add == 0.0 {
-                                        continue;
-                                    }
-                                    if step[c as usize] == 0.0 {
-                                        step_touched.push(c);
-                                    }
-                                    step[c as usize] += add;
-                                }
-                            }
-                            frontier.clear();
-                            for &c in &step_touched {
-                                let val = step[c as usize];
-                                step[c as usize] = 0.0;
-                                if val >= eps {
-                                    frontier.push((c, val));
-                                    if wl != 0.0 {
-                                        if acc[c as usize] == 0.0 {
-                                            acc_touched.push(c);
-                                        }
-                                        acc[c as usize] += wl * val;
-                                    }
-                                }
-                            }
-                        }
-                        row.clear();
-                        for &c in &acc_touched {
-                            let val = acc[c as usize];
-                            acc[c as usize] = 0.0;
-                            if val > 0.0 {
-                                row.push((c, val));
-                            }
-                        }
-                        // Optional truncation to the top_k heaviest entries
-                        // (ties toward the smaller column), applied before
-                        // normalization so the kept mass is renormalized.
-                        if top_k > 0 && row.len() > top_k {
-                            row.sort_unstable_by(|&(ca, wa), &(cb, wb)| {
-                                wb.total_cmp(&wa).then(ca.cmp(&cb))
-                            });
-                            row.truncate(top_k);
-                        }
-                        row.sort_unstable_by_key(|&(c, _)| c);
-                        // Eq. 8 normalization over the kept entries.
-                        let total: f32 = row.iter().map(|&(_, w)| w).sum();
-                        if total > 0.0 {
-                            for e in &mut row {
-                                e.1 /= total;
-                            }
-                        }
+                        walk_row(t, weights, eps, top_k, v, &mut scratch, &mut row);
                         local.lens.push(row.len() as u32);
                         for &(c, w) in &row {
                             local.cols.push(c);
@@ -454,6 +497,97 @@ impl InfluenceRows {
             mass[u as usize] += w;
         }
         mass
+    }
+
+    /// Rebuild only the `dirty` rows against the (already mutated)
+    /// transition matrix `t` and splice them between the untouched row
+    /// slices of `self`.
+    ///
+    /// The dirty rows run through the same `walk_row` routine the cold
+    /// builders use — same scatter/gather order, same ε-pruning, same
+    /// `top_k` truncation and L1 normalization — so a row rebuilt here is
+    /// byte-identical to the row a cold
+    /// [`InfluenceRows::for_kernel_topk_ctl`] over `t` would produce.
+    /// Clean rows are `memcpy`d from `self`, which is valid whenever
+    /// `dirty` is a superset of the rows whose ε-pruned walk neighborhoods
+    /// changed.
+    ///
+    /// `dirty` must be sorted, unique, and in range; `kernel`, `eps`, and
+    /// `top_k` must match the parameters `self` was built with (the depth
+    /// is checked against `self.k`).
+    pub fn with_rebuilt_rows(
+        &self,
+        t: &CsrMatrix,
+        kernel: Kernel,
+        eps: f32,
+        top_k: usize,
+        dirty: &[u32],
+    ) -> Self {
+        let n = self.num_nodes();
+        assert_eq!(t.rows(), t.cols(), "transition matrix must be square");
+        assert_eq!(t.rows(), n, "transition size must match the row count");
+        let weights = kernel_power_weights(kernel);
+        assert_eq!(
+            weights.len().saturating_sub(1),
+            self.k,
+            "kernel depth must match the depth these rows were built at"
+        );
+        debug_assert!(
+            dirty.windows(2).all(|w| w[0] < w[1]),
+            "dirty rows must be sorted and unique"
+        );
+        if let Some(&last) = dirty.last() {
+            assert!((last as usize) < n, "dirty row {last} out of range");
+        }
+        if dirty.is_empty() {
+            return self.clone();
+        }
+
+        let mut offsets: Vec<usize> = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut cols: Vec<u32> = Vec::with_capacity(self.cols.len());
+        let mut vals: Vec<f32> = Vec::with_capacity(self.vals.len());
+        let mut scratch = WalkScratch::new(n);
+        let mut row: Vec<(u32, f32)> = Vec::new();
+        // Walk the clean run before each dirty row (bulk copy), then the
+        // rebuilt dirty row itself; `cursor` tracks the first uncopied row.
+        let mut cursor = 0usize;
+        let flush_clean = |upto: usize,
+                           cols: &mut Vec<u32>,
+                           vals: &mut Vec<f32>,
+                           offsets: &mut Vec<usize>,
+                           cursor: &mut usize| {
+            if *cursor < upto {
+                let (lo, hi) = (self.offsets[*cursor], self.offsets[upto]);
+                cols.extend_from_slice(&self.cols[lo..hi]);
+                vals.extend_from_slice(&self.vals[lo..hi]);
+                let base = offsets.last().copied().expect("offsets non-empty");
+                for r in *cursor..upto {
+                    offsets.push(base + (self.offsets[r + 1] - lo));
+                }
+                *cursor = upto;
+            }
+        };
+        for &d in dirty {
+            let d = d as usize;
+            flush_clean(d, &mut cols, &mut vals, &mut offsets, &mut cursor);
+            walk_row(t, &weights, eps, top_k, d, &mut scratch, &mut row);
+            for &(c, w) in &row {
+                cols.push(c);
+                vals.push(w);
+            }
+            let last = *offsets.last().expect("offsets non-empty");
+            offsets.push(last + row.len());
+            cursor = d + 1;
+        }
+        flush_clean(n, &mut cols, &mut vals, &mut offsets, &mut cursor);
+        debug_assert_eq!(offsets.len(), n + 1);
+        Self {
+            offsets,
+            cols,
+            vals,
+            k: self.k,
+        }
     }
 }
 
@@ -801,5 +935,77 @@ mod tests {
             24 * rows.num_nodes() + 8 * rows.nnz()
         );
         assert!(rows.resident_bytes() < rows.nested_layout_bytes());
+    }
+
+    /// Splice-rebuilding the dirty rows after an edge edit must reproduce
+    /// the cold build over the mutated graph byte-for-byte, for every
+    /// kernel and with/without top-k truncation. The dirty set is the
+    /// (k+1)-hop ball around the edited endpoints under the *new*
+    /// adjacency — a superset of the rows whose walk neighborhoods moved.
+    #[test]
+    fn rebuilt_rows_match_cold_build_after_edits() {
+        let g = generators::erdos_renyi_gnm(160, 480, 9);
+        let inserts = [(3u32, 150u32, 1.0f32), (40, 99, 2.5)];
+        let deletes_src: Vec<(u32, u32)> = {
+            let (cols, _) = g.adjacency().row(5);
+            cols.first().map(|&c| (5u32, c)).into_iter().collect()
+        };
+        let (g2, endpoints) =
+            grain_graph::apply_edge_edits(&g, &inserts, &deletes_src).expect("valid edits");
+        for kernel in [
+            Kernel::RandomWalk { k: 2 },
+            Kernel::Ppr { k: 2, alpha: 0.15 },
+            Kernel::S2gc { k: 2, alpha: 0.1 },
+            Kernel::Gbp { k: 2, beta: 0.4 },
+        ] {
+            let depth = kernel_power_weights(kernel).len() - 1;
+            for kind in [TransitionKind::RandomWalk, TransitionKind::Symmetric] {
+                let t_old = transition_matrix(&g, kind, true);
+                let t_new = transition_matrix(&g2, kind, true);
+                let dirty = grain_graph::k_hop_ball(&g2, &endpoints, depth + 1);
+                for top_k in [0usize, 4] {
+                    let old =
+                        InfluenceRows::for_kernel_topk_ctl(&t_old, kernel, 1e-4, top_k, 1, &|| {
+                            false
+                        })
+                        .expect("cold old build");
+                    let cold =
+                        InfluenceRows::for_kernel_topk_ctl(&t_new, kernel, 1e-4, top_k, 1, &|| {
+                            false
+                        })
+                        .expect("cold new build");
+                    let patched = old.with_rebuilt_rows(&t_new, kernel, 1e-4, top_k, &dirty);
+                    assert_eq!(patched.offsets, cold.offsets, "{kernel:?}/{kind:?}/{top_k}");
+                    assert_eq!(patched.cols, cold.cols, "{kernel:?}/{kind:?}/{top_k}");
+                    for (a, b) in patched.vals.iter().zip(&cold.vals) {
+                        assert_eq!(
+                            a.to_bits(),
+                            b.to_bits(),
+                            "value bits diverged ({kernel:?}/{kind:?}/top_k={top_k})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rebuilt_rows_with_empty_dirty_set_is_identity() {
+        let g = generators::barabasi_albert(120, 3, 5);
+        let t = rw(&g);
+        let rows = InfluenceRows::compute(&t, 2, 1e-4);
+        let same = rows.with_rebuilt_rows(&t, Kernel::RandomWalk { k: 2 }, 1e-4, 0, &[]);
+        assert_eq!(rows.offsets, same.offsets);
+        assert_eq!(rows.cols, same.cols);
+        assert_eq!(rows.vals, same.vals);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel depth")]
+    fn rebuilt_rows_rejects_depth_mismatch() {
+        let g = generators::erdos_renyi_gnm(40, 80, 2);
+        let t = rw(&g);
+        let rows = InfluenceRows::compute(&t, 2, 1e-4);
+        let _ = rows.with_rebuilt_rows(&t, Kernel::RandomWalk { k: 3 }, 1e-4, 0, &[1]);
     }
 }

@@ -177,6 +177,19 @@ pub fn l2_normalize_rows(m: &mut DenseMatrix) {
     l2_normalize_rows_par(m, 1);
 }
 
+/// L2-normalizes one row slice in place — the exact per-row operation of
+/// [`l2_normalize_rows`] (same [`dot`], same division order), exposed so
+/// incremental maintenance can re-normalize only dirty rows and stay
+/// bit-identical to a full-matrix pass.
+pub fn l2_normalize_row(row: &mut [f32]) {
+    let norm = dot(row, row).sqrt();
+    if norm > 0.0 {
+        for v in row {
+            *v /= norm;
+        }
+    }
+}
+
 /// [`l2_normalize_rows`] over `threads` workers (`0` = auto); rows are
 /// normalized independently, so the result is bit-identical at any
 /// thread count.
@@ -194,12 +207,7 @@ pub fn l2_normalize_rows_par(m: &mut DenseMatrix, threads: usize) {
             // SAFETY: each chunk normalizes a disjoint row range of `m`,
             // which outlives the scoped threads.
             let row = unsafe { std::slice::from_raw_parts_mut(ptr.0.add(i * cols), cols) };
-            let norm = dot(row, row).sqrt();
-            if norm > 0.0 {
-                for v in row {
-                    *v /= norm;
-                }
-            }
+            l2_normalize_row(row);
         }
     });
 }

@@ -10,17 +10,27 @@
 //! without borrowing and hand out shared `X^(k)` views without copying.
 
 use crate::kernel::Kernel;
-use crate::propagate::{propagate, propagate_with_ctl, propagate_with_par};
-use grain_graph::{CsrMatrix, Graph};
+use crate::propagate::propagate_ladder_with_ctl;
+use grain_graph::{transition_matrix, CsrMatrix, Graph};
 use grain_linalg::DenseMatrix;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// One kernel's cached propagation: the final `X^(k)` plus the power
+/// ladder (intermediate step states, see
+/// [`crate::propagate::propagate_ladder_with_ctl`]) that keeps delta
+/// repair output-proportional. Seeded entries carry an empty ladder and
+/// fall back to reverse-cone repair.
+struct CachedKernel {
+    value: Arc<DenseMatrix>,
+    ladder: Vec<Arc<DenseMatrix>>,
+}
 
 /// Per-graph memoization of `X^(k)` per kernel.
 pub struct PropagationCache {
     graph: Arc<Graph>,
     features: Arc<DenseMatrix>,
-    cache: HashMap<String, Arc<DenseMatrix>>,
+    cache: HashMap<String, CachedKernel>,
 }
 
 impl PropagationCache {
@@ -51,12 +61,11 @@ impl PropagationCache {
     /// The propagated embedding for `kernel`, computed on first use.
     /// The returned handle shares the cached allocation.
     pub fn get(&mut self, kernel: Kernel) -> Arc<DenseMatrix> {
-        let key = kernel.cache_key();
-        if !self.cache.contains_key(&key) {
-            let value = propagate(&self.graph, kernel, &self.features);
-            self.cache.insert(key.clone(), Arc::new(value));
+        if !self.cache.contains_key(&kernel.cache_key()) {
+            let t = transition_matrix(&self.graph, kernel.transition_kind(), true);
+            return self.get_with(kernel, &t);
         }
-        Arc::clone(&self.cache[&key])
+        Arc::clone(&self.cache[&kernel.cache_key()].value)
     }
 
     /// Like [`PropagationCache::get`], but propagates over a prebuilt
@@ -72,7 +81,7 @@ impl PropagationCache {
 
     /// [`PropagationCache::get_with`] propagating over `threads` workers
     /// on a miss (`0` = auto). Because propagation is bit-identical at
-    /// any thread count (see [`propagate_with_par`]), the cached artifact
+    /// any thread count (see [`crate::propagate_with_par`]), the cached artifact
     /// does not depend on the thread count it was built with — which is
     /// why a serving parallelism knob can be excluded from engine cache
     /// keys.
@@ -85,16 +94,12 @@ impl PropagationCache {
         transition: &CsrMatrix,
         threads: usize,
     ) -> Arc<DenseMatrix> {
-        let key = kernel.cache_key();
-        if !self.cache.contains_key(&key) {
-            let value = propagate_with_par(transition, kernel, &self.features, threads);
-            self.cache.insert(key.clone(), Arc::new(value));
-        }
-        Arc::clone(&self.cache[&key])
+        self.get_with_ctl(kernel, transition, threads, &|| false)
+            .expect("propagation with a never-stopping probe cannot be cancelled")
     }
 
     /// [`PropagationCache::get_with_par`] with a cooperative stop probe
-    /// (see [`propagate_with_ctl`]): a cache miss whose build observes
+    /// (see [`crate::propagate::propagate_with_ctl`]): a cache miss whose build observes
     /// the probe returns `None` and caches **nothing** — the next request
     /// for this kernel starts a fresh, complete build, so cancellation
     /// can never tear an artifact. Cache hits ignore the probe entirely
@@ -111,17 +116,91 @@ impl PropagationCache {
     ) -> Option<Arc<DenseMatrix>> {
         let key = kernel.cache_key();
         if !self.cache.contains_key(&key) {
-            let value =
-                propagate_with_ctl(transition, kernel, &self.features, threads, should_stop)?;
-            self.cache.insert(key.clone(), Arc::new(value));
+            let (value, ladder) = propagate_ladder_with_ctl(
+                transition,
+                kernel,
+                &self.features,
+                threads,
+                should_stop,
+            )?;
+            self.cache.insert(
+                key.clone(),
+                CachedKernel {
+                    value: Arc::new(value),
+                    ladder: ladder.into_iter().map(Arc::new).collect(),
+                },
+            );
         }
-        Some(Arc::clone(&self.cache[&key]))
+        Some(Arc::clone(&self.cache[&key].value))
+    }
+
+    /// Incrementally patches `X^(k)` for `kernel` after a graph/feature
+    /// delta: recomputes only the `dirty` rows against `transition` (the
+    /// **edited** graph's transition matrix), splices them into a copy
+    /// of `old` (the pre-delta artifact), caches the patched matrix under
+    /// the kernel's key, and returns it.
+    ///
+    /// `old_ladder` is the donor engine's power ladder for this kernel
+    /// ([`PropagationCache::cached_ladder`]). When complete (`k - 1`
+    /// levels, the invariant every non-seeded cache entry holds), repair
+    /// runs level-local via
+    /// [`crate::propagate::repropagate_rows_laddered`] — `O(k · |dirty|)`
+    /// rows of SpMM — and the patched ladder is cached here so the next
+    /// delta repairs just as cheaply. A missing/incomplete ladder (seeded
+    /// artifacts) falls back to the reverse-cone
+    /// [`crate::propagate::repropagate_rows`], which needs no
+    /// intermediate state but expands over clean neighbors.
+    ///
+    /// The cache must already be over the post-delta corpus — its
+    /// `features` are the new `X^(0)`. Bit-identity contract: given a
+    /// `dirty` set covering every row the delta can perturb (see
+    /// `grain_graph::edit::k_hop_ball`), the cached artifact is
+    /// byte-identical to a cold build over the edited corpus.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches or an unsorted/out-of-range `dirty`
+    /// list (see [`crate::propagate::repropagate_rows`]).
+    pub fn repropagate_rows(
+        &mut self,
+        kernel: Kernel,
+        transition: &CsrMatrix,
+        old: &DenseMatrix,
+        old_ladder: &[Arc<DenseMatrix>],
+        dirty: &[u32],
+    ) -> Arc<DenseMatrix> {
+        let entry = if old_ladder.len() == kernel.steps().saturating_sub(1) {
+            let refs: Vec<&DenseMatrix> = old_ladder.iter().map(|l| l.as_ref()).collect();
+            let (patched, ladder) = crate::propagate::repropagate_rows_laddered(
+                transition,
+                kernel,
+                &self.features,
+                old,
+                &refs,
+                dirty,
+            );
+            CachedKernel {
+                value: Arc::new(patched),
+                ladder: ladder.into_iter().map(Arc::new).collect(),
+            }
+        } else {
+            let patched =
+                crate::propagate::repropagate_rows(transition, kernel, &self.features, old, dirty);
+            CachedKernel {
+                value: Arc::new(patched),
+                ladder: Vec::new(),
+            }
+        };
+        let value = Arc::clone(&entry.value);
+        self.cache.insert(kernel.cache_key(), entry);
+        value
     }
 
     /// Inserts a precomputed `X^(k)` for `kernel`, sharing the allocation.
     /// A caller that already holds the artifact (e.g. a pooled engine
     /// handing its propagation to a private companion cache) seeds it here
-    /// so the kernel never re-propagates.
+    /// so the kernel never re-propagates. Seeded entries carry no power
+    /// ladder, so a later delta repair on this cache takes the
+    /// reverse-cone path.
     ///
     /// # Panics
     /// Panics if `value` does not have one row per graph node.
@@ -133,13 +212,40 @@ impl PropagationCache {
             value.rows(),
             self.graph.num_nodes()
         );
-        self.cache.insert(kernel.cache_key(), value);
+        self.cache.insert(
+            kernel.cache_key(),
+            CachedKernel {
+                value,
+                ladder: Vec::new(),
+            },
+        );
     }
 
     /// The cached `X^(k)` for `kernel` if it has already been propagated
     /// (or seeded), without computing anything on a miss.
     pub fn get_cached(&self, kernel: Kernel) -> Option<Arc<DenseMatrix>> {
-        self.cache.get(&kernel.cache_key()).map(Arc::clone)
+        self.cache
+            .get(&kernel.cache_key())
+            .map(|c| Arc::clone(&c.value))
+    }
+
+    /// The cached power ladder for `kernel` — empty for misses, seeded
+    /// entries, and `k <= 1` kernels (which need no intermediate state).
+    /// Handles share the cached allocations.
+    pub fn cached_ladder(&self, kernel: Kernel) -> Vec<Arc<DenseMatrix>> {
+        self.cache
+            .get(&kernel.cache_key())
+            .map(|c| c.ladder.iter().map(Arc::clone).collect())
+            .unwrap_or_default()
+    }
+
+    /// Resident heap bytes of everything cached for `kernel`: the final
+    /// `X^(k)` plus its power ladder. Zero on a miss.
+    pub fn resident_bytes(&self, kernel: Kernel) -> usize {
+        let dense = |m: &DenseMatrix| m.rows() * m.cols() * std::mem::size_of::<f32>();
+        self.cache.get(&kernel.cache_key()).map_or(0, |c| {
+            dense(&c.value) + c.ladder.iter().map(|l| dense(l)).sum::<usize>()
+        })
     }
 
     /// True if `kernel` has already been propagated.
@@ -181,6 +287,7 @@ impl PropagationCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::propagate::propagate;
     use grain_graph::generators;
 
     #[test]
@@ -231,6 +338,46 @@ mod tests {
         let g = generators::erdos_renyi_gnm(10, 20, 5);
         let x = DenseMatrix::zeros(5, 2);
         let _ = PropagationCache::new(g, x);
+    }
+
+    #[test]
+    fn repropagate_rows_caches_the_patched_artifact() {
+        use grain_graph::edit::{apply_edge_edits, k_hop_ball};
+        use grain_graph::{transition_matrix, TransitionKind};
+        let g = generators::erdos_renyi_gnm(40, 100, 8);
+        let x = DenseMatrix::from_vec(40, 3, (0..120).map(|i| (i % 7) as f32 * 0.2).collect());
+        let kernel = Kernel::RandomWalk { k: 2 };
+        let t_old = transition_matrix(&g, TransitionKind::RandomWalk, true);
+        let old = propagate(&g, kernel, &x);
+        let (edited, endpoints) = apply_edge_edits(&g, &[], &[(0, g.neighbors(0)[0])]).unwrap();
+        let t_new = transition_matrix(&edited, TransitionKind::RandomWalk, true);
+        let dirty = k_hop_ball(&edited, &endpoints, 3);
+        // A donor cache that built cold carries the ladder; the patching
+        // cache adopts and repairs it.
+        let mut donor = PropagationCache::new(g.clone(), x.clone());
+        let _ = donor.get_with(kernel, &t_old);
+        let old_ladder = donor.cached_ladder(kernel);
+        assert_eq!(old_ladder.len(), 1, "k=2 ladder is one level");
+        let mut cache = PropagationCache::new(edited.clone(), x.clone());
+        let patched = cache.repropagate_rows(kernel, &t_new, &old, &old_ladder, &dirty);
+        assert_eq!(&*patched, &propagate(&edited, kernel, &x));
+        // The patch is cached: the next get hands out the same allocation.
+        assert!(Arc::ptr_eq(&patched, &cache.get_with(kernel, &t_new)));
+        // The patched ladder matches a cold build's over the edited graph,
+        // so the next delta can repair level-locally too.
+        let mut cold = PropagationCache::new(edited.clone(), x.clone());
+        let _ = cold.get_with(kernel, &t_new);
+        assert_eq!(
+            cache.cached_ladder(kernel)[0],
+            cold.cached_ladder(kernel)[0],
+            "patched ladder != cold ladder"
+        );
+        // A donor without a ladder (seeded artifact) still patches via the
+        // reverse-cone fallback.
+        let mut bare = PropagationCache::new(edited.clone(), x.clone());
+        let fallback = bare.repropagate_rows(kernel, &t_new, &old, &[], &dirty);
+        assert_eq!(&*fallback, &*patched);
+        assert!(bare.cached_ladder(kernel).is_empty());
     }
 
     #[test]
