@@ -287,6 +287,98 @@ impl SelectionEngine {
         self.propagation.get_cached(kernel)
     }
 
+    // ---- artifact-store adoption / extraction ---------------------------
+    //
+    // The load path of `crate::store`: a deserialized artifact is adopted
+    // into the stage cache under the exact key `ensure_*` would have built
+    // it with, so the next select reads it as warm — and, critically,
+    // bumps **no** build counter (adoption is not a build; the
+    // save-on-build hook keys off those counters to avoid re-persisting
+    // what was just loaded). Every adopter is shape-defensive and returns
+    // `false` instead of panicking on a mismatched artifact, which the
+    // service treats like a miss (cold build proceeds).
+
+    /// Adopts a store-loaded `X^(k)` + power ladder for the active kernel.
+    pub(crate) fn adopt_propagation(
+        &mut self,
+        value: Arc<DenseMatrix>,
+        ladder: Vec<Arc<DenseMatrix>>,
+    ) -> bool {
+        if value.rows() != self.graph.num_nodes() || value.cols() != self.features.cols() {
+            return false;
+        }
+        self.propagation
+            .seed_with_ladder(self.config.kernel, value, ladder);
+        true
+    }
+
+    /// Adopts store-loaded influence rows under the active
+    /// (kernel, eps, top-k) cache key.
+    pub(crate) fn adopt_rows(&mut self, rows: InfluenceRows) -> bool {
+        if rows.num_nodes() != self.graph.num_nodes() || rows.k() != self.config.kernel.steps() {
+            return false;
+        }
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
+        );
+        self.rows = Some((key, rows));
+        true
+    }
+
+    /// Adopts a store-loaded activation index under the active
+    /// (kernel, eps, top-k, theta) cache key.
+    pub(crate) fn adopt_index(&mut self, index: ActivationIndex) -> bool {
+        if index.num_nodes() != self.graph.num_nodes() || index.k() != self.config.kernel.steps() {
+            return false;
+        }
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
+            self.config.theta,
+        );
+        self.index = Some((key, index));
+        true
+    }
+
+    /// The cached `X^(k)` + ladder for the active kernel — the save side
+    /// of the store hooks. `None` until propagation has built.
+    pub(crate) fn persistable_propagation(
+        &self,
+    ) -> Option<(Arc<DenseMatrix>, Vec<Arc<DenseMatrix>>)> {
+        let value = self.propagation.get_cached(self.config.kernel)?;
+        Some((value, self.propagation.cached_ladder(self.config.kernel)))
+    }
+
+    /// The cached influence rows iff their key matches the active config.
+    pub(crate) fn persistable_rows(&self) -> Option<&InfluenceRows> {
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
+        );
+        self.rows
+            .as_ref()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, r)| r)
+    }
+
+    /// The cached activation index iff its key matches the active config.
+    pub(crate) fn persistable_index(&self) -> Option<&ActivationIndex> {
+        let key = (
+            self.config.kernel.cache_key(),
+            self.config.influence_eps.to_bits(),
+            self.config.influence_row_top_k,
+            self.config.theta,
+        );
+        self.index
+            .as_ref()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, i)| i)
+    }
+
     /// Swaps the configuration, keeping every cached artifact whose key
     /// fields are unchanged. Artifacts are rebuilt lazily on the next
     /// `select`, so sweeping e.g. `gamma` or `budget` rebuilds nothing and

@@ -117,6 +117,16 @@ pub enum GrainError {
         /// Human-readable description of the violation.
         message: String,
     },
+    /// An on-disk artifact in the [`ArtifactStore`](crate::store::ArtifactStore)
+    /// failed validation: truncated payload, bad magic, checksum mismatch,
+    /// unknown codec version, or a content-address/dimension mismatch
+    /// against the requesting corpus. The store treats the file as absent
+    /// and the caller falls through to a normal cold build — a corrupt
+    /// artifact is never adopted, and never crashes a request.
+    StoreCorrupt {
+        /// Human-readable description of the validation failure.
+        message: String,
+    },
     /// The scheduler was shut down: either the submission arrived after
     /// [`crate::scheduler::Scheduler::shutdown`], or the scheduler (and
     /// with it the worker that would have answered) was dropped while the
@@ -183,6 +193,9 @@ impl fmt::Display for GrainError {
             GrainError::InvalidDelta { message } => {
                 write!(f, "invalid graph delta: {message}")
             }
+            GrainError::StoreCorrupt { message } => {
+                write!(f, "artifact store: {message}; falling back to a cold build")
+            }
             GrainError::SchedulerShutdown => {
                 write!(f, "scheduler is shut down; the request was not served")
             }
@@ -205,6 +218,14 @@ impl GrainError {
     /// Wraps a delta-validation message as [`GrainError::InvalidDelta`].
     pub fn delta(message: impl Into<String>) -> Self {
         GrainError::InvalidDelta {
+            message: message.into(),
+        }
+    }
+
+    /// Wraps an artifact-store validation message as
+    /// [`GrainError::StoreCorrupt`].
+    pub fn store(message: impl Into<String>) -> Self {
+        GrainError::StoreCorrupt {
             message: message.into(),
         }
     }
@@ -301,9 +322,20 @@ mod tests {
             },
             GrainError::config("theta", "bad"),
             GrainError::delta("edge (3, 3) is a self-loop"),
+            GrainError::store("bad magic"),
         ] {
             assert!(!err.is_retryable(), "{err}");
         }
+    }
+
+    #[test]
+    fn store_corrupt_renders_fallback_hint() {
+        let e = GrainError::store("checksum mismatch in rows.grain");
+        assert_eq!(
+            e.to_string(),
+            "artifact store: checksum mismatch in rows.grain; falling back to a cold build"
+        );
+        assert!(matches!(e, GrainError::StoreCorrupt { .. }));
     }
 
     #[test]

@@ -55,6 +55,16 @@
 //! instead of rebuilding them, while pool keys versioned by epoch let
 //! in-flight requests finish on their old snapshot. Patched artifacts
 //! are byte-identical to a cold build of the mutated graph.
+//!
+//! Artifacts also outlive the process: [`store::ArtifactStore`] persists
+//! `X^(k)` (with its power ladder), the influence-row CSR, and the
+//! activation index under content addresses
+//! `(graph_fingerprint, epoch, artifact_fingerprint, codec_version)`.
+//! A service opened with
+//! [`service::GrainService::with_artifact_store`] loads them back on a
+//! pool miss — validated, epoch-exact, and bit-identical to the cold
+//! build it replaces — so restarts warm-start from disk instead of
+//! re-propagating every corpus.
 
 pub mod cancel;
 pub mod config;
@@ -69,6 +79,7 @@ pub mod retry;
 pub mod scheduler;
 pub mod selector;
 pub mod service;
+pub mod store;
 pub mod streaming;
 
 pub use cancel::{CancelCause, CancelToken, OnDeadline};
@@ -83,4 +94,5 @@ pub use service::{
     Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,
     SelectionRequest,
 };
+pub use store::{ArtifactStore, ContentAddress, ScratchDir, StoreStats};
 pub use streaming::{DirtySets, EpochReport, GraphDelta, PatchSummary};

@@ -52,6 +52,7 @@ use crate::engine::{ArtifactBytes, EngineStats, SelectionEngine};
 use crate::error::{DeadlineStage, GrainError, GrainResult};
 use crate::fault;
 use crate::selector::{Completion, SelectionOutcome};
+use crate::store::{ArtifactStore, ContentAddress, PendingArtifact};
 use grain_graph::Graph;
 use grain_linalg::{par, DenseMatrix};
 use std::borrow::Cow;
@@ -233,6 +234,12 @@ pub struct PoolStats {
     pub build_joins: usize,
     /// Engines pushed out by capacity.
     pub evictions: usize,
+    /// Engines proactively reclaimed because their corpus epoch fell out
+    /// of the retention window ([`GrainService::with_retain_epochs`]):
+    /// [`GrainService::apply_update`](crate::streaming) /
+    /// [`GrainService::replace_graph`] remove stale-epoch engines
+    /// immediately instead of waiting for LRU pressure to age them out.
+    pub epoch_reclaims: usize,
     /// Total bytes of artifact state resident across pooled engines, as
     /// of each engine's most recent completed request (a checkout
     /// re-measures its engine when it returns to the pool). Evicted
@@ -266,6 +273,7 @@ struct PoolCounters {
     evicted_rebuilds: AtomicUsize,
     build_joins: AtomicUsize,
     evictions: AtomicUsize,
+    epoch_reclaims: AtomicUsize,
     resident_bytes: AtomicUsize,
 }
 
@@ -291,6 +299,7 @@ impl PoolCounters {
             evicted_rebuilds: self.evicted_rebuilds.load(Ordering::Relaxed),
             build_joins: self.build_joins.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            epoch_reclaims: self.epoch_reclaims.load(Ordering::Relaxed),
             resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
         }
     }
@@ -433,27 +442,77 @@ impl Shard {
         }
     }
 
-    /// Inserts `key` at the MRU position, evicting this shard's LRU
-    /// engine if the shard is at `capacity`.
+    /// Inserts `key` at the MRU position, evicting if the shard is at
+    /// `capacity`. Without a byte budget the victim is the LRU engine;
+    /// with one ([`EnginePool`] built through
+    /// [`GrainService::with_byte_budget`]) the victim is the engine with
+    /// the **smallest recorded artifact bytes** — the cheapest to rebuild
+    /// — with ties broken toward the LRU end. After the insert, if the
+    /// pool-wide resident-byte aggregate still exceeds the budget,
+    /// further cheapest-first evictions run until it fits or only the
+    /// just-inserted engine remains (which is never evicted by its own
+    /// insert, so one over-budget engine can still serve).
     fn insert_mru(
         &mut self,
         key: PoolKey,
         engine: SharedEngine,
         capacity: usize,
+        byte_budget: Option<usize>,
         counters: &PoolCounters,
     ) {
         debug_assert!(!self.entries.contains_key(&key));
         if self.entries.len() == capacity {
-            if let Some(lru) = self.order.pop() {
-                if let Some(slot) = self.entries.remove(&lru) {
-                    counters.release_slot(&slot);
-                }
-                self.remember_evicted(lru);
-                PoolCounters::bump(&counters.evictions);
-            }
+            self.evict_one(byte_budget.is_some(), None, counters);
         }
         self.order.insert(0, key.clone());
-        self.entries.insert(key, engine);
+        self.entries.insert(key.clone(), engine);
+        if let Some(budget) = byte_budget {
+            while self.entries.len() > 1 && counters.resident_bytes.load(Ordering::Relaxed) > budget
+            {
+                if !self.evict_one(true, Some(&key), counters) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Evicts one engine from this shard and returns whether one was
+    /// evicted. `by_bytes` picks the smallest-`recorded_bytes` victim
+    /// (scanning from the LRU end so equal-size ties evict the least
+    /// recently used); otherwise the LRU tail goes. `protect` exempts one
+    /// key (the entry being inserted right now).
+    fn evict_one(
+        &mut self,
+        by_bytes: bool,
+        protect: Option<&PoolKey>,
+        counters: &PoolCounters,
+    ) -> bool {
+        let victim_pos = if by_bytes {
+            let mut best: Option<(usize, usize)> = None;
+            for pos in (0..self.order.len()).rev() {
+                let key = &self.order[pos];
+                if protect == Some(key) {
+                    continue;
+                }
+                let bytes = self.entries[key].recorded_bytes.load(Ordering::Relaxed);
+                if best.map_or(true, |(_, b)| bytes < b) {
+                    best = Some((pos, bytes));
+                }
+            }
+            best.map(|(pos, _)| pos)
+        } else {
+            self.order.len().checked_sub(1)
+        };
+        let Some(pos) = victim_pos else {
+            return false;
+        };
+        let victim = self.order.remove(pos);
+        if let Some(slot) = self.entries.remove(&victim) {
+            counters.release_slot(&slot);
+        }
+        self.remember_evicted(victim);
+        PoolCounters::bump(&counters.evictions);
+        true
     }
 
     /// Drops the entry for `key` (both map and recency order).
@@ -499,6 +558,12 @@ fn lock_engine(engine: &Mutex<SelectionEngine>) -> MutexGuard<'_, SelectionEngin
 pub struct EnginePool {
     shards: Vec<Mutex<Shard>>,
     shard_capacity: usize,
+    /// When set, eviction is cost-weighted: the victim is the engine with
+    /// the smallest recorded artifact bytes (cheapest to rebuild) rather
+    /// than the LRU entry, and inserts additionally evict until the
+    /// pool-wide [`PoolStats::resident_bytes`] fits the budget. See
+    /// [`GrainService::with_byte_budget`].
+    byte_budget: Option<usize>,
     counters: PoolCounters,
 }
 
@@ -518,8 +583,18 @@ impl EnginePool {
         Self {
             shards: (0..shards.max(1)).map(|_| Mutex::default()).collect(),
             shard_capacity: shard_capacity.max(1),
+            byte_budget: None,
             counters: PoolCounters::default(),
         }
+    }
+
+    /// The resident-byte budget, if one is set.
+    pub fn byte_budget(&self) -> Option<usize> {
+        self.byte_budget
+    }
+
+    pub(crate) fn set_byte_budget(&mut self, bytes: usize) {
+        self.byte_budget = Some(bytes);
     }
 
     /// Number of shards.
@@ -615,10 +690,44 @@ impl EnginePool {
             key.clone(),
             Arc::clone(&slot),
             self.shard_capacity,
+            self.byte_budget,
             &self.counters,
         );
         drop(shard);
         self.record_bytes(&key, &slot, bytes);
+    }
+
+    /// Removes every resident engine serving `graph` at an epoch older
+    /// than `min_keep_epoch` and returns how many were reclaimed. The
+    /// epoch-retention policy ([`GrainService::with_retain_epochs`])
+    /// calls this after a corpus update so stale engines release their
+    /// memory immediately instead of squatting in the LRU order until
+    /// capacity pressure ages them out. Requests still holding a
+    /// checkout of a reclaimed engine finish normally on their `Arc`;
+    /// reclamation only unmaps the pool entry.
+    pub(crate) fn reclaim_stale_epochs(&self, graph: &str, min_keep_epoch: u64) -> usize {
+        let mut reclaimed = 0;
+        for shard in &self.shards {
+            let mut shard = lock_shard(shard);
+            let stale: Vec<PoolKey> = shard
+                .entries
+                .keys()
+                .filter(|k| k.graph == graph && k.epoch < min_keep_epoch)
+                .cloned()
+                .collect();
+            for key in stale {
+                if let Some(slot) = shard.entries.remove(&key) {
+                    self.counters.release_slot(&slot);
+                }
+                if let Some(pos) = shard.order.iter().position(|k| k == &key) {
+                    shard.order.remove(pos);
+                }
+                shard.remember_evicted(key);
+                PoolCounters::bump(&self.counters.epoch_reclaims);
+                reclaimed += 1;
+            }
+        }
+        reclaimed
     }
 
     /// Drops every resident engine (counters are kept, evicted keys are
@@ -730,6 +839,7 @@ impl EnginePool {
                 new_key,
                 Arc::clone(engine),
                 self.shard_capacity,
+                self.byte_budget,
                 &self.counters,
             );
         }
@@ -830,6 +940,7 @@ impl EnginePool {
                                     key,
                                     Arc::clone(&engine),
                                     self.shard_capacity,
+                                    self.byte_budget,
                                     &self.counters,
                                 );
                                 Ok((engine, event))
@@ -984,6 +1095,19 @@ pub(crate) struct Corpus {
     pub(crate) graph: Arc<Graph>,
     pub(crate) features: Arc<DenseMatrix>,
     pub(crate) epoch: u64,
+    /// Content-hash of this corpus snapshot's lineage, the
+    /// `graph_fingerprint` half of every [`crate::store::ContentAddress`]
+    /// persisted for it: [`crate::store::fingerprint_corpus`] at
+    /// registration (and wholesale replacement), then
+    /// [`crate::store::mix_fingerprint`] folded per applied delta. Zero
+    /// when the service has no artifact store (never computed).
+    pub(crate) fingerprint: u64,
+    /// Older `(epoch, fingerprint)` pairs still inside the retention
+    /// window ([`GrainService::with_retain_epochs`]), oldest first; the
+    /// current epoch is not listed. Pairs that fall out of the window
+    /// have their pooled engines reclaimed and persisted artifacts
+    /// removed.
+    pub(crate) retired: Vec<(u64, u64)>,
 }
 
 /// Multi-tenant, **concurrent** selection service: many graphs, many
@@ -1029,6 +1153,16 @@ pub struct GrainService {
     /// (selections) never take it — they snapshot under the corpora
     /// read lock and run on whatever epoch they observed.
     pub(crate) update: Mutex<()>,
+    /// On-disk artifact store ([`GrainService::with_artifact_store`]).
+    /// When set, cold builds first try to load persisted artifacts and
+    /// every freshly built artifact is written back, so a process restart
+    /// warm-starts from disk instead of re-propagating.
+    pub(crate) store: Option<ArtifactStore>,
+    /// How many corpus epochs (per graph) keep their pooled engines and
+    /// persisted artifacts after an update lands; see
+    /// [`GrainService::with_retain_epochs`]. Default 1: only the current
+    /// epoch survives.
+    pub(crate) retain_epochs: usize,
 }
 
 impl Default for GrainService {
@@ -1065,7 +1199,83 @@ impl GrainService {
             corpora: RwLock::new(HashMap::new()),
             pool: EnginePool::sharded(shards, shard_capacity),
             update: Mutex::new(()),
+            store: None,
+            retain_epochs: 1,
         }
+    }
+
+    /// Attaches an on-disk [`ArtifactStore`] rooted at `dir` (created if
+    /// absent) and returns the service, so the builder chains off any
+    /// constructor. With a store attached:
+    ///
+    /// * a **cold build** first asks the store for the propagated
+    ///   `X^(k)` (with its power ladder), the influence-row CSR, and the
+    ///   activation index under the corpus's content address — a
+    ///   validated hit adopts the artifact bit-identically and skips that
+    ///   stage's compute; a miss or a corrupt file falls through to the
+    ///   ordinary cold build;
+    /// * every **freshly built** artifact is written back after the
+    ///   request answers, so the next process start finds it;
+    /// * [`GrainService::apply_update`](crate::streaming) re-persists
+    ///   patched artifacts under the new epoch's address and removes
+    ///   epochs that fall out of the retention window.
+    ///
+    /// Corpora registered before or after attachment both fingerprint
+    /// correctly; attach before registering to avoid hashing twice.
+    pub fn with_artifact_store(mut self, dir: impl Into<std::path::PathBuf>) -> GrainResult<Self> {
+        let store = ArtifactStore::open(dir)?;
+        // Corpora registered before attachment carry fingerprint 0
+        // (never computed); fix them up so their artifacts address
+        // correctly.
+        {
+            let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
+            for corpus in corpora.values_mut() {
+                if corpus.fingerprint == 0 {
+                    corpus.fingerprint =
+                        crate::store::fingerprint_corpus(&corpus.graph, &corpus.features);
+                }
+            }
+        }
+        self.store = Some(store);
+        Ok(self)
+    }
+
+    /// Sets how many epochs of pooled engines and persisted artifacts
+    /// each graph retains (minimum 1 — the current epoch always
+    /// survives). With the default of 1, an applied update immediately
+    /// reclaims every engine still keyed to the previous epoch
+    /// ([`PoolStats::epoch_reclaims`]) and deletes its store files; a
+    /// larger window keeps `n - 1` past epochs around for in-flight
+    /// long-running requests or epoch-pinned readers.
+    #[must_use]
+    pub fn with_retain_epochs(mut self, epochs: usize) -> Self {
+        self.retain_epochs = epochs.max(1);
+        self
+    }
+
+    /// Caps the pool's resident artifact bytes and switches eviction to
+    /// **cost-weighted**: when capacity or the budget forces an eviction,
+    /// the victim is the engine with the smallest measured artifact
+    /// footprint (cheapest to rebuild) instead of the least recently
+    /// used — so one million-node engine is not thrashed out by a parade
+    /// of toy graphs. The budget is enforced shard-locally at insert
+    /// time against the pool-wide aggregate; a single engine larger than
+    /// the whole budget still serves (an insert never evicts itself).
+    #[must_use]
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.pool.set_byte_budget(bytes);
+        self
+    }
+
+    /// The attached artifact store, if any.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// Counters of the attached artifact store
+    /// ([`StoreStats`](crate::store::StoreStats)), if one is attached.
+    pub fn store_stats(&self) -> Option<crate::store::StoreStats> {
+        self.store.as_ref().map(ArtifactStore::stats)
     }
 
     /// Registers a corpus under `id` at epoch 0. Accepts owned values or
@@ -1091,6 +1301,13 @@ impl GrainService {
                 num_nodes: graph.num_nodes(),
             });
         }
+        // Only worth hashing the corpus when artifacts will be persisted
+        // under its fingerprint.
+        let fingerprint = if self.store.is_some() {
+            crate::store::fingerprint_corpus(&graph, &features)
+        } else {
+            0
+        };
         let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
         if corpora.contains_key(&id) {
             return Err(GrainError::GraphAlreadyRegistered { graph: id });
@@ -1101,6 +1318,8 @@ impl GrainService {
                 graph,
                 features,
                 epoch: 0,
+                fingerprint,
+                retired: Vec::new(),
             },
         );
         Ok(())
@@ -1116,7 +1335,7 @@ impl GrainService {
 
     /// Shared handle to a registered graph (its current epoch's snapshot).
     pub fn graph(&self, id: &str) -> GrainResult<Arc<Graph>> {
-        self.corpus(id).map(|(graph, _, _)| graph)
+        self.corpus(id).map(|(graph, _, _, _)| graph)
     }
 
     /// The current corpus epoch of a registered graph: 0 at registration,
@@ -1125,12 +1344,12 @@ impl GrainService {
     /// its coalescing key at submission, so requests coalesce only within
     /// one corpus version.
     pub fn epoch(&self, id: &str) -> GrainResult<u64> {
-        self.corpus(id).map(|(_, _, epoch)| epoch)
+        self.corpus(id).map(|(_, _, epoch, _)| epoch)
     }
 
     /// Shared handle to a registered feature matrix (current epoch).
     pub fn features(&self, id: &str) -> GrainResult<Arc<DenseMatrix>> {
-        self.corpus(id).map(|(_, features, _)| features)
+        self.corpus(id).map(|(_, features, _, _)| features)
     }
 
     /// Replaces a registered corpus wholesale with a new snapshot,
@@ -1156,16 +1375,67 @@ impl GrainService {
             });
         }
         let _update = self.update.lock().unwrap_or_else(PoisonError::into_inner);
-        let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
-        let corpus = corpora
-            .get_mut(id)
-            .ok_or_else(|| GrainError::UnknownGraph {
-                graph: id.to_string(),
-            })?;
-        corpus.graph = graph;
-        corpus.features = features;
-        corpus.epoch += 1;
-        Ok(corpus.epoch)
+        // A replacement shares no lineage with the old snapshot, so its
+        // fingerprint is a fresh corpus hash, not a delta-mixed one.
+        let fingerprint = if self.store.is_some() {
+            crate::store::fingerprint_corpus(&graph, &features)
+        } else {
+            0
+        };
+        let (epoch, retirement) = {
+            let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
+            let corpus = corpora
+                .get_mut(id)
+                .ok_or_else(|| GrainError::UnknownGraph {
+                    graph: id.to_string(),
+                })?;
+            corpus.retired.push((corpus.epoch, corpus.fingerprint));
+            corpus.graph = graph;
+            corpus.features = features;
+            corpus.epoch += 1;
+            corpus.fingerprint = fingerprint;
+            (
+                corpus.epoch,
+                Self::trim_retention(corpus, self.retain_epochs),
+            )
+        };
+        self.reclaim_retired(id, retirement);
+        Ok(epoch)
+    }
+
+    /// Trims a corpus's retired-epoch list to the retention window and
+    /// returns what to reclaim: the dropped `(epoch, fingerprint)` pairs
+    /// plus the oldest epoch that must stay pooled. Called under the
+    /// corpora write lock; the actual reclamation
+    /// ([`GrainService::reclaim_retired`]) runs after it is released.
+    pub(crate) fn trim_retention(
+        corpus: &mut Corpus,
+        retain_epochs: usize,
+    ) -> (Vec<(u64, u64)>, u64) {
+        let keep_old = retain_epochs.saturating_sub(1);
+        let mut dropped = Vec::new();
+        while corpus.retired.len() > keep_old {
+            dropped.push(corpus.retired.remove(0));
+        }
+        let min_keep = corpus.retired.first().map_or(corpus.epoch, |&(e, _)| e);
+        (dropped, min_keep)
+    }
+
+    /// Reclaims pooled engines and persisted artifacts of epochs that
+    /// fell out of the retention window. Takes only shard locks (and the
+    /// filesystem); callers hold the update mutex, so retention never
+    /// races another mutation.
+    pub(crate) fn reclaim_retired(&self, id: &str, retirement: (Vec<(u64, u64)>, u64)) {
+        let (dropped, min_keep_epoch) = retirement;
+        if dropped.is_empty() {
+            return;
+        }
+        self.pool.reclaim_stale_epochs(id, min_keep_epoch);
+        if let Some(store) = &self.store {
+            for &(epoch, fingerprint) in &dropped {
+                store.remove_epoch(fingerprint, epoch);
+            }
+        }
     }
 
     /// The pool (inspection: topology, resident keys, stats).
@@ -1195,8 +1465,9 @@ impl GrainService {
         config: &GrainConfig,
     ) -> GrainResult<(EngineCheckout<'_>, PoolEvent)> {
         config.validate()?;
-        let (graph, features, epoch) = self.corpus(graph_id)?;
-        let (checkout, event) = self.checkout_engine(graph_id, epoch, config, graph, features)?;
+        let (graph, features, epoch, fingerprint) = self.corpus(graph_id)?;
+        let (checkout, event) =
+            self.checkout_engine(graph_id, epoch, fingerprint, config, graph, features)?;
         // Same fingerprint can still differ in greedy-stage fields; the
         // precise invalidation in set_config keeps all artifacts.
         checkout.lock().set_config(*config)?;
@@ -1213,6 +1484,7 @@ impl GrainService {
         &self,
         graph_id: &str,
         epoch: u64,
+        graph_fingerprint: u64,
         config: &GrainConfig,
         graph: Arc<Graph>,
         features: Arc<DenseMatrix>,
@@ -1230,9 +1502,41 @@ impl GrainService {
             // through the service re-propagates nothing. Probed only on
             // an actual build — warm hits never scan the shards — and
             // safe here because build closures run with no shard lock
-            // held.
-            if let Some(propagated) = self.pool.cached_propagation(graph_id, epoch, config.kernel) {
+            // held. Memory beats disk: the store is only consulted for
+            // artifacts no sibling holds.
+            let seeded = if let Some(propagated) =
+                self.pool.cached_propagation(graph_id, epoch, config.kernel)
+            {
                 engine.seed_propagated(propagated);
+                true
+            } else {
+                false
+            };
+            if let Some(store) = &self.store {
+                // Every load is best-effort: a miss or a corrupt file
+                // (counted in StoreStats) just means this stage cold
+                // builds, and adopt_* reject shape mismatches. A
+                // validated hit is adopted bit-identically, so the
+                // engine answers exactly as a cold build would.
+                let addr = ContentAddress {
+                    graph_fingerprint,
+                    epoch,
+                    artifact_fingerprint: key.fingerprint.clone(),
+                };
+                if !seeded {
+                    if let Ok(Some((value, ladder))) = store.load_propagation(&addr) {
+                        engine.adopt_propagation(
+                            Arc::new(value),
+                            ladder.into_iter().map(Arc::new).collect(),
+                        );
+                    }
+                }
+                if let Ok(Some(rows)) = store.load_rows(&addr) {
+                    engine.adopt_rows(rows);
+                }
+                if let Ok(Some(index)) = store.load_index(&addr) {
+                    engine.adopt_index(index);
+                }
             }
             Ok(engine)
         })?;
@@ -1288,7 +1592,7 @@ impl GrainService {
         fault::point("service.request", Some(cancel));
         let config = request.effective_config();
         config.validate()?;
-        let (graph, features, epoch) = self.corpus(&request.graph)?;
+        let (graph, features, epoch, graph_fingerprint) = self.corpus(&request.graph)?;
         let num_nodes = graph.num_nodes();
         // Borrow the request's pool on the hot path — a warm request must
         // cost only greedy, not a per-request candidate copy.
@@ -1307,8 +1611,14 @@ impl GrainService {
             None => Cow::Owned((0..num_nodes as u32).collect()),
         };
         let mut budgets = request.budget.resolve(candidates.len())?;
-        let (checkout, pool_event) =
-            self.checkout_engine(&request.graph, epoch, &config, graph, features)?;
+        let (checkout, pool_event) = self.checkout_engine(
+            &request.graph,
+            epoch,
+            graph_fingerprint,
+            &config,
+            graph,
+            features,
+        )?;
         // One lock session for config alignment plus every budget: a
         // concurrent same-key request cannot interleave its own config.
         let mut engine = checkout.lock();
@@ -1351,6 +1661,47 @@ impl GrainService {
         budgets.truncate(outcomes.len());
         let artifact_builds = engine.stats().delta_since(&before);
         let artifact_bytes = engine.artifact_bytes();
+        // Save-on-build: persist exactly the stages this request built
+        // (per-stage build deltas, so freshly *loaded* artifacts — which
+        // bump no build counters — are never re-written). Encoding runs
+        // under the engine lock we already hold; the writes happen after
+        // both the lock and the checkout are released, off every hot
+        // path. In select_with the checkout fingerprint always equals
+        // the effective config's, so the encoded artifacts match their
+        // content address. Best-effort: a failed write costs a future
+        // cold build, never this request.
+        let pending: Vec<PendingArtifact> = match &self.store {
+            Some(store)
+                if artifact_builds.propagation_builds > 0
+                    || artifact_builds.influence_builds > 0
+                    || artifact_builds.index_builds > 0 =>
+            {
+                let addr = ContentAddress {
+                    graph_fingerprint,
+                    epoch,
+                    artifact_fingerprint: config.artifact_fingerprint(),
+                };
+                let mut pending = Vec::new();
+                if artifact_builds.propagation_builds > 0 {
+                    if let Some((value, ladder)) = engine.persistable_propagation() {
+                        let levels: Vec<&DenseMatrix> = ladder.iter().map(Arc::as_ref).collect();
+                        pending.push(store.encode_propagation(&addr, &value, &levels));
+                    }
+                }
+                if artifact_builds.influence_builds > 0 {
+                    if let Some(rows) = engine.persistable_rows() {
+                        pending.push(store.encode_rows(&addr, rows));
+                    }
+                }
+                if artifact_builds.index_builds > 0 {
+                    if let Some(index) = engine.persistable_index() {
+                        pending.push(store.encode_index(&addr, index));
+                    }
+                }
+                pending
+            }
+            _ => Vec::new(),
+        };
         drop(engine);
         // Record explicitly while this request still owns the checkout:
         // the drop-time re-measure is best-effort (it skips when another
@@ -1359,6 +1710,11 @@ impl GrainService {
         self.pool
             .record_bytes(&checkout.key, &checkout.engine, artifact_bytes.total());
         drop(checkout);
+        if let Some(store) = &self.store {
+            for artifact in pending {
+                let _ = store.commit(artifact);
+            }
+        }
         Ok(SelectionReport {
             graph: request.graph.clone(),
             seed: request.seed,
@@ -1505,15 +1861,22 @@ impl GrainService {
             .collect()
     }
 
-    /// One consistent corpus snapshot: `(graph, features, epoch)` as of a
-    /// single corpora read-lock acquisition. A request built from this
-    /// triple runs entirely on that epoch even if an update lands
-    /// concurrently.
-    pub(crate) fn corpus(&self, id: &str) -> GrainResult<(Arc<Graph>, Arc<DenseMatrix>, u64)> {
+    /// One consistent corpus snapshot:
+    /// `(graph, features, epoch, fingerprint)` as of a single corpora
+    /// read-lock acquisition. A request built from this snapshot runs
+    /// entirely on that epoch even if an update lands concurrently.
+    pub(crate) fn corpus(&self, id: &str) -> GrainResult<(Arc<Graph>, Arc<DenseMatrix>, u64, u64)> {
         let corpora = self.corpora.read().unwrap_or_else(PoisonError::into_inner);
         corpora
             .get(id)
-            .map(|c| (Arc::clone(&c.graph), Arc::clone(&c.features), c.epoch))
+            .map(|c| {
+                (
+                    Arc::clone(&c.graph),
+                    Arc::clone(&c.features),
+                    c.epoch,
+                    c.fingerprint,
+                )
+            })
             .ok_or_else(|| GrainError::UnknownGraph {
                 graph: id.to_string(),
             })
@@ -1871,6 +2234,63 @@ mod tests {
         // Dropping every engine zeroes the aggregate.
         service.pool().clear();
         assert_eq!(service.pool_stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn byte_budget_evicts_cheapest_to_rebuild_not_lru() {
+        // Single-shard pool of 2 with a byte budget: eviction is
+        // cost-weighted. "big" (400 nodes) is the LRU entry when "t2"
+        // arrives, but the victim must be the small engine "t1" — a
+        // million-node engine is not thrashed out by toy graphs.
+        let service = GrainService::with_capacity(2).with_byte_budget(usize::MAX);
+        let (g, x) = corpus(400, 31);
+        service.register_graph("big", g, x).unwrap();
+        for (id, seed) in [("t1", 32), ("t2", 33)] {
+            let (g, x) = corpus(40, seed);
+            service.register_graph(id, g, x).unwrap();
+        }
+        let cfg = GrainConfig::ball_d();
+        for id in ["big", "t1", "t2"] {
+            let _ = service
+                .select(&SelectionRequest::new(id, cfg, Budget::Fixed(4)))
+                .unwrap();
+        }
+        assert_eq!(service.pool_stats().evictions, 1);
+        let resident: Vec<String> = service.pool().keys().into_iter().map(|k| k.0).collect();
+        assert!(
+            resident.contains(&"big".to_string()),
+            "the expensive engine must survive: resident = {resident:?}"
+        );
+        assert!(!resident.contains(&"t1".to_string()));
+        // And the survivor still answers warm.
+        let report = service
+            .select(&SelectionRequest::new("big", cfg, Budget::Fixed(4)))
+            .unwrap();
+        assert_eq!(report.pool_event, PoolEvent::Hit);
+    }
+
+    #[test]
+    fn byte_budget_enforces_the_aggregate_cap() {
+        // A 1-byte budget can never fit two measured engines: each
+        // insert evicts every previously measured engine (the insert
+        // itself is protected, so one over-budget engine still serves).
+        let service = GrainService::with_capacity(8).with_byte_budget(1);
+        for (id, seed) in [("a", 41), ("b", 42), ("c", 43)] {
+            let (g, x) = corpus(60, seed);
+            service.register_graph(id, g, x).unwrap();
+        }
+        let cfg = GrainConfig::ball_d();
+        for id in ["a", "b", "c"] {
+            let _ = service
+                .select(&SelectionRequest::new(id, cfg, Budget::Fixed(3)))
+                .unwrap();
+        }
+        assert_eq!(
+            service.pool().len(),
+            1,
+            "only the most recent insert may stay resident under a 1-byte budget"
+        );
+        assert_eq!(service.pool().byte_budget(), Some(1));
     }
 
     #[test]

@@ -323,7 +323,7 @@ impl GrainService {
         let t0 = Instant::now();
         // One mutation at a time; selections never take this lock.
         let _update = self.update.lock().unwrap_or_else(PoisonError::into_inner);
-        let (old_graph, old_features, from_epoch) = self.corpus(graph_id)?;
+        let (old_graph, old_features, from_epoch, old_fingerprint) = self.corpus(graph_id)?;
         if delta.is_empty() {
             return Err(GrainError::delta("delta contains no edits"));
         }
@@ -350,6 +350,15 @@ impl GrainService {
             Arc::new(f)
         };
         let feature_seeds = delta.feature_seeds();
+        // The new epoch's lineage fingerprint folds the delta into the
+        // old one, so a persisted pre-delta artifact can never answer a
+        // post-delta content address — even at the same epoch number on
+        // a diverged history (store regression test).
+        let new_fingerprint = if self.store.is_some() {
+            crate::store::mix_fingerprint(old_fingerprint, delta_hash(delta))
+        } else {
+            0
+        };
         let splice_time = t0.elapsed();
 
         // Migrate resident engines: per engine, compute (or reuse) the
@@ -361,6 +370,7 @@ impl GrainService {
         let t1 = Instant::now();
         let mut dirty_cache: HashMap<(TransitionKind, usize), DirtySets> = HashMap::new();
         let mut patched = Vec::new();
+        let mut pending: Vec<crate::store::PendingArtifact> = Vec::new();
         let mut skipped_busy = 0usize;
         let mut skipped_triangle = 0usize;
         for key in self.pool.resident_keys_for(graph_id, from_epoch) {
@@ -401,6 +411,29 @@ impl GrainService {
                 }
             };
             if let Some((next, timings, dirty_propagation, dirty_influence)) = migrated {
+                // Re-persist the patched artifacts under the new epoch's
+                // content address: patched ≡ cold-over-mutated-graph
+                // byte-for-byte, so the store stays warm across the
+                // epoch flip. Encoded here (we own `next`), written
+                // after the corpus pointer flips.
+                if let Some(store) = &self.store {
+                    let addr = crate::store::ContentAddress {
+                        graph_fingerprint: new_fingerprint,
+                        epoch: from_epoch + 1,
+                        artifact_fingerprint: key.fingerprint.clone(),
+                    };
+                    if let Some((value, ladder)) = next.persistable_propagation() {
+                        let levels: Vec<&grain_linalg::DenseMatrix> =
+                            ladder.iter().map(Arc::as_ref).collect();
+                        pending.push(store.encode_propagation(&addr, &value, &levels));
+                    }
+                    if let Some(rows) = next.persistable_rows() {
+                        pending.push(store.encode_rows(&addr, rows));
+                    }
+                    if let Some(index) = next.persistable_index() {
+                        pending.push(store.encode_index(&addr, index));
+                    }
+                }
                 self.pool.insert_ready(
                     PoolKey {
                         graph: key.graph.clone(),
@@ -421,16 +454,29 @@ impl GrainService {
 
         // Flip the corpus pointer. New requests now observe epoch e+1
         // and find the patched engines warm under their keys.
-        {
+        let retirement = {
             let mut corpora = self.corpora.write().unwrap_or_else(PoisonError::into_inner);
             let corpus = corpora
                 .get_mut(graph_id)
                 .ok_or_else(|| GrainError::UnknownGraph {
                     graph: graph_id.to_string(),
                 })?;
+            corpus.retired.push((corpus.epoch, corpus.fingerprint));
             corpus.graph = new_graph;
             corpus.features = new_features;
             corpus.epoch = from_epoch + 1;
+            corpus.fingerprint = new_fingerprint;
+            GrainService::trim_retention(corpus, self.retain_epochs)
+        };
+        // Retention and persistence run after the flip, off the corpora
+        // lock: stale-epoch engines are reclaimed from the pool, the
+        // dropped epochs' store files removed, and the patched epoch's
+        // artifacts written.
+        self.reclaim_retired(graph_id, retirement);
+        if let Some(store) = &self.store {
+            for artifact in pending {
+                let _ = store.commit(artifact);
+            }
         }
 
         Ok(EpochReport {
@@ -448,6 +494,33 @@ impl GrainService {
             total_time: t0.elapsed(),
         })
     }
+}
+
+/// Deterministic content hash of a delta's edits, folded into the corpus
+/// lineage fingerprint by [`crate::store::mix_fingerprint`]. Length
+/// prefixes keep distinct edit lists from colliding by concatenation.
+fn delta_hash(delta: &GraphDelta) -> u64 {
+    let mut h = crate::store::Fnv64::new();
+    h.write_u64(delta.inserts.len() as u64);
+    for &(u, v, w) in &delta.inserts {
+        h.write_u32(u);
+        h.write_u32(v);
+        h.write_f32(w);
+    }
+    h.write_u64(delta.deletes.len() as u64);
+    for &(u, v) in &delta.deletes {
+        h.write_u32(u);
+        h.write_u32(v);
+    }
+    h.write_u64(delta.feature_rows.len() as u64);
+    for (v, row) in &delta.feature_rows {
+        h.write_u32(*v);
+        h.write_u64(row.len() as u64);
+        for &x in row {
+            h.write_f32(x);
+        }
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -506,6 +579,65 @@ mod tests {
         assert_eq!(after.pool_event, crate::service::PoolEvent::Hit);
         assert_eq!(after.artifact_builds.propagation_builds, 0);
         assert_eq!(after.artifact_builds.influence_builds, 0);
+    }
+
+    #[test]
+    fn apply_update_reclaims_stale_epoch_engines() {
+        // Default retention (1 epoch): the moment the corpus flips to
+        // e1, every engine still keyed to e0 is reclaimed from the pool
+        // — patched engines live on under their e1 keys.
+        let (g, x) = corpus(120, 17);
+        let service = GrainService::with_capacity(8);
+        service.register_graph("g", g, x).unwrap();
+        let base = GrainConfig::ball_d();
+        let deep = GrainConfig {
+            radius: base.radius * 2.0,
+            ..base
+        };
+        for cfg in [base, deep] {
+            service
+                .select(&SelectionRequest::new("g", cfg, Budget::Fixed(5)))
+                .unwrap();
+        }
+        assert_eq!(service.pool().len(), 2);
+        let report = service
+            .apply_update("g", &GraphDelta::new().insert_edge(0, 100))
+            .unwrap();
+        assert_eq!(report.engines_patched(), 2);
+        // 2 patched engines at e1; both e0 originals reclaimed.
+        assert_eq!(service.pool_stats().epoch_reclaims, 2);
+        assert_eq!(service.pool().len(), 2);
+        assert!(service
+            .pool()
+            .keys()
+            .iter()
+            .all(|(_, epoch, _)| *epoch == 1));
+    }
+
+    #[test]
+    fn retain_epochs_keeps_a_window_of_past_epochs() {
+        // retain_epochs(2): e0 engines survive the first update (a
+        // long-running e0 reader could still want them) and are
+        // reclaimed by the second.
+        let (g, x) = corpus(100, 18);
+        let service = GrainService::with_capacity(8).with_retain_epochs(2);
+        service.register_graph("g", g, x).unwrap();
+        let request = SelectionRequest::new("g", GrainConfig::ball_d(), Budget::Fixed(5));
+        service.select(&request).unwrap();
+        service
+            .apply_update("g", &GraphDelta::new().insert_edge(0, 50))
+            .unwrap();
+        assert_eq!(service.pool_stats().epoch_reclaims, 0);
+        assert_eq!(service.pool().len(), 2, "e0 and e1 both resident");
+        service
+            .apply_update("g", &GraphDelta::new().insert_edge(1, 51))
+            .unwrap();
+        assert_eq!(service.pool_stats().epoch_reclaims, 1, "e0 reclaimed");
+        let epochs: Vec<u64> = service.pool().keys().iter().map(|k| k.1).collect();
+        assert!(
+            epochs.iter().all(|&e| e >= 1),
+            "epochs resident: {epochs:?}"
+        );
     }
 
     #[test]

@@ -121,11 +121,12 @@ pub use grain_select as select;
 /// The items most programs need.
 pub mod prelude {
     pub use grain_core::{
-        Budget, CancelCause, CancelToken, Completion, DeadlineStage, DiversityKind, EngineCheckout,
-        EngineStats, EpochReport, GrainConfig, GrainError, GrainResult, GrainSelector,
-        GrainService, GrainVariant, GraphDelta, GreedyAlgorithm, OnDeadline, PoolEvent, PoolStats,
-        PruneStrategy, RetryPolicy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats,
-        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest, Ticket,
+        ArtifactStore, Budget, CancelCause, CancelToken, Completion, ContentAddress, DeadlineStage,
+        DiversityKind, EngineCheckout, EngineStats, EpochReport, GrainConfig, GrainError,
+        GrainResult, GrainSelector, GrainService, GrainVariant, GraphDelta, GreedyAlgorithm,
+        OnDeadline, PoolEvent, PoolStats, PruneStrategy, RetryPolicy, ScheduledRequest, Scheduler,
+        SchedulerConfig, SchedulerStats, ScratchDir, SelectionEngine, SelectionOutcome,
+        SelectionReport, SelectionRequest, StoreStats, Ticket,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

@@ -282,6 +282,38 @@ impl ActivationIndex {
         values[rank]
     }
 
+    /// Reassembles an index from its flat parts — the inverse of reading
+    /// [`ActivationIndex::offsets`] / [`ActivationIndex::items`] back out.
+    /// Exists for the on-disk artifact codec; the parts must describe a
+    /// well-formed CSR (monotone offsets starting at 0 and ending at
+    /// `items.len()`), which the store validates before calling this.
+    pub fn from_parts(offsets: Vec<usize>, items: Vec<u32>, theta: f32, k: usize) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            items.len(),
+            "offsets must end at items.len()"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            offsets,
+            items,
+            theta,
+            k,
+        }
+    }
+
+    /// The flat offsets array (`n + 1` entries). Codec accessor.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The concatenated activation lists. Codec accessor.
+    pub fn items(&self) -> &[u32] {
+        &self.items
+    }
+
     /// Number of nodes in the universe.
     pub fn num_nodes(&self) -> usize {
         self.offsets.len() - 1

@@ -412,6 +412,45 @@ impl InfluenceRows {
         })
     }
 
+    /// Reassembles rows from their flat parts — the inverse of reading
+    /// [`InfluenceRows::offsets`] / [`InfluenceRows::cols`] /
+    /// [`InfluenceRows::vals`] back out. Exists for the on-disk artifact
+    /// codec; the parts must describe a well-formed CSR (monotone offsets
+    /// starting at 0 and ending at `cols.len()`, matching `cols`/`vals`
+    /// lengths), which the store validates before calling this.
+    pub fn from_parts(offsets: Vec<usize>, cols: Vec<u32>, vals: Vec<f32>, k: usize) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have n+1 entries");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            cols.len(),
+            "offsets must end at cols.len()"
+        );
+        assert_eq!(cols.len(), vals.len(), "cols/vals lengths must match");
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            offsets,
+            cols,
+            vals,
+            k,
+        }
+    }
+
+    /// The flat offsets array (`n + 1` entries). Codec accessor.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The concatenated column ids of every row. Codec accessor.
+    pub fn cols(&self) -> &[u32] {
+        &self.cols
+    }
+
+    /// The concatenated values of every row. Codec accessor.
+    pub fn vals(&self) -> &[f32] {
+        &self.vals
+    }
+
     /// Number of nodes (rows).
     pub fn num_nodes(&self) -> usize {
         self.offsets.len().saturating_sub(1)

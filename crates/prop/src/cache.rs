@@ -221,6 +221,41 @@ impl PropagationCache {
         );
     }
 
+    /// [`PropagationCache::seed`] carrying the power ladder alongside the
+    /// final `X^(k)` — the adoption path for artifacts deserialized from
+    /// the on-disk store, which persists the ladder so a store-loaded
+    /// engine repairs deltas as cheaply as a cold-built one. A ladder of
+    /// the wrong depth (anything but `kernel.steps() - 1` levels) is
+    /// discarded and the entry seeded ladder-free, preserving the
+    /// reverse-cone fallback instead of corrupting level-local repair.
+    /// Mis-shaped ladder levels are discarded the same way.
+    ///
+    /// # Panics
+    /// Panics if `value` does not have one row per graph node.
+    pub fn seed_with_ladder(
+        &mut self,
+        kernel: Kernel,
+        value: Arc<DenseMatrix>,
+        ladder: Vec<Arc<DenseMatrix>>,
+    ) {
+        assert_eq!(
+            value.rows(),
+            self.graph.num_nodes(),
+            "seeded rows ({}) must match node count ({})",
+            value.rows(),
+            self.graph.num_nodes()
+        );
+        let complete = ladder.len() == kernel.steps().saturating_sub(1)
+            && ladder.iter().all(|l| l.rows() == self.graph.num_nodes());
+        self.cache.insert(
+            kernel.cache_key(),
+            CachedKernel {
+                value,
+                ladder: if complete { ladder } else { Vec::new() },
+            },
+        );
+    }
+
     /// The cached `X^(k)` for `kernel` if it has already been propagated
     /// (or seeded), without computing anything on a miss.
     pub fn get_cached(&self, kernel: Kernel) -> Option<Arc<DenseMatrix>> {
