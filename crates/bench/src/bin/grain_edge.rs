@@ -1,0 +1,112 @@
+//! `grain-edge` — the framed-TCP serving edge as a standalone process.
+//!
+//! Boots a synthetic corpus, registers a demo tenant table (gold 10× /
+//! silver 3× / bronze 1× weighted-fair shares), binds the edge server,
+//! and serves until `--duration-secs` elapses (0, the default, serves
+//! until killed). Pair with the `edge_loadgen` binary, or speak the
+//! protocol directly with `grain_core::edge::EdgeClient`.
+//!
+//! Flags: `--addr HOST:PORT` (default `127.0.0.1:7461`), `--nodes N`
+//! (corpus size, default 2000), `--duration-secs N`, `--max-conns N`
+//! (also settable via `GRAIN_EDGE_MAX_CONNS`), `--seed N`, `--fast`.
+
+use grain_bench::cli::Flags;
+use grain_core::edge::{EdgeConfig, EdgeServer, TenantSpec};
+use grain_core::{Budget, GrainConfig, GrainService, SchedulerConfig, SelectionRequest};
+use grain_data::synthetic::papers_like;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The connection cap: `--max-conns`, else `GRAIN_EDGE_MAX_CONNS`, else
+/// the default (64).
+fn max_conns(flags: &Flags) -> usize {
+    flags
+        .get("max-conns")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| {
+            std::env::var("GRAIN_EDGE_MAX_CONNS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(64)
+}
+
+fn main() {
+    let flags = Flags::from_env();
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7461").to_string();
+    let nodes: usize = flags
+        .get("nodes")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if flags.fast { 500 } else { 2000 });
+    let duration_secs: u64 = flags
+        .get("duration-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let dataset = papers_like(nodes, flags.seed);
+    let service = Arc::new(GrainService::new());
+    service
+        .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+        .expect("corpus registers");
+    // Prime the pool so the first wire request lands on warm artifacts.
+    let prime = SelectionRequest::new(
+        "papers",
+        GrainConfig::ball_d(),
+        Budget::Fixed(2 * dataset.num_classes),
+    )
+    .with_candidates(dataset.split.train.clone());
+    service.select(&prime).expect("priming selection succeeds");
+
+    let config = EdgeConfig {
+        max_connections: max_conns(&flags),
+        tenants: vec![
+            TenantSpec::open("gold", 10).with_rate(4000.0, 400.0),
+            TenantSpec::open("silver", 3).with_rate(2000.0, 200.0),
+            TenantSpec::open("bronze", 1).with_rate(1000.0, 100.0),
+        ],
+        scheduler: SchedulerConfig::default(),
+        ..EdgeConfig::default()
+    };
+    let mut server = EdgeServer::bind(addr.as_str(), service, config).expect("edge binds");
+    println!(
+        "grain-edge serving {nodes}-node corpus \"papers\" on {} \
+         (tenants gold/10x silver/3x bronze/1x, max {} conns)",
+        server.local_addr(),
+        max_conns(&flags)
+    );
+
+    let started = Instant::now();
+    loop {
+        std::thread::sleep(Duration::from_secs(2));
+        let stats = server.stats();
+        println!(
+            "conns {} active / {} accepted | served {} | rate-limited {} | \
+             protocol-errors {} | disconnect-cancels {}",
+            stats.active_connections,
+            stats.connections_accepted,
+            stats.requests_served,
+            stats.rate_limited,
+            stats.protocol_errors,
+            stats.disconnect_cancels
+        );
+        if duration_secs > 0 && started.elapsed() >= Duration::from_secs(duration_secs) {
+            break;
+        }
+    }
+    for tenant in server.tenant_stats() {
+        println!(
+            "tenant {} (w{}): admitted {} coalesced {} completed {} shed {} \
+             cancelled {} p50 {:?} p99 {:?}",
+            tenant.tenant,
+            tenant.weight,
+            tenant.admitted,
+            tenant.coalesced,
+            tenant.completed,
+            tenant.shed,
+            tenant.cancelled,
+            tenant.p50,
+            tenant.p99
+        );
+    }
+    server.shutdown();
+}

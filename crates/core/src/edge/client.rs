@@ -1,0 +1,202 @@
+//! A blocking client for the edge wire protocol.
+//!
+//! [`EdgeClient`] is the reference peer the conformance suite, the
+//! soak tests, and the load-generator binary all drive. `request` is
+//! the one-shot convenience; `send` / `recv` split submission from
+//! completion so open-loop generators can pipeline many requests down
+//! one connection and match responses back up by correlation id.
+
+use super::proto::{self, Frame, FrameError, Hello, HelloAck, WireError, WireReport, WireRequest};
+use crate::cancel::OnDeadline;
+use crate::service::SelectionRequest;
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+
+/// How talking to the edge can fail, client-side.
+#[derive(Debug)]
+pub enum EdgeError {
+    /// Transport failure (connect, read, write, or mid-frame EOF).
+    Io(std::io::Error),
+    /// The server closed the connection.
+    Disconnected,
+    /// This end received structurally invalid bytes.
+    Protocol(String),
+    /// The server answered with a typed error frame; `code` is a
+    /// [`grain_error_code`](proto::grain_error_code) (1–16) or one of
+    /// the edge-level `CODE_*` constants (≥ 64).
+    Remote {
+        /// Correlation id of the failing request (0 = connection-level).
+        request_id: u64,
+        /// The wire error code.
+        code: u16,
+        /// Human-readable rendering from the server.
+        message: String,
+    },
+}
+
+impl EdgeError {
+    /// The remote error code, if this is a [`EdgeError::Remote`].
+    #[must_use]
+    pub fn remote_code(&self) -> Option<u16> {
+        match self {
+            EdgeError::Remote { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for EdgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EdgeError::Io(e) => write!(f, "edge i/o error: {e}"),
+            EdgeError::Disconnected => write!(f, "edge closed the connection"),
+            EdgeError::Protocol(message) => write!(f, "edge protocol error: {message}"),
+            EdgeError::Remote { code, message, .. } => {
+                write!(f, "edge error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EdgeError {}
+
+impl From<FrameError> for EdgeError {
+    fn from(err: FrameError) -> Self {
+        match err {
+            FrameError::Closed => EdgeError::Disconnected,
+            FrameError::Io(e) => EdgeError::Io(e),
+            FrameError::Protocol(message) => EdgeError::Protocol(message),
+        }
+    }
+}
+
+impl From<WireError> for EdgeError {
+    fn from(err: WireError) -> Self {
+        EdgeError::Remote {
+            request_id: err.request_id,
+            code: err.code,
+            message: err.message,
+        }
+    }
+}
+
+/// Scheduling envelope of one client-side request; the default is
+/// priority 0, no deadline, fail-on-deadline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestOptions {
+    /// Dispatch priority; higher runs first.
+    pub priority: u8,
+    /// Relative deadline in milliseconds (`0` = none).
+    pub deadline_ms: u32,
+    /// Mid-selection degradation policy.
+    pub on_deadline: OnDeadline,
+}
+
+/// A connected, authenticated edge connection.
+#[derive(Debug)]
+pub struct EdgeClient {
+    stream: TcpStream,
+    ack: HelloAck,
+    max_frame_len: usize,
+    next_id: u64,
+}
+
+impl EdgeClient {
+    /// Connects, sends the hello, and waits for the acknowledgement.
+    /// Refusals (unknown tenant, bad secret, server at capacity) come
+    /// back as [`EdgeError::Remote`].
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        tenant: impl Into<String>,
+        secret: impl Into<String>,
+    ) -> Result<Self, EdgeError> {
+        let mut stream = TcpStream::connect(addr).map_err(EdgeError::Io)?;
+        stream.set_nodelay(true).ok();
+        proto::write_frame(
+            &mut stream,
+            &Frame::Hello(Hello {
+                tenant: tenant.into(),
+                secret: secret.into(),
+            }),
+        )
+        .map_err(EdgeError::Io)?;
+        let max_frame_len = proto::DEFAULT_MAX_FRAME_LEN;
+        match proto::read_frame(&mut stream, max_frame_len)? {
+            Frame::HelloAck(ack) => Ok(Self {
+                stream,
+                ack,
+                max_frame_len,
+                next_id: 1,
+            }),
+            Frame::Error(err) => Err(err.into()),
+            _ => Err(EdgeError::Protocol(
+                "expected a hello-ack or error frame".into(),
+            )),
+        }
+    }
+
+    /// The admission parameters the server acknowledged for this tenant.
+    #[must_use]
+    pub fn ack(&self) -> HelloAck {
+        self.ack
+    }
+
+    /// Sends one request down the pipe and returns its correlation id
+    /// (without waiting for the response — pair with [`EdgeClient::recv`]).
+    pub fn send(
+        &mut self,
+        request: SelectionRequest,
+        options: RequestOptions,
+    ) -> Result<u64, EdgeError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        proto::write_frame(
+            &mut self.stream,
+            &Frame::Request(Box::new(WireRequest {
+                request_id,
+                priority: options.priority,
+                deadline_ms: options.deadline_ms,
+                on_deadline: options.on_deadline,
+                request,
+            })),
+        )
+        .map_err(EdgeError::Io)?;
+        Ok(request_id)
+    }
+
+    /// Receives the next response or error frame in server-write order.
+    /// Per-request failures (rate limits, scheduler rejections) are
+    /// `Err(EdgeError::Remote { .. })` carrying the request id.
+    pub fn recv(&mut self) -> Result<WireReport, EdgeError> {
+        match proto::read_frame(&mut self.stream, self.max_frame_len)? {
+            Frame::Response(report) => Ok(report),
+            Frame::Error(err) => Err(err.into()),
+            _ => Err(EdgeError::Protocol(
+                "expected a response or error frame".into(),
+            )),
+        }
+    }
+
+    /// One-shot convenience: [`EdgeClient::send`] then
+    /// [`EdgeClient::recv`].
+    pub fn request(
+        &mut self,
+        request: SelectionRequest,
+        options: RequestOptions,
+    ) -> Result<WireReport, EdgeError> {
+        self.send(request, options)?;
+        self.recv()
+    }
+
+    /// Severs the connection without waiting for in-flight responses —
+    /// the disconnect the server turns into cancellation of everything
+    /// this connection still has queued or running.
+    pub fn abandon(self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Escape hatch for protocol tests: the raw connected stream.
+    #[must_use]
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+}

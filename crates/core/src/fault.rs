@@ -21,6 +21,10 @@
 //! | `engine.build.balls` | before the ball-membership build |
 //! | `service.request` | at the top of every `GrainService` selection |
 //! | `scheduler.dispatch` | in the worker, before a group is dispatched |
+//! | `edge.accept` | as an accepted connection starts being served |
+//! | `edge.read` | in the connection reader, before each frame read |
+//! | `edge.write` | in the connection writer, before each frame write |
+//! | `edge.disconnect` | after a ticket resolves, before its response is written (a `Panic` here simulates disconnect-before-response) |
 //!
 //! The registry is process-global; tests that arm sites must run
 //! serially or target sites the other tests never cross, and should

@@ -69,6 +69,7 @@
 pub mod cancel;
 pub mod config;
 pub mod diversity;
+pub mod edge;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -84,11 +85,15 @@ pub mod streaming;
 
 pub use cancel::{CancelCause, CancelToken, OnDeadline};
 pub use config::{DiversityKind, GrainConfig, GrainVariant, GreedyAlgorithm, PruneStrategy};
+pub use edge::{EdgeClient, EdgeConfig, EdgeServer, EdgeStats, TenantSpec, TokenBucket};
 pub use engine::{ArtifactBytes, EngineStats, PatchTimings, SelectionEngine};
 pub use error::{DeadlineStage, GrainError, GrainResult};
 pub use objective::DimObjective;
 pub use retry::RetryPolicy;
-pub use scheduler::{ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, Ticket};
+pub use scheduler::{
+    CancelHandle, FairShare, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats,
+    TenantStats, Ticket,
+};
 pub use selector::{Completion, GrainSelector, SelectionOutcome};
 pub use service::{
     Budget, EngineCheckout, EnginePool, GrainService, PoolEvent, PoolStats, SelectionReport,

@@ -1,0 +1,189 @@
+//! Start-time fair queuing (SFQ) across tenants — the pure arithmetic
+//! core of the scheduler's weighted-fair dispatch.
+//!
+//! Each tenant is a *flow* with a weight and a **virtual finish tag**.
+//! Serving one unit of work from a flow advances its tag by
+//! `COST / weight` in fixed-point virtual time; the dispatcher always
+//! serves the backlogged flow with the smallest tag, so over any
+//! saturated interval the completed-work ratio between two always-backlogged
+//! tenants converges to their weight ratio. A flow that goes idle and
+//! returns re-enters at the current virtual time (it neither banks
+//! credit while idle nor owes debt for its absence), which is what makes
+//! the discipline starvation-free: a weight-1 flow's tag is overtaken by
+//! at most `Σ weights` services before it is the minimum again.
+//!
+//! The struct is deliberately free of clocks, threads, and queues: every
+//! method is a pure state transition, so the fairness property tests
+//! drive it (and the token bucket) with synthetic sequences — no sleeps,
+//! no wall time, fully deterministic. The scheduler's
+//! [`DispatchQueue`](super::queue) embeds one `FairShare` and consults it
+//! between the per-tenant urgency heaps; see the module docs there for
+//! how fairness composes with priority/EDF ordering.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fixed-point scale of one unit of virtual-time cost: serving one
+/// selection advances the flow's finish tag by `FAIR_COST_SCALE / weight`.
+/// Integer division truncates, so a weight that does not divide the scale
+/// drifts by less than one part in 2³² per service — far below anything a
+/// fairness window can observe.
+pub const FAIR_COST_SCALE: u128 = 1 << 32;
+
+#[derive(Debug)]
+struct FlowShare {
+    weight: u32,
+    /// Virtual finish tag of the flow's most recent service; meaningful
+    /// relative to [`FairShare::virtual_time`].
+    vfinish: u128,
+}
+
+/// Weighted start-time fair queuing state over named flows (tenants).
+///
+/// Unknown flows have weight 1 and a finish tag equal to the current
+/// virtual time, so a scheduler that never names tenants collapses to a
+/// single default flow and fairness is a no-op — exactly the pre-tenant
+/// behavior.
+///
+/// ```
+/// use grain_core::scheduler::FairShare;
+///
+/// let mut fair = FairShare::default();
+/// fair.set_weight("gold", 10);
+/// fair.set_weight("bronze", 1);
+/// let mut served = Vec::new();
+/// for _ in 0..22 {
+///     let winner = fair.pick(["gold", "bronze"]).unwrap();
+///     fair.charge(winner, 1);
+///     served.push(winner);
+/// }
+/// let gold = served.iter().filter(|t| **t == "gold").count();
+/// assert_eq!(gold, 20, "10:1 weights serve 10:1 work under saturation");
+/// ```
+#[derive(Debug, Default)]
+pub struct FairShare {
+    flows: HashMap<Arc<str>, FlowShare>,
+    virtual_now: u128,
+}
+
+impl FairShare {
+    /// Sets a flow's weight (clamped to at least 1). Takes effect on the
+    /// flow's next [`FairShare::charge`]; past tags are not rewritten.
+    pub fn set_weight(&mut self, tenant: &str, weight: u32) {
+        let weight = weight.max(1);
+        match self.flows.get_mut(tenant) {
+            Some(flow) => flow.weight = weight,
+            None => {
+                self.flows.insert(
+                    Arc::from(tenant),
+                    FlowShare {
+                        weight,
+                        vfinish: self.virtual_now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// The flow's weight (1 when never configured).
+    #[must_use]
+    pub fn weight(&self, tenant: &str) -> u32 {
+        self.flows.get(tenant).map_or(1, |f| f.weight)
+    }
+
+    /// The current virtual time: the start tag of the most recent service.
+    #[must_use]
+    pub fn virtual_time(&self) -> u128 {
+        self.virtual_now
+    }
+
+    /// The flow's *effective* finish tag — its stored tag clamped up to
+    /// the current virtual time. The clamp is the SFQ re-entry rule: an
+    /// idle flow rejoins at virtual now instead of replaying banked
+    /// credit from its idle period.
+    #[must_use]
+    pub fn effective_vfinish(&self, tenant: &str) -> u128 {
+        self.flows
+            .get(tenant)
+            .map_or(self.virtual_now, |f| f.vfinish.max(self.virtual_now))
+    }
+
+    /// Picks the backlogged flow to serve next: minimum effective finish
+    /// tag, ties broken by name so the choice is deterministic for any
+    /// iteration order of `backlogged`.
+    #[must_use]
+    pub fn pick<'a, I>(&self, backlogged: I) -> Option<&'a str>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        backlogged
+            .into_iter()
+            .min_by_key(|tenant| (self.effective_vfinish(tenant), *tenant))
+    }
+
+    /// Records one service of `cost` work units against `tenant`,
+    /// advancing its finish tag by `cost × FAIR_COST_SCALE / weight` from
+    /// its effective tag and moving virtual time up to the service's
+    /// start tag.
+    pub fn charge(&mut self, tenant: &str, cost: u64) {
+        let start = self.effective_vfinish(tenant);
+        let flow = match self.flows.get_mut(tenant) {
+            Some(flow) => flow,
+            None => {
+                self.flows.insert(
+                    Arc::from(tenant),
+                    FlowShare {
+                        weight: 1,
+                        vfinish: self.virtual_now,
+                    },
+                );
+                self.flows.get_mut(tenant).expect("just inserted")
+            }
+        };
+        flow.vfinish = start + u128::from(cost) * FAIR_COST_SCALE / u128::from(flow.weight.max(1));
+        self.virtual_now = start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_alternate() {
+        let mut fair = FairShare::default();
+        fair.set_weight("a", 1);
+        fair.set_weight("b", 1);
+        let mut served = Vec::new();
+        for _ in 0..6 {
+            let w = fair.pick(["a", "b"]).unwrap();
+            fair.charge(w, 1);
+            served.push(w);
+        }
+        assert_eq!(served, vec!["a", "b", "a", "b", "a", "b"]);
+    }
+
+    #[test]
+    fn idle_flow_reenters_at_virtual_now_without_banked_credit() {
+        let mut fair = FairShare::default();
+        fair.set_weight("busy", 1);
+        fair.set_weight("idle", 1);
+        // `idle` is absent for a long stretch…
+        for _ in 0..100 {
+            fair.charge("busy", 1);
+        }
+        // …and on return it does NOT get 100 services of catch-up: after
+        // one service its tag is ahead of `busy`'s again.
+        let w = fair.pick(["busy", "idle"]).unwrap();
+        assert_eq!(w, "idle");
+        fair.charge("idle", 1);
+        assert_eq!(fair.pick(["busy", "idle"]).unwrap(), "busy");
+    }
+
+    #[test]
+    fn unknown_flows_behave_as_weight_one() {
+        let fair = FairShare::default();
+        assert_eq!(fair.weight("ghost"), 1);
+        assert_eq!(fair.effective_vfinish("ghost"), fair.virtual_time());
+    }
+}

@@ -43,6 +43,23 @@
 //!    [`GrainService::submit_batch`] so they run back to back on a warm
 //!    engine.
 //!
+//! # Multi-tenancy
+//!
+//! A [`ScheduledRequest`] may carry a tenant id
+//! ([`ScheduledRequest::with_tenant`]); slots then queue in per-tenant
+//! flows and dispatch is **weighted-fair across tenants** (start-time
+//! fair queuing, [`FairShare`]): under saturation, tenants complete work
+//! in proportion to the weights set via
+//! [`Scheduler::set_tenant_weight`], a weight-1 tenant is never starved,
+//! and priority/EDF/FIFO order still holds within each tenant (priority
+//! also stays a *global* escape hatch — the highest-priority head
+//! anywhere dispatches first). Tenant-less submissions share one
+//! anonymous flow, so a scheduler that never names tenants behaves
+//! exactly as before. Per-tenant accounting — admitted, coalesced,
+//! shed, cancelled, completed, and p50/p90/p99 service time — is
+//! snapshotted by [`Scheduler::tenant_stats`]; the network edge
+//! ([`crate::edge`]) maps authenticated connections onto these tenants.
+//!
 //! # Coalescing guarantees
 //!
 //! Grain selection is deterministic: requests with equal coalesce keys
@@ -127,7 +144,12 @@
 //! # Ok::<(), grain_core::GrainError>(())
 //! ```
 
+mod fair;
 mod queue;
+mod tenant;
+
+pub use fair::{FairShare, FAIR_COST_SCALE};
+pub use tenant::TenantStats;
 
 use crate::cancel::{CancelToken, OnDeadline};
 use crate::error::{DeadlineStage, GrainError, GrainResult};
@@ -141,6 +163,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use tenant::{TenantCounters, TenantRegistry};
 
 /// Default bound on distinct queued selections
 /// ([`SchedulerConfig::queue_capacity`]).
@@ -198,6 +221,10 @@ pub struct ScheduledRequest {
     /// cancellation checkpoint inside the run (see the module docs'
     /// policy table). Defaults to [`OnDeadline::Fail`].
     pub on_deadline: OnDeadline,
+    /// Tenant this submission queues (and is fairness-charged) under;
+    /// `None` (the default) uses the shared anonymous flow. See the
+    /// module docs' multi-tenancy section.
+    pub tenant: Option<Arc<str>>,
 }
 
 impl ScheduledRequest {
@@ -210,6 +237,7 @@ impl ScheduledRequest {
             priority: 0,
             deadline: None,
             on_deadline: OnDeadline::default(),
+            tenant: None,
         }
     }
 
@@ -242,6 +270,15 @@ impl ScheduledRequest {
         self.on_deadline = on_deadline;
         self
     }
+
+    /// Names the tenant this submission queues under, opting it into
+    /// weighted-fair dispatch and per-tenant accounting
+    /// ([`Scheduler::set_tenant_weight`], [`Scheduler::tenant_stats`]).
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: impl Into<Arc<str>>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
 }
 
 impl From<SelectionRequest> for ScheduledRequest {
@@ -269,10 +306,52 @@ pub struct Ticket {
 
 /// The cancellation half of a [`Ticket`]: the slot's refcounted cancel
 /// state, this waiter's own flag, and the counters to record the cancel.
+#[derive(Clone)]
 struct TicketCancel {
     state: Arc<queue::CancelState>,
     cancelled: Arc<AtomicBool>,
     counters: Arc<SchedCounters>,
+    tenant: Option<Arc<TenantCounters>>,
+}
+
+impl TicketCancel {
+    /// Idempotent waiter detach; see [`Ticket::cancel`].
+    fn cancel(&self) {
+        if !self.cancelled.swap(true, Ordering::AcqRel) {
+            SchedCounters::bump(&self.counters.cancelled);
+            if let Some(tenant) = &self.tenant {
+                SchedCounters::bump(&tenant.cancelled);
+            }
+            self.state.cancel_one();
+        }
+    }
+}
+
+/// A cloneable, detached handle to one waiter's cancellation, obtained
+/// from [`Ticket::cancel_handle`]. It carries none of the result
+/// channel, so one thread can block in [`Ticket::wait`] while another —
+/// a connection reader noticing a client disconnect, say — cancels the
+/// same waiter. Semantics are identical to [`Ticket::cancel`]:
+/// idempotent, refcounted across a coalesced group, counted once.
+#[derive(Clone)]
+pub struct CancelHandle {
+    cancel: Option<TicketCancel>,
+}
+
+impl std::fmt::Debug for CancelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CancelHandle { .. }")
+    }
+}
+
+impl CancelHandle {
+    /// Cancels the waiter this handle was taken from; see
+    /// [`Ticket::cancel`].
+    pub fn cancel(&self) {
+        if let Some(cancel) = &self.cancel {
+            cancel.cancel();
+        }
+    }
 }
 
 impl std::fmt::Debug for Ticket {
@@ -317,12 +396,19 @@ impl Ticket {
     /// # Ok::<(), grain_core::GrainError>(())
     /// ```
     pub fn cancel(&self) {
-        let Some(cancel) = &self.cancel else {
-            return;
-        };
-        if !cancel.cancelled.swap(true, Ordering::AcqRel) {
-            SchedCounters::bump(&cancel.counters.cancelled);
-            cancel.state.cancel_one();
+        if let Some(cancel) = &self.cancel {
+            cancel.cancel();
+        }
+    }
+
+    /// A detached, cloneable cancel handle for this ticket's waiter, so
+    /// cancellation can come from a different thread than the one
+    /// blocked in [`Ticket::wait`] (the serving edge cancels in-flight
+    /// work this way when a client disconnects).
+    #[must_use]
+    pub fn cancel_handle(&self) -> CancelHandle {
+        CancelHandle {
+            cancel: self.cancel.clone(),
         }
     }
 
@@ -523,6 +609,8 @@ struct Inner {
     /// Shared with tickets (an `Arc` so [`Ticket::cancel`] can count
     /// itself after the scheduler is gone).
     counters: Arc<SchedCounters>,
+    /// Per-tenant counter blocks; see [`tenant`].
+    tenants: TenantRegistry,
     queue_capacity: usize,
     max_group: usize,
 }
@@ -560,6 +648,7 @@ impl Scheduler {
             }),
             ready: Condvar::new(),
             counters: Arc::new(SchedCounters::default()),
+            tenants: TenantRegistry::default(),
             queue_capacity: config.queue_capacity,
             max_group: config.max_group.max(1),
         });
@@ -598,6 +687,7 @@ impl Scheduler {
             priority,
             deadline,
             on_deadline,
+            tenant,
         } = scheduled.into();
         // Coalesce-key construction is O(candidate pool) and engine-key
         // formatting builds fingerprint strings; prepare both before
@@ -608,7 +698,18 @@ impl Scheduler {
         // with the service's own typed error).
         let epoch = self.inner.service.epoch(&request.graph).unwrap_or(0);
         let prepared = queue::PreparedSubmission::new(request, epoch);
+        // Resolve the tenant's counter block once; the waiter and ticket
+        // carry it so every later bump is a bare atomic increment.
+        let tenant_counters = tenant.as_ref().map(|t| self.inner.tenants.get(t));
         let (tx, rx) = bounded(1);
+        let waiter = Waiter {
+            tx,
+            deadline,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            on_deadline,
+            tenant: tenant_counters.clone(),
+            submitted_at: Instant::now(),
+        };
         let admission = {
             let mut state = self.inner.lock_state();
             // Shutdown outranks every other rejection (the # Errors list
@@ -619,31 +720,42 @@ impl Scheduler {
             }
             if deadline.is_some_and(|d| d <= Instant::now()) {
                 SchedCounters::bump(&self.inner.counters.rejected_deadline);
+                if let Some(tenant) = &tenant_counters {
+                    SchedCounters::bump(&tenant.rejected);
+                }
                 return Err(GrainError::DeadlineExceeded {
                     stage: DeadlineStage::AtSubmit,
                 });
             }
             state.queue.admit(
                 prepared,
+                tenant.as_ref(),
                 priority,
-                deadline,
-                on_deadline,
-                tx,
+                waiter,
                 self.inner.queue_capacity,
             )
         };
         match admission {
             Admission::Enqueued(handle) => {
                 SchedCounters::bump(&self.inner.counters.enqueued);
+                if let Some(tenant) = &tenant_counters {
+                    SchedCounters::bump(&tenant.admitted);
+                }
                 self.inner.ready.notify_one();
-                Ok(self.ticket(rx, handle))
+                Ok(self.ticket(rx, handle, tenant_counters))
             }
             Admission::Coalesced(handle) => {
                 SchedCounters::bump(&self.inner.counters.coalesced);
-                Ok(self.ticket(rx, handle))
+                if let Some(tenant) = &tenant_counters {
+                    SchedCounters::bump(&tenant.coalesced);
+                }
+                Ok(self.ticket(rx, handle, tenant_counters))
             }
             Admission::RejectedFull => {
                 SchedCounters::bump(&self.inner.counters.rejected_queue_full);
+                if let Some(tenant) = &tenant_counters {
+                    SchedCounters::bump(&tenant.rejected);
+                }
                 Err(GrainError::QueueFull {
                     capacity: self.inner.queue_capacity,
                 })
@@ -651,13 +763,19 @@ impl Scheduler {
         }
     }
 
-    fn ticket(&self, rx: Receiver<GrainResult<SelectionReport>>, handle: WaiterHandle) -> Ticket {
+    fn ticket(
+        &self,
+        rx: Receiver<GrainResult<SelectionReport>>,
+        handle: WaiterHandle,
+        tenant: Option<Arc<TenantCounters>>,
+    ) -> Ticket {
         Ticket {
             rx,
             cancel: Some(TicketCancel {
                 state: handle.cancel,
                 cancelled: handle.cancelled,
                 counters: Arc::clone(&self.inner.counters),
+                tenant,
             }),
         }
     }
@@ -708,6 +826,35 @@ impl Scheduler {
     /// Lock-free snapshot of the scheduler counters.
     pub fn stats(&self) -> SchedulerStats {
         self.inner.counters.snapshot()
+    }
+
+    /// Sets `tenant`'s weighted-fair dispatch weight (clamped to ≥ 1).
+    /// Under saturation, always-backlogged tenants complete work in
+    /// proportion to their weights; see the module docs' multi-tenancy
+    /// section. Also registers the tenant so it appears in
+    /// [`Scheduler::tenant_stats`] before its first submission.
+    pub fn set_tenant_weight(&self, tenant: &str, weight: u32) {
+        let _ = self.inner.tenants.get(tenant);
+        self.inner.lock_state().queue.set_weight(tenant, weight);
+    }
+
+    /// Per-tenant counter snapshots, sorted by tenant id. Tenants appear
+    /// once they have been named — by a submission
+    /// ([`ScheduledRequest::with_tenant`]) or a
+    /// [`Scheduler::set_tenant_weight`] call. Tenant-less submissions are
+    /// counted only in the global [`Scheduler::stats`].
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let blocks = self.inner.tenants.all();
+        let state = self.inner.lock_state();
+        blocks
+            .iter()
+            .map(|block| block.snapshot(state.queue.weight_of(block.name())))
+            .collect()
+    }
+
+    /// One tenant's counter snapshot, if the tenant has been named.
+    pub fn tenant_stats_for(&self, tenant: &str) -> Option<TenantStats> {
+        self.tenant_stats().into_iter().find(|s| s.tenant == tenant)
     }
 
     /// The service this scheduler dispatches into.
@@ -780,6 +927,18 @@ fn fan_out(inner: &Inner, waiters: Vec<Waiter>, result: &GrainResult<SelectionRe
             Err(e) => Err(e.clone()),
         };
         creator_seen = true;
+        if let Some(tenant) = &waiter.tenant {
+            match &payload {
+                Ok(report) => {
+                    SchedCounters::bump(&tenant.completed);
+                    if report.is_partial() {
+                        SchedCounters::bump(&tenant.partial);
+                    }
+                    tenant.record_service_time(waiter.submitted_at.elapsed());
+                }
+                Err(_) => SchedCounters::bump(&tenant.failed),
+            }
+        }
         deliver(inner, &waiter.tx, payload);
     }
 }
@@ -813,6 +972,9 @@ fn worker_loop(inner: &Inner) {
         // Load-shed: resolve expired waiters without running anything.
         for waiter in dispatch.shed {
             SchedCounters::bump(&inner.counters.shed_deadline);
+            if let Some(tenant) = &waiter.tenant {
+                SchedCounters::bump(&tenant.shed);
+            }
             deliver(
                 inner,
                 &waiter.tx,
@@ -1048,6 +1210,69 @@ mod tests {
         assert_eq!(stats.cancelled, 1);
         assert_eq!(stats.selections, 1, "the kept waiter's run completed");
         assert_eq!(stats.delivered, 1, "only the live waiter was delivered to");
+    }
+
+    #[test]
+    fn tenant_stats_track_admissions_completions_and_cancels() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        scheduler.set_tenant_weight("gold", 10);
+        let keeper = scheduler
+            .submit(ScheduledRequest::new(request(5)).with_tenant("gold"))
+            .unwrap();
+        let joiner = scheduler
+            .submit(ScheduledRequest::new(request(5)).with_tenant("gold"))
+            .unwrap();
+        let bronze = scheduler
+            .submit(ScheduledRequest::new(request(6)).with_tenant("bronze"))
+            .unwrap();
+        let quitter = scheduler
+            .submit(ScheduledRequest::new(request(7)).with_tenant("bronze"))
+            .unwrap();
+        quitter.cancel();
+        scheduler.resume();
+        assert_eq!(keeper.wait().unwrap().outcome().selected.len(), 5);
+        assert_eq!(joiner.wait().unwrap().outcome().selected.len(), 5);
+        assert_eq!(bronze.wait().unwrap().outcome().selected.len(), 6);
+        let gold = scheduler.tenant_stats_for("gold").unwrap();
+        assert_eq!(gold.weight, 10);
+        assert_eq!(gold.admitted, 1);
+        assert_eq!(gold.coalesced, 1);
+        assert_eq!(gold.completed, 2);
+        assert_eq!(gold.served, 2);
+        assert!(gold.p50 > Duration::ZERO);
+        assert!(gold.p99 >= gold.p50);
+        assert!(gold.max >= Duration::ZERO);
+        let bronze = scheduler.tenant_stats_for("bronze").unwrap();
+        assert_eq!(bronze.weight, 1, "unset weights default to 1");
+        assert_eq!(bronze.admitted, 2);
+        assert_eq!(bronze.completed, 1);
+        assert_eq!(bronze.cancelled, 1);
+        // Tenant-less submissions never appear in tenant stats.
+        assert_eq!(scheduler.tenant_stats().len(), 2);
+        assert!(scheduler.tenant_stats_for("ghost").is_none());
+    }
+
+    #[test]
+    fn cancel_handle_cancels_from_outside_the_ticket() {
+        let scheduler = Scheduler::new(
+            service(),
+            SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+        );
+        let ticket = scheduler.submit(request(6)).unwrap();
+        let handle = ticket.cancel_handle();
+        handle.clone().cancel();
+        handle.cancel(); // idempotent across clones: counted once
+        assert_eq!(ticket.wait().unwrap_err(), GrainError::Cancelled);
+        assert_eq!(scheduler.stats().cancelled, 1);
     }
 
     #[test]

@@ -18,7 +18,32 @@
 //! same-engine sibling may overtake a more urgent foreign-key slot — but
 //! only within one bounded group, and it is exactly the trade that keeps
 //! artifact caches hot under mixed traffic.
+//!
+//! # Tenant-weighted fairness
+//!
+//! Slots are partitioned into per-tenant **flows** (submissions without a
+//! tenant share one anonymous flow), each with its own urgency heap, and
+//! a [`FairShare`] start-time-fair-queuing state arbitrates *between*
+//! flows. Head selection is lexicographic:
+//!
+//! 1. **priority** — the highest head priority anywhere still dispatches
+//!    first (priority stays a global urgency escape hatch, trusted the
+//!    same way it always was);
+//! 2. **weighted fairness** — among flows whose heads tie on priority,
+//!    the flow with the smallest effective virtual-finish tag wins, so
+//!    saturated tenants complete work in proportion to their weights and
+//!    a weight-1 tenant is never starved;
+//! 3. **urgency** — within a flow (and as the final cross-flow tiebreak)
+//!    the existing EDF-then-FIFO order applies unchanged.
+//!
+//! Every dispatched slot charges one cost unit to its own flow — a
+//! same-engine ride-along from another tenant is still charged to that
+//! tenant, so engine-key batching never becomes a fairness loophole.
+//! With no tenants configured there is exactly one flow and the order
+//! reduces to the original priority/EDF/FIFO.
 
+use super::fair::FairShare;
+use super::tenant::TenantCounters;
 use crate::cancel::{CancelCause, CancelToken, OnDeadline};
 use crate::error::GrainResult;
 use crate::service::{Budget, SelectionReport, SelectionRequest};
@@ -42,6 +67,13 @@ pub(super) struct Waiter {
     pub(super) cancelled: Arc<AtomicBool>,
     /// What this waiter receives when the run is cancelled by deadline.
     pub(super) on_deadline: OnDeadline,
+    /// This waiter's tenant counter block (`None` for tenant-less
+    /// submissions). Resolved once at submission so shedding and fan-out
+    /// bump per-tenant counters without a registry lookup.
+    pub(super) tenant: Option<Arc<TenantCounters>>,
+    /// When the waiter was admitted; fan-out records the submit→delivery
+    /// latency into the tenant's service-time histogram.
+    pub(super) submitted_at: Instant,
 }
 
 /// Refcounted cancellation state shared by a slot's waiters and their
@@ -183,6 +215,11 @@ pub(super) struct Slot {
     /// when a worker claims the slot.
     request: Option<SelectionRequest>,
     pub(super) engine_key: (String, String),
+    /// The flow this slot is queued (and fairness-charged) under: its
+    /// creator's tenant id, or the empty anonymous flow. Joiners from
+    /// other tenants coalesce in for free — duplicate suppression is a
+    /// shared win and charging it to anyone would double-count the work.
+    tenant: Arc<str>,
     pub(super) waiters: Vec<Waiter>,
     /// Shared with every waiter's ticket; see [`CancelState`].
     cancel: Arc<CancelState>,
@@ -291,10 +328,16 @@ impl Dispatch {
 
 /// See the module docs. All methods are O(queue) worst case and run under
 /// the scheduler's state mutex.
-#[derive(Default)]
 pub(super) struct DispatchQueue {
     slots: HashMap<CoalesceKey, Slot>,
-    heap: BinaryHeap<HeapEntry>,
+    /// Per-tenant urgency heaps (the flows); arbitration between them is
+    /// priority first, then [`FairShare`]. Flow heaps are dropped when
+    /// emptied — the fairness state they index outlives them in `fair`.
+    flows: HashMap<Arc<str>, BinaryHeap<HeapEntry>>,
+    /// Weighted start-time fair queuing state across flows.
+    fair: FairShare,
+    /// The shared flow key for tenant-less submissions.
+    anon: Arc<str>,
     /// Number of slots in `Queued` state — the admission-control measure
     /// (running slots and coalesced waiters consume no queue capacity).
     queued: usize,
@@ -303,6 +346,20 @@ pub(super) struct DispatchQueue {
     /// so a stale heap entry left behind by a completed slot can never
     /// match a later slot that re-queues the same coalesce key.
     next_stamp: u64,
+}
+
+impl Default for DispatchQueue {
+    fn default() -> Self {
+        Self {
+            slots: HashMap::new(),
+            flows: HashMap::new(),
+            fair: FairShare::default(),
+            anon: Arc::from(""),
+            queued: 0,
+            next_seq: 0,
+            next_stamp: 0,
+        }
+    }
 }
 
 impl DispatchQueue {
@@ -316,18 +373,30 @@ impl DispatchQueue {
         self.slots.is_empty()
     }
 
+    /// Sets a tenant's weighted-fair dispatch weight (clamped ≥ 1).
+    pub(super) fn set_weight(&mut self, tenant: &str, weight: u32) {
+        self.fair.set_weight(tenant, weight);
+    }
+
+    /// A tenant's configured weight (1 when never configured).
+    pub(super) fn weight_of(&self, tenant: &str) -> u32 {
+        self.fair.weight(tenant)
+    }
+
     /// Admits a submission: coalesce onto an identical pending selection
     /// if one exists, otherwise enqueue a new work item unless `capacity`
     /// queued items already exist. The [`PreparedSubmission`] carries
     /// everything expensive precomputed outside the scheduler's state
     /// mutex, so no O(pool) copy or fingerprint formatting runs under it.
+    /// `tenant` names the flow a *new* slot is queued (and
+    /// fairness-charged) under; a coalescing submission joins the
+    /// existing slot regardless of flow.
     pub(super) fn admit(
         &mut self,
         prepared: PreparedSubmission,
+        tenant: Option<&Arc<str>>,
         priority: u8,
-        deadline: Option<Instant>,
-        on_deadline: OnDeadline,
-        tx: Sender<GrainResult<SelectionReport>>,
+        waiter: Waiter,
         capacity: usize,
     ) -> Admission {
         let PreparedSubmission {
@@ -335,7 +404,8 @@ impl DispatchQueue {
             request,
             engine_key,
         } = prepared;
-        let cancelled = Arc::new(AtomicBool::new(false));
+        let deadline = waiter.deadline;
+        let cancelled = Arc::clone(&waiter.cancelled);
         // A slot whose every waiter detached (`super::Ticket::cancel`) is
         // a husk: its run — queued or already dispatched — stops at the
         // next checkpoint with nobody listening. Coalescing onto it would
@@ -355,12 +425,7 @@ impl DispatchQueue {
             }
         } else if let Some(slot) = self.slots.get_mut(&key) {
             slot.cancel.join();
-            slot.waiters.push(Waiter {
-                tx,
-                deadline,
-                cancelled: Arc::clone(&cancelled),
-                on_deadline,
-            });
+            slot.waiters.push(waiter);
             // A more urgent waiter drags the whole slot forward; the old
             // heap entry goes stale (stamp) instead of being dug out.
             if slot.state == SlotState::Queued {
@@ -374,13 +439,16 @@ impl DispatchQueue {
                     slot.deadline = deadline;
                     slot.stamp = self.next_stamp;
                     self.next_stamp += 1;
-                    self.heap.push(HeapEntry {
-                        priority,
-                        deadline,
-                        seq: slot.seq,
-                        stamp: slot.stamp,
-                        key,
-                    });
+                    self.flows
+                        .entry(Arc::clone(&slot.tenant))
+                        .or_default()
+                        .push(HeapEntry {
+                            priority,
+                            deadline,
+                            seq: slot.seq,
+                            stamp: slot.stamp,
+                            key,
+                        });
                 }
             }
             return Admission::Coalesced(WaiterHandle {
@@ -391,29 +459,29 @@ impl DispatchQueue {
         if self.queued >= capacity {
             return Admission::RejectedFull;
         }
+        let flow_key = tenant.map_or_else(|| Arc::clone(&self.anon), Arc::clone);
         let seq = self.next_seq;
         self.next_seq += 1;
         let stamp = self.next_stamp;
         self.next_stamp += 1;
-        self.heap.push(HeapEntry {
-            priority,
-            deadline,
-            seq,
-            stamp,
-            key: key.clone(),
-        });
+        self.flows
+            .entry(Arc::clone(&flow_key))
+            .or_default()
+            .push(HeapEntry {
+                priority,
+                deadline,
+                seq,
+                stamp,
+                key: key.clone(),
+            });
         let cancel = CancelState::new();
         self.slots.insert(
             key,
             Slot {
                 engine_key,
                 request: Some(request),
-                waiters: vec![Waiter {
-                    tx,
-                    deadline,
-                    cancelled: Arc::clone(&cancelled),
-                    on_deadline,
-                }],
+                tenant: flow_key,
+                waiters: vec![waiter],
                 cancel: Arc::clone(&cancel),
                 state: SlotState::Queued,
                 priority,
@@ -477,32 +545,88 @@ impl DispatchQueue {
         }
     }
 
-    /// Claims the next unit of work: the most urgent live slot plus up to
-    /// `max_group - 1` queued slots sharing its engine key (in submission
-    /// order), all marked running. Expired waiters encountered along the
-    /// way are shed, not run. An empty [`Dispatch`] means the queue holds
-    /// no queued work.
+    /// Pops the queue-wide winning heap entry: stale heads are discarded
+    /// per flow, then the flow whose live head wins — priority first,
+    /// smallest effective virtual-finish tag among tied priorities,
+    /// EDF/FIFO urgency as the final tiebreak (`seq` is globally unique,
+    /// so the order is total and map iteration order never shows) — gives
+    /// up its head. Returns the winning flow's key alongside the entry so
+    /// the caller can fairness-charge it once the slot actually runs.
+    fn pop_fairest(&mut self) -> Option<(Arc<str>, HeapEntry)> {
+        // Drop stale heads so every surviving flow's peek is live; empty
+        // flow heaps go away entirely (their fairness tags persist in
+        // `fair`, which is what makes idle→backlogged re-entry correct).
+        let slots = &self.slots;
+        self.flows.retain(|_, heap| {
+            while let Some(top) = heap.peek() {
+                let live = slots
+                    .get(&top.key)
+                    .is_some_and(|slot| slot.state == SlotState::Queued && slot.stamp == top.stamp);
+                if live {
+                    break;
+                }
+                heap.pop();
+            }
+            !heap.is_empty()
+        });
+        let mut winner: Option<(&Arc<str>, &HeapEntry, u128)> = None;
+        for (tenant, heap) in &self.flows {
+            let head = heap.peek().expect("empty flows were retained away");
+            let eff = self.fair.effective_vfinish(tenant);
+            let wins = match winner {
+                None => true,
+                Some((_, best_head, best_eff)) => match head.priority.cmp(&best_head.priority) {
+                    Ordering::Greater => true,
+                    Ordering::Less => false,
+                    Ordering::Equal => match eff.cmp(&best_eff) {
+                        Ordering::Less => true,
+                        Ordering::Greater => false,
+                        Ordering::Equal => head.urgency(best_head) == Ordering::Greater,
+                    },
+                },
+            };
+            if wins {
+                winner = Some((tenant, head, eff));
+            }
+        }
+        let tenant = Arc::clone(winner?.0);
+        let entry = self
+            .flows
+            .get_mut(&tenant)
+            .expect("winner flow exists")
+            .pop()
+            .expect("winner head exists");
+        Some((tenant, entry))
+    }
+
+    /// Claims the next unit of work: the winning live slot (see
+    /// [`Self::pop_fairest`] for the priority/fairness/urgency order)
+    /// plus up to `max_group - 1` queued slots sharing its engine key (in
+    /// submission order), all marked running. Every claimed slot charges
+    /// one fairness cost unit to its own flow — cross-tenant ride-alongs
+    /// pay their own way. Expired waiters encountered along the way are
+    /// shed, not run. An empty [`Dispatch`] means the queue holds no
+    /// queued work.
     pub(super) fn pop_dispatch(&mut self, now: Instant, max_group: usize) -> Dispatch {
         let mut dispatch = Dispatch {
             group: Vec::new(),
             shed: Vec::new(),
         };
         let head_key = loop {
-            let Some(entry) = self.heap.pop() else {
+            let Some((tenant, entry)) = self.pop_fairest() else {
                 return dispatch;
             };
-            let Some(slot) = self.slots.get_mut(&entry.key) else {
-                continue; // completed under a stale entry
-            };
-            if slot.state != SlotState::Queued || slot.stamp != entry.stamp {
-                continue; // running, or superseded by an urgency upgrade
-            }
+            let slot = self
+                .slots
+                .get_mut(&entry.key)
+                .expect("pop_fairest returns live entries");
             Self::triage(slot, now, &mut dispatch.shed);
             if slot.waiters.is_empty() {
                 self.slots.remove(&entry.key);
                 self.queued -= 1;
                 continue; // fully expired: shed without running
             }
+            self.fair.charge(&tenant, 1);
             break entry.key;
         };
         let engine_key = {
@@ -534,7 +658,9 @@ impl DispatchQueue {
                 slot.state = SlotState::Running;
                 self.queued -= 1;
                 let request = slot.request.take().expect("queued slot owns its request");
+                let tenant = Arc::clone(&slot.tenant);
                 dispatch.group.push(Self::entry(key.clone(), request, slot));
+                self.fair.charge(&tenant, 1);
             }
         }
         dispatch
@@ -580,20 +706,45 @@ mod tests {
         bounded(1)
     }
 
+    fn make_waiter(
+        tx: Sender<GrainResult<SelectionReport>>,
+        deadline: Option<Instant>,
+        on_deadline: OnDeadline,
+    ) -> Waiter {
+        Waiter {
+            tx,
+            deadline,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            on_deadline,
+            tenant: None,
+            submitted_at: Instant::now(),
+        }
+    }
+
     fn admit(
         q: &mut DispatchQueue,
         r: &SelectionRequest,
         priority: u8,
         deadline: Option<Instant>,
     ) -> Admission {
+        admit_as(q, r, None, priority, deadline)
+    }
+
+    fn admit_as(
+        q: &mut DispatchQueue,
+        r: &SelectionRequest,
+        tenant: Option<&str>,
+        priority: u8,
+        deadline: Option<Instant>,
+    ) -> Admission {
         let (tx, rx) = waiter();
         std::mem::forget(rx); // keep the channel connected for the test
+        let tenant = tenant.map(Arc::from);
         q.admit(
             PreparedSubmission::new(r.clone(), 0),
+            tenant.as_ref(),
             priority,
-            deadline,
-            OnDeadline::Fail,
-            tx,
+            make_waiter(tx, deadline, OnDeadline::Fail),
             usize::MAX,
         )
     }
@@ -606,10 +757,9 @@ mod tests {
     ) -> Admission {
         q.admit(
             PreparedSubmission::new(r.clone(), 0),
-            0,
             None,
-            OnDeadline::Fail,
-            tx,
+            0,
+            make_waiter(tx, None, OnDeadline::Fail),
             capacity,
         )
     }
@@ -977,10 +1127,9 @@ mod tests {
         std::mem::forget(rx);
         q.admit(
             PreparedSubmission::new(b.clone(), 0),
+            None,
             0,
-            Some(later),
-            OnDeadline::Partial,
-            tx,
+            make_waiter(tx, Some(later), OnDeadline::Partial),
             usize::MAX,
         );
         let d = q.pop_dispatch(now, 1);
@@ -991,6 +1140,127 @@ mod tests {
         );
         assert_eq!(d.group[0].on_deadline, OnDeadline::Partial);
         q.complete(&d.group[0].key, &d.group[0].cancel);
+    }
+
+    /// Serially drains the queue with `max_group = 1`, recording the
+    /// graph name of each dispatched slot.
+    fn drain_order(q: &mut DispatchQueue, now: Instant) -> Vec<String> {
+        let mut order = Vec::new();
+        loop {
+            let d = q.pop_dispatch(now, 1);
+            if d.group.is_empty() {
+                break;
+            }
+            order.push(d.group[0].request.graph.clone());
+            q.complete(&d.group[0].key.clone(), &d.group[0].cancel);
+        }
+        order
+    }
+
+    #[test]
+    fn ten_to_one_weights_dispatch_ten_to_one_work_under_saturation() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        q.set_weight("gold", 10);
+        q.set_weight("bronze", 1);
+        // Both tenants saturate the queue: 60 distinct slots each
+        // (distinct graph names keep engine keys apart so nothing
+        // ride-along-groups across tenants here).
+        for i in 0..60 {
+            admit_as(
+                &mut q,
+                &request(&format!("gold-{i}"), 1),
+                Some("gold"),
+                0,
+                None,
+            );
+            admit_as(
+                &mut q,
+                &request(&format!("bronze-{i}"), 1),
+                Some("bronze"),
+                0,
+                None,
+            );
+        }
+        let order = drain_order(&mut q, now);
+        assert_eq!(order.len(), 120);
+        // While both stay backlogged (the first 66 dispatches), completed
+        // work tracks the 10:1 weights; integer fixed-point truncation
+        // allows at most ±1 per window.
+        let window = &order[..66];
+        let gold = window.iter().filter(|g| g.starts_with("gold")).count();
+        let bronze = window.len() - gold;
+        assert!(
+            (59..=61).contains(&gold),
+            "gold got {gold}/66 dispatches, bronze {bronze} — expected ~10:1"
+        );
+        // Starvation-freedom: bronze (weight 1) is served at least once
+        // in every weights-sum-plus-slack window while it is backlogged.
+        let bronze_positions: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.starts_with("bronze"))
+            .map(|(i, _)| i)
+            .take(5)
+            .collect();
+        for pair in bronze_positions.windows(2) {
+            assert!(
+                pair[1] - pair[0] <= 12,
+                "bronze starved for {} dispatches: {bronze_positions:?}",
+                pair[1] - pair[0]
+            );
+        }
+    }
+
+    #[test]
+    fn priority_still_outranks_fairness_and_tenantless_order_is_unchanged() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        q.set_weight("heavy", 100);
+        // A saturated heavy tenant cannot hold back a high-priority slot
+        // from an unweighted flow: priority stays the global escape hatch.
+        for i in 0..5 {
+            admit_as(
+                &mut q,
+                &request(&format!("heavy-{i}"), 1),
+                Some("heavy"),
+                0,
+                None,
+            );
+        }
+        admit(&mut q, &request("urgent", 1), 7, None);
+        let order = drain_order(&mut q, now);
+        assert_eq!(order[0], "urgent");
+        // And with a single (anonymous) flow the order is the original
+        // FIFO — fairness is invisible until tenants exist.
+        for name in ["first", "second", "third"] {
+            admit(&mut q, &request(name, 1), 0, None);
+        }
+        assert_eq!(drain_order(&mut q, now), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn cross_tenant_ride_alongs_charge_their_own_flow() {
+        let mut q = DispatchQueue::default();
+        let now = Instant::now();
+        q.set_weight("a", 1);
+        q.set_weight("b", 1);
+        // Same graph ⇒ same engine key: b's slot rides along with a's
+        // dispatch. The charge must land on b, so a's next head wins the
+        // following dispatch (equal weights alternate).
+        admit_as(&mut q, &request("g", 1), Some("a"), 0, None);
+        admit_as(&mut q, &request("g", 2), Some("b"), 0, None);
+        admit_as(&mut q, &request("solo-a", 3), Some("a"), 0, None);
+        admit_as(&mut q, &request("solo-b", 4), Some("b"), 0, None);
+        let d = q.pop_dispatch(now, 8);
+        assert_eq!(popped_budgets(&d), vec![1, 2], "b rides along on g");
+        for e in &d.group {
+            q.complete(&e.key, &e.cancel);
+        }
+        // Both flows were charged once; the tie falls back to urgency
+        // (seq), so solo-a dispatches before solo-b — and crucially b was
+        // NOT left uncharged ahead of a.
+        assert_eq!(drain_order(&mut q, now), vec!["solo-a", "solo-b"]);
     }
 
     #[test]

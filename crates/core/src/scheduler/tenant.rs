@@ -1,0 +1,252 @@
+//! Per-tenant scheduler accounting: lock-free counters plus a log-scale
+//! service-time histogram, snapshotted as [`TenantStats`].
+//!
+//! The global [`SchedulerStats`](super::SchedulerStats) stays a flat
+//! `Copy` struct; tenant-resolved accounting lives here instead. Each
+//! named tenant gets one [`TenantCounters`] block, resolved once at
+//! submission and carried by the waiter (and its ticket), so the hot
+//! paths — admission, shedding, fan-out, cancel — bump atomics without a
+//! map lookup or a lock. Requests submitted without a tenant are counted
+//! only in the global stats, which keeps the pre-tenant behavior (and
+//! every pre-tenant test) unchanged.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Power-of-two bucketed latency histogram: bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds. Recording is a single relaxed atomic
+/// increment; quantiles are read from a snapshot and answer with the
+/// containing bucket's upper bound (≤ 2× coarse), clamped to the largest
+/// sample seen. Serving dashboards want cheap, monotone, allocation-free
+/// percentiles; exact percentiles for benchmarking are computed by the
+/// load generator from raw samples instead.
+struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = ns.checked_ilog2().unwrap_or(0) as usize;
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// The value at or below which a `q` fraction of samples fall,
+    /// reported as the containing bucket's upper bound.
+    fn quantile(&self, q: f64) -> Duration {
+        let total = self.count.load(Ordering::Relaxed);
+        if total == 0 {
+            return Duration::ZERO;
+        }
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                return Duration::from_nanos(upper.min(max_ns));
+            }
+        }
+        Duration::from_nanos(max_ns)
+    }
+}
+
+/// One tenant's atomic counter block. Shared (`Arc`) between the
+/// registry, every waiter the tenant has in flight, and their tickets.
+pub(super) struct TenantCounters {
+    name: Arc<str>,
+    /// Submissions admitted as new queued work.
+    pub(super) admitted: AtomicUsize,
+    /// Submissions that attached to an identical in-flight selection.
+    pub(super) coalesced: AtomicUsize,
+    /// Submissions refused at admission (queue full or expired deadline).
+    pub(super) rejected: AtomicUsize,
+    /// Waiters shed at dequeue because their deadline passed in-queue.
+    pub(super) shed: AtomicUsize,
+    /// Tickets explicitly cancelled.
+    pub(super) cancelled: AtomicUsize,
+    /// Reports delivered `Ok` (partial prefixes included).
+    pub(super) completed: AtomicUsize,
+    /// Of `completed`, anytime-prefix reports after a mid-run deadline.
+    pub(super) partial: AtomicUsize,
+    /// Typed errors delivered through a ticket.
+    pub(super) failed: AtomicUsize,
+    /// Submit→delivery latency of `Ok` deliveries.
+    service_time: LatencyHistogram,
+}
+
+impl TenantCounters {
+    fn new(name: Arc<str>) -> Self {
+        Self {
+            name,
+            admitted: AtomicUsize::new(0),
+            coalesced: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            shed: AtomicUsize::new(0),
+            cancelled: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            partial: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+            service_time: LatencyHistogram::new(),
+        }
+    }
+
+    pub(super) fn name(&self) -> &Arc<str> {
+        &self.name
+    }
+
+    /// Records one successful delivery's submit→delivery latency.
+    pub(super) fn record_service_time(&self, elapsed: Duration) {
+        self.service_time.record(elapsed);
+    }
+
+    pub(super) fn snapshot(&self, weight: u32) -> TenantStats {
+        TenantStats {
+            tenant: self.name.to_string(),
+            weight,
+            admitted: self.admitted.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            partial: self.partial.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            served: self.service_time.count.load(Ordering::Relaxed),
+            p50: self.service_time.quantile(0.50),
+            p90: self.service_time.quantile(0.90),
+            p99: self.service_time.quantile(0.99),
+            max: Duration::from_nanos(self.service_time.max_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Registry of tenant counter blocks, keyed by tenant id. Counter blocks
+/// are created on first sight and never removed (tenant cardinality is
+/// operator-bounded: it is the serving edge's configured tenant table).
+#[derive(Default)]
+pub(super) struct TenantRegistry {
+    map: Mutex<HashMap<Arc<str>, Arc<TenantCounters>>>,
+}
+
+impl TenantRegistry {
+    /// The tenant's counter block, created on first use.
+    pub(super) fn get(&self, tenant: &str) -> Arc<TenantCounters> {
+        let mut map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(counters) = map.get(tenant) {
+            return Arc::clone(counters);
+        }
+        let name: Arc<str> = Arc::from(tenant);
+        let counters = Arc::new(TenantCounters::new(Arc::clone(&name)));
+        map.insert(name, Arc::clone(&counters));
+        counters
+    }
+
+    /// Every known tenant's counter block, sorted by tenant id.
+    pub(super) fn all(&self) -> Vec<Arc<TenantCounters>> {
+        let map = self.map.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut all: Vec<_> = map.values().map(Arc::clone).collect();
+        all.sort_by(|a, b| a.name.cmp(&b.name));
+        all
+    }
+}
+
+/// Point-in-time snapshot of one tenant's scheduler accounting; see
+/// [`Scheduler::tenant_stats`](super::Scheduler::tenant_stats).
+///
+/// The latency quantiles come from a power-of-two bucketed histogram, so
+/// each is an upper bound within 2× of the true quantile (clamped to the
+/// largest observed sample); `served` is the sample count behind them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Tenant id (as authenticated by the edge / named at submission).
+    pub tenant: String,
+    /// Weighted-fair dispatch weight currently configured for the tenant.
+    pub weight: u32,
+    /// Submissions admitted as new queued work.
+    pub admitted: usize,
+    /// Submissions that attached to an identical in-flight selection.
+    pub coalesced: usize,
+    /// Submissions refused at admission (queue full or expired deadline).
+    pub rejected: usize,
+    /// Waiters shed at dequeue because their deadline passed in-queue.
+    pub shed: usize,
+    /// Tickets explicitly cancelled (client disconnects included).
+    pub cancelled: usize,
+    /// Reports delivered `Ok` (partial prefixes included).
+    pub completed: usize,
+    /// Of `completed`, anytime-prefix reports after a mid-run deadline.
+    pub partial: usize,
+    /// Typed errors delivered through a ticket.
+    pub failed: usize,
+    /// Samples behind the latency quantiles (`Ok` deliveries).
+    pub served: u64,
+    /// Median submit→delivery latency (bucketed upper bound).
+    pub p50: Duration,
+    /// 90th-percentile submit→delivery latency (bucketed upper bound).
+    pub p90: Duration,
+    /// 99th-percentile submit→delivery latency (bucketed upper bound).
+    pub p99: Duration,
+    /// Largest observed submit→delivery latency.
+    pub max: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bound_the_samples() {
+        let h = LatencyHistogram::new();
+        for ms in 1..=100u64 {
+            h.record(Duration::from_millis(ms));
+        }
+        let p50 = h.quantile(0.50);
+        let p99 = h.quantile(0.99);
+        // Bucketed upper bounds: within 2× above the exact quantile and
+        // never above the max sample.
+        assert!(p50 >= Duration::from_millis(50), "p50 {p50:?}");
+        assert!(p50 <= Duration::from_millis(100));
+        assert!(p99 >= Duration::from_millis(99), "p99 {p99:?}");
+        assert!(p99 <= Duration::from_millis(100));
+        assert_eq!(h.quantile(1.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+    }
+
+    #[test]
+    fn registry_returns_one_block_per_tenant() {
+        let reg = TenantRegistry::default();
+        let a1 = reg.get("a");
+        let a2 = reg.get("a");
+        let b = reg.get("b");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!Arc::ptr_eq(&a1, &b));
+        let names: Vec<_> = reg.all().iter().map(|c| c.name.to_string()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+}

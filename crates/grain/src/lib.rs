@@ -122,11 +122,12 @@ pub use grain_select as select;
 pub mod prelude {
     pub use grain_core::{
         ArtifactStore, Budget, CancelCause, CancelToken, Completion, ContentAddress, DeadlineStage,
-        DiversityKind, EngineCheckout, EngineStats, EpochReport, GrainConfig, GrainError,
-        GrainResult, GrainSelector, GrainService, GrainVariant, GraphDelta, GreedyAlgorithm,
-        OnDeadline, PoolEvent, PoolStats, PruneStrategy, RetryPolicy, ScheduledRequest, Scheduler,
-        SchedulerConfig, SchedulerStats, ScratchDir, SelectionEngine, SelectionOutcome,
-        SelectionReport, SelectionRequest, StoreStats, Ticket,
+        DiversityKind, EdgeClient, EdgeConfig, EdgeServer, EdgeStats, EngineCheckout, EngineStats,
+        EpochReport, GrainConfig, GrainError, GrainResult, GrainSelector, GrainService,
+        GrainVariant, GraphDelta, GreedyAlgorithm, OnDeadline, PoolEvent, PoolStats, PruneStrategy,
+        RetryPolicy, ScheduledRequest, Scheduler, SchedulerConfig, SchedulerStats, ScratchDir,
+        SelectionEngine, SelectionOutcome, SelectionReport, SelectionRequest, StoreStats,
+        TenantSpec, Ticket, TokenBucket,
     };
     pub use grain_data::{Dataset, Split};
     pub use grain_gnn::{Model, TrainConfig, TrainReport};

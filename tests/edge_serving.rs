@@ -1,0 +1,266 @@
+//! The serving contract over real sockets: many concurrent clients
+//! across tenants, pipelined and duplicate-heavy traffic — and every
+//! response that comes back over the wire is **bit-identical** to the
+//! same [`SelectionRequest`] submitted in-process. Coalescing, rate
+//! limiting, and the connection cap are all exercised through the
+//! protocol, not through test-only backdoors.
+
+use grain::core::edge::proto::{WireOutcome, WireReport, CODE_AT_CAPACITY, CODE_RATE_LIMITED};
+use grain::core::edge::{EdgeError, RequestOptions};
+use grain::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct TestEdge {
+    server: EdgeServer,
+    candidates: Vec<u32>,
+}
+
+/// A server over a small synthetic corpus, pre-warmed so wire traffic
+/// lands on the pool's warm path (cold-build latency is another test's
+/// subject).
+fn edge_with(tenants: Vec<TenantSpec>, max_connections: usize) -> TestEdge {
+    let dataset = grain::data::synthetic::papers_like(200, 17);
+    let service = Arc::new(GrainService::new());
+    service
+        .register_graph("papers", dataset.graph.clone(), dataset.features.clone())
+        .unwrap();
+    let candidates = dataset.split.train.clone();
+    let prime = SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(2))
+        .with_candidates(candidates.clone());
+    service.select(&prime).unwrap();
+    let config = EdgeConfig {
+        max_connections,
+        tenants,
+        ..EdgeConfig::default()
+    };
+    let server = EdgeServer::bind("127.0.0.1:0", service, config).unwrap();
+    TestEdge { server, candidates }
+}
+
+fn two_tenants() -> Vec<TenantSpec> {
+    vec![TenantSpec::open("gold", 10), TenantSpec::open("bronze", 1)]
+}
+
+impl TestEdge {
+    fn request(&self, budget: usize, seed: u64) -> SelectionRequest {
+        SelectionRequest::new("papers", GrainConfig::ball_d(), Budget::Fixed(budget))
+            .with_candidates(self.candidates.clone())
+            .with_seed(seed)
+    }
+
+    /// The in-process oracle: the deterministic wire view of a serial
+    /// `GrainService` submission of the same request.
+    fn oracle(&self, request: &SelectionRequest) -> (Vec<usize>, Vec<WireOutcome>) {
+        let report = self.server.service().select(request).unwrap();
+        let wire = WireReport::from_report(0, &report);
+        (wire.budgets, wire.outcomes)
+    }
+}
+
+/// Six pipelined clients across two tenants, each replaying ten
+/// distinct requests: all sixty wire responses carry exactly the bytes
+/// the serial in-process oracle produced.
+#[test]
+fn every_wire_response_is_bit_identical_to_the_serial_in_process_oracle() {
+    let edge = edge_with(two_tenants(), 64);
+    let shapes: Vec<(usize, u64)> = (2..=6).flat_map(|b| [(b, 1), (b, 2)]).collect();
+    let oracles: Vec<_> = shapes
+        .iter()
+        .map(|&(budget, seed)| edge.oracle(&edge.request(budget, seed)))
+        .collect();
+
+    let addr = edge.server.local_addr();
+    std::thread::scope(|scope| {
+        for worker in 0..6u64 {
+            let tenant = if worker % 2 == 0 { "gold" } else { "bronze" };
+            let shapes = &shapes;
+            let oracles = &oracles;
+            let edge = &edge;
+            scope.spawn(move || {
+                let mut client = EdgeClient::connect(addr, tenant, "").unwrap();
+                // Pipeline the whole batch before reading anything.
+                let ids: Vec<u64> = shapes
+                    .iter()
+                    .map(|&(budget, seed)| {
+                        client
+                            .send(edge.request(budget, seed), RequestOptions::default())
+                            .unwrap()
+                    })
+                    .collect();
+                // Responses come back in submission order per connection.
+                for (i, id) in ids.iter().enumerate() {
+                    let report = client.recv().unwrap();
+                    assert_eq!(report.request_id, *id, "worker {worker}: order broke");
+                    let (budgets, outcomes) = &oracles[i];
+                    assert_eq!(&report.budgets, budgets, "worker {worker} shape {i}");
+                    assert_eq!(
+                        &report.outcomes, outcomes,
+                        "worker {worker} shape {i}: wire bytes diverged from the oracle"
+                    );
+                }
+            });
+        }
+    });
+    assert!(edge.server.stats().requests_served >= 60);
+}
+
+/// A duplicate storm from four clients against a paused scheduler
+/// coalesces into one execution — and the one answer fans back out to
+/// every waiter, identical on every connection.
+#[test]
+fn duplicate_storms_coalesce_across_the_wire() {
+    let mut tenants = two_tenants();
+    // Identical requests coalesce across tenants too: joining an
+    // in-flight slot is work-conserving, so it is never refused.
+    tenants.push(TenantSpec::open("silver", 3));
+    let edge = edge_with(tenants, 64);
+    let (oracle_budgets, oracle_outcomes) = edge.oracle(&edge.request(5, 9));
+
+    edge.server.scheduler().pause();
+    let addr = edge.server.local_addr();
+    let before = edge.server.scheduler().stats().coalesced;
+    let mut clients: Vec<EdgeClient> = ["gold", "bronze", "silver", "gold"]
+        .into_iter()
+        .map(|tenant| EdgeClient::connect(addr, tenant, "").unwrap())
+        .collect();
+    for client in &mut clients {
+        for _ in 0..3 {
+            client
+                .send(edge.request(5, 9), RequestOptions::default())
+                .unwrap();
+        }
+    }
+    // All twelve submissions must be queued (coalesced) before the
+    // queue is released, or there is nothing to coalesce into.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while edge.server.scheduler().stats().coalesced < before + 11 {
+        assert!(Instant::now() < deadline, "duplicates never coalesced");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    edge.server.scheduler().resume();
+    for (c, client) in clients.iter_mut().enumerate() {
+        for _ in 0..3 {
+            let report = client.recv().unwrap();
+            assert_eq!(report.budgets, oracle_budgets);
+            assert_eq!(
+                report.outcomes, oracle_outcomes,
+                "client {c}: coalesced fan-out diverged from the oracle"
+            );
+        }
+    }
+    let coalesced = edge.server.scheduler().stats().coalesced - before;
+    assert!(
+        coalesced >= 11,
+        "expected ≥11 coalesced joins, got {coalesced}"
+    );
+}
+
+/// Draining the token bucket draws typed `RATE_LIMITED` refusals that
+/// leave the connection open; once the bucket refills, the same
+/// connection serves again.
+#[test]
+fn rate_limit_refusals_are_typed_and_keep_the_connection_open() {
+    let edge = edge_with(
+        vec![TenantSpec::open("throttled", 1).with_rate(5.0, 2.0)],
+        8,
+    );
+    let addr = edge.server.local_addr();
+    let mut client = EdgeClient::connect(addr, "throttled", "").unwrap();
+    for _ in 0..5 {
+        client
+            .send(edge.request(3, 4), RequestOptions::default())
+            .unwrap();
+    }
+    let mut served = 0usize;
+    let mut limited = 0usize;
+    for _ in 0..5 {
+        match client.recv() {
+            Ok(report) => {
+                assert_eq!(report.outcomes[0].selected.len(), 3);
+                served += 1;
+            }
+            Err(EdgeError::Remote { code, .. }) => {
+                assert_eq!(code, CODE_RATE_LIMITED);
+                limited += 1;
+            }
+            Err(other) => panic!("unexpected failure: {other}"),
+        }
+    }
+    assert_eq!(served, 2, "burst of 2.0 admits exactly two immediately");
+    assert_eq!(limited, 3);
+    assert!(edge.server.stats().rate_limited >= 3);
+
+    // 500ms at 5/s refills plenty for one more — on the SAME connection.
+    std::thread::sleep(Duration::from_millis(500));
+    let report = client
+        .request(edge.request(3, 4), RequestOptions::default())
+        .expect("refilled bucket serves on the surviving connection");
+    assert_eq!(report.outcomes[0].selected.len(), 3);
+}
+
+/// The connection cap refuses the overflow client with a typed
+/// `AT_CAPACITY` error, and the slot is reusable once the holder leaves.
+#[test]
+fn connection_cap_refuses_overflow_and_recycles_the_slot() {
+    let edge = edge_with(two_tenants(), 1);
+    let addr = edge.server.local_addr();
+    let holder = EdgeClient::connect(addr, "gold", "").unwrap();
+    match EdgeClient::connect(addr, "bronze", "") {
+        Err(EdgeError::Remote { code, .. }) => assert_eq!(code, CODE_AT_CAPACITY),
+        other => panic!("overflow connection must be refused, got {other:?}"),
+    }
+    assert!(edge.server.stats().connections_rejected >= 1);
+
+    drop(holder);
+    // Slot release is asynchronous with the holder's teardown.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match EdgeClient::connect(addr, "bronze", "") {
+            Ok(mut client) => {
+                let report = client
+                    .request(edge.request(2, 5), RequestOptions::default())
+                    .unwrap();
+                assert_eq!(report.outcomes[0].selected.len(), 2);
+                break;
+            }
+            Err(EdgeError::Remote { code, .. }) if code == CODE_AT_CAPACITY => {
+                assert!(Instant::now() < deadline, "capacity slot never recycled");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(other) => panic!("unexpected refusal: {other}"),
+        }
+    }
+}
+
+/// Per-tenant scheduler counters see wire traffic: admitted and
+/// completed track each tenant's own submissions.
+#[test]
+fn per_tenant_counters_track_wire_traffic() {
+    let edge = edge_with(two_tenants(), 8);
+    let addr = edge.server.local_addr();
+    let mut gold = EdgeClient::connect(addr, "gold", "").unwrap();
+    let mut bronze = EdgeClient::connect(addr, "bronze", "").unwrap();
+    for seed in 0..3 {
+        gold.request(edge.request(3, 20 + seed), RequestOptions::default())
+            .unwrap();
+    }
+    bronze
+        .request(edge.request(3, 30), RequestOptions::default())
+        .unwrap();
+
+    let stats = edge.server.tenant_stats();
+    let of = |tenant: &str| {
+        stats
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .unwrap_or_else(|| panic!("no stats row for {tenant}"))
+    };
+    let (g, b) = (of("gold"), of("bronze"));
+    assert_eq!(g.weight, 10);
+    assert_eq!(b.weight, 1);
+    assert!(g.admitted >= 3, "gold admitted {}", g.admitted);
+    assert!(g.completed >= 3, "gold completed {}", g.completed);
+    assert!(b.admitted >= 1 && b.completed >= 1);
+    assert!(edge.server.stats().requests_served >= 4);
+}

@@ -159,6 +159,74 @@ fn retry_policy_rides_out_a_full_queue() {
     assert!(scheduler.stats().rejected_queue_full >= 1);
 }
 
+/// A client that vanishes mid-flight takes its work with it: reader EOF
+/// trips the `CancelToken` of everything the connection still has
+/// queued, the slots are discarded without executing, and the server
+/// keeps serving everyone else.
+#[test]
+fn client_disconnect_cancels_everything_still_outstanding() {
+    use grain::core::edge::RequestOptions;
+    let service = service_with(&[("papers", 71)]);
+    let server = EdgeServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&service),
+        EdgeConfig {
+            max_connections: 4,
+            tenants: vec![TenantSpec::open("gold", 1)],
+            scheduler: SchedulerConfig {
+                start_paused: true,
+                ..SchedulerConfig::default()
+            },
+            ..EdgeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = EdgeClient::connect(addr, "gold", "").unwrap();
+    for budget in [4, 5, 6] {
+        client
+            .send(request("papers", budget), RequestOptions::default())
+            .unwrap();
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.scheduler().queue_depth() < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "submissions never queued"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    client.abandon();
+    // Reader EOF → every outstanding request's CancelToken trips.
+    while server.scheduler().stats().cancelled < 3 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "disconnect never cancelled the outstanding work: {:?}",
+            server.scheduler().stats()
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(server.stats().disconnect_cancels >= 1);
+
+    // Released, the queue discards the cancelled slots without running
+    // a single selection.
+    server.scheduler().resume();
+    while !server.scheduler().is_idle() {
+        assert!(std::time::Instant::now() < deadline, "queue never drained");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert_eq!(server.scheduler().stats().selections, 0);
+
+    // And the server is entirely unbothered.
+    let mut fresh = EdgeClient::connect(addr, "gold", "").unwrap();
+    let report = fresh
+        .request(request("papers", 4), RequestOptions::default())
+        .unwrap();
+    assert_eq!(report.outcomes[0].selected.len(), 4);
+}
+
 #[cfg(feature = "fault-injection")]
 mod fault_injection {
     use super::*;
@@ -447,5 +515,115 @@ mod fault_injection {
         let stats = scheduler.stats();
         assert_eq!(stats.partial, 1, "{stats:?}");
         assert_eq!(stats.delivered, 2, "{stats:?}");
+    }
+
+    // ----- serving-edge fault sites -------------------------------------
+
+    use grain::core::edge::proto::WireReport;
+    use grain::core::edge::RequestOptions;
+
+    fn edge_server(service: &Arc<GrainService>) -> EdgeServer {
+        EdgeServer::bind(
+            "127.0.0.1:0",
+            Arc::clone(service),
+            EdgeConfig {
+                max_connections: 4,
+                tenants: vec![TenantSpec::open("gold", 1)],
+                ..EdgeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    /// A panic injected mid-write — after the selection completed,
+    /// while its response frame is going out — severs that connection
+    /// only. The server survives, and a fresh connection gets the
+    /// bit-identical answer (nothing server-side was poisoned).
+    #[test]
+    fn a_mid_write_fault_severs_one_connection_never_the_server() {
+        let _guard = serialize();
+        let service = service_with(&[("papers", 71)]);
+        let oracle = service.select(&request("papers", 5)).unwrap();
+        let server = edge_server(&service);
+
+        let mut client = EdgeClient::connect(server.local_addr(), "gold", "").unwrap();
+        // The hello-ack write is already behind us: the next `edge.write`
+        // crossing is this request's response frame.
+        let armed = Armed::arm("edge.write", Schedule::Nth(1), FaultAction::Panic);
+        let severed = client.request(request("papers", 5), RequestOptions::default());
+        assert!(
+            severed.is_err(),
+            "a mid-write fault must sever the connection, got {severed:?}"
+        );
+        drop(armed);
+
+        let mut fresh = EdgeClient::connect(server.local_addr(), "gold", "").unwrap();
+        let report = fresh
+            .request(request("papers", 5), RequestOptions::default())
+            .unwrap();
+        assert_eq!(
+            report.outcomes,
+            WireReport::from_report(0, &oracle).outcomes,
+            "the retried answer must be bit-identical to the serial oracle"
+        );
+        assert!(server.stats().connections_accepted >= 2);
+    }
+
+    /// `edge.disconnect` models the client vanishing in the instant
+    /// between the selection resolving and its response hitting the
+    /// wire: the connection tears down cleanly and the result is simply
+    /// dropped — reproducible bit-exactly by the next asker.
+    #[test]
+    fn a_disconnect_before_the_response_drops_only_that_delivery() {
+        let _guard = serialize();
+        let service = service_with(&[("papers", 71)]);
+        let oracle = service.select(&request("papers", 6)).unwrap();
+        let server = edge_server(&service);
+
+        let mut client = EdgeClient::connect(server.local_addr(), "gold", "").unwrap();
+        let armed = Armed::arm("edge.disconnect", Schedule::Nth(1), FaultAction::Panic);
+        let severed = client.request(request("papers", 6), RequestOptions::default());
+        assert!(
+            severed.is_err(),
+            "the response must never arrive, got {severed:?}"
+        );
+        drop(armed);
+
+        let mut fresh = EdgeClient::connect(server.local_addr(), "gold", "").unwrap();
+        let report = fresh
+            .request(request("papers", 6), RequestOptions::default())
+            .unwrap();
+        assert_eq!(
+            report.outcomes,
+            WireReport::from_report(0, &oracle).outcomes
+        );
+    }
+
+    /// Panics at the remaining edge sites — as the connection starts
+    /// (`edge.accept`) and at the reader's frame loop (`edge.read`) —
+    /// each kill exactly one connection and nothing else.
+    #[test]
+    fn accept_and_read_faults_kill_one_connection_each() {
+        let _guard = serialize();
+        let service = service_with(&[("papers", 71)]);
+        service.select(&request("papers", 4)).unwrap(); // warm
+        let server = edge_server(&service);
+
+        for site in ["edge.accept", "edge.read"] {
+            let armed = Armed::arm(site, Schedule::Nth(1), FaultAction::Panic);
+            // The faulted connection dies during or right after the
+            // handshake; both shapes are acceptable, panics are not.
+            if let Ok(mut client) = EdgeClient::connect(server.local_addr(), "gold", "") {
+                let severed = client.request(request("papers", 4), RequestOptions::default());
+                assert!(severed.is_err(), "{site}: expected a severed connection");
+            }
+            drop(armed);
+
+            let mut fresh = EdgeClient::connect(server.local_addr(), "gold", "").unwrap();
+            let report = fresh
+                .request(request("papers", 4), RequestOptions::default())
+                .unwrap();
+            assert_eq!(report.outcomes[0].selected.len(), 4, "{site}");
+        }
     }
 }
